@@ -1,0 +1,8 @@
+//! Bench target running the design-choice ablations promised in
+//! DESIGN.md. Run with `cargo bench -p ocs-bench --bench ablations`.
+
+fn main() {
+    for report in ocs_bench::experiments::ablations::run_all() {
+        ocs_bench::emit(&report);
+    }
+}

@@ -1,0 +1,9 @@
+//! Bench target for the aggregated-demand baseline experiment (§3.2).
+//! Run with `cargo bench -p ocs-bench --bench aggregate_baseline`.
+
+fn main() {
+    let ok = ocs_bench::emit(&ocs_bench::experiments::aggregate_baseline::run());
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

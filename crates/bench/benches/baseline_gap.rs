@@ -1,0 +1,9 @@
+//! Bench target regenerating the paper's baseline gap experiment.
+//! Run with `cargo bench -p ocs-bench --bench baseline_gap`.
+
+fn main() {
+    let ok = ocs_bench::emit(&ocs_bench::experiments::baseline_gap::run());
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

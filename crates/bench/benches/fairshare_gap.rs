@@ -1,0 +1,9 @@
+//! Bench target for the fairshare_gap extension experiment.
+//! Run with `cargo bench -p ocs-bench --bench fairshare_gap`.
+
+fn main() {
+    let ok = ocs_bench::emit(&ocs_bench::experiments::fairshare_gap::run());
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

@@ -1,0 +1,9 @@
+//! Bench target regenerating the paper's fig10 experiment.
+//! Run with `cargo bench -p ocs-bench --bench fig10`.
+
+fn main() {
+    let ok = ocs_bench::emit(&ocs_bench::experiments::fig10::run());
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

@@ -1,0 +1,9 @@
+//! Bench target regenerating the paper's fig8 experiment.
+//! Run with `cargo bench -p ocs-bench --bench fig8`.
+
+fn main() {
+    let ok = ocs_bench::emit(&ocs_bench::experiments::fig8::run());
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

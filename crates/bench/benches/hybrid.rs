@@ -1,0 +1,9 @@
+//! Bench target for the hybrid extension experiment.
+//! Run with `cargo bench -p ocs-bench --bench hybrid`.
+
+fn main() {
+    let ok = ocs_bench::emit(&ocs_bench::experiments::hybrid::run());
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of scheduler compute time.
+//!
+//! §6 of the paper: "Sunflow's computation time is less than 1 sec for
+//! Coflows with up to 3,000 subflows" (untuned C++ on a 3.5 GHz core).
+//! These benches measure our implementation's scheduling latency for
+//! growing subflow counts, and the baselines' dependence on the port
+//! count (Table 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocs_bench::experiments::table3::{dense_shuffle, sparse_coflow};
+use ocs_baselines::CircuitScheduler;
+use ocs_model::{Bandwidth, DemandMatrix, Dur, Fabric, Time};
+use sunflow_core::{IntraScheduler, Prt, SunflowConfig};
+
+fn sunflow_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sunflow_schedule");
+    for &flows in &[100usize, 400, 1600, 3025] {
+        let n = (flows as f64).sqrt().ceil() as usize;
+        let coflow = dense_shuffle(n);
+        let fabric = Fabric::new(150, Bandwidth::GBPS, Dur::from_millis(10));
+        let intra = IntraScheduler::new(&fabric, SunflowConfig::default());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(coflow.num_flows()),
+            &coflow,
+            |b, coflow| {
+                b.iter(|| {
+                    let mut prt = Prt::new(fabric.ports());
+                    std::hint::black_box(intra.schedule_on(&mut prt, coflow, Time::ZERO))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn baseline_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_schedule_n32");
+    let n = 32;
+    let coflow = dense_shuffle(n);
+    let fabric = Fabric::new(n, Bandwidth::GBPS, Dur::from_millis(10));
+    let demand = DemandMatrix::from_coflow(&coflow, &fabric);
+    for sched in [
+        CircuitScheduler::Solstice,
+        CircuitScheduler::Tms,
+        CircuitScheduler::edmond_default(),
+    ] {
+        group.bench_function(sched.name(), |b| {
+            b.iter(|| std::hint::black_box(sched.schedule(std::hint::black_box(&demand))))
+        });
+    }
+    group.finish();
+}
+
+fn sunflow_port_independence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sunflow_fixed_c_growing_n");
+    for &ports in &[64usize, 512, 2048] {
+        let coflow = sparse_coflow(ports, 64);
+        let fabric = Fabric::new(ports, Bandwidth::GBPS, Dur::from_millis(10));
+        let intra = IntraScheduler::new(&fabric, SunflowConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(ports), &coflow, |b, coflow| {
+            b.iter(|| {
+                let mut prt = Prt::new(fabric.ports());
+                std::hint::black_box(intra.schedule_on(&mut prt, coflow, Time::ZERO))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    sunflow_latency,
+    baseline_latency,
+    sunflow_port_independence
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Bench target regenerating the paper's ordering sensitivity experiment.
+//! Run with `cargo bench -p ocs-bench --bench ordering_sensitivity`.
+
+fn main() {
+    let ok = ocs_bench::emit(&ocs_bench::experiments::ordering::run());
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

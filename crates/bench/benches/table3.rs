@@ -1,0 +1,9 @@
+//! Bench target regenerating the paper's table3 experiment.
+//! Run with `cargo bench -p ocs-bench --bench table3`.
+
+fn main() {
+    let ok = ocs_bench::emit(&ocs_bench::experiments::table3::run());
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

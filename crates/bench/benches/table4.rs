@@ -1,0 +1,9 @@
+//! Bench target regenerating the paper's table4 experiment.
+//! Run with `cargo bench -p ocs-bench --bench table4`.
+
+fn main() {
+    let ok = ocs_bench::emit(&ocs_bench::experiments::table4::run());
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

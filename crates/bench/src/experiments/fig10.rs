@@ -1,0 +1,44 @@
+//! Figure 10 — sensitivity of inter-Coflow scheduling to δ
+//! (B = 1 Gbps, original load, Sunflow with shortest-Coflow-first).
+//!
+//! Per-Coflow CCT normalized to the δ = 10 ms baseline. Paper
+//! (avg / p95): 100 ms → 4.91 / 7.22; 10 ms → 1.00 / 1.00; 1 ms →
+//! 0.65 / 0.98; 100 µs → 0.61 / 0.98; 10 µs → 0.61 / 0.98. As for the
+//! intra case, optimizing switching hardware below δ ≈ 1 ms buys little.
+
+use crate::inter_eval::{eval_inter, InterEngine};
+use crate::workloads::{fabric_gbps, workload, DELTA_SWEEP};
+use ocs_metrics::{mean, percentile, Report};
+
+/// Paper values: (delta label, avg, p95) normalized to the 10 ms baseline.
+const PAPER: [(&str, f64, f64); 5] = [
+    ("100ms", 4.91, 7.22),
+    ("10ms", 1.00, 1.00),
+    ("1ms", 0.65, 0.98),
+    ("100us", 0.61, 0.98),
+    ("10us", 0.61, 0.98),
+];
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    let coflows = workload();
+    let base = eval_inter(coflows, &fabric_gbps(1), InterEngine::Sunflow);
+
+    let mut report = Report::new("Figure 10 — inter-Coflow sensitivity to delta (Sunflow, B=1G)");
+    for ((label, delta), (plabel, p_avg, p_p95)) in DELTA_SWEEP.into_iter().zip(PAPER) {
+        debug_assert_eq!(label, plabel);
+        let fabric = fabric_gbps(1).with_delta(delta);
+        let rows = eval_inter(coflows, &fabric, InterEngine::Sunflow);
+        let normalized: Vec<f64> = rows
+            .iter()
+            .zip(&base)
+            .map(|(r, b)| r.cct.as_secs_f64() / b.cct.as_secs_f64())
+            .collect();
+        let avg = mean(&normalized).unwrap_or(f64::NAN);
+        let p95 = percentile(&normalized, 95.0).unwrap_or(f64::NAN);
+        report.claim(format!("delta={label} avg CCT vs 10ms"), p_avg, avg, 0.45);
+        report.claim(format!("delta={label} p95 CCT vs 10ms"), p_p95, p95, 0.45);
+    }
+    report.note("Shape check: mirrors Figure 6 — heavy penalty at 100ms, plateau below 1ms.");
+    report
+}

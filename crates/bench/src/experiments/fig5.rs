@@ -1,0 +1,73 @@
+//! Figure 5 — circuit-switching counts for many-to-many Coflows,
+//! normalized by the minimum necessary (= `|C|`).
+//!
+//! Paper: Sunflow's switching count is always exactly the minimum
+//! (normalized 1.0); Solstice schedules many switchings per subflow —
+//! its normalized count correlates with `|C|` (linear correlation
+//! coefficient 0.84) and reaches beyond 10.
+
+use crate::intra_eval::{eval_intra, mean_of, IntraRow};
+use crate::workloads::{fabric_gbps, workload};
+use ocs_baselines::CircuitScheduler;
+use ocs_metrics::{cdf_at, pearson, Report};
+use ocs_model::Category;
+use ocs_sim::IntraEngine;
+use sunflow_core::SunflowConfig;
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    let fabric = fabric_gbps(1);
+    let m2m = |rows: Vec<IntraRow>| -> Vec<IntraRow> {
+        rows.into_iter()
+            .filter(|r| r.category == Category::ManyToMany)
+            .collect()
+    };
+    let sun = m2m(eval_intra(
+        workload(),
+        &fabric,
+        IntraEngine::Sunflow(SunflowConfig::default()),
+    ));
+    let sol = m2m(eval_intra(
+        workload(),
+        &fabric,
+        IntraEngine::Baseline(CircuitScheduler::Solstice),
+    ));
+
+    let mut report = Report::new("Figure 5 — switching count over minimum (M2M, B=1G)");
+
+    let sun_norm: Vec<f64> = sun.iter().map(IntraRow::norm_switching).collect();
+    let sol_norm: Vec<f64> = sol.iter().map(IntraRow::norm_switching).collect();
+
+    report.claim(
+        "fraction of Sunflow coflows at exactly the minimum",
+        1.0,
+        cdf_at(&sun_norm, 1.0),
+        0.001,
+    );
+    report.claim("Sunflow avg normalized switching", 1.0, mean_of(&sun, IntraRow::norm_switching), 0.001);
+
+    let sol_mean = mean_of(&sol, IntraRow::norm_switching);
+    report.note(format!(
+        "Solstice avg normalized switching: {sol_mean:.2} (paper: 'numerous switchings per subflow')"
+    ));
+    report.claim(
+        "Solstice normalized switching exceeds Sunflow's",
+        1.0,
+        if sol_mean > 1.2 { 1.0 } else { 0.0 },
+        0.001,
+    );
+
+    // Correlation between Solstice's normalized count and |C|.
+    let sizes: Vec<f64> = sol.iter().map(|r| r.num_flows as f64).collect();
+    let corr = pearson(&sol_norm, &sizes).unwrap_or(f64::NAN);
+    report.claim("corr(Solstice norm switching, |C|)", 0.84, corr, 0.45);
+
+    for (name, xs) in [("Sunflow", &sun_norm), ("Solstice", &sol_norm)] {
+        let pts: Vec<String> = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+            .iter()
+            .map(|&x| format!("F({x})={:.2}", cdf_at(xs, x)))
+            .collect();
+        report.note(format!("CDF {name} normalized switching: {}", pts.join(" ")));
+    }
+    report
+}

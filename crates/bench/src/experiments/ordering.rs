@@ -1,0 +1,45 @@
+//! §5.3.1 "Sensitivity to reservation ordering" — Sunflow's CCT under the
+//! three demand-consideration orders.
+//!
+//! Paper: relative to OrderedPort, Random averages 0.94x (p95 1.01x) and
+//! SortedDemand 0.95x (p95 1.01x) — i.e. Sunflow is insensitive to the
+//! ordering, as Lemma 1 (which holds for any order) suggests.
+
+use crate::intra_eval::eval_intra;
+use crate::workloads::{fabric_gbps, workload};
+use ocs_metrics::{mean, percentile, Report};
+use ocs_sim::IntraEngine;
+use sunflow_core::{FlowOrder, SunflowConfig};
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    let fabric = fabric_gbps(1);
+    let coflows = workload();
+    let eval = |order: FlowOrder| {
+        eval_intra(
+            coflows,
+            &fabric,
+            IntraEngine::Sunflow(SunflowConfig { order, ..SunflowConfig::default() }),
+        )
+    };
+    let base = eval(FlowOrder::OrderedPort);
+
+    let mut report = Report::new("§5.3.1 — sensitivity to reservation ordering (Sunflow, B=1G)");
+    for (name, order, p_avg, p_p95) in [
+        ("Random", FlowOrder::Random { seed: 2016 }, 0.94, 1.01),
+        ("SortedDemand", FlowOrder::SortedDemand, 0.95, 1.01),
+    ] {
+        let rows = eval(order);
+        let rel: Vec<f64> = rows
+            .iter()
+            .zip(&base)
+            .map(|(r, b)| r.cct.ratio(b.cct))
+            .collect();
+        let avg = mean(&rel).unwrap_or(f64::NAN);
+        let p95 = percentile(&rel, 95.0).unwrap_or(f64::NAN);
+        report.claim(format!("{name} avg CCT vs OrderedPort"), p_avg, avg, 0.10);
+        report.claim(format!("{name} p95 CCT vs OrderedPort"), p_p95, p95, 0.10);
+    }
+    report.note("Shape check: all ratios within a few percent of 1.0 — ordering barely matters.");
+    report
+}

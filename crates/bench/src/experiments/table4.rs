@@ -1,0 +1,55 @@
+//! Table 4 — the workload's sender-to-receiver taxonomy.
+//!
+//! Paper: O2O 23.4 %, O2M 9.9 %, M2O 40.1 %, M2M 26.6 % of Coflows;
+//! bytes split 0.005 / 0.024 / 0.028 / 99.943 %.
+
+use crate::workloads::{fabric_gbps, workload};
+use ocs_metrics::{pct, Report, Table};
+use ocs_model::Category;
+use ocs_workload::network_idleness;
+
+/// Paper values per category: (coflow %, bytes %).
+const PAPER: [(Category, f64, f64); 4] = [
+    (Category::OneToOne, 0.234, 0.00005),
+    (Category::OneToMany, 0.099, 0.00024),
+    (Category::ManyToOne, 0.401, 0.00028),
+    (Category::ManyToMany, 0.266, 0.99943),
+];
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    let coflows = workload();
+    let total_bytes: u64 = coflows.iter().map(|c| c.total_bytes()).sum();
+
+    let mut report = Report::new("Table 4 — Coflows by sender-to-receiver ratio");
+    let mut table = Table::new(["category", "coflow% (paper)", "coflow% (ours)", "bytes% (paper)", "bytes% (ours)"]);
+
+    for (cat, p_count, p_bytes) in PAPER {
+        let ours: Vec<_> = coflows.iter().filter(|c| c.category() == cat).collect();
+        let count_frac = ours.len() as f64 / coflows.len() as f64;
+        let bytes_frac =
+            ours.iter().map(|c| c.total_bytes()).sum::<u64>() as f64 / total_bytes as f64;
+        table.row([
+            cat.abbrev().to_string(),
+            pct(p_count),
+            pct(count_frac),
+            pct(p_bytes),
+            pct(bytes_frac),
+        ]);
+        report.claim(format!("{cat} coflow fraction"), p_count, count_frac, 0.25);
+    }
+    // The structural claim that drives everything else.
+    let m2m_bytes = coflows
+        .iter()
+        .filter(|c| c.category() == Category::ManyToMany)
+        .map(|c| c.total_bytes())
+        .sum::<u64>() as f64
+        / total_bytes as f64;
+    report.claim("M2M byte share", 0.99943, m2m_bytes, 0.01);
+
+    let idleness = network_idleness(coflows, &fabric_gbps(1));
+    report.claim("network idleness at 1 Gbps", 0.12, idleness, 0.25);
+
+    report.note(table.render());
+    report
+}

@@ -1,0 +1,104 @@
+//! Shared machinery for the inter-Coflow experiments (Figures 8–10):
+//! run the full trace replay under Sunflow (circuit switched) and under
+//! Varys / Aalo (packet switched), and collect per-Coflow CCTs.
+
+use ocs_model::{packet_lower_bound, Coflow, Dur, Fabric};
+use ocs_packet::{simulate_packet, Aalo, Varys};
+use ocs_sim::{simulate_circuit, OnlineConfig};
+use sunflow_core::ShortestFirst;
+
+/// Which end-to-end scheduler to replay the trace under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterEngine {
+    /// Sunflow on the optical circuit switch (δ > 0), shortest-first.
+    Sunflow,
+    /// Varys on the packet switch (δ = 0).
+    Varys,
+    /// Aalo on the packet switch (δ = 0).
+    Aalo,
+}
+
+impl InterEngine {
+    /// All three engines of the §5.4 comparison.
+    pub const ALL: [InterEngine; 3] = [InterEngine::Sunflow, InterEngine::Varys, InterEngine::Aalo];
+
+    /// Name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InterEngine::Sunflow => "Sunflow",
+            InterEngine::Varys => "Varys",
+            InterEngine::Aalo => "Aalo",
+        }
+    }
+}
+
+/// Per-Coflow result of one replay.
+#[derive(Clone, Debug)]
+pub struct InterRow {
+    /// Index into the workload.
+    pub idx: usize,
+    /// Completion time from arrival.
+    pub cct: Dur,
+    /// Packet-switched lower bound of the Coflow.
+    pub tpl: Dur,
+    /// §5.3.2 long-Coflow predicate.
+    pub long: bool,
+}
+
+/// Replay `coflows` under `engine`; returns rows in workload order.
+pub fn eval_inter(coflows: &[Coflow], fabric: &Fabric, engine: InterEngine) -> Vec<InterRow> {
+    let outcomes = match engine {
+        InterEngine::Sunflow => {
+            simulate_circuit(coflows, fabric, &OnlineConfig::default(), &ShortestFirst).outcomes
+        }
+        InterEngine::Varys => simulate_packet(coflows, fabric, &mut Varys),
+        InterEngine::Aalo => simulate_packet(coflows, fabric, &mut Aalo::default()),
+    };
+    coflows
+        .iter()
+        .zip(outcomes)
+        .enumerate()
+        .map(|(idx, (c, o))| InterRow {
+            idx,
+            cct: o.cct(c.arrival()),
+            tpl: packet_lower_bound(c, fabric),
+            long: ocs_model::is_long(c, fabric),
+        })
+        .collect()
+}
+
+/// Average CCT in seconds over rows.
+pub fn avg_cct_secs(rows: &[InterRow]) -> f64 {
+    ocs_metrics::mean(&rows.iter().map(|r| r.cct.as_secs_f64()).collect::<Vec<_>>())
+        .unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_model::{Bandwidth, Time};
+
+    #[test]
+    fn engines_agree_on_a_trivial_workload() {
+        let f = Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(10));
+        let cs = vec![
+            Coflow::builder(0).flow(0, 0, 10_000_000).build(),
+            Coflow::builder(1)
+                .arrival(Time::from_secs_f64(10.0))
+                .flow(1, 1, 10_000_000)
+                .build(),
+        ];
+        for e in InterEngine::ALL {
+            let rows = eval_inter(&cs, &f, e);
+            assert_eq!(rows.len(), 2, "{}", e.name());
+            // Non-contending coflows: everything close to T_pL (plus delta
+            // for the circuit switch).
+            for r in &rows {
+                assert!(r.cct >= r.tpl);
+                assert!(r.cct <= r.tpl + Dur::from_millis(25), "{}", e.name());
+            }
+        }
+        let s = eval_inter(&cs, &f, InterEngine::Sunflow);
+        assert!(avg_cct_secs(&s) > 0.08);
+    }
+}

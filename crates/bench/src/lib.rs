@@ -1,0 +1,34 @@
+//! # ocs-bench — the experiment harness
+//!
+//! Reproduces **every table and figure** of the Sunflow paper's
+//! evaluation. Each experiment lives in [`experiments`] and is exposed as
+//! a bench target (`cargo bench -p ocs-bench --bench fig3`, etc.), so
+//! `cargo bench` regenerates the full evaluation; results are recorded in
+//! the repository's `EXPERIMENTS.md`.
+//!
+//! Knobs (environment variables):
+//! * `OCS_TRACE_FILE` — path to a real `coflow-benchmark` trace to use
+//!   instead of the calibrated synthetic workload;
+//! * `OCS_BENCH_COFLOWS` — truncate the workload for quick runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod inter_eval;
+pub mod intra_eval;
+pub mod workloads;
+
+use ocs_metrics::Report;
+
+/// Print a report (with a truncation warning when applicable) and return
+/// whether all claims held.
+pub fn emit(report: &Report) -> bool {
+    if workloads::truncated() {
+        println!(
+            "NOTE: workload truncated via OCS_BENCH_COFLOWS — numbers are not comparable to the paper.\n"
+        );
+    }
+    println!("{}", report.render());
+    report.all_hold()
+}

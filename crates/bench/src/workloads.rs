@@ -1,0 +1,73 @@
+//! Shared experiment plumbing: the default workload (cached), fabrics for
+//! the paper's parameter sweeps, and environment-variable knobs for quick
+//! runs.
+
+use ocs_model::{Bandwidth, Coflow, Dur, Fabric};
+use ocs_workload::{paper_workload, parse};
+use std::sync::OnceLock;
+
+/// The evaluation workload: the ±5 %-perturbed synthetic Facebook-like
+/// trace (526 Coflows, 150 ports) — or, if `OCS_TRACE_FILE` points at a
+/// `coflow-benchmark` file, that real trace (perturbed the same way).
+///
+/// `OCS_BENCH_COFLOWS=<k>` truncates to the first `k` Coflows for quick
+/// iterations; experiment output notes when truncation is active.
+pub fn workload() -> &'static [Coflow] {
+    static CACHE: OnceLock<Vec<Coflow>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let coflows = match std::env::var("OCS_TRACE_FILE") {
+            Ok(path) => {
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read OCS_TRACE_FILE {path}: {e}"));
+                let trace = parse(&text).expect("invalid trace file");
+                ocs_workload::perturb_sizes(&trace.coflows, 0.05, 0xabcd)
+            }
+            Err(_) => paper_workload(),
+        };
+        match std::env::var("OCS_BENCH_COFLOWS") {
+            Ok(k) => {
+                let k: usize = k.parse().expect("OCS_BENCH_COFLOWS must be a number");
+                coflows.into_iter().take(k).collect()
+            }
+            Err(_) => coflows,
+        }
+    })
+}
+
+/// Whether the workload was truncated via `OCS_BENCH_COFLOWS`.
+pub fn truncated() -> bool {
+    std::env::var("OCS_BENCH_COFLOWS").is_ok()
+}
+
+/// The paper's fabric at a given line rate (150 ports, δ = 10 ms).
+pub fn fabric_gbps(gbps: u64) -> Fabric {
+    Fabric::new(150, Bandwidth::from_gbps(gbps), Fabric::default_delta())
+}
+
+/// The δ sweep of Figures 6 and 10.
+pub const DELTA_SWEEP: [(&str, Dur); 5] = [
+    ("100ms", Dur::from_millis(100)),
+    ("10ms", Dur::from_millis(10)),
+    ("1ms", Dur::from_millis(1)),
+    ("100us", Dur::from_micros(100)),
+    ("10us", Dur::from_micros(10)),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_cached_and_nonempty() {
+        let a = workload();
+        let b = workload();
+        assert!(!a.is_empty());
+        assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn fabric_sweep_parameters() {
+        assert_eq!(fabric_gbps(10).bandwidth().as_bps(), 10_000_000_000);
+        assert_eq!(DELTA_SWEEP[1].1, Fabric::default_delta());
+    }
+}

@@ -1,0 +1,652 @@
+//! Intra-Coflow scheduling — Algorithm 1 of the paper.
+//!
+//! Sunflow is **non-preemptive at the intra-Coflow level**: once a circuit
+//! is reserved it is never preempted by another subflow of the same
+//! Coflow. Offline (one Coflow, empty PRT) this means every subflow gets
+//! exactly one reservation — the minimum possible number of circuit
+//! switchings — and the resulting CCT is provably within a factor of two
+//! of the circuit-switched optimum (Lemma 1), for *any* ordering of the
+//! scheduled circuits.
+//!
+//! The same routine is the building block of inter-Coflow scheduling:
+//! when the PRT already holds reservations of higher-priority Coflows,
+//! `MakeReservation` truncates new reservations so they never displace
+//! them (line 16 of Algorithm 1, illustrated by Figure 2).
+
+use crate::prt::{Prt, ResvKind};
+use ocs_model::{
+    circuit_lower_bound, packet_lower_bound, Coflow, Dur, Fabric, FlowRef, InPort, OutPort,
+    Reservation, Time,
+};
+
+/// The order in which Algorithm 1 considers the demand entries of a
+/// Coflow. Lemma 1 holds for every ordering; §5.3.1 of the paper measures
+/// the (small) performance differences between these three.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum FlowOrder {
+    /// Sort by `(src, dst)` port label — the paper's default.
+    #[default]
+    OrderedPort,
+    /// Deterministic pseudo-random shuffle from the given seed.
+    Random {
+        /// Shuffle seed; the same seed always yields the same order.
+        seed: u64,
+    },
+    /// Sort by demand size, largest first.
+    SortedDemand,
+}
+
+
+/// Configuration of the Sunflow scheduler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SunflowConfig {
+    /// Demand-consideration order (Algorithm 1 line 3, "shuffle P if
+    /// desired").
+    pub order: FlowOrder,
+    /// §6's approximation knob: round every per-flow demand *up* to a
+    /// multiple of this quantum before scheduling. Coarser demands mean
+    /// fewer distinct circuit-release instants, pruning the loop of
+    /// Algorithm 1 line 10 and cutting scheduler compute time — at the
+    /// cost of holding circuits slightly longer than needed ("could
+    /// reduce the optimality of the resulting schedules"). `None`
+    /// schedules exact demands.
+    pub quantum: Option<Dur>,
+}
+
+impl SunflowConfig {
+    /// Round a demand up per the configured quantum.
+    pub fn quantize(&self, p: Dur) -> Dur {
+        match self.quantum {
+            Some(q) if !q.is_zero() => {
+                Dur::from_ps(p.as_ps().div_ceil(q.as_ps()) * q.as_ps())
+            }
+            _ => p,
+        }
+    }
+}
+
+/// One pending demand entry `(i, j, p_ij)` of Algorithm 1.
+#[derive(Clone, Copy, Debug)]
+pub struct Demand {
+    /// Index of the flow within its Coflow (`Coflow::flows()` order).
+    pub flow_idx: usize,
+    /// Input port.
+    pub src: InPort,
+    /// Output port.
+    pub dst: OutPort,
+    /// Remaining processing time `p_ij`.
+    pub remaining: Dur,
+}
+
+/// xorshift64* — tiny deterministic generator for the `Random` order so
+/// the core crate stays dependency-free.
+fn xorshift64star(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+fn order_demands(demands: &mut [Demand], order: FlowOrder) {
+    match order {
+        FlowOrder::OrderedPort => {
+            demands.sort_by_key(|d| (d.src, d.dst));
+        }
+        FlowOrder::SortedDemand => {
+            demands.sort_by(|a, b| b.remaining.cmp(&a.remaining).then(a.src.cmp(&b.src)));
+        }
+        FlowOrder::Random { seed } => {
+            // Fisher–Yates with a fixed seed (never zero, which would be
+            // a fixed point of xorshift).
+            let mut s = seed | 1;
+            for i in (1..demands.len()).rev() {
+                let j = (xorshift64star(&mut s) % (i as u64 + 1)) as usize;
+                demands.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Run Algorithm 1 (`IntraCoflow`) for one Coflow against the shared PRT.
+///
+/// `demands` lists the Coflow's remaining per-flow processing times (only
+/// positive entries are considered); `start` is the scheduling origin
+/// (line 4's `t = 0`, or "now" in the online replay); `delta` is the
+/// circuit reconfiguration delay `δ`.
+///
+/// Returns the reservations made, in creation order. Reservation lengths
+/// include the leading `δ`; a reservation of length `l` delivers `l − δ`
+/// of processing time. A reservation may be shorter than `δ + p` only when
+/// an existing (higher-priority) reservation on one of its ports forces
+/// truncation; the remainder is rescheduled later, paying another `δ`.
+///
+/// # Panics
+/// Panics if a demand references a port outside the PRT.
+pub fn schedule_demands(
+    prt: &mut Prt,
+    coflow_id: u64,
+    demands: &[Demand],
+    start: Time,
+    delta: Dur,
+    config: SunflowConfig,
+) -> Vec<Reservation> {
+    let mut pending: Vec<Demand> = demands
+        .iter()
+        .copied()
+        .filter(|d| d.remaining > Dur::ZERO)
+        .map(|d| Demand {
+            remaining: config.quantize(d.remaining),
+            ..d
+        })
+        .collect();
+    order_demands(&mut pending, config.order);
+
+    let mut made = Vec::new();
+    let mut t = start;
+
+    while !pending.is_empty() {
+        for d in pending.iter_mut() {
+            if !(prt.in_free_at(d.src, t) && prt.out_free_at(d.dst, t)) {
+                continue;
+            }
+            // Earliest next reservation on either port bounds the length
+            // (needed by inter-Coflow scheduling, Algorithm 1 line 16).
+            let tm = prt
+                .in_next_start_after(d.src, t)
+                .min(prt.out_next_start_after(d.dst, t));
+            let lm = if tm == Time::MAX {
+                Dur::MAX
+            } else {
+                tm.since(t)
+            };
+            let ld = delta + d.remaining; // desired length
+            let l = if lm < delta { Dur::ZERO } else { lm.min(ld) };
+            if l > Dur::ZERO {
+                let flow = FlowRef {
+                    coflow: coflow_id,
+                    flow_idx: d.flow_idx,
+                };
+                prt.reserve(d.src, d.dst, t, t + l, ResvKind::Flow(flow));
+                made.push(Reservation {
+                    src: d.src,
+                    dst: d.dst,
+                    start: t,
+                    end: t + l,
+                    flow,
+                });
+                // Remaining demand after this reservation (line 22).
+                d.remaining = ld - l;
+            }
+        }
+        pending.retain(|d| d.remaining > Dur::ZERO);
+        if pending.is_empty() {
+            break;
+        }
+        // Advance t to the next circuit release time (line 10). One always
+        // exists while demand is pending: every blocked entry is blocked
+        // by a reservation whose end lies beyond t.
+        t = prt
+            .next_release_after(t)
+            .expect("pending demand with no future release: scheduling cannot progress");
+    }
+    made
+}
+
+/// The schedule Sunflow produced for one Coflow.
+#[derive(Clone, Debug)]
+pub struct CoflowSchedule {
+    coflow: u64,
+    start: Time,
+    reservations: Vec<Reservation>,
+    flow_finish: Vec<Time>,
+    finish: Time,
+}
+
+impl CoflowSchedule {
+    /// Assemble from the reservations made for a Coflow with `num_flows`
+    /// subflows. Every subflow must be served by at least one reservation.
+    pub fn new(
+        coflow: u64,
+        start: Time,
+        num_flows: usize,
+        reservations: Vec<Reservation>,
+    ) -> CoflowSchedule {
+        let mut flow_finish: Vec<Option<Time>> = vec![None; num_flows];
+        for r in &reservations {
+            debug_assert_eq!(r.flow.coflow, coflow);
+            let slot = &mut flow_finish[r.flow.flow_idx];
+            *slot = Some(slot.map_or(r.end, |t| t.max(r.end)));
+        }
+        let flow_finish: Vec<Time> = flow_finish
+            .into_iter()
+            .enumerate()
+            .map(|(idx, t)| t.unwrap_or_else(|| panic!("flow {idx} received no reservation")))
+            .collect();
+        let finish = flow_finish
+            .iter()
+            .copied()
+            .max()
+            .expect("coflows are non-empty");
+        CoflowSchedule {
+            coflow,
+            start,
+            reservations,
+            flow_finish,
+            finish,
+        }
+    }
+
+    /// The scheduled Coflow's id.
+    pub fn coflow(&self) -> u64 {
+        self.coflow
+    }
+
+    /// When scheduling began (the Coflow's release time).
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// When the last subflow finished.
+    pub fn finish(&self) -> Time {
+        self.finish
+    }
+
+    /// Per-subflow finish times, indexed like `Coflow::flows()`.
+    pub fn flow_finish(&self) -> &[Time] {
+        &self.flow_finish
+    }
+
+    /// The reservations, in creation order.
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.reservations
+    }
+
+    /// Coflow completion time measured from the scheduling origin.
+    pub fn cct(&self) -> Dur {
+        self.finish.since(self.start)
+    }
+
+    /// Total circuit establishments (one per reservation). Offline this is
+    /// exactly `|C|`, the minimum possible (Figure 5).
+    pub fn circuit_setups(&self) -> u64 {
+        self.reservations.len() as u64
+    }
+
+    /// Convert to the scheduler-agnostic outcome type.
+    pub fn to_outcome(&self) -> ocs_model::ScheduleOutcome {
+        ocs_model::ScheduleOutcome {
+            coflow: self.coflow,
+            start: self.start,
+            finish: self.finish,
+            flow_finish: self.flow_finish.clone(),
+            circuit_setups: self.circuit_setups(),
+        }
+    }
+}
+
+/// The user-facing intra-Coflow scheduler: services one Coflow on an
+/// otherwise idle fabric (the paper's intra-Coflow evaluation setting,
+/// §5.3).
+#[derive(Clone, Copy, Debug)]
+pub struct IntraScheduler<'f> {
+    fabric: &'f Fabric,
+    config: SunflowConfig,
+}
+
+impl<'f> IntraScheduler<'f> {
+    /// Create a scheduler for `fabric`.
+    pub fn new(fabric: &'f Fabric, config: SunflowConfig) -> IntraScheduler<'f> {
+        IntraScheduler { fabric, config }
+    }
+
+    /// Schedule `coflow` from time zero on an empty PRT and return its
+    /// schedule.
+    ///
+    /// # Panics
+    /// Panics if the Coflow does not fit the fabric.
+    pub fn schedule(&self, coflow: &Coflow) -> CoflowSchedule {
+        let mut prt = Prt::new(self.fabric.ports());
+        self.schedule_on(&mut prt, coflow, Time::ZERO)
+    }
+
+    /// Schedule `coflow` from `start` against an existing PRT (used by the
+    /// inter-Coflow framework).
+    pub fn schedule_on(&self, prt: &mut Prt, coflow: &Coflow, start: Time) -> CoflowSchedule {
+        assert!(
+            self.fabric.fits(coflow),
+            "coflow {} does not fit the {}-port fabric",
+            coflow.id(),
+            self.fabric.ports()
+        );
+        let demands: Vec<Demand> = coflow
+            .flows()
+            .iter()
+            .enumerate()
+            .map(|(flow_idx, f)| Demand {
+                flow_idx,
+                src: f.src,
+                dst: f.dst,
+                remaining: self.fabric.processing_time(f.bytes),
+            })
+            .collect();
+        let reservations = schedule_demands(
+            prt,
+            coflow.id(),
+            &demands,
+            start,
+            self.fabric.delta(),
+            self.config,
+        );
+        CoflowSchedule::new(coflow.id(), start, coflow.num_flows(), reservations)
+    }
+
+    /// Lemma 1 bound for `coflow`: `2 · T_cL`.
+    pub fn lemma1_bound(&self, coflow: &Coflow) -> Dur {
+        circuit_lower_bound(coflow, self.fabric) * 2
+    }
+
+    /// Lemma 2 reference: the packet-switched lower bound `T_pL`.
+    pub fn packet_bound(&self, coflow: &Coflow) -> Dur {
+        packet_lower_bound(coflow, self.fabric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_model::{lemma1_holds, lemma2_holds, validate_port_constraints, Bandwidth};
+
+    fn fabric(ports: usize) -> Fabric {
+        Fabric::new(ports, Bandwidth::GBPS, Dur::from_millis(10))
+    }
+
+    fn schedule(coflow: &Coflow, fabric: &Fabric) -> CoflowSchedule {
+        IntraScheduler::new(fabric, SunflowConfig::default()).schedule(coflow)
+    }
+
+    #[test]
+    fn single_flow_takes_delta_plus_processing() {
+        let f = fabric(2);
+        let c = Coflow::builder(0).flow(0, 1, 1_000_000).build(); // 8 ms
+        let s = schedule(&c, &f);
+        assert_eq!(s.cct(), Dur::from_millis(18));
+        assert_eq!(s.circuit_setups(), 1);
+    }
+
+    /// Offline, Sunflow sets up each circuit exactly once (Figure 5:
+    /// switching count equals |C|).
+    #[test]
+    fn offline_switching_count_is_optimal() {
+        let f = fabric(4);
+        let c = Coflow::builder(0)
+            .flow(0, 0, 3_000_000)
+            .flow(0, 1, 1_000_000)
+            .flow(1, 0, 2_000_000)
+            .flow(2, 3, 5_000_000)
+            .flow(3, 2, 1_000_000)
+            .build();
+        let s = schedule(&c, &f);
+        assert_eq!(s.circuit_setups(), c.num_flows() as u64);
+        validate_port_constraints(s.reservations()).unwrap();
+    }
+
+    /// One-to-one, one-to-many and many-to-one Coflows are scheduled
+    /// optimally: CCT equals the circuit lower bound T_cL (§5.3.1).
+    #[test]
+    fn single_row_or_column_coflows_hit_the_lower_bound() {
+        let f = fabric(8);
+        let cases = [
+            Coflow::builder(0).flow(0, 5, 2_000_000).build(),
+            Coflow::builder(1)
+                .flow(0, 1, 1_000_000)
+                .flow(0, 2, 2_000_000)
+                .flow(0, 3, 3_000_000)
+                .build(),
+            Coflow::builder(2)
+                .flow(1, 7, 4_000_000)
+                .flow(2, 7, 1_000_000)
+                .flow(5, 7, 9_000_000)
+                .build(),
+        ];
+        for c in &cases {
+            let s = schedule(c, &f);
+            assert_eq!(
+                s.cct(),
+                ocs_model::circuit_lower_bound(c, &f),
+                "coflow {} should be optimal",
+                c.id()
+            );
+        }
+    }
+
+    /// A 2x2 shuffle cannot avoid serializing two flows per port, but
+    /// stays within the Lemma 1 bound.
+    #[test]
+    fn square_shuffle_meets_lemma1() {
+        let f = fabric(2);
+        let c = Coflow::builder(0)
+            .flow(0, 0, 1_000_000)
+            .flow(0, 1, 1_000_000)
+            .flow(1, 0, 1_000_000)
+            .flow(1, 1, 1_000_000)
+            .build();
+        let s = schedule(&c, &f);
+        // Perfectly pipelined: two sequential (delta + 8 ms) per port.
+        assert_eq!(s.cct(), Dur::from_millis(36));
+        assert!(lemma1_holds(s.cct(), &c, &f));
+        assert!(lemma2_holds(s.cct(), &c, &f));
+    }
+
+    /// The circuits interleave with no synchronized setup/teardown: the
+    /// paper's Figure 1c example structure — skewed demand where
+    /// non-preemption shines.
+    #[test]
+    fn skewed_demand_stays_non_preempted() {
+        let f = fabric(5);
+        // Figure 1-like: 5 inputs, 2 outputs.
+        let mut b = Coflow::builder(0);
+        for i in 0..5 {
+            b = b.flow(i, 0, 2_000_000 + i as u64 * 500_000);
+            b = b.flow(i, 1, 1_000_000 + i as u64 * 250_000);
+        }
+        let c = b.build();
+        let s = schedule(&c, &f);
+        validate_port_constraints(s.reservations()).unwrap();
+        assert_eq!(s.circuit_setups(), 10);
+        assert!(lemma1_holds(s.cct(), &c, &f));
+    }
+
+    #[test]
+    fn all_orderings_satisfy_lemma1_and_demand() {
+        let f = fabric(6);
+        let mut b = Coflow::builder(0);
+        for (i, j, mb) in [
+            (0, 0, 7),
+            (0, 3, 2),
+            (1, 3, 9),
+            (2, 1, 1),
+            (3, 3, 4),
+            (4, 2, 11),
+            (5, 5, 3),
+            (1, 5, 2),
+        ] {
+            b = b.flow(i, j, mb * 1_000_000);
+        }
+        let c = b.build();
+        for order in [
+            FlowOrder::OrderedPort,
+            FlowOrder::SortedDemand,
+            FlowOrder::Random { seed: 1 },
+            FlowOrder::Random { seed: 99 },
+        ] {
+            let s = IntraScheduler::new(&f, SunflowConfig { order, ..SunflowConfig::default() }).schedule(&c);
+            validate_port_constraints(s.reservations()).unwrap();
+            assert!(lemma1_holds(s.cct(), &c, &f), "order {order:?}");
+            // Demand satisfied exactly: each flow's reservations deliver
+            // its processing time.
+            let served = ocs_model::served_per_flow(s.reservations(), f.delta());
+            for (idx, fl) in c.flows().iter().enumerate() {
+                let want = f.processing_time(fl.bytes);
+                let key = FlowRef {
+                    coflow: 0,
+                    flow_idx: idx,
+                };
+                assert_eq!(served[&key], want, "flow {idx} under {order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_order_is_deterministic_per_seed() {
+        let f = fabric(4);
+        let mut b = Coflow::builder(0);
+        for i in 0..4 {
+            for j in 0..4 {
+                b = b.flow(i, j, 1_000_000 * (1 + i as u64 + j as u64));
+            }
+        }
+        let c = b.build();
+        let cfg = SunflowConfig {
+            order: FlowOrder::Random { seed: 7 },
+            ..SunflowConfig::default()
+        };
+        let a = IntraScheduler::new(&f, cfg).schedule(&c);
+        let b2 = IntraScheduler::new(&f, cfg).schedule(&c);
+        assert_eq!(a.reservations(), b2.reservations());
+    }
+
+    #[test]
+    fn zero_delta_still_schedules() {
+        let f = Fabric::new(3, Bandwidth::GBPS, Dur::ZERO);
+        let c = Coflow::builder(0)
+            .flow(0, 0, 1_000_000)
+            .flow(0, 1, 1_000_000)
+            .flow(1, 1, 1_000_000)
+            .build();
+        let s = schedule(&c, &f);
+        assert_eq!(s.cct(), Dur::from_millis(16));
+        validate_port_constraints(s.reservations()).unwrap();
+    }
+
+    /// Inter-Coflow truncation: a pre-existing reservation forces a
+    /// later-priority flow to split, exactly like C2 on [in.5, out.7] in
+    /// Figure 2.
+    #[test]
+    fn lower_priority_demand_is_truncated_not_displacing() {
+        let f = fabric(2);
+        let delta = f.delta();
+        let mut prt = Prt::new(2);
+        // Higher-priority Coflow holds in.0 from 30 ms to 60 ms.
+        prt.reserve(
+            0,
+            1,
+            Time::from_millis(30),
+            Time::from_millis(60),
+            ResvKind::Flow(FlowRef {
+                coflow: 9,
+                flow_idx: 0,
+            }),
+        );
+        // Lower-priority flow on in.0 wants 40 ms of processing.
+        let demands = [Demand {
+            flow_idx: 0,
+            src: 0,
+            dst: 0,
+            remaining: Dur::from_millis(40),
+        }];
+        let rs = schedule_demands(&mut prt, 1, &demands, Time::ZERO, delta, SunflowConfig::default());
+        // First reservation truncated at 30 ms (delivers 20 ms of data),
+        // second starts at 60 ms for the remaining 20 ms + delta.
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].start, Time::ZERO);
+        assert_eq!(rs[0].end, Time::from_millis(30));
+        assert_eq!(rs[1].start, Time::from_millis(60));
+        assert_eq!(rs[1].end, Time::from_millis(90));
+        validate_port_constraints(&rs).unwrap();
+    }
+
+    /// A gap shorter than delta is useless: Algorithm 1 line 19 sets
+    /// l = 0 and waits for the blocking reservation to clear.
+    #[test]
+    fn gap_shorter_than_delta_is_skipped() {
+        let f = fabric(2);
+        let mut prt = Prt::new(2);
+        prt.reserve(
+            0,
+            1,
+            Time::from_millis(5),
+            Time::from_millis(50),
+            ResvKind::Flow(FlowRef {
+                coflow: 9,
+                flow_idx: 0,
+            }),
+        );
+        let demands = [Demand {
+            flow_idx: 0,
+            src: 0,
+            dst: 0,
+            remaining: Dur::from_millis(10),
+        }];
+        let rs =
+            schedule_demands(&mut prt, 1, &demands, Time::ZERO, f.delta(), SunflowConfig::default());
+        assert_eq!(rs.len(), 1);
+        // Not scheduled in the 5 ms gap (< delta = 10 ms); starts at 50 ms.
+        assert_eq!(rs[0].start, Time::from_millis(50));
+        assert_eq!(rs[0].end, Time::from_millis(70));
+    }
+
+    /// §6 approximation: quantized demands still yield valid schedules,
+    /// never finish earlier than exact ones, and overshoot by at most one
+    /// quantum per flow on the busiest port.
+    #[test]
+    fn quantized_demands_bound_the_overshoot() {
+        let f = fabric(4);
+        let c = Coflow::builder(0)
+            .flow(0, 0, 3_141_592)
+            .flow(0, 1, 2_718_281)
+            .flow(1, 0, 1_414_213)
+            .flow(1, 1, 1_732_050)
+            .build();
+        let exact = IntraScheduler::new(&f, SunflowConfig::default()).schedule(&c);
+        let q = Dur::from_millis(10);
+        let approx = IntraScheduler::new(
+            &f,
+            SunflowConfig {
+                quantum: Some(q),
+                ..SunflowConfig::default()
+            },
+        )
+        .schedule(&c);
+        validate_port_constraints(approx.reservations()).unwrap();
+        assert!(approx.cct() >= exact.cct());
+        // Two flows per port: at most 2 quanta of overshoot.
+        assert!(approx.cct() <= exact.cct() + q * 2);
+        // Every reservation length (minus delta) is a whole quantum.
+        for r in approx.reservations() {
+            assert_eq!(r.transmit_time(f.delta()).as_ps() % q.as_ps(), 0);
+        }
+    }
+
+    #[test]
+    fn quantize_rounds_up_to_multiples() {
+        let cfg = SunflowConfig {
+            quantum: Some(Dur::from_millis(10)),
+            ..SunflowConfig::default()
+        };
+        assert_eq!(cfg.quantize(Dur::from_millis(1)), Dur::from_millis(10));
+        assert_eq!(cfg.quantize(Dur::from_millis(10)), Dur::from_millis(10));
+        assert_eq!(cfg.quantize(Dur::from_millis(11)), Dur::from_millis(20));
+        assert_eq!(SunflowConfig::default().quantize(Dur::from_millis(11)), Dur::from_millis(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_coflow_is_rejected() {
+        let f = fabric(2);
+        let c = Coflow::builder(0).flow(5, 0, 1).build();
+        let _ = schedule(&c, &f);
+    }
+}

@@ -1,0 +1,499 @@
+//! The Port Reservation Table (PRT) — the data structure at the heart of
+//! Sunflow (§4.1.1 of the paper).
+//!
+//! The PRT records, for every input and output port, the time intervals
+//! during which the port is taken by a circuit. Scheduling a circuit means
+//! making a reservation on both its ports; a reservation tells when the
+//! port is taken and released and which peer port the circuit connects to.
+//!
+//! Reservations are half-open intervals `[start, end)`. Two reservations
+//! may touch but never overlap on a port; this *is* the optical-switch
+//! port constraint of §2.1, and [`Prt::reserve`] enforces it.
+//!
+//! The table supports exactly the queries Algorithm 1 needs:
+//!
+//! * `*_free_at` — line 15, "both in.i and out.j are free at t";
+//! * `next_start_after` — line 16, "earliest next-reserv-time", which
+//!   bounds the reservation length when a higher-priority Coflow already
+//!   holds the port later (inter-Coflow scheduling, Figure 2);
+//! * [`Prt::next_release_after`] — line 10, "advance t to next circuit
+//!   release time";
+//! * [`Prt::truncate_future`] — used by the online trace replay to discard
+//!   not-yet-started reservations when priorities change on a Coflow
+//!   arrival or completion.
+
+use ocs_model::{Dur, FlowRef, InPort, OutPort, Reservation, Time};
+use std::collections::BTreeMap;
+
+/// What a reservation serves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResvKind {
+    /// A circuit transmitting one flow of one Coflow.
+    Flow(FlowRef),
+    /// A starvation-guard window (§4.2): the circuit is time-shared by all
+    /// Coflows with demand on it.
+    Guard,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    end: Time,
+    peer: usize,
+    kind: ResvKind,
+}
+
+/// A reservation removed or shortened by [`Prt::truncate_future`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemovedResv {
+    /// Input port of the circuit.
+    pub src: InPort,
+    /// Output port of the circuit.
+    pub dst: OutPort,
+    /// Original start of the reservation.
+    pub start: Time,
+    /// Original end of the reservation.
+    pub end: Time,
+    /// What it served.
+    pub kind: ResvKind,
+}
+
+/// The Port Reservation Table. One instance is shared by all Coflows being
+/// scheduled (global `PRT[.]` in Algorithm 1).
+///
+/// ```
+/// use sunflow_core::{Prt, ResvKind};
+/// use ocs_model::{FlowRef, Time};
+///
+/// let mut prt = Prt::new(4);
+/// let flow = ResvKind::Flow(FlowRef { coflow: 0, flow_idx: 0 });
+/// prt.reserve(0, 2, Time::from_millis(10), Time::from_millis(30), flow);
+///
+/// // Both ports are taken for the interval, all others unaffected
+/// // (the not-all-stop model).
+/// assert!(!prt.in_free_at(0, Time::from_millis(15)));
+/// assert!(!prt.out_free_at(2, Time::from_millis(15)));
+/// assert!(prt.in_free_at(1, Time::from_millis(15)));
+///
+/// // The queries Algorithm 1 is built from:
+/// assert_eq!(prt.in_next_start_after(0, Time::ZERO), Time::from_millis(10));
+/// assert_eq!(prt.next_release_after(Time::ZERO), Some(Time::from_millis(30)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Prt {
+    ins: Vec<BTreeMap<Time, Entry>>,
+    outs: Vec<BTreeMap<Time, Entry>>,
+    /// Multiset of reservation end times (each circuit contributes one).
+    releases: BTreeMap<Time, u32>,
+}
+
+impl Prt {
+    /// An empty table for an `n`-port switch.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Prt {
+        assert!(n > 0, "PRT needs at least one port");
+        Prt {
+            ins: vec![BTreeMap::new(); n],
+            outs: vec![BTreeMap::new(); n],
+            releases: BTreeMap::new(),
+        }
+    }
+
+    /// Number of ports on each side.
+    pub fn ports(&self) -> usize {
+        self.ins.len()
+    }
+
+    /// True if the table holds no reservations.
+    pub fn is_empty(&self) -> bool {
+        self.releases.is_empty()
+    }
+
+    fn free_at(map: &BTreeMap<Time, Entry>, t: Time) -> bool {
+        match map.range(..=t).next_back() {
+            Some((_, e)) => e.end <= t,
+            None => true,
+        }
+    }
+
+    fn next_start_after(map: &BTreeMap<Time, Entry>, t: Time) -> Time {
+        match map.range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded)).next() {
+            Some((&s, _)) => s,
+            None => Time::MAX,
+        }
+    }
+
+    /// Is input port `i` free at instant `t`?
+    pub fn in_free_at(&self, i: InPort, t: Time) -> bool {
+        Self::free_at(&self.ins[i], t)
+    }
+
+    /// Is output port `j` free at instant `t`?
+    pub fn out_free_at(&self, j: OutPort, t: Time) -> bool {
+        Self::free_at(&self.outs[j], t)
+    }
+
+    /// The earliest reservation start strictly after `t` on input port
+    /// `i`, or `Time::MAX` if the port is unreserved beyond `t`.
+    pub fn in_next_start_after(&self, i: InPort, t: Time) -> Time {
+        Self::next_start_after(&self.ins[i], t)
+    }
+
+    /// The earliest reservation start strictly after `t` on output port
+    /// `j`, or `Time::MAX` if the port is unreserved beyond `t`.
+    pub fn out_next_start_after(&self, j: OutPort, t: Time) -> Time {
+        Self::next_start_after(&self.outs[j], t)
+    }
+
+    /// The earliest circuit release (reservation end) strictly after `t`,
+    /// across all ports — Algorithm 1 line 10.
+    pub fn next_release_after(&self, t: Time) -> Option<Time> {
+        self.releases
+            .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(&e, _)| e)
+    }
+
+    /// Reserve the circuit `[in.src, out.dst]` during `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if the interval is empty or overlaps an existing reservation
+    /// on either port — those are scheduler bugs, not input conditions.
+    pub fn reserve(&mut self, src: InPort, dst: OutPort, start: Time, end: Time, kind: ResvKind) {
+        assert!(end > start, "reservation interval must be non-empty");
+        for (map, port, side) in [(&self.ins[src], src, "input"), (&self.outs[dst], dst, "output")]
+        {
+            assert!(
+                Self::free_at(map, start),
+                "{side} port {port} is busy at {start}"
+            );
+            let next = Self::next_start_after(map, start);
+            assert!(
+                end <= next,
+                "reservation on {side} port {port} would overlap the next one at {next}"
+            );
+        }
+        let entry_in = Entry {
+            end,
+            peer: dst,
+            kind,
+        };
+        let entry_out = Entry {
+            end,
+            peer: src,
+            kind,
+        };
+        self.ins[src].insert(start, entry_in);
+        self.outs[dst].insert(start, entry_out);
+        *self.releases.entry(end).or_insert(0) += 1;
+    }
+
+    /// All flow reservations currently in the table, in no particular
+    /// order. Guard windows are excluded (they serve no single flow).
+    pub fn flow_reservations(&self) -> Vec<Reservation> {
+        let mut out = Vec::new();
+        for (src, map) in self.ins.iter().enumerate() {
+            for (&start, e) in map {
+                if let ResvKind::Flow(flow) = e.kind {
+                    out.push(Reservation {
+                        src,
+                        dst: e.peer,
+                        start,
+                        end: e.end,
+                        flow,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// All reservations (including guard windows) as
+    /// `(src, dst, start, end, kind)`.
+    pub fn all_reservations(&self) -> Vec<RemovedResv> {
+        let mut out = Vec::new();
+        for (src, map) in self.ins.iter().enumerate() {
+            for (&start, e) in map {
+                out.push(RemovedResv {
+                    src,
+                    dst: e.peer,
+                    start,
+                    end: e.end,
+                    kind: e.kind,
+                });
+            }
+        }
+        out
+    }
+
+    /// The latest reservation end in the table, or `None` if empty.
+    pub fn horizon(&self) -> Option<Time> {
+        self.releases.keys().next_back().copied()
+    }
+
+    /// Remove reservations scheduled for the future so the table can be
+    /// re-derived under new priorities (online inter-Coflow scheduling).
+    ///
+    /// * Reservations with `start >= now` are removed entirely.
+    /// * Reservations straddling `now` (`start < now < end`) are kept if
+    ///   `keep_active` (the circuit continues transmitting — intra-Coflow
+    ///   non-preemption), otherwise cut short to end at `now`, paying back
+    ///   the unfinished tail.
+    ///
+    /// Returns the removed reservations and, for each shortened one, its
+    /// original extent (with `end` still the *original* end; the new end is
+    /// `now`).
+    pub fn truncate_future(&mut self, now: Time, keep_active: bool) -> Vec<RemovedResv> {
+        let mut removed = Vec::new();
+        let n = self.ports();
+        for src in 0..n {
+            let starts: Vec<Time> = self.ins[src].keys().copied().collect();
+            for start in starts {
+                let e = self.ins[src][&start];
+                if start >= now {
+                    // Entirely in the future: drop.
+                    self.ins[src].remove(&start);
+                    self.outs[e.peer].remove(&start);
+                    self.release_removed(e.end);
+                    removed.push(RemovedResv {
+                        src,
+                        dst: e.peer,
+                        start,
+                        end: e.end,
+                        kind: e.kind,
+                    });
+                } else if e.end > now && !keep_active && e.kind != ResvKind::Guard {
+                    // Straddles `now` and preemption is allowed: cut.
+                    // Guard windows are never cut — the starvation guard's
+                    // whole point is immunity to scheduling churn.
+                    self.release_removed(e.end);
+                    *self.releases.entry(now).or_insert(0) += 1;
+                    self.ins[src].get_mut(&start).expect("entry exists").end = now;
+                    self.outs[e.peer].get_mut(&start).expect("peer entry exists").end = now;
+                    removed.push(RemovedResv {
+                        src,
+                        dst: e.peer,
+                        start,
+                        end: e.end,
+                        kind: e.kind,
+                    });
+                }
+            }
+        }
+        removed
+    }
+
+    /// Cut one in-flight reservation short so it releases its ports at
+    /// `now`. Used by the online replay's inter-Coflow preemption
+    /// policies: a higher-priority Coflow may displace a lower-priority
+    /// circuit (the displaced flow's remainder is rescheduled and pays a
+    /// fresh `δ`).
+    ///
+    /// # Panics
+    /// Panics unless a reservation keyed by `(src, start)` exists and is
+    /// in flight (`start < now < end`).
+    pub fn cut_reservation(&mut self, src: InPort, start: Time, now: Time) {
+        let e = *self
+            .ins[src]
+            .get(&start)
+            .expect("cut_reservation: no reservation at this key");
+        assert!(
+            start < now && now < e.end,
+            "cut_reservation: reservation is not in flight at {now}"
+        );
+        self.release_removed(e.end);
+        *self.releases.entry(now).or_insert(0) += 1;
+        self.ins[src].get_mut(&start).expect("checked").end = now;
+        self.outs[e.peer].get_mut(&start).expect("peer entry").end = now;
+    }
+
+    fn release_removed(&mut self, end: Time) {
+        let c = self
+            .releases
+            .get_mut(&end)
+            .expect("release multiset out of sync");
+        *c -= 1;
+        if *c == 0 {
+            self.releases.remove(&end);
+        }
+    }
+
+    /// Total time input port `i` is reserved within `[from, to)`.
+    /// Used by tests and utilization reports.
+    pub fn in_busy_time(&self, i: InPort, from: Time, to: Time) -> Dur {
+        let mut busy = Dur::ZERO;
+        for (&s, e) in &self.ins[i] {
+            let lo = s.max(from);
+            let hi = e.end.min(to);
+            if hi > lo {
+                busy += hi.since(lo);
+            }
+        }
+        busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(idx: usize) -> ResvKind {
+        ResvKind::Flow(FlowRef {
+            coflow: 1,
+            flow_idx: idx,
+        })
+    }
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    #[test]
+    fn fresh_ports_are_free_forever() {
+        let prt = Prt::new(4);
+        assert!(prt.in_free_at(0, Time::ZERO));
+        assert!(prt.out_free_at(3, t(1000)));
+        assert_eq!(prt.in_next_start_after(0, Time::ZERO), Time::MAX);
+        assert_eq!(prt.next_release_after(Time::ZERO), None);
+    }
+
+    #[test]
+    fn reservation_blocks_both_ports_half_open() {
+        let mut prt = Prt::new(4);
+        prt.reserve(0, 2, t(10), t(20), flow(0));
+        assert!(prt.in_free_at(0, t(9)));
+        assert!(!prt.in_free_at(0, t(10)));
+        assert!(!prt.out_free_at(2, t(19)));
+        // Half-open: free again exactly at the end.
+        assert!(prt.in_free_at(0, t(20)));
+        assert!(prt.out_free_at(2, t(20)));
+        // Other ports unaffected (not-all-stop).
+        assert!(prt.in_free_at(1, t(15)));
+        assert!(prt.out_free_at(0, t(15)));
+    }
+
+    #[test]
+    fn queries_for_algorithm_one() {
+        let mut prt = Prt::new(4);
+        prt.reserve(0, 0, t(10), t(20), flow(0));
+        prt.reserve(1, 1, t(5), t(8), flow(1));
+        assert_eq!(prt.in_next_start_after(0, Time::ZERO), t(10));
+        assert_eq!(prt.in_next_start_after(0, t(10)), Time::MAX);
+        assert_eq!(prt.next_release_after(Time::ZERO), Some(t(8)));
+        assert_eq!(prt.next_release_after(t(8)), Some(t(20)));
+        assert_eq!(prt.next_release_after(t(20)), None);
+    }
+
+    #[test]
+    fn touching_reservations_are_legal() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 0, t(0), t(10), flow(0));
+        prt.reserve(0, 1, t(10), t(20), flow(1));
+        prt.reserve(1, 0, t(10), t(20), flow(2));
+        assert_eq!(prt.flow_reservations().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy at")]
+    fn overlap_on_input_port_panics() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 0, t(0), t(10), flow(0));
+        prt.reserve(0, 1, t(5), t(15), flow(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "would overlap the next")]
+    fn overlap_with_later_reservation_panics() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 0, t(10), t(20), flow(0));
+        prt.reserve(0, 1, t(5), t(15), flow(1));
+    }
+
+    #[test]
+    fn truncate_future_removes_and_cuts() {
+        let mut prt = Prt::new(3);
+        prt.reserve(0, 0, t(0), t(10), flow(0)); // past
+        prt.reserve(1, 1, t(5), t(25), flow(1)); // active at 15
+        prt.reserve(2, 2, t(20), t(30), flow(2)); // future
+
+        let removed = prt.truncate_future(t(15), true);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].src, 2);
+        // Active reservation kept intact.
+        assert!(!prt.in_free_at(1, t(20)));
+        assert_eq!(prt.next_release_after(t(15)), Some(t(25)));
+
+        let removed = prt.truncate_future(t(15), false);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].src, 1);
+        assert_eq!(removed[0].end, t(25)); // reports the original end
+        // The active reservation was cut at 15.
+        assert!(prt.in_free_at(1, t(15)));
+        assert_eq!(prt.next_release_after(t(14)), Some(t(15)));
+    }
+
+    #[test]
+    fn truncate_future_is_noop_on_past_only_table() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 0, t(0), t(10), flow(0));
+        assert!(prt.truncate_future(t(10), true).is_empty());
+        assert_eq!(prt.flow_reservations().len(), 1);
+    }
+
+    #[test]
+    fn reservation_starting_exactly_now_is_future() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 0, t(10), t(20), flow(0));
+        let removed = prt.truncate_future(t(10), true);
+        assert_eq!(removed.len(), 1);
+        assert!(prt.is_empty());
+    }
+
+    #[test]
+    fn guard_windows_are_not_flow_reservations() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 0, t(0), t(10), ResvKind::Guard);
+        prt.reserve(1, 1, t(0), t(10), flow(0));
+        assert_eq!(prt.flow_reservations().len(), 1);
+        assert_eq!(prt.all_reservations().len(), 2);
+    }
+
+    #[test]
+    fn busy_time_accumulates_within_window() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 0, t(0), t(10), flow(0));
+        prt.reserve(0, 1, t(20), t(30), flow(1));
+        assert_eq!(prt.in_busy_time(0, t(5), t(25)), Dur::from_millis(10));
+    }
+
+    #[test]
+    fn cut_reservation_releases_ports_early() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 1, t(0), t(100), flow(0));
+        prt.cut_reservation(0, t(0), t(40));
+        assert!(prt.in_free_at(0, t(40)));
+        assert!(prt.out_free_at(1, t(40)));
+        assert!(!prt.in_free_at(0, t(39)));
+        assert_eq!(prt.next_release_after(t(0)), Some(t(40)));
+        let rs = prt.flow_reservations();
+        assert_eq!(rs[0].end, t(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn cutting_a_future_reservation_panics() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 1, t(50), t(100), flow(0));
+        prt.cut_reservation(0, t(50), t(40));
+    }
+
+    #[test]
+    fn horizon_tracks_latest_end() {
+        let mut prt = Prt::new(2);
+        assert_eq!(prt.horizon(), None);
+        prt.reserve(0, 0, t(0), t(10), flow(0));
+        prt.reserve(1, 1, t(0), t(50), flow(1));
+        assert_eq!(prt.horizon(), Some(t(50)));
+    }
+}

@@ -1,0 +1,258 @@
+//! Starvation avoidance (§4.2 of the paper).
+//!
+//! Strict priority lets high-priority Coflows block low-priority ones
+//! indefinitely — a problem if, say, a malicious tenant keeps submitting
+//! small Coflows. The paper's lightweight fix: a fixed list of `N`
+//! assignments `Φ = {A_1, …, A_N}` that together cover all `N²` circuits,
+//! and two parameters `T ≫ τ > δ`. Time is divided into recurring
+//! `(T + τ)` intervals: during the `T` part, normal inter-Coflow
+//! scheduling runs; during the `τ` part, the assignment `A_k` (round
+//! robin over `Φ`) is configured and **all** Coflows with demand on its
+//! circuits share the link bandwidth. Every Coflow therefore receives
+//! non-zero service within every `N·(T + τ)` of its lifetime.
+//!
+//! We realize `Φ` as the `N` cyclic-shift permutations
+//! (`in.i → out.(i+k mod N)`), which provably cover every circuit.
+//! Guard windows are seeded into the PRT as [`ResvKind::Guard`]
+//! reservations; Algorithm 1 then schedules around them without any
+//! modification — to the intra-Coflow routine they are simply port
+//! reservations it must not displace.
+
+use crate::prt::{Prt, ResvKind};
+use ocs_model::{Assignment, Dur, Time};
+
+/// Parameters of the starvation guard: `T` (normal scheduling) and `τ`
+/// (shared round-robin window) per recurring interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Length of the priority-scheduled part of each interval (`T`).
+    pub period: Dur,
+    /// Length of the shared round-robin window (`τ`). Must exceed the
+    /// reconfiguration delay `δ` or the window could transmit nothing.
+    pub tau: Dur,
+}
+
+impl GuardConfig {
+    /// Validate against a fabric's `δ`: the paper requires `T ≫ τ > δ`.
+    ///
+    /// # Panics
+    /// Panics if `τ <= δ` or `T < τ`.
+    pub fn validate(&self, delta: Dur) {
+        assert!(self.tau > delta, "guard window τ must exceed δ");
+        assert!(self.period >= self.tau, "T must dominate τ");
+    }
+}
+
+/// One concrete guard window on the timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuardWindow {
+    /// Window start (ports taken, reconfiguration begins).
+    pub start: Time,
+    /// Window end (ports released).
+    pub end: Time,
+    /// Index of the interval this window belongs to.
+    pub interval: u64,
+    /// The assignment `A_k` configured during the window.
+    pub assignment: Assignment,
+}
+
+impl GuardWindow {
+    /// Transmit time available on each circuit of the window:
+    /// `τ − δ`.
+    pub fn transmit_time(&self, delta: Dur) -> Dur {
+        self.end.since(self.start).saturating_sub(delta)
+    }
+}
+
+/// Generator of guard windows for an `n`-port fabric.
+#[derive(Clone, Copy, Debug)]
+pub struct StarvationGuard {
+    config: GuardConfig,
+    ports: usize,
+}
+
+impl StarvationGuard {
+    /// Create a guard for an `n`-port fabric.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or the configuration is degenerate
+    /// (`τ` or `T` zero).
+    pub fn new(ports: usize, config: GuardConfig) -> StarvationGuard {
+        assert!(ports > 0, "guard needs at least one port");
+        assert!(!config.tau.is_zero() && !config.period.is_zero());
+        StarvationGuard { config, ports }
+    }
+
+    /// The guard's configuration.
+    pub fn config(&self) -> GuardConfig {
+        self.config
+    }
+
+    /// Length of one full interval, `T + τ`.
+    pub fn interval_len(&self) -> Dur {
+        self.config.period + self.config.tau
+    }
+
+    /// The guard window of interval `m`:
+    /// `[m(T+τ) + T, (m+1)(T+τ))` with assignment `A_(m mod N)`.
+    pub fn window(&self, m: u64) -> GuardWindow {
+        let base = Time::ZERO + self.interval_len() * m;
+        let start = base + self.config.period;
+        let end = start + self.config.tau;
+        GuardWindow {
+            start,
+            end,
+            interval: m,
+            assignment: Assignment::cyclic_shift(self.ports, (m % self.ports as u64) as usize),
+        }
+    }
+
+    /// All guard windows overlapping `[from, until)`, in order.
+    pub fn windows_in(&self, from: Time, until: Time) -> Vec<GuardWindow> {
+        if until <= from {
+            return Vec::new();
+        }
+        let ilen = self.interval_len().as_ps();
+        let first = from.as_ps() / ilen;
+        let mut out = Vec::new();
+        let mut m = first.saturating_sub(1); // window of interval m-1 may straddle `from`
+        loop {
+            let w = self.window(m);
+            if w.start >= until {
+                break;
+            }
+            if w.end > from {
+                out.push(w);
+            }
+            m += 1;
+        }
+        out
+    }
+
+    /// The first guard-window end at or after `t` (the next natural
+    /// rescheduling point for the online replay).
+    pub fn next_window_end_after(&self, t: Time) -> Time {
+        let ilen = self.interval_len().as_ps();
+        let m = t.as_ps() / ilen;
+        let w = self.window(m);
+        if w.end > t {
+            w.end
+        } else {
+            self.window(m + 1).end
+        }
+    }
+
+    /// Seed every guard window overlapping `[from, until)` into the PRT as
+    /// `Guard` reservations on all of the window's circuits. Windows whose
+    /// start precedes `from` are skipped (the caller has already settled
+    /// them); normal scheduling will then flow around the seeded windows.
+    pub fn seed_prt(&self, prt: &mut Prt, from: Time, until: Time) {
+        assert_eq!(prt.ports(), self.ports, "PRT port count mismatch");
+        for w in self.windows_in(from, until) {
+            if w.start < from {
+                continue;
+            }
+            for &(i, j) in w.assignment.pairs() {
+                prt.reserve(i, j, w.start, w.end, ResvKind::Guard);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> StarvationGuard {
+        StarvationGuard::new(
+            4,
+            GuardConfig {
+                period: Dur::from_millis(100),
+                tau: Dur::from_millis(20),
+            },
+        )
+    }
+
+    #[test]
+    fn windows_tile_the_timeline() {
+        let g = guard();
+        let w0 = g.window(0);
+        assert_eq!(w0.start, Time::from_millis(100));
+        assert_eq!(w0.end, Time::from_millis(120));
+        let w1 = g.window(1);
+        assert_eq!(w1.start, Time::from_millis(220));
+        assert_eq!(w1.interval, 1);
+    }
+
+    #[test]
+    fn round_robin_covers_all_circuits_in_n_intervals() {
+        let g = guard();
+        let mut seen = [false; 16];
+        for m in 0..4 {
+            for &(i, j) in g.window(m).assignment.pairs() {
+                seen[i * 4 + j] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // And the cycle repeats.
+        assert_eq!(g.window(0).assignment, g.window(4).assignment);
+    }
+
+    #[test]
+    fn windows_in_selects_overlaps() {
+        let g = guard();
+        // [0, 100) contains no window; [0, 101) clips window 0.
+        assert!(g.windows_in(Time::ZERO, Time::from_millis(100)).is_empty());
+        assert_eq!(g.windows_in(Time::ZERO, Time::from_millis(101)).len(), 1);
+        // A range starting inside window 0 still reports it.
+        let ws = g.windows_in(Time::from_millis(110), Time::from_millis(360));
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].interval, 0);
+        assert_eq!(ws[2].interval, 2);
+    }
+
+    #[test]
+    fn next_window_end() {
+        let g = guard();
+        assert_eq!(g.next_window_end_after(Time::ZERO), Time::from_millis(120));
+        assert_eq!(
+            g.next_window_end_after(Time::from_millis(120)),
+            Time::from_millis(240)
+        );
+        assert_eq!(
+            g.next_window_end_after(Time::from_millis(119)),
+            Time::from_millis(120)
+        );
+    }
+
+    #[test]
+    fn seeding_blocks_all_ports_during_window() {
+        let g = guard();
+        let mut prt = Prt::new(4);
+        g.seed_prt(&mut prt, Time::ZERO, Time::from_millis(240));
+        for p in 0..4 {
+            assert!(!prt.in_free_at(p, Time::from_millis(110)));
+            assert!(!prt.out_free_at(p, Time::from_millis(110)));
+            assert!(prt.in_free_at(p, Time::from_millis(50)));
+        }
+        // Guard reservations are not flow reservations.
+        assert!(prt.flow_reservations().is_empty());
+    }
+
+    #[test]
+    fn transmit_time_subtracts_delta() {
+        let g = guard();
+        let w = g.window(0);
+        assert_eq!(w.transmit_time(Dur::from_millis(10)), Dur::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn tau_not_exceeding_delta_is_rejected() {
+        GuardConfig {
+            period: Dur::from_millis(100),
+            tau: Dur::from_millis(5),
+        }
+        .validate(Dur::from_millis(10));
+    }
+}

@@ -1,0 +1,145 @@
+//! Birkhoff–von Neumann decomposition of a line-balanced non-negative
+//! integer matrix into weighted permutation matrices.
+//!
+//! This is the engine of the TMS baseline (§3.1.1): a stuffed demand
+//! matrix is decomposed as `D = Σ_k w_k · P_k` and each permutation `P_k`
+//! becomes one circuit assignment with duration proportional to `w_k`.
+//! The classic BvN construction extracts an arbitrary perfect matching
+//! over the positive entries and peels off the minimum entry on it; it
+//! terminates in at most `n² − 2n + 2` permutations.
+
+use crate::hopcroft_karp::max_matching;
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// One term of the decomposition: permutation `pairs` with weight `weight`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BvnTerm {
+    /// The permutation as `(row, column)` pairs, in row order.
+    pub pairs: Vec<(usize, usize)>,
+    /// The coefficient of this permutation (`w_k`).
+    pub weight: u64,
+}
+
+/// Failure of the decomposition precondition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotBalanced;
+
+impl fmt::Display for NotBalanced {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("matrix is not line-balanced; stuff it before decomposing")
+    }
+}
+
+impl std::error::Error for NotBalanced {}
+
+/// Decompose a line-balanced matrix into weighted permutations.
+///
+/// Returns the terms in extraction order; their weighted sum reconstructs
+/// the input exactly. The zero matrix decomposes into no terms.
+pub fn decompose(m: &Matrix) -> Result<Vec<BvnTerm>, NotBalanced> {
+    if !m.is_line_balanced() {
+        return Err(NotBalanced);
+    }
+    let mut work = m.clone();
+    let n = work.n();
+    let mut terms = Vec::new();
+
+    while !work.is_zero() {
+        let adj = work.adjacency_at_least(1);
+        let matching = max_matching(n, n, &adj);
+        // Birkhoff's theorem guarantees a perfect matching over the
+        // positive entries of a line-balanced matrix with positive sum.
+        debug_assert!(
+            matching.is_left_perfect(),
+            "line-balanced matrix lost its perfect matching; decomposition bug"
+        );
+        let pairs = matching.pairs();
+        let weight = pairs
+            .iter()
+            .map(|&(i, j)| work.get(i, j))
+            .min()
+            .expect("non-empty matching");
+        for &(i, j) in &pairs {
+            work.drain(i, j, weight);
+        }
+        terms.push(BvnTerm { pairs, weight });
+    }
+    Ok(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stuffing::quick_stuff;
+
+    fn reconstruct(n: usize, terms: &[BvnTerm]) -> Matrix {
+        let mut m = Matrix::zero(n);
+        for t in terms {
+            for &(i, j) in &t.pairs {
+                m.add(i, j, t.weight);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn decomposes_a_permutation_in_one_term() {
+        let m = Matrix::from_rows(&[vec![0, 5], vec![5, 0]]);
+        let terms = decompose(&m).unwrap();
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].weight, 5);
+        assert_eq!(reconstruct(2, &terms), m);
+    }
+
+    #[test]
+    fn weighted_sum_reconstructs_input() {
+        let m = Matrix::from_rows(&[vec![3, 2, 1], vec![1, 3, 2], vec![2, 1, 3]]);
+        let terms = decompose(&m).unwrap();
+        assert_eq!(reconstruct(3, &terms), m);
+        // Weights account for the full line sum.
+        let total: u64 = terms.iter().map(|t| t.weight).sum();
+        assert_eq!(total, m.row_sum(0));
+    }
+
+    #[test]
+    fn zero_matrix_decomposes_to_nothing() {
+        assert!(decompose(&Matrix::zero(3)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unbalanced_matrix_is_rejected() {
+        let m = Matrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(decompose(&m), Err(NotBalanced));
+    }
+
+    #[test]
+    fn each_term_is_a_full_permutation() {
+        let m = Matrix::from_rows(&[vec![4, 6], vec![6, 4]]);
+        for t in decompose(&m).unwrap() {
+            assert_eq!(t.pairs.len(), 2);
+            let mut rows: Vec<_> = t.pairs.iter().map(|p| p.0).collect();
+            rows.dedup();
+            assert_eq!(rows.len(), 2);
+        }
+    }
+
+    #[test]
+    fn stuffed_pseudorandom_matrices_roundtrip() {
+        let mut seed: u64 = 7;
+        let mut next = move || {
+            seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (seed >> 45) % 30
+        };
+        for n in 1..=10 {
+            let mut m = Matrix::from_fn(n, |_, _| next());
+            quick_stuff(&mut m);
+            let terms = decompose(&m).unwrap();
+            assert_eq!(reconstruct(n, &terms), m, "n={n}");
+            // Termination bound: at most n^2 - 2n + 2 terms (n >= 2).
+            if n >= 2 {
+                assert!(terms.len() <= n * n - 2 * n + 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching,
+//! `O(E * sqrt(V))`.
+//!
+//! Used by the Solstice BigSlice step (is there a perfect matching using
+//! only entries ≥ t?) and by the Birkhoff decomposition (find a perfect
+//! matching over the positive entries).
+
+/// A matching between `n_left` left vertices and `n_right` right vertices:
+/// `pair_left[i]` is the right vertex matched to left vertex `i`, if any.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    /// Right partner of each left vertex.
+    pub pair_left: Vec<Option<usize>>,
+    /// Left partner of each right vertex.
+    pub pair_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.pair_left.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// True if every left vertex is matched (for square instances this is
+    /// a perfect matching).
+    pub fn is_left_perfect(&self) -> bool {
+        self.pair_left.iter().all(|p| p.is_some())
+    }
+
+    /// The matched pairs as `(left, right)` tuples in left order.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.pair_left
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|j| (i, j)))
+            .collect()
+    }
+}
+
+const INF: u32 = u32::MAX;
+
+/// Compute a maximum-cardinality matching of the bipartite graph with
+/// `n_left` left vertices, `n_right` right vertices and edges
+/// `adj[i] -> j`.
+///
+/// # Panics
+/// Panics if an adjacency entry references a right vertex `>= n_right`.
+pub fn max_matching(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Matching {
+    assert_eq!(adj.len(), n_left, "adjacency list length must equal n_left");
+    for row in adj {
+        for &j in row {
+            assert!(j < n_right, "adjacency references right vertex {j} >= {n_right}");
+        }
+    }
+
+    let mut pair_left: Vec<Option<usize>> = vec![None; n_left];
+    let mut pair_right: Vec<Option<usize>> = vec![None; n_right];
+    let mut dist: Vec<u32> = vec![0; n_left];
+    let mut queue: Vec<usize> = Vec::with_capacity(n_left);
+
+    // BFS phase: layer the graph from free left vertices; returns true if
+    // an augmenting path exists.
+    fn bfs(
+        adj: &[Vec<usize>],
+        pair_left: &[Option<usize>],
+        pair_right: &[Option<usize>],
+        dist: &mut [u32],
+        queue: &mut Vec<usize>,
+    ) -> bool {
+        queue.clear();
+        for (u, p) in pair_left.iter().enumerate() {
+            if p.is_none() {
+                dist[u] = 0;
+                queue.push(u);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in &adj[u] {
+                match pair_right[v] {
+                    None => found = true,
+                    Some(u2) => {
+                        if dist[u2] == INF {
+                            dist[u2] = dist[u] + 1;
+                            queue.push(u2);
+                        }
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    // DFS phase: find an augmenting path from left vertex `u` along the
+    // BFS layers.
+    fn dfs(
+        u: usize,
+        adj: &[Vec<usize>],
+        pair_left: &mut [Option<usize>],
+        pair_right: &mut [Option<usize>],
+        dist: &mut [u32],
+    ) -> bool {
+        for idx in 0..adj[u].len() {
+            let v = adj[u][idx];
+            let ok = match pair_right[v] {
+                None => true,
+                Some(u2) => dist[u2] == dist[u] + 1 && dfs(u2, adj, pair_left, pair_right, dist),
+            };
+            if ok {
+                pair_left[u] = Some(v);
+                pair_right[v] = Some(u);
+                return true;
+            }
+        }
+        dist[u] = INF;
+        false
+    }
+
+    while bfs(adj, &pair_left, &pair_right, &mut dist, &mut queue) {
+        for u in 0..n_left {
+            if pair_left[u].is_none() {
+                dfs(u, adj, &mut pair_left, &mut pair_right, &mut dist);
+            }
+        }
+    }
+
+    Matching {
+        pair_left,
+        pair_right,
+    }
+}
+
+/// True if the square bipartite graph on `n` + `n` vertices with edges
+/// `adj` admits a perfect matching.
+pub fn has_perfect_matching(n: usize, adj: &[Vec<usize>]) -> bool {
+    max_matching(n, n, adj).size() == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_perfect_matching() {
+        // Identity graph.
+        let adj = vec![vec![0], vec![1], vec![2]];
+        let m = max_matching(3, 3, &adj);
+        assert_eq!(m.size(), 3);
+        assert!(m.is_left_perfect());
+        assert_eq!(m.pairs(), vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // Greedy would match 0->0 and block 1; HK must augment.
+        let adj = vec![vec![0, 1], vec![0]];
+        let m = max_matching(2, 2, &adj);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.pair_left[1], Some(0));
+        assert_eq!(m.pair_left[0], Some(1));
+    }
+
+    #[test]
+    fn imperfect_graph() {
+        // Both left vertices only see right vertex 0.
+        let adj = vec![vec![0], vec![0]];
+        let m = max_matching(2, 2, &adj);
+        assert_eq!(m.size(), 1);
+        assert!(!has_perfect_matching(2, &adj));
+    }
+
+    #[test]
+    fn empty_adjacency() {
+        let adj = vec![vec![], vec![]];
+        let m = max_matching(2, 2, &adj);
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    fn rectangular_instance() {
+        let adj = vec![vec![0, 1, 2]];
+        let m = max_matching(1, 3, &adj);
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.pair_right.iter().filter(|p| p.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn pairs_are_consistent() {
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let m = max_matching(3, 3, &adj);
+        assert_eq!(m.size(), 3);
+        for (l, r) in m.pairs() {
+            assert_eq!(m.pair_right[r], Some(l));
+            assert!(adj[l].contains(&r), "matched along a non-edge");
+        }
+    }
+
+    /// Worst-case-ish dense instance to exercise the BFS/DFS phases.
+    #[test]
+    fn dense_instance() {
+        let n = 64;
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| (0..n).filter(|j| (i + j) % 3 != 0).collect()).collect();
+        let m = max_matching(n, n, &adj);
+        // Verify against König: this graph is dense enough to be perfect.
+        assert_eq!(m.size(), n);
+        for (l, r) in m.pairs() {
+            assert!((l + r) % 3 != 0);
+        }
+    }
+}

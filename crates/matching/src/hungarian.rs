@@ -1,0 +1,188 @@
+//! Hungarian algorithm (Kuhn–Munkres) for maximum-weight assignment,
+//! `O(n³)`.
+//!
+//! This powers the **Edmond** baseline of the paper (§3.1.1): at each step
+//! it schedules the maximum weighted matching of the remaining demand
+//! matrix. (The original systems cite Edmonds' general matching algorithm;
+//! on a bipartite demand matrix the Hungarian algorithm computes the same
+//! maximum weighted matching.)
+
+use crate::matrix::Matrix;
+
+/// Compute a maximum-total-weight perfect assignment of rows to columns of
+/// the square weight matrix `m`. Returns `assign[i] = j`.
+///
+/// Every row is assigned (weights of zero are allowed); use
+/// [`max_weight_pairs`] to drop the zero-weight pairs.
+///
+/// ```
+/// use ocs_matching::{max_weight_assignment, Matrix};
+///
+/// let m = Matrix::from_rows(&[vec![7, 5], vec![9, 3]]);
+/// // 5 + 9 beats 7 + 3.
+/// assert_eq!(max_weight_assignment(&m), vec![1, 0]);
+/// ```
+pub fn max_weight_assignment(m: &Matrix) -> Vec<usize> {
+    let n = m.n();
+    // Minimize cost = -weight, using the classic potentials formulation
+    // (1-indexed internally). i128 comfortably holds n * max_weight.
+    let cost = |i: usize, j: usize| -> i128 { -(m.get(i, j) as i128) };
+    let inf = i128::MAX / 4;
+
+    let mut u = vec![0i128; n + 1];
+    let mut v = vec![0i128; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j]: row matched to column j (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assign = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assign[p[j] - 1] = j - 1;
+        }
+    }
+    assign
+}
+
+/// The pairs of a maximum-weight matching with the zero-weight pairs
+/// removed: only circuits with actual demand are configured.
+pub fn max_weight_pairs(m: &Matrix) -> Vec<(usize, usize)> {
+    max_weight_assignment(m)
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, j)| m.get(i, j) > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force maximum assignment weight over all permutations.
+    fn brute_force(m: &Matrix) -> u128 {
+        fn go(m: &Matrix, row: usize, used: &mut Vec<bool>) -> u128 {
+            let n = m.n();
+            if row == n {
+                return 0;
+            }
+            let mut best = 0;
+            for j in 0..n {
+                if !used[j] {
+                    used[j] = true;
+                    best = best.max(m.get(row, j) as u128 + go(m, row + 1, used));
+                    used[j] = false;
+                }
+            }
+            best
+        }
+        go(m, 0, &mut vec![false; m.n()])
+    }
+
+    fn weight_of(m: &Matrix, assign: &[usize]) -> u128 {
+        assign
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| m.get(i, j) as u128)
+            .sum()
+    }
+
+    #[test]
+    fn small_known_instance() {
+        let m = Matrix::from_rows(&[vec![7, 5, 11], vec![5, 4, 1], vec![9, 3, 2]]);
+        let a = max_weight_assignment(&m);
+        assert_eq!(weight_of(&m, &a), brute_force(&m)); // = 11 + 4 + 9 = 24
+        assert_eq!(weight_of(&m, &a), 24);
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        let m = Matrix::from_rows(&[vec![1, 0], vec![0, 1]]);
+        let mut a = max_weight_assignment(&m);
+        a.sort_unstable();
+        assert_eq!(a, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_weight_pairs_are_dropped() {
+        let m = Matrix::from_rows(&[vec![0, 5], vec![0, 0]]);
+        let pairs = max_weight_pairs(&m);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn all_zero_matrix_yields_no_pairs() {
+        let m = Matrix::zero(4);
+        assert!(max_weight_pairs(&m).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudorandom_matrices() {
+        // Deterministic pseudo-random entries; sizes small enough to brute
+        // force (n! permutations).
+        let mut seed: u64 = 0x5eed;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) % 1000
+        };
+        for n in 2..=6 {
+            for _ in 0..8 {
+                let m = Matrix::from_fn(n, |_, _| next());
+                let a = max_weight_assignment(&m);
+                assert_eq!(weight_of(&m, &a), brute_force(&m), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_large_weights_without_overflow() {
+        let big = u64::MAX / 2;
+        let m = Matrix::from_rows(&[vec![big, 1], vec![1, big]]);
+        let a = max_weight_assignment(&m);
+        assert_eq!(weight_of(&m, &a), 2 * big as u128);
+    }
+}

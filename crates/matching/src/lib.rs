@@ -1,0 +1,31 @@
+//! # ocs-matching — bipartite matching toolbox
+//!
+//! Self-contained combinatorial substrate for the assignment-based circuit
+//! schedulers of the Sunflow reproduction:
+//!
+//! * [`matrix::Matrix`] — dense square `u64` weight matrix.
+//! * [`hopcroft_karp`] — maximum-cardinality bipartite matching,
+//!   `O(E√V)`; used by Solstice's BigSlice and by the BvN decomposition.
+//! * [`hungarian`] — maximum-weight assignment, `O(n³)`; used by the
+//!   Edmond baseline.
+//! * [`stuffing`] — QuickStuff-style padding to a line-balanced matrix.
+//! * [`birkhoff`] — Birkhoff–von Neumann decomposition into weighted
+//!   permutations; used by the TMS baseline.
+//!
+//! The crate has no dependencies and no opinion about what the weights
+//! mean; the rest of the workspace stores processing times in picoseconds.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod birkhoff;
+pub mod hopcroft_karp;
+pub mod hungarian;
+pub mod matrix;
+pub mod stuffing;
+
+pub use birkhoff::{decompose, BvnTerm, NotBalanced};
+pub use hopcroft_karp::{has_perfect_matching, max_matching, Matching};
+pub use hungarian::{max_weight_assignment, max_weight_pairs};
+pub use matrix::Matrix;
+pub use stuffing::{quick_stuff, stuff_to};

@@ -1,0 +1,201 @@
+//! A small dense square matrix of unsigned weights.
+//!
+//! This is the working representation for the matrix algorithms in this
+//! crate (stuffing, Birkhoff decomposition) and for the assignment-based
+//! schedulers built on top of them. Entries are plain `u64`; callers give
+//! them meaning (the Sunflow workspace stores processing times in
+//! picoseconds).
+
+/// Dense `n x n` matrix of `u64` weights, row-major.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<u64>,
+}
+
+impl Matrix {
+    /// An all-zero `n x n` matrix.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn zero(n: usize) -> Matrix {
+        assert!(n > 0, "matrix dimension must be positive");
+        Matrix {
+            n,
+            data: vec![0; n * n],
+        }
+    }
+
+    /// Build from a generator function.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> u64) -> Matrix {
+        let mut m = Matrix::zero(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Build from nested rows.
+    ///
+    /// # Panics
+    /// Panics unless `rows` is square and non-empty.
+    pub fn from_rows(rows: &[Vec<u64>]) -> Matrix {
+        let n = rows.len();
+        assert!(n > 0 && rows.iter().all(|r| r.len() == n), "matrix must be square");
+        Matrix {
+            n,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry at `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Overwrite entry at `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: u64) {
+        let k = self.idx(i, j);
+        self.data[k] = v;
+    }
+
+    /// Add to entry at `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics on overflow; weight sums in this workspace stay far below
+    /// `u64::MAX` and an overflow indicates corrupted input.
+    pub fn add(&mut self, i: usize, j: usize, v: u64) {
+        let k = self.idx(i, j);
+        self.data[k] = self.data[k].checked_add(v).expect("matrix entry overflow");
+    }
+
+    /// Subtract up to `v` from `(i, j)`, saturating at zero; returns the
+    /// amount subtracted.
+    pub fn drain(&mut self, i: usize, j: usize, v: u64) -> u64 {
+        let k = self.idx(i, j);
+        let took = self.data[k].min(v);
+        self.data[k] -= took;
+        took
+    }
+
+    /// Sum of row `i`.
+    pub fn row_sum(&self, i: usize) -> u64 {
+        self.data[i * self.n..(i + 1) * self.n].iter().sum()
+    }
+
+    /// Sum of column `j`.
+    pub fn col_sum(&self, j: usize) -> u64 {
+        (0..self.n).map(|i| self.data[i * self.n + j]).sum()
+    }
+
+    /// `max(max_i row_sum, max_j col_sum)` — the most loaded line.
+    pub fn max_line_sum(&self) -> u64 {
+        let rows = (0..self.n).map(|i| self.row_sum(i));
+        let cols = (0..self.n).map(|j| self.col_sum(j));
+        rows.chain(cols).max().unwrap_or(0)
+    }
+
+    /// True if every row and every column sums to the same value.
+    /// (The integer analogue of a scaled doubly-stochastic matrix; the
+    /// Birkhoff decomposition requires it.)
+    pub fn is_line_balanced(&self) -> bool {
+        let target = self.row_sum(0);
+        (0..self.n).all(|i| self.row_sum(i) == target)
+            && (0..self.n).all(|j| self.col_sum(j) == target)
+    }
+
+    /// Iterate non-zero entries as `(i, j, value)`.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        self.data.iter().enumerate().filter(|&(_k, &v)| v > 0).map(|(k, &v)| (k / self.n, k % self.n, v))
+    }
+
+    /// Number of non-zero entries.
+    pub fn num_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&v| v > 0).count()
+    }
+
+    /// True if every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&v| v == 0)
+    }
+
+    /// Sum of all entries.
+    pub fn total(&self) -> u64 {
+        self.data.iter().sum()
+    }
+
+    /// The adjacency lists of entries `>= threshold`, as needed by the
+    /// matching algorithms: `adj[i]` lists the columns `j` with
+    /// `m[i][j] >= threshold`.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is zero: a zero threshold would make every
+    /// cell an edge, which is never what a caller wants.
+    pub fn adjacency_at_least(&self, threshold: u64) -> Vec<Vec<usize>> {
+        assert!(threshold > 0, "threshold must be positive");
+        (0..self.n)
+            .map(|i| {
+                (0..self.n)
+                    .filter(|&j| self.get(i, j) >= threshold)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.n && j < self.n, "matrix index out of range");
+        i * self.n + j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_sums() {
+        let m = Matrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(m.row_sum(0), 3);
+        assert_eq!(m.col_sum(0), 4);
+        assert_eq!(m.max_line_sum(), 7);
+        assert_eq!(m.total(), 10);
+        assert_eq!(m.num_nonzero(), 4);
+    }
+
+    #[test]
+    fn balance_check() {
+        let balanced = Matrix::from_rows(&[vec![1, 2], vec![2, 1]]);
+        assert!(balanced.is_line_balanced());
+        let unbalanced = Matrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        assert!(!unbalanced.is_line_balanced());
+    }
+
+    #[test]
+    fn drain_saturates() {
+        let mut m = Matrix::from_rows(&[vec![5]]);
+        assert_eq!(m.drain(0, 0, 3), 3);
+        assert_eq!(m.drain(0, 0, 3), 2);
+        assert!(m.is_zero());
+    }
+
+    #[test]
+    fn adjacency_threshold() {
+        let m = Matrix::from_rows(&[vec![5, 1], vec![0, 7]]);
+        assert_eq!(m.adjacency_at_least(5), vec![vec![0], vec![1]]);
+        assert_eq!(m.adjacency_at_least(1), vec![vec![0, 1], vec![1]]);
+    }
+
+    #[test]
+    fn nonzero_iteration() {
+        let m = Matrix::from_rows(&[vec![0, 2], vec![3, 0]]);
+        let nz: Vec<_> = m.nonzero().collect();
+        assert_eq!(nz, vec![(0, 1, 2), (1, 0, 3)]);
+    }
+}

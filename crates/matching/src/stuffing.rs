@@ -1,0 +1,140 @@
+//! Matrix stuffing: padding a demand matrix with dummy demand until every
+//! row and column sums to the same value.
+//!
+//! Both TMS and Solstice pre-process the demand matrix this way before
+//! decomposing it (§3.1.1 of the Sunflow paper): the Birkhoff–von Neumann
+//! theorem and the BigSlice extraction both require a line-balanced
+//! ("scaled doubly stochastic") matrix so that a perfect matching over the
+//! positive entries always exists.
+//!
+//! The dummy demand is pure overhead — circuits get configured for traffic
+//! nobody sent — and is one of the two structural inefficiencies of the
+//! assignment-based schedulers that Sunflow avoids (the other being
+//! preemption).
+
+use crate::matrix::Matrix;
+
+/// Solstice's QuickStuff: raise entries until every row and column sums to
+/// the max line sum. Visits non-zero cells first (preferring to inflate
+/// real circuits), then zero cells. A single pass over all cells suffices:
+/// whenever row `i` and column `j` both still have slack, visiting `(i, j)`
+/// zeroes one of them, and slack never increases.
+///
+/// Returns the total dummy demand added.
+pub fn quick_stuff(m: &mut Matrix) -> u64 {
+    let target = m.max_line_sum();
+    stuff_to(m, target)
+}
+
+/// Stuff `m` until every line sums to `target`.
+///
+/// # Panics
+/// Panics if `target` is smaller than the current max line sum (stuffing
+/// can only add demand).
+pub fn stuff_to(m: &mut Matrix, target: u64) -> u64 {
+    assert!(
+        target >= m.max_line_sum(),
+        "stuffing target below current max line sum"
+    );
+    let n = m.n();
+    let mut row_slack: Vec<u64> = (0..n).map(|i| target - m.row_sum(i)).collect();
+    let mut col_slack: Vec<u64> = (0..n).map(|j| target - m.col_sum(j)).collect();
+    let mut added = 0u64;
+
+    // Pass 1: non-zero entries (keep dummy traffic on circuits that will
+    // be configured anyway). Pass 2: zero entries.
+    // (Plain index loops: `i`/`j` address the matrix and both slack
+    // arrays at once, which iterators would only obscure.)
+    #[allow(clippy::needless_range_loop)]
+    for pass in 0..2 {
+        for i in 0..n {
+            for j in 0..n {
+                let is_zero = m.get(i, j) == 0;
+                if (pass == 0 && is_zero) || (pass == 1 && !is_zero) {
+                    continue;
+                }
+                let e = row_slack[i].min(col_slack[j]);
+                if e > 0 {
+                    m.add(i, j, e);
+                    row_slack[i] -= e;
+                    col_slack[j] -= e;
+                    added += e;
+                }
+            }
+        }
+    }
+
+    debug_assert!(row_slack.iter().all(|&s| s == 0));
+    debug_assert!(col_slack.iter().all(|&s| s == 0));
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuffed_matrix_is_line_balanced() {
+        let mut m = Matrix::from_rows(&[vec![5, 0, 1], vec![0, 3, 0], vec![2, 2, 2]]);
+        let before = m.total();
+        let added = quick_stuff(&mut m);
+        assert!(m.is_line_balanced());
+        assert_eq!(m.total(), before + added);
+        assert_eq!(m.row_sum(0), m.max_line_sum());
+    }
+
+    #[test]
+    fn balanced_matrix_needs_no_stuffing() {
+        let mut m = Matrix::from_rows(&[vec![1, 2], vec![2, 1]]);
+        assert_eq!(quick_stuff(&mut m), 0);
+    }
+
+    #[test]
+    fn stuffing_never_reduces_entries() {
+        let orig = Matrix::from_rows(&[vec![9, 0, 0], vec![0, 1, 0], vec![0, 0, 4]]);
+        let mut m = orig.clone();
+        quick_stuff(&mut m);
+        for (i, j, v) in orig.nonzero() {
+            assert!(m.get(i, j) >= v);
+        }
+    }
+
+    #[test]
+    fn single_entry_matrix() {
+        let mut m = Matrix::from_rows(&[vec![0, 7], vec![0, 0]]);
+        quick_stuff(&mut m);
+        assert!(m.is_line_balanced());
+        // The complementary circuit must have been stuffed.
+        assert_eq!(m.get(1, 0), 7);
+    }
+
+    #[test]
+    fn stuff_to_larger_target() {
+        let mut m = Matrix::from_rows(&[vec![1, 0], vec![0, 1]]);
+        let added = stuff_to(&mut m, 10);
+        assert!(m.is_line_balanced());
+        assert_eq!(m.row_sum(0), 10);
+        assert_eq!(added, 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "target below")]
+    fn stuff_to_smaller_target_panics() {
+        let mut m = Matrix::from_rows(&[vec![5]]);
+        let _ = stuff_to(&mut m, 4);
+    }
+
+    #[test]
+    fn pseudorandom_matrices_balance() {
+        let mut seed: u64 = 42;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+            (seed >> 40) % 50
+        };
+        for n in 1..=12 {
+            let mut m = Matrix::from_fn(n, |_, _| next());
+            quick_stuff(&mut m);
+            assert!(m.is_line_balanced(), "n={n}");
+        }
+    }
+}

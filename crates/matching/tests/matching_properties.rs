@@ -1,0 +1,120 @@
+//! Property tests for the matching toolbox: optimality against brute
+//! force on small instances, structural invariants on larger ones.
+
+use ocs_matching::{decompose, max_matching, max_weight_assignment, quick_stuff, Matrix};
+use proptest::prelude::*;
+
+fn arb_matrix(max_n: usize, max_v: u64) -> impl Strategy<Value = Matrix> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(0..=max_v, n * n).prop_map(move |vals| {
+            let mut m = Matrix::zero(n);
+            for (k, v) in vals.into_iter().enumerate() {
+                m.set(k / n, k % n, v);
+            }
+            m
+        })
+    })
+}
+
+/// Brute-force maximum assignment weight (n! enumeration).
+fn brute_max_weight(m: &Matrix) -> u128 {
+    fn go(m: &Matrix, row: usize, used: &mut Vec<bool>) -> u128 {
+        if row == m.n() {
+            return 0;
+        }
+        let mut best = 0;
+        for j in 0..m.n() {
+            if !used[j] {
+                used[j] = true;
+                best = best.max(m.get(row, j) as u128 + go(m, row + 1, used));
+                used[j] = false;
+            }
+        }
+        best
+    }
+    go(m, 0, &mut vec![false; m.n()])
+}
+
+/// Brute-force maximum matching size over subsets (exponential).
+fn brute_max_matching(n: usize, adj: &[Vec<usize>]) -> usize {
+    fn go(row: usize, adj: &[Vec<usize>], used: u64) -> usize {
+        if row == adj.len() {
+            return 0;
+        }
+        let skip = go(row + 1, adj, used);
+        let take = adj[row]
+            .iter()
+            .filter(|&&j| used & (1 << j) == 0)
+            .map(|&j| 1 + go(row + 1, adj, used | (1 << j)))
+            .max()
+            .unwrap_or(0);
+        skip.max(take)
+    }
+    let _ = n;
+    go(0, adj, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hungarian_matches_brute_force(m in arb_matrix(5, 1000)) {
+        let assign = max_weight_assignment(&m);
+        let weight: u128 = assign.iter().enumerate().map(|(i, &j)| m.get(i, j) as u128).sum();
+        prop_assert_eq!(weight, brute_max_weight(&m));
+        // It is a permutation.
+        let mut seen = vec![false; m.n()];
+        for &j in &assign {
+            prop_assert!(!seen[j]);
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn hopcroft_karp_is_maximum(adj in proptest::collection::vec(
+        proptest::collection::btree_set(0usize..6, 0..=6), 1..=6)) {
+        let adj: Vec<Vec<usize>> = adj.into_iter().map(|s| s.into_iter().collect()).collect();
+        let n_left = adj.len();
+        let matching = max_matching(n_left, 6, &adj);
+        prop_assert_eq!(matching.size(), brute_max_matching(6, &adj));
+        // Consistency of the two sides.
+        for (l, r) in matching.pairs() {
+            prop_assert_eq!(matching.pair_right[r], Some(l));
+            prop_assert!(adj[l].contains(&r));
+        }
+    }
+
+    #[test]
+    fn stuffing_balances_and_only_adds(m in arb_matrix(8, 10_000)) {
+        let orig = m.clone();
+        let mut stuffed = m;
+        let added = quick_stuff(&mut stuffed);
+        prop_assert!(stuffed.is_line_balanced());
+        prop_assert_eq!(stuffed.total(), orig.total() + added);
+        for i in 0..orig.n() {
+            for j in 0..orig.n() {
+                prop_assert!(stuffed.get(i, j) >= orig.get(i, j));
+            }
+        }
+        // The stuffed line sum equals the original max line sum (no
+        // over-stuffing).
+        prop_assert_eq!(stuffed.row_sum(0), orig.max_line_sum().max(stuffed.row_sum(0)));
+    }
+
+    #[test]
+    fn bvn_reconstructs_stuffed_matrices(m in arb_matrix(6, 500)) {
+        let mut stuffed = m;
+        quick_stuff(&mut stuffed);
+        let terms = decompose(&stuffed).expect("stuffed implies balanced");
+        let mut rebuilt = Matrix::zero(stuffed.n());
+        for t in &terms {
+            // Every term is a full permutation.
+            prop_assert_eq!(t.pairs.len(), stuffed.n());
+            prop_assert!(t.weight > 0);
+            for &(i, j) in &t.pairs {
+                rebuilt.add(i, j, t.weight);
+            }
+        }
+        prop_assert_eq!(rebuilt, stuffed);
+    }
+}

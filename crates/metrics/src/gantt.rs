@@ -1,0 +1,169 @@
+//! ASCII Gantt rendering of circuit schedules — the textual equivalent of
+//! the paper's Figure 1c / Figure 2 timelines.
+//!
+//! Each input port is one row; time runs left to right. A reservation is
+//! drawn as its reconfiguration prefix (`=`) followed by the transmit
+//! body, labelled with the destination port (single digits directly,
+//! larger ports as `#`). Gaps are dots. Example:
+//!
+//! ```text
+//! in.0 |==6666666==77777.....|
+//! in.1 |.....==66666666......|
+//! ```
+
+use ocs_model::{Dur, Reservation, Time};
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct GanttConfig {
+    /// Width of the timeline in characters.
+    pub width: usize,
+    /// The reconfiguration delay, drawn as `=` at the head of each
+    /// reservation.
+    pub delta: Dur,
+}
+
+impl GanttConfig {
+    /// A Gantt chart `width` characters wide for a fabric with delay
+    /// `delta`.
+    pub fn new(width: usize, delta: Dur) -> GanttConfig {
+        assert!(width >= 10, "gantt needs at least 10 columns");
+        GanttConfig { width, delta }
+    }
+}
+
+fn label_for(dst: usize) -> char {
+    if dst < 10 {
+        (b'0' + dst as u8) as char
+    } else {
+        '#'
+    }
+}
+
+/// Render the reservations as a per-input-port timeline. Rows appear for
+/// every input port that carries at least one reservation, in port order.
+/// Returns an empty string for an empty schedule.
+pub fn render_gantt(reservations: &[Reservation], config: GanttConfig) -> String {
+    if reservations.is_empty() {
+        return String::new();
+    }
+    let t0 = reservations.iter().map(|r| r.start).min().expect("non-empty");
+    let t1 = reservations.iter().map(|r| r.end).max().expect("non-empty");
+    let span = t1.since(t0).as_ps().max(1);
+    let col_of = |t: Time| -> usize {
+        let off = t.since(t0).as_ps() as u128;
+        ((off * config.width as u128) / span as u128).min(config.width as u128 - 1) as usize
+    };
+
+    let mut ports: Vec<usize> = reservations.iter().map(|r| r.src).collect();
+    ports.sort_unstable();
+    ports.dedup();
+
+    let label_width = format!("in.{}", ports.last().expect("non-empty")).len();
+    let mut out = String::new();
+    for &p in &ports {
+        let mut row = vec!['.'; config.width];
+        for r in reservations.iter().filter(|r| r.src == p) {
+            let a = col_of(r.start);
+            // End column: inclusive of the final picosecond.
+            let b = col_of(r.end - Dur::from_ps(1)).max(a);
+            let reconf_end = col_of((r.start + config.delta.min(r.len())).min(t1));
+            let label = label_for(r.dst);
+            for (c, slot) in row.iter_mut().enumerate().take(b + 1).skip(a) {
+                *slot = if c < reconf_end || (c == a && config.delta > Dur::ZERO) {
+                    '='
+                } else {
+                    label
+                };
+            }
+        }
+        let name = format!("in.{p}");
+        out.push_str(&format!("{name:<label_width$} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "{:<label_width$}  {} .. {} ({} per column)\n",
+        "time",
+        t0,
+        t1,
+        Dur::from_ps((span / config.width as u64).max(1)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_model::FlowRef;
+
+    fn resv(src: usize, dst: usize, s_ms: u64, e_ms: u64) -> Reservation {
+        Reservation {
+            src,
+            dst,
+            start: Time::from_millis(s_ms),
+            end: Time::from_millis(e_ms),
+            flow: FlowRef {
+                coflow: 0,
+                flow_idx: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn empty_schedule_renders_empty() {
+        assert_eq!(
+            render_gantt(&[], GanttConfig::new(40, Dur::from_millis(10))),
+            ""
+        );
+    }
+
+    #[test]
+    fn single_reservation_fills_its_row() {
+        let g = render_gantt(
+            &[resv(0, 6, 0, 100)],
+            GanttConfig::new(20, Dur::from_millis(10)),
+        );
+        let row = g.lines().next().expect("one row");
+        assert!(row.starts_with("in.0 |"));
+        // Reconfiguration occupies the first tenth of the row.
+        assert!(row.contains('='));
+        assert!(row.contains('6'));
+        // The body is one contiguous reservation: no interior gaps.
+        let body = row.split('|').nth(1).expect("body");
+        assert!(!body.trim_end_matches('.').contains('.'));
+    }
+
+    #[test]
+    fn gaps_are_dotted_and_rows_sorted() {
+        let rs = [resv(3, 1, 0, 20), resv(1, 2, 50, 100)];
+        let g = render_gantt(&rs, GanttConfig::new(40, Dur::from_millis(10)));
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].starts_with("in.1"));
+        assert!(lines[1].starts_with("in.3"));
+        // in.1's row starts with a gap (its reservation begins at 50 ms).
+        let body = lines[0].split('|').nth(1).expect("body");
+        assert!(body.starts_with('.'));
+        // in.3's ends with one.
+        let body3 = lines[1].split('|').nth(1).expect("body");
+        assert!(body3.ends_with('.'));
+    }
+
+    #[test]
+    fn large_port_numbers_use_hash() {
+        let g = render_gantt(
+            &[resv(0, 117, 0, 50)],
+            GanttConfig::new(20, Dur::ZERO),
+        );
+        assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn footer_reports_scale() {
+        let g = render_gantt(
+            &[resv(0, 1, 0, 200)],
+            GanttConfig::new(20, Dur::from_millis(10)),
+        );
+        assert!(g.contains("10.000ms per column"));
+    }
+}

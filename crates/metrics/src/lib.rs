@@ -1,0 +1,22 @@
+//! # ocs-metrics — statistics and reporting for scheduling experiments
+//!
+//! * [`stats`] — means, percentiles, empirical CDFs, Pearson and Spearman
+//!   correlations (the aggregate quantities the paper reports).
+//! * [`table`] — aligned plain-text tables.
+//! * [`report`] — paper-vs-measured claim tracking, used by every bench
+//!   target to print whether the qualitative result reproduces.
+//! * [`gantt`] — ASCII timelines of circuit schedules (the Figure 1c
+//!   view), for examples and debugging.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gantt;
+pub mod report;
+pub mod stats;
+pub mod table;
+
+pub use gantt::{render_gantt, GanttConfig};
+pub use report::{Claim, Report};
+pub use stats::{cdf, cdf_at, mean, pearson, percentile, spearman};
+pub use table::{pct, ratio, Table};

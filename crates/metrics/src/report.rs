@@ -1,0 +1,138 @@
+//! Paper-vs-measured reporting: a uniform way for every experiment to
+//! state what the paper reports, what this reproduction measures, and
+//! whether the qualitative claim holds.
+
+use crate::table::Table;
+
+/// One compared quantity.
+#[derive(Clone, Debug)]
+pub struct Claim {
+    /// What is being compared (e.g. "avg CCT/T_cL, Sunflow, B=1G").
+    pub what: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Acceptable relative deviation for the qualitative claim to count
+    /// as reproduced (e.g. 0.25 = ±25 %).
+    pub tolerance: f64,
+}
+
+impl Claim {
+    /// Build a claim.
+    pub fn new(what: impl Into<String>, paper: f64, measured: f64, tolerance: f64) -> Claim {
+        Claim {
+            what: what.into(),
+            paper,
+            measured,
+            tolerance,
+        }
+    }
+
+    /// Whether the measurement is within tolerance of the paper's value.
+    pub fn holds(&self) -> bool {
+        if self.paper == 0.0 {
+            return self.measured.abs() <= self.tolerance;
+        }
+        ((self.measured - self.paper) / self.paper).abs() <= self.tolerance
+    }
+}
+
+/// A titled collection of claims that renders as a report section.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment title (e.g. "Figure 3 — intra-Coflow CCT vs T_cL").
+    pub title: String,
+    claims: Vec<Claim>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(title: impl Into<String>) -> Report {
+        Report {
+            title: title.into(),
+            claims: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a compared quantity.
+    pub fn claim(
+        &mut self,
+        what: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        tolerance: f64,
+    ) -> &mut Report {
+        self.claims.push(Claim::new(what, paper, measured, tolerance));
+        self
+    }
+
+    /// Add a free-form note (data series, caveats).
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Report {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// The recorded claims.
+    pub fn claims(&self) -> &[Claim] {
+        &self.claims
+    }
+
+    /// True if every claim holds.
+    pub fn all_hold(&self) -> bool {
+        self.claims.iter().all(Claim::holds)
+    }
+
+    /// Render the report section.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        if !self.claims.is_empty() {
+            let mut t = Table::new(["quantity", "paper", "measured", "within"]);
+            for c in &self.claims {
+                t.row([
+                    c.what.clone(),
+                    format!("{:.3}", c.paper),
+                    format!("{:.3}", c.measured),
+                    if c.holds() {
+                        format!("ok (±{:.0}%)", c.tolerance * 100.0)
+                    } else {
+                        format!("MISS (±{:.0}%)", c.tolerance * 100.0)
+                    },
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        for n in &self.notes {
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_tolerance() {
+        assert!(Claim::new("x", 1.0, 1.1, 0.15).holds());
+        assert!(!Claim::new("x", 1.0, 1.3, 0.15).holds());
+        assert!(Claim::new("zero", 0.0, 0.05, 0.1).holds());
+    }
+
+    #[test]
+    fn report_renders_and_aggregates() {
+        let mut r = Report::new("Figure X");
+        r.claim("avg", 1.03, 1.05, 0.25);
+        r.claim("p95", 1.18, 9.0, 0.25);
+        r.note("series: 1 2 3");
+        let s = r.render();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("MISS"));
+        assert!(s.contains("series: 1 2 3"));
+        assert!(!r.all_hold());
+    }
+}

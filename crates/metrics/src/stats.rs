@@ -1,0 +1,162 @@
+//! Summary statistics used throughout the evaluation: means, percentiles,
+//! CDFs, and the two correlation coefficients the paper reports (Pearson
+//! in Figure 5's discussion, Spearman rank in §5.3.2).
+
+/// Arithmetic mean. Returns `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// The `p`-th percentile (0 ≤ p ≤ 100) using nearest-rank on sorted data.
+/// Returns `None` for empty input.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 100]` or data contains NaN.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    Some(v[rank.clamp(1, v.len()) - 1])
+}
+
+/// Empirical CDF: returns `(value, fraction <= value)` at each distinct
+/// data point, suitable for plotting the paper's Figures 4 and 5.
+pub fn cdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in cdf input"));
+    let n = v.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, x) in v.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == *x => last.1 = frac,
+            _ => out.push((*x, frac)),
+        }
+    }
+    out
+}
+
+/// The fraction of samples `<= x` under the empirical distribution.
+pub fn cdf_at(xs: &[f64], x: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&v| v <= x).count() as f64 / xs.len() as f64
+}
+
+/// Pearson (linear) correlation coefficient. `None` if fewer than two
+/// points or either variance is zero.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "correlation inputs must pair up");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Ranks with ties averaged (fractional ranking), the standard input to
+/// Spearman's coefficient.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient (Pearson over fractional ranks).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mean(&xs), Some(3.0));
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 95.0), Some(5.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_is_order_free() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, 40.0), Some(2.0));
+    }
+
+    #[test]
+    fn cdf_steps_and_queries() {
+        let xs = [1.0, 1.0, 2.0, 4.0];
+        let c = cdf(&xs);
+        assert_eq!(c, vec![(1.0, 0.5), (2.0, 0.75), (4.0, 1.0)]);
+        assert_eq!(cdf_at(&xs, 1.5), 0.5);
+        assert_eq!(cdf_at(&xs, 4.0), 1.0);
+        assert_eq!(cdf_at(&xs, 0.5), 0.0);
+    }
+
+    #[test]
+    fn pearson_detects_linear_relations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn spearman_handles_monotone_nonlinear() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let inv: Vec<f64> = xs.iter().map(|x| 1.0 / x).collect();
+        assert!((spearman(&xs, &inv).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_ties_average() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let r = ranks(&xs);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

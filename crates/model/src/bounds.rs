@@ -1,0 +1,186 @@
+//! Theoretical CCT lower bounds (§2.4 of the paper).
+//!
+//! Both bounds are independent of the scheduling policy and are used as
+//! the yardsticks of the evaluation:
+//!
+//! * `T_pL` (Equation 2) — packet-switched lower bound: the maximum over
+//!   all ports of the total processing time requested on that port.
+//! * `T_cL` (Equation 4) — circuit-switched lower bound: same, but every
+//!   non-empty flow additionally pays at least one reconfiguration `δ`
+//!   (Equation 3, `t_ij = p_ij + δ` for `p_ij > 0`). This bound is tighter
+//!   than prior work's because it is derived under the not-all-stop model.
+
+use crate::coflow::Coflow;
+use crate::fabric::Fabric;
+use crate::time::Dur;
+
+/// Per-port accumulation helper shared by both bounds.
+fn port_loads(coflow: &Coflow, fabric: &Fabric, extra_per_flow: Dur) -> Dur {
+    let n = coflow.min_ports().max(1);
+    let mut in_load = vec![Dur::ZERO; n];
+    let mut out_load = vec![Dur::ZERO; n];
+    for f in coflow.flows() {
+        let t = fabric.processing_time(f.bytes) + extra_per_flow;
+        in_load[f.src] += t;
+        out_load[f.dst] += t;
+    }
+    in_load
+        .into_iter()
+        .chain(out_load)
+        .max()
+        .unwrap_or(Dur::ZERO)
+}
+
+/// `T_pL` — the packet-switched CCT lower bound (Equation 2): the time to
+/// finish data transfer on the most loaded port.
+///
+/// ```
+/// use ocs_model::{packet_lower_bound, circuit_lower_bound, Coflow, Fabric};
+///
+/// let fabric = Fabric::new(4, Fabric::GBPS, Fabric::default_delta());
+/// // Two flows out of in.0: the port must move 2 MB -> 16 ms.
+/// let c = Coflow::builder(0)
+///     .flow(0, 0, 1_000_000)
+///     .flow(0, 1, 1_000_000)
+///     .build();
+/// assert_eq!(packet_lower_bound(&c, &fabric).as_secs_f64(), 0.016);
+/// // The circuit bound adds one 10 ms reconfiguration per flow.
+/// assert_eq!(circuit_lower_bound(&c, &fabric).as_secs_f64(), 0.036);
+/// ```
+pub fn packet_lower_bound(coflow: &Coflow, fabric: &Fabric) -> Dur {
+    port_loads(coflow, fabric, Dur::ZERO)
+}
+
+/// `T_cL` — the circuit-switched CCT lower bound (Equation 4): every flow
+/// pays at least one circuit reconfiguration delay `δ` on both of its
+/// ports in addition to its processing time.
+pub fn circuit_lower_bound(coflow: &Coflow, fabric: &Fabric) -> Dur {
+    port_loads(coflow, fabric, fabric.delta())
+}
+
+/// The smallest per-flow processing time `min p_ij` in the Coflow.
+/// Defined because Coflows are non-empty and flows are non-zero.
+pub fn min_processing_time(coflow: &Coflow, fabric: &Fabric) -> Dur {
+    coflow
+        .flows()
+        .iter()
+        .map(|f| fabric.processing_time(f.bytes))
+        .min()
+        .expect("coflows are non-empty")
+}
+
+/// The average per-flow processing time `p_avg = Σ p_ij / |C|` used by the
+/// paper to separate long from short Coflows (§5.3.2).
+pub fn avg_processing_time(coflow: &Coflow, fabric: &Fabric) -> Dur {
+    let total: Dur = coflow
+        .flows()
+        .iter()
+        .map(|f| fabric.processing_time(f.bytes))
+        .sum();
+    total / coflow.num_flows() as u64
+}
+
+/// The paper's "long Coflow" predicate (§5.3.2): average subflow size of
+/// at least 5 MB — i.e. `p_avg` at least the processing time of 5 MB.
+///
+/// The paper phrases the threshold as "`p_avg` larger than 40×δ (which
+/// corresponds to an average subflow size of ≥ 5 MB)"; at the stated
+/// defaults (B = 1 Gbps, δ = 10 ms) those two phrasings disagree by 10×
+/// (5 MB ≈ 4δ, not 40δ). The 5 MB anchoring matches the reported
+/// population statistics (25.2 % of Coflows, 98.8 % of bytes), so this
+/// reproduction uses the size-based definition, scaled by bandwidth.
+pub fn is_long(coflow: &Coflow, fabric: &Fabric) -> bool {
+    avg_processing_time(coflow, fabric) >= fabric.processing_time(5 * (1 << 20))
+}
+
+/// `α = δ / min(d_ij / B)` from Lemma 2.
+pub fn alpha(coflow: &Coflow, fabric: &Fabric) -> f64 {
+    let min_p = min_processing_time(coflow, fabric);
+    if min_p.is_zero() {
+        return f64::INFINITY;
+    }
+    fabric.delta().as_ps() as f64 / min_p.as_ps() as f64
+}
+
+/// Exact check of Lemma 1: `cct <= 2 * T_cL`.
+pub fn lemma1_holds(cct: Dur, coflow: &Coflow, fabric: &Fabric) -> bool {
+    let bound = circuit_lower_bound(coflow, fabric);
+    (cct.as_ps() as u128) <= 2 * bound.as_ps() as u128
+}
+
+/// Exact check of Lemma 2: `cct <= 2 (1 + α) * T_pL`, evaluated without
+/// floating point as `cct * min_p <= 2 (min_p + δ) * T_pL`.
+pub fn lemma2_holds(cct: Dur, coflow: &Coflow, fabric: &Fabric) -> bool {
+    let min_p = min_processing_time(coflow, fabric).as_ps() as u128;
+    let delta = fabric.delta().as_ps() as u128;
+    let tpl = packet_lower_bound(coflow, fabric).as_ps() as u128;
+    (cct.as_ps() as u128) * min_p <= 2 * (min_p + delta) * tpl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Bandwidth;
+
+    fn fabric() -> Fabric {
+        Fabric::new(8, Bandwidth::GBPS, Dur::from_millis(10))
+    }
+
+    /// The worked example of Figure 1 intuition: a 2x2 shuffle of 1 MB
+    /// flows. Each port carries 2 flows of 8 ms each.
+    #[test]
+    fn bounds_of_a_square_shuffle() {
+        let c = Coflow::builder(0)
+            .flow(0, 0, 1_000_000)
+            .flow(0, 1, 1_000_000)
+            .flow(1, 0, 1_000_000)
+            .flow(1, 1, 1_000_000)
+            .build();
+        assert_eq!(packet_lower_bound(&c, &fabric()), Dur::from_millis(16));
+        // Circuit bound adds one delta per flow on the busiest port.
+        assert_eq!(circuit_lower_bound(&c, &fabric()), Dur::from_millis(36));
+    }
+
+    #[test]
+    fn bounds_of_an_incast() {
+        // 3 senders, 1 receiver: the receiver port is the bottleneck.
+        let c = Coflow::builder(0)
+            .flow(0, 0, 1_000_000)
+            .flow(1, 0, 2_000_000)
+            .flow(2, 0, 3_000_000)
+            .build();
+        assert_eq!(packet_lower_bound(&c, &fabric()), Dur::from_millis(48));
+        assert_eq!(circuit_lower_bound(&c, &fabric()), Dur::from_millis(78));
+    }
+
+    #[test]
+    fn circuit_bound_dominates_packet_bound() {
+        let c = Coflow::builder(0).flow(0, 1, 123_456).flow(2, 1, 1).build();
+        assert!(circuit_lower_bound(&c, &fabric()) >= packet_lower_bound(&c, &fabric()));
+    }
+
+    #[test]
+    fn alpha_and_long_classification() {
+        let f = fabric();
+        // 1 MB flow: p = 8 ms, alpha = 10/8.
+        let small = Coflow::builder(0).flow(0, 0, 1_000_000).build();
+        assert!((alpha(&small, &f) - 1.25).abs() < 1e-12);
+        assert!(!is_long(&small, &f));
+        // 500 MB flow: p = 4 s > 40 * 10 ms.
+        let big = Coflow::builder(1).flow(0, 0, 500_000_000).build();
+        assert!(is_long(&big, &f));
+    }
+
+    #[test]
+    fn lemma_checks_accept_the_bound_itself() {
+        let f = fabric();
+        let c = Coflow::builder(0)
+            .flow(0, 0, 5_000_000)
+            .flow(1, 0, 1_000_000)
+            .build();
+        let tcl = circuit_lower_bound(&c, &f);
+        assert!(lemma1_holds(tcl * 2, &c, &f));
+        assert!(!lemma1_holds(tcl * 2 + Dur::from_ps(1), &c, &f));
+        assert!(lemma2_holds(packet_lower_bound(&c, &f), &c, &f));
+    }
+}

@@ -1,0 +1,124 @@
+//! The network fabric model.
+//!
+//! The paper abstracts the cluster network as one non-blocking `N`-port
+//! switch with link bandwidth `B` (§2.1). For the circuit-switched network
+//! the switch additionally has a reconfiguration delay `δ`: setting up or
+//! tearing down a circuit stops communication on the affected input and
+//! output ports for `δ`, while untouched circuits keep transmitting (the
+//! **not-all-stop** model).
+
+use crate::coflow::Coflow;
+use crate::time::{Bandwidth, Dur};
+
+/// A non-blocking `N`-port switch with per-port link bandwidth `B` and
+/// circuit reconfiguration delay `δ`.
+///
+/// The same description covers both network types studied in the paper:
+/// the packet-switched fabric simply never pays `δ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fabric {
+    ports: usize,
+    bandwidth: Bandwidth,
+    delta: Dur,
+}
+
+impl Fabric {
+    /// 1 Gbps, the native rate of the Facebook trace (`Bandwidth::GBPS`).
+    pub const GBPS: Bandwidth = Bandwidth::GBPS;
+
+    /// The paper's default circuit reconfiguration delay: 10 ms, typical of
+    /// a 3D-MEMS optical switch that scales to thousands of ports.
+    pub const fn default_delta() -> Dur {
+        Dur::from_millis(10)
+    }
+
+    /// Create a fabric with `ports` input ports and `ports` output ports.
+    ///
+    /// # Panics
+    /// Panics if `ports` is zero.
+    pub fn new(ports: usize, bandwidth: Bandwidth, delta: Dur) -> Fabric {
+        assert!(ports > 0, "a fabric needs at least one port");
+        Fabric {
+            ports,
+            bandwidth,
+            delta,
+        }
+    }
+
+    /// The 150-port, 1 Gbps, δ = 10 ms fabric used as the paper's default
+    /// evaluation setting.
+    pub fn paper_default() -> Fabric {
+        Fabric::new(150, Bandwidth::GBPS, Fabric::default_delta())
+    }
+
+    /// Number of input ports (equal to the number of output ports), `N`.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Per-port link bandwidth `B`.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Circuit reconfiguration delay `δ`.
+    pub fn delta(&self) -> Dur {
+        self.delta
+    }
+
+    /// A copy of this fabric with a different reconfiguration delay
+    /// (used by the δ-sensitivity experiments, Figures 6 and 10).
+    pub fn with_delta(self, delta: Dur) -> Fabric {
+        Fabric { delta, ..self }
+    }
+
+    /// A copy of this fabric with a different bandwidth (used by the
+    /// B-scaling experiments, Figures 3 and 8).
+    pub fn with_bandwidth(self, bandwidth: Bandwidth) -> Fabric {
+        Fabric { bandwidth, ..self }
+    }
+
+    /// True if every flow of `coflow` fits within this fabric's port range.
+    pub fn fits(&self, coflow: &Coflow) -> bool {
+        coflow.min_ports() <= self.ports
+    }
+
+    /// Processing time `p_ij = d_ij / B` (Equation 1) for a demand of
+    /// `bytes` bytes.
+    pub fn processing_time(&self, bytes: u64) -> Dur {
+        self.bandwidth.transfer_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coflow::Coflow;
+
+    #[test]
+    fn paper_default_matches_evaluation_settings() {
+        let f = Fabric::paper_default();
+        assert_eq!(f.ports(), 150);
+        assert_eq!(f.bandwidth(), Bandwidth::GBPS);
+        assert_eq!(f.delta(), Dur::from_millis(10));
+    }
+
+    #[test]
+    fn fits_checks_port_range() {
+        let f = Fabric::new(4, Bandwidth::GBPS, Dur::ZERO);
+        let ok = Coflow::builder(0).flow(3, 3, 1).build();
+        let too_big = Coflow::builder(1).flow(4, 0, 1).build();
+        assert!(f.fits(&ok));
+        assert!(!f.fits(&too_big));
+    }
+
+    #[test]
+    fn with_delta_and_bandwidth_preserve_ports() {
+        let f = Fabric::paper_default()
+            .with_delta(Dur::from_micros(100))
+            .with_bandwidth(Bandwidth::from_gbps(10));
+        assert_eq!(f.ports(), 150);
+        assert_eq!(f.delta(), Dur::from_micros(100));
+        assert_eq!(f.bandwidth().as_bps(), 10_000_000_000);
+    }
+}

@@ -1,0 +1,380 @@
+//! Shared schedule artifacts: circuit reservations, assignments, outcomes
+//! and their validity checks.
+//!
+//! Two families of circuit schedulers produce two artifact shapes:
+//!
+//! * Sunflow emits **reservations**: per-circuit time intervals recorded in
+//!   the Port Reservation Table. The first `δ` of every reservation is the
+//!   reconfiguration; the remainder transmits at full rate `B`.
+//! * The assignment-based baselines (Solstice, TMS, Edmond) emit a sequence
+//!   of **assignments**: one-to-one port matchings, each active for some
+//!   duration.
+//!
+//! Both execute down to a common [`ScheduleOutcome`] so the evaluation can
+//! compare them uniformly.
+
+use crate::coflow::{CoflowId, InPort, OutPort};
+use crate::time::{Dur, Time};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies one flow of one Coflow: `flow_idx` indexes
+/// [`crate::Coflow::flows`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowRef {
+    /// The owning Coflow.
+    pub coflow: CoflowId,
+    /// Index into the Coflow's flow list.
+    pub flow_idx: usize,
+}
+
+/// A circuit held from `start` (inclusive) to `end` (exclusive) between
+/// input port `src` and output port `dst`, serving `flow`.
+///
+/// The first `δ` of the interval is spent reconfiguring; the circuit
+/// transmits for `end - start - δ` at full link rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// Input port of the circuit.
+    pub src: InPort,
+    /// Output port of the circuit.
+    pub dst: OutPort,
+    /// When the ports are taken (reconfiguration starts).
+    pub start: Time,
+    /// When the ports are released.
+    pub end: Time,
+    /// The flow served once the circuit is up.
+    pub flow: FlowRef,
+}
+
+impl Reservation {
+    /// Total length of the reservation, `l` in Algorithm 1.
+    pub fn len(&self) -> Dur {
+        self.end.since(self.start)
+    }
+
+    /// Whether the interval is empty. Empty reservations are invalid and
+    /// never produced by the schedulers; the method exists for symmetry
+    /// with `len`.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Time actually spent transmitting, given reconfiguration delay
+    /// `delta`: `len - δ`, or zero if the reservation is no longer than
+    /// the reconfiguration itself.
+    pub fn transmit_time(&self, delta: Dur) -> Dur {
+        self.len().saturating_sub(delta)
+    }
+}
+
+/// A one-to-one matching of input ports to output ports: one circuit
+/// configuration of the switch. Used by the assignment-based baselines and
+/// by the starvation-avoidance rotation `Φ` (§4.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    pairs: Vec<(InPort, OutPort)>,
+}
+
+impl Assignment {
+    /// Build an assignment, validating the port constraint: no input or
+    /// output port may appear twice.
+    ///
+    /// # Panics
+    /// Panics on a repeated port; that is a scheduler bug, not an input
+    /// condition.
+    pub fn new(pairs: Vec<(InPort, OutPort)>) -> Assignment {
+        let mut ins: Vec<_> = pairs.iter().map(|p| p.0).collect();
+        let mut outs: Vec<_> = pairs.iter().map(|p| p.1).collect();
+        ins.sort_unstable();
+        outs.sort_unstable();
+        assert!(
+            ins.windows(2).all(|w| w[0] != w[1]) && outs.windows(2).all(|w| w[0] != w[1]),
+            "assignment violates the port constraint (duplicate port)"
+        );
+        Assignment { pairs }
+    }
+
+    /// The circuits of this assignment.
+    pub fn pairs(&self) -> &[(InPort, OutPort)] {
+        &self.pairs
+    }
+
+    /// Number of circuits.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the assignment configures no circuits.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// True if the circuit `(i, j)` is part of this assignment.
+    pub fn contains(&self, i: InPort, j: OutPort) -> bool {
+        self.pairs.iter().any(|&(a, b)| a == i && b == j)
+    }
+
+    /// The `k`-th cyclic-shift permutation assignment on `n` ports:
+    /// `in.i -> out.((i + k) mod n)`. The list `Φ = {A_1, ..., A_N}` of all
+    /// shifts covers every one of the `N²` circuits, as required by the
+    /// starvation-avoidance design of §4.2.
+    pub fn cyclic_shift(n: usize, k: usize) -> Assignment {
+        Assignment::new((0..n).map(|i| (i, (i + k) % n)).collect())
+    }
+}
+
+/// The result of servicing one Coflow under some scheduler: when each flow
+/// finished, when the Coflow finished, and how many circuit setups were
+/// paid along the way.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleOutcome {
+    /// The serviced Coflow.
+    pub coflow: CoflowId,
+    /// When service for this Coflow began (its release into the network).
+    pub start: Time,
+    /// When the last flow finished.
+    pub finish: Time,
+    /// Finish time per flow, indexed like `Coflow::flows()`.
+    pub flow_finish: Vec<Time>,
+    /// Total number of circuit establishments incurred while serving this
+    /// Coflow (the paper's "switching count", Figure 5). The minimum
+    /// possible is the number of subflows `|C|`.
+    pub circuit_setups: u64,
+}
+
+impl ScheduleOutcome {
+    /// Coflow completion time measured from `arrival`
+    /// (`max_f t_F - t_Arr`, §2.3).
+    ///
+    /// # Panics
+    /// Panics if `finish` precedes `arrival`.
+    pub fn cct(&self, arrival: Time) -> Dur {
+        self.finish.since(arrival)
+    }
+
+    /// Switching count normalized by the minimum necessary (= `|C|`),
+    /// the y-axis quantity of Figure 5.
+    pub fn normalized_switching(&self) -> f64 {
+        assert!(!self.flow_finish.is_empty());
+        self.circuit_setups as f64 / self.flow_finish.len() as f64
+    }
+}
+
+/// Why a schedule failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Two reservations overlap on an input port.
+    InputPortOverlap {
+        /// The port on which the conflict occurs.
+        port: InPort,
+        /// Start of the second (conflicting) reservation.
+        at: Time,
+    },
+    /// Two reservations overlap on an output port.
+    OutputPortOverlap {
+        /// The port on which the conflict occurs.
+        port: OutPort,
+        /// Start of the second (conflicting) reservation.
+        at: Time,
+    },
+    /// A reservation has a non-positive length.
+    EmptyReservation {
+        /// The offending flow.
+        flow: FlowRef,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InputPortOverlap { port, at } => {
+                write!(f, "overlapping reservations on input port {port} at {at}")
+            }
+            ScheduleError::OutputPortOverlap { port, at } => {
+                write!(f, "overlapping reservations on output port {port} at {at}")
+            }
+            ScheduleError::EmptyReservation { flow } => {
+                write!(f, "empty reservation for {flow:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Validate the optical-switch port constraint over a set of reservations:
+/// on every input port and every output port, reservation intervals must be
+/// pairwise disjoint (half-open intervals; touching is allowed).
+pub fn validate_port_constraints(reservations: &[Reservation]) -> Result<(), ScheduleError> {
+    for r in reservations {
+        if r.is_empty() {
+            return Err(ScheduleError::EmptyReservation { flow: r.flow });
+        }
+    }
+    let mut by_in: HashMap<InPort, Vec<(Time, Time)>> = HashMap::new();
+    let mut by_out: HashMap<OutPort, Vec<(Time, Time)>> = HashMap::new();
+    for r in reservations {
+        by_in.entry(r.src).or_default().push((r.start, r.end));
+        by_out.entry(r.dst).or_default().push((r.start, r.end));
+    }
+    for (port, iv) in by_in.iter_mut() {
+        iv.sort_unstable();
+        for w in iv.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(ScheduleError::InputPortOverlap {
+                    port: *port,
+                    at: w[1].0,
+                });
+            }
+        }
+    }
+    for (port, iv) in by_out.iter_mut() {
+        iv.sort_unstable();
+        for w in iv.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(ScheduleError::OutputPortOverlap {
+                    port: *port,
+                    at: w[1].0,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sum the transmit time each flow receives across `reservations`, given
+/// reconfiguration delay `delta`. Used to verify a schedule satisfies its
+/// demand.
+pub fn served_per_flow(reservations: &[Reservation], delta: Dur) -> HashMap<FlowRef, Dur> {
+    let mut served: HashMap<FlowRef, Dur> = HashMap::new();
+    for r in reservations {
+        *served.entry(r.flow).or_insert(Dur::ZERO) += r.transmit_time(delta);
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resv(src: usize, dst: usize, s: u64, e: u64) -> Reservation {
+        Reservation {
+            src,
+            dst,
+            start: Time::from_ps(s),
+            end: Time::from_ps(e),
+            flow: FlowRef {
+                coflow: 0,
+                flow_idx: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn disjoint_reservations_validate() {
+        let rs = [resv(0, 0, 0, 10), resv(0, 1, 10, 20), resv(1, 1, 0, 10)];
+        assert!(validate_port_constraints(&rs).is_ok());
+    }
+
+    #[test]
+    fn overlap_on_input_port_is_detected() {
+        let rs = [resv(0, 0, 0, 10), resv(0, 1, 9, 20)];
+        assert_eq!(
+            validate_port_constraints(&rs),
+            Err(ScheduleError::InputPortOverlap {
+                port: 0,
+                at: Time::from_ps(9)
+            })
+        );
+    }
+
+    #[test]
+    fn overlap_on_output_port_is_detected() {
+        let rs = [resv(0, 3, 0, 10), resv(1, 3, 5, 8)];
+        assert!(matches!(
+            validate_port_constraints(&rs),
+            Err(ScheduleError::OutputPortOverlap { port: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_reservation_is_rejected() {
+        let rs = [resv(0, 0, 5, 5)];
+        assert!(matches!(
+            validate_port_constraints(&rs),
+            Err(ScheduleError::EmptyReservation { .. })
+        ));
+    }
+
+    #[test]
+    fn transmit_time_subtracts_delta() {
+        let r = resv(0, 0, 0, 100);
+        assert_eq!(r.transmit_time(Dur::from_ps(30)), Dur::from_ps(70));
+        assert_eq!(r.transmit_time(Dur::from_ps(200)), Dur::ZERO);
+    }
+
+    #[test]
+    fn assignment_rejects_duplicate_ports() {
+        let r = std::panic::catch_unwind(|| Assignment::new(vec![(0, 1), (0, 2)]));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| Assignment::new(vec![(0, 1), (2, 1)]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cyclic_shifts_cover_all_circuits() {
+        let n = 5;
+        let mut seen = vec![false; n * n];
+        for k in 0..n {
+            let a = Assignment::cyclic_shift(n, k);
+            assert_eq!(a.len(), n);
+            for &(i, j) in a.pairs() {
+                seen[i * n + j] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "Φ must cover all N² circuits");
+    }
+
+    #[test]
+    fn outcome_cct_and_normalized_switching() {
+        let o = ScheduleOutcome {
+            coflow: 1,
+            start: Time::from_millis(5),
+            finish: Time::from_millis(25),
+            flow_finish: vec![Time::from_millis(20), Time::from_millis(25)],
+            circuit_setups: 3,
+        };
+        assert_eq!(o.cct(Time::from_millis(5)), Dur::from_millis(20));
+        assert!((o.normalized_switching() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn served_per_flow_accumulates() {
+        let f0 = FlowRef {
+            coflow: 0,
+            flow_idx: 0,
+        };
+        let f1 = FlowRef {
+            coflow: 0,
+            flow_idx: 1,
+        };
+        let rs = [
+            Reservation {
+                flow: f0,
+                ..resv(0, 0, 0, 100)
+            },
+            Reservation {
+                flow: f0,
+                ..resv(0, 0, 200, 260)
+            },
+            Reservation {
+                flow: f1,
+                ..resv(1, 1, 0, 50)
+            },
+        ];
+        let served = served_per_flow(&rs, Dur::from_ps(10));
+        assert_eq!(served[&f0], Dur::from_ps(90 + 50));
+        assert_eq!(served[&f1], Dur::from_ps(40));
+    }
+}

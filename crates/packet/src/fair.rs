@@ -1,0 +1,190 @@
+//! Per-flow max-min fair sharing — the Coflow-*agnostic* packet baseline.
+//!
+//! This is what a cluster gets from TCP-like fairness with no Coflow
+//! scheduler at all: every unfinished flow receives its max-min fair
+//! share of the fabric, computed by classic progressive filling
+//! (water-filling). The Coflow papers (Varys §2, Aalo §2) motivate
+//! Coflow-aware scheduling by showing how much fair sharing loses at the
+//! application level; the `fairshare_gap` experiment in this repository
+//! verifies that the same gap appears in our simulator.
+
+use crate::fluid::ActiveCoflow;
+use crate::sim::RateScheduler;
+use ocs_model::{Fabric, Time};
+
+/// The fair-sharing rate allocator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FairSharing;
+
+impl RateScheduler for FairSharing {
+    fn name(&self) -> &'static str {
+        "FairSharing"
+    }
+
+    fn allocate(&mut self, active: &mut [ActiveCoflow], fabric: &Fabric, _now: Time) {
+        let n = fabric.ports();
+        let cap = fabric.bandwidth().bytes_per_sec_f64();
+        let mut in_cap = vec![cap; n];
+        let mut out_cap = vec![cap; n];
+
+        // Collect (coflow index, flow index) of every unfinished flow.
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for (ci, c) in active.iter_mut().enumerate() {
+            c.clear_rates();
+            for (fi, f) in c.flows.iter().enumerate() {
+                if !f.done() && f.remaining > 0.0 {
+                    live.push((ci, fi));
+                }
+            }
+        }
+
+        // Progressive filling: raise all live flows' rates uniformly
+        // until some port saturates; freeze the flows through it; repeat.
+        let mut frozen = vec![false; live.len()];
+        loop {
+            let mut in_count = vec![0u32; n];
+            let mut out_count = vec![0u32; n];
+            for (k, &(ci, fi)) in live.iter().enumerate() {
+                if !frozen[k] {
+                    let f = &active[ci].flows[fi];
+                    in_count[f.src] += 1;
+                    out_count[f.dst] += 1;
+                }
+            }
+            // The tightest per-port headroom per remaining flow.
+            let mut inc = f64::INFINITY;
+            for p in 0..n {
+                if in_count[p] > 0 {
+                    inc = inc.min(in_cap[p] / in_count[p] as f64);
+                }
+                if out_count[p] > 0 {
+                    inc = inc.min(out_cap[p] / out_count[p] as f64);
+                }
+            }
+            if !inc.is_finite() || inc <= 1e-9 {
+                break;
+            }
+            for (k, &(ci, fi)) in live.iter().enumerate() {
+                if !frozen[k] {
+                    active[ci].flows[fi].rate += inc;
+                }
+            }
+            for p in 0..n {
+                in_cap[p] -= inc * in_count[p] as f64;
+                out_cap[p] -= inc * out_count[p] as f64;
+            }
+            // Freeze flows touching a saturated port.
+            let mut any_frozen = false;
+            for (k, &(ci, fi)) in live.iter().enumerate() {
+                if !frozen[k] {
+                    let f = &active[ci].flows[fi];
+                    if in_cap[f.src] <= 1e-6 || out_cap[f.dst] <= 1e-6 {
+                        frozen[k] = true;
+                        any_frozen = true;
+                    }
+                }
+            }
+            if !any_frozen {
+                // Numerical stalemate: everything has its share.
+                break;
+            }
+            if frozen.iter().all(|&f| f) {
+                break;
+            }
+        }
+    }
+
+    fn next_event(&self, _active: &[ActiveCoflow], _now: Time) -> Option<Time> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_model::{Bandwidth, Coflow, Dur};
+
+    fn fabric() -> Fabric {
+        Fabric::new(3, Bandwidth::from_bps(8000), Dur::ZERO) // 1000 B/s
+    }
+
+    #[test]
+    fn single_flow_gets_the_whole_link() {
+        let c = Coflow::builder(0).flow(0, 1, 1000).build();
+        let mut a = ActiveCoflow::new(&c);
+        FairSharing.allocate(std::slice::from_mut(&mut a), &fabric(), Time::ZERO);
+        assert!((a.flows[0].rate - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contending_flows_split_equally_regardless_of_coflow() {
+        // Three flows into out.0 from three different coflows: each gets
+        // a third — fairness ignores coflow boundaries entirely.
+        let cs: Vec<Coflow> = (0..3)
+            .map(|i| Coflow::builder(i).flow(i as usize, 0, 1000 * (i + 1)).build())
+            .collect();
+        let mut act: Vec<ActiveCoflow> = cs.iter().map(ActiveCoflow::new).collect();
+        FairSharing.allocate(&mut act, &fabric(), Time::ZERO);
+        for a in &act {
+            assert!((a.flows[0].rate - 333.33).abs() < 0.1, "{}", a.flows[0].rate);
+        }
+    }
+
+    #[test]
+    fn waterfilling_gives_leftover_to_unbottlenecked_flows() {
+        // Flow A: 0 -> 0 (shares in.0); Flow B: 0 -> 1 (shares in.0);
+        // Flow C: 1 -> 1 (shares out.1 with B).
+        // Max-min: A = B = 500 (in.0 bottleneck); C = 500 (out.1 residual).
+        let c = Coflow::builder(0)
+            .flow(0, 0, 1000)
+            .flow(0, 1, 1000)
+            .flow(1, 1, 1000)
+            .build();
+        let mut a = ActiveCoflow::new(&c);
+        FairSharing.allocate(std::slice::from_mut(&mut a), &fabric(), Time::ZERO);
+        assert!((a.flows[0].rate - 500.0).abs() < 0.1);
+        assert!((a.flows[1].rate - 500.0).abs() < 0.1);
+        assert!((a.flows[2].rate - 500.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn port_constraints_hold() {
+        let cs: Vec<Coflow> = (0..4)
+            .map(|i| {
+                Coflow::builder(i)
+                    .flow((i as usize) % 3, (i as usize + 1) % 3, 5000)
+                    .flow((i as usize + 1) % 3, (i as usize + 2) % 3, 5000)
+                    .build()
+            })
+            .collect();
+        let mut act: Vec<ActiveCoflow> = cs.iter().map(ActiveCoflow::new).collect();
+        FairSharing.allocate(&mut act, &fabric(), Time::ZERO);
+        let mut in_sum = [0.0; 3];
+        let mut out_sum = [0.0; 3];
+        for a in &act {
+            for f in &a.flows {
+                in_sum[f.src] += f.rate;
+                out_sum[f.dst] += f.rate;
+            }
+        }
+        for p in 0..3 {
+            assert!(in_sum[p] <= 1000.0 + 1e-6);
+            assert!(out_sum[p] <= 1000.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn full_simulation_with_fair_sharing_completes() {
+        use crate::sim::simulate_packet;
+        let cs: Vec<Coflow> = (0..5)
+            .map(|i| {
+                Coflow::builder(i)
+                    .arrival(Time::from_millis(i * 3))
+                    .flow((i as usize) % 3, (i as usize + 1) % 3, 4000)
+                    .build()
+            })
+            .collect();
+        let out = simulate_packet(&cs, &fabric(), &mut FairSharing);
+        assert_eq!(out.len(), 5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fluid-rate state for the packet-switched network.
+//!
+//! The packet switch of §2.1 serves many virtual output queues at once,
+//! subject to per-port bandwidth constraints: `Σ_i b_ij <= B` for every
+//! output `j` and `Σ_j b_ij <= B` for every input `i`. We model transfers
+//! as fluids: every flow holds a rate in bytes/second between scheduling
+//! events, and its remaining bytes drain linearly. Rates are `f64` —
+//! unlike the circuit side, the packet simulator has no exact-arithmetic
+//! invariant to protect, and fractional fair shares are intrinsic to it.
+
+use ocs_model::{Coflow, Fabric, Time};
+
+/// Dynamic state of one flow.
+#[derive(Clone, Debug)]
+pub struct FlowState {
+    /// Input port.
+    pub src: usize,
+    /// Output port.
+    pub dst: usize,
+    /// Original size in bytes.
+    pub bytes: u64,
+    /// Bytes still to transfer.
+    pub remaining: f64,
+    /// Current allocated rate in bytes/second.
+    pub rate: f64,
+    /// When the flow finished, if it has.
+    pub finish: Option<Time>,
+}
+
+impl FlowState {
+    /// True once the flow has completed.
+    pub fn done(&self) -> bool {
+        self.finish.is_some()
+    }
+}
+
+/// Dynamic state of one Coflow in the packet network.
+#[derive(Clone, Debug)]
+pub struct ActiveCoflow {
+    /// The Coflow's identifier.
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: Time,
+    /// Per-flow state, indexed like `Coflow::flows()`.
+    pub flows: Vec<FlowState>,
+    /// Total bytes sent so far (the "attained service" driving Aalo's
+    /// queue placement).
+    pub sent: f64,
+}
+
+impl ActiveCoflow {
+    /// Instantiate from a Coflow description.
+    pub fn new(coflow: &Coflow) -> ActiveCoflow {
+        ActiveCoflow {
+            id: coflow.id(),
+            arrival: coflow.arrival(),
+            flows: coflow
+                .flows()
+                .iter()
+                .map(|f| FlowState {
+                    src: f.src,
+                    dst: f.dst,
+                    bytes: f.bytes,
+                    remaining: f.bytes as f64,
+                    rate: 0.0,
+                    finish: None,
+                })
+                .collect(),
+            sent: 0.0,
+        }
+    }
+
+    /// True once every flow has completed.
+    pub fn done(&self) -> bool {
+        self.flows.iter().all(|f| f.done())
+    }
+
+    /// Remaining bytes on input port `i` / output port `j` across
+    /// unfinished flows.
+    pub fn port_remaining(&self, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut ins = vec![0.0; n];
+        let mut outs = vec![0.0; n];
+        for f in self.flows.iter().filter(|f| !f.done()) {
+            ins[f.src] += f.remaining;
+            outs[f.dst] += f.remaining;
+        }
+        (ins, outs)
+    }
+
+    /// Sum of current flow rates (bytes/second).
+    pub fn total_rate(&self) -> f64 {
+        self.flows.iter().filter(|f| !f.done()).map(|f| f.rate).sum()
+    }
+
+    /// Advance all unfinished flows by `dt_secs` at their current rates.
+    /// Returns the bytes transferred.
+    pub fn progress(&mut self, dt_secs: f64) -> f64 {
+        let mut moved = 0.0;
+        for f in self.flows.iter_mut().filter(|f| f.finish.is_none()) {
+            let d = (f.rate * dt_secs).min(f.remaining);
+            f.remaining -= d;
+            moved += d;
+        }
+        self.sent += moved;
+        moved
+    }
+
+    /// Clear all rates (before a fresh allocation pass).
+    pub fn clear_rates(&mut self) {
+        for f in self.flows.iter_mut() {
+            f.rate = 0.0;
+        }
+    }
+}
+
+/// Per-port available bandwidth during an allocation pass.
+#[derive(Clone, Debug)]
+pub struct PortCapacity {
+    /// Remaining capacity on each input port, bytes/second.
+    pub ins: Vec<f64>,
+    /// Remaining capacity on each output port, bytes/second.
+    pub outs: Vec<f64>,
+}
+
+impl PortCapacity {
+    /// Full capacity on every port of `fabric`.
+    pub fn full(fabric: &Fabric) -> PortCapacity {
+        let b = fabric.bandwidth().bytes_per_sec_f64();
+        PortCapacity {
+            ins: vec![b; fabric.ports()],
+            outs: vec![b; fabric.ports()],
+        }
+    }
+
+    /// Consume `rate` on `(src, dst)`.
+    pub fn take(&mut self, src: usize, dst: usize, rate: f64) {
+        self.ins[src] = (self.ins[src] - rate).max(0.0);
+        self.outs[dst] = (self.outs[dst] - rate).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_model::{Bandwidth, Dur};
+
+    #[test]
+    fn progress_drains_and_tracks_sent() {
+        let c = Coflow::builder(0).flow(0, 1, 1000).flow(1, 0, 500).build();
+        let mut a = ActiveCoflow::new(&c);
+        a.flows[0].rate = 100.0;
+        a.flows[1].rate = 50.0;
+        let moved = a.progress(2.0);
+        assert!((moved - 300.0).abs() < 1e-9);
+        assert!((a.flows[0].remaining - 800.0).abs() < 1e-9);
+        assert!((a.sent - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn progress_never_overshoots() {
+        let c = Coflow::builder(0).flow(0, 1, 100).build();
+        let mut a = ActiveCoflow::new(&c);
+        a.flows[0].rate = 1000.0;
+        a.progress(10.0);
+        assert_eq!(a.flows[0].remaining, 0.0);
+    }
+
+    #[test]
+    fn port_remaining_sums_unfinished_only() {
+        let c = Coflow::builder(0).flow(0, 1, 100).flow(0, 2, 50).build();
+        let mut a = ActiveCoflow::new(&c);
+        a.flows[1].finish = Some(Time::ZERO);
+        let (ins, outs) = a.port_remaining(3);
+        assert_eq!(ins[0], 100.0);
+        assert_eq!(outs[1], 100.0);
+        assert_eq!(outs[2], 0.0);
+    }
+
+    #[test]
+    fn capacity_take_saturates() {
+        let f = Fabric::new(2, Bandwidth::from_bps(800), Dur::ZERO);
+        let mut cap = PortCapacity::full(&f);
+        assert_eq!(cap.ins[0], 100.0);
+        cap.take(0, 1, 150.0);
+        assert_eq!(cap.ins[0], 0.0);
+        assert_eq!(cap.outs[1], 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ocs-packet — packet-switched Coflow schedulers on a fluid fabric
+//!
+//! The packet-switched side of the Sunflow paper's evaluation (§5.4):
+//!
+//! * [`fluid`] — flow/Coflow fluid state and per-port capacity tracking
+//!   under the bandwidth constraints of §2.1.
+//! * [`varys`] — Varys (SIGCOMM'14): SEBF ordering + MADD rates +
+//!   work-conserving backfill, with rescheduling *only* on Coflow arrivals
+//!   and completions.
+//! * [`aalo`] — Aalo (SIGCOMM'15): non-clairvoyant D-CLAS priority
+//!   queues (inter-queue weighted sharing, equal per-flow shares inside
+//!   a Coflow).
+//! * [`fair`] — Coflow-agnostic per-flow max-min fair sharing, the
+//!   no-scheduler reference the Coflow literature measures against.
+//! * [`sim`] — the event-driven fluid simulation loop producing per-Coflow
+//!   [`ocs_model::ScheduleOutcome`]s.
+//!
+//! The packet switch pays no reconfiguration delay: it is the `δ = 0`
+//! reference point against which the circuit-switched results are judged.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aalo;
+pub mod fair;
+pub mod fluid;
+pub mod sim;
+pub mod varys;
+
+pub use aalo::{Aalo, AaloConfig};
+pub use fair::FairSharing;
+pub use fluid::{ActiveCoflow, FlowState, PortCapacity};
+pub use sim::{simulate_packet, RateScheduler};
+pub use varys::Varys;

@@ -1,0 +1,280 @@
+//! Hybrid circuit/packet network simulation.
+//!
+//! §6 of the paper sketches the deployment: a REACToR-style ToR
+//! multiplexes each host between the Sunflow-scheduled optical circuit
+//! network and "a small-bandwidth packet switched network [that helps]
+//! accommodate the little leftover traffic". The classic hybrid policy
+//! (c-Through, Helios, Solstice) sends *small* flows to the packet
+//! network — they would pay a full circuit reconfiguration `δ` for a few
+//! milliseconds of transmission — and keeps the heavy flows on circuits.
+//!
+//! This module implements that split: every flow below a byte threshold
+//! is carried by a packet network with a configurable fraction of the
+//! link bandwidth (max-min fair sharing, no Coflow awareness — leftover
+//! traffic is not centrally scheduled), while the rest rides the
+//! Sunflow-scheduled circuit network at full bandwidth. A Coflow
+//! completes when *both* of its parts have: the CCT combines them.
+
+use crate::online::{simulate_circuit, OnlineConfig};
+use ocs_model::{Bandwidth, Coflow, Fabric, ScheduleOutcome, Time};
+use ocs_packet::{simulate_packet, FairSharing};
+use sunflow_core::PriorityPolicy;
+
+/// Hybrid network parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Circuit-side replay configuration.
+    pub online: OnlineConfig,
+    /// Flows strictly smaller than this many bytes go to the packet
+    /// network. Zero sends everything to the circuits (pure OCS).
+    pub small_flow_threshold: u64,
+    /// The packet network's bandwidth as a fraction of the link rate
+    /// (REACToR pairs a slim packet switch with the OCS).
+    pub packet_bandwidth_fraction: f64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> HybridConfig {
+        HybridConfig {
+            online: OnlineConfig::default(),
+            small_flow_threshold: 2 * (1 << 20), // < 2 MB rides packets
+            packet_bandwidth_fraction: 0.1,
+        }
+    }
+}
+
+/// Result of a hybrid replay.
+#[derive(Clone, Debug)]
+pub struct HybridResult {
+    /// Combined per-Coflow outcomes, in input order.
+    pub outcomes: Vec<ScheduleOutcome>,
+    /// Flows carried by the circuit network.
+    pub circuit_flows: usize,
+    /// Flows carried by the packet network.
+    pub packet_flows: usize,
+}
+
+/// Simulate `coflows` over the hybrid fabric.
+///
+/// # Panics
+/// Panics unless `0 < packet_bandwidth_fraction <= 1` (a zero-bandwidth
+/// packet network could never drain its flows).
+pub fn simulate_hybrid(
+    coflows: &[Coflow],
+    fabric: &Fabric,
+    config: &HybridConfig,
+    policy: &dyn PriorityPolicy,
+) -> HybridResult {
+    assert!(
+        config.packet_bandwidth_fraction > 0.0 && config.packet_bandwidth_fraction <= 1.0,
+        "packet bandwidth fraction must be in (0, 1]"
+    );
+
+    // Partition every coflow; remember where each original flow went:
+    // (went_to_packet, index within its part).
+    let mut circuit_part: Vec<Option<Coflow>> = Vec::with_capacity(coflows.len());
+    let mut packet_part: Vec<Option<Coflow>> = Vec::with_capacity(coflows.len());
+    let mut placement: Vec<Vec<(bool, usize)>> = Vec::with_capacity(coflows.len());
+
+    for c in coflows {
+        let mut cb = Coflow::builder(c.id()).arrival(c.arrival());
+        let mut pb = Coflow::builder(c.id()).arrival(c.arrival());
+        let mut map = Vec::with_capacity(c.num_flows());
+        let mut n_c = 0usize;
+        let mut n_p = 0usize;
+        for f in c.flows() {
+            if f.bytes < config.small_flow_threshold {
+                pb = pb.flow(f.src, f.dst, f.bytes);
+                map.push((true, n_p));
+                n_p += 1;
+            } else {
+                cb = cb.flow(f.src, f.dst, f.bytes);
+                map.push((false, n_c));
+                n_c += 1;
+            }
+        }
+        circuit_part.push(cb.try_build());
+        packet_part.push(pb.try_build());
+        placement.push(map);
+    }
+
+    // Circuit side: full-rate fabric under Sunflow.
+    let circuit_coflows: Vec<Coflow> = circuit_part.iter().flatten().cloned().collect();
+    let circuit_outcomes = if circuit_coflows.is_empty() {
+        Vec::new()
+    } else {
+        simulate_circuit(&circuit_coflows, fabric, &config.online, policy).outcomes
+    };
+    let mut circuit_by_id = std::collections::HashMap::new();
+    for o in circuit_outcomes {
+        circuit_by_id.insert(o.coflow, o);
+    }
+
+    // Packet side: slim fabric, fair sharing (leftover traffic is not
+    // Coflow-scheduled).
+    let packet_bw = Bandwidth::from_bps(
+        ((fabric.bandwidth().as_bps() as f64) * config.packet_bandwidth_fraction).max(1.0) as u64,
+    );
+    let packet_fabric = Fabric::new(fabric.ports(), packet_bw, fabric.delta());
+    let packet_coflows: Vec<Coflow> = packet_part.iter().flatten().cloned().collect();
+    let packet_outcomes = if packet_coflows.is_empty() {
+        Vec::new()
+    } else {
+        simulate_packet(&packet_coflows, &packet_fabric, &mut FairSharing)
+    };
+    let mut packet_by_id = std::collections::HashMap::new();
+    for o in packet_outcomes {
+        packet_by_id.insert(o.coflow, o);
+    }
+
+    // Merge the two halves per coflow.
+    let mut outcomes = Vec::with_capacity(coflows.len());
+    let mut circuit_flows = 0usize;
+    let mut packet_flows = 0usize;
+    for (c, map) in coflows.iter().zip(&placement) {
+        let co = circuit_by_id.get(&c.id());
+        let po = packet_by_id.get(&c.id());
+        let finish = co
+            .map(|o| o.finish)
+            .into_iter()
+            .chain(po.map(|o| o.finish))
+            .max()
+            .expect("coflow must have at least one part");
+        let flow_finish: Vec<Time> = map
+            .iter()
+            .map(|&(on_packet, idx)| {
+                if on_packet {
+                    packet_flows += 1;
+                    po.expect("placement says packet").flow_finish[idx]
+                } else {
+                    circuit_flows += 1;
+                    co.expect("placement says circuit").flow_finish[idx]
+                }
+            })
+            .collect();
+        outcomes.push(ScheduleOutcome {
+            coflow: c.id(),
+            start: c.arrival(),
+            finish,
+            flow_finish,
+            circuit_setups: co.map(|o| o.circuit_setups).unwrap_or(0),
+        });
+    }
+
+    HybridResult {
+        outcomes,
+        circuit_flows,
+        packet_flows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_model::Dur;
+    use sunflow_core::ShortestFirst;
+
+    fn fabric() -> Fabric {
+        Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(10))
+    }
+
+    fn mb(m: u64) -> u64 {
+        m * (1 << 20)
+    }
+
+    fn mixed_coflow(id: u64) -> Coflow {
+        Coflow::builder(id)
+            .flow(0, 0, mb(1)) // small: packets
+            .flow(1, 1, mb(50)) // big: circuits
+            .build()
+    }
+
+    #[test]
+    fn zero_threshold_is_pure_circuit() {
+        let cs = vec![mixed_coflow(0)];
+        let cfg = HybridConfig {
+            small_flow_threshold: 0,
+            ..HybridConfig::default()
+        };
+        let h = simulate_hybrid(&cs, &fabric(), &cfg, &ShortestFirst);
+        let pure = simulate_circuit(&cs, &fabric(), &cfg.online, &ShortestFirst);
+        assert_eq!(h.packet_flows, 0);
+        assert_eq!(h.circuit_flows, 2);
+        assert_eq!(h.outcomes[0].finish, pure.outcomes[0].finish);
+    }
+
+    #[test]
+    fn everything_small_is_pure_packet() {
+        let cs = vec![Coflow::builder(0).flow(0, 1, mb(1)).build()];
+        let cfg = HybridConfig {
+            small_flow_threshold: u64::MAX,
+            packet_bandwidth_fraction: 0.1,
+            ..HybridConfig::default()
+        };
+        let h = simulate_hybrid(&cs, &fabric(), &cfg, &ShortestFirst);
+        assert_eq!(h.circuit_flows, 0);
+        assert_eq!(h.packet_flows, 1);
+        // 1 MB at 100 Mbps ≈ 84 ms, but no 10 ms reconfiguration.
+        let cct = h.outcomes[0].cct(Time::ZERO).as_secs_f64();
+        assert!((cct - 0.0839).abs() < 1e-3, "cct {cct}");
+    }
+
+    #[test]
+    fn mixed_coflow_completes_when_both_parts_do() {
+        let cs = vec![mixed_coflow(0)];
+        let h = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst);
+        assert_eq!(h.circuit_flows, 1);
+        assert_eq!(h.packet_flows, 1);
+        let o = &h.outcomes[0];
+        assert_eq!(o.flow_finish.len(), 2);
+        assert_eq!(o.finish, *o.flow_finish.iter().max().expect("two flows"));
+        // The big flow dominates: 50 MB at 1 Gbps ≈ 0.42 s + delta.
+        assert!(o.cct(Time::ZERO).as_secs_f64() > 0.4);
+    }
+
+    /// The headline benefit: tiny coflows dodge the reconfiguration
+    /// delay entirely on the packet network.
+    #[test]
+    fn small_coflows_avoid_delta_on_the_hybrid() {
+        let cs = vec![Coflow::builder(0).flow(0, 1, mb(1)).build()];
+        let pure = simulate_circuit(
+            &cs,
+            &fabric(),
+            &OnlineConfig::default(),
+            &ShortestFirst,
+        );
+        let hybrid = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst);
+        // Pure circuit: delta (10 ms) + ~8.4 ms. Hybrid: ~84 ms at 10% bw
+        // — here the circuit actually wins; but with delta = 100 ms the
+        // hybrid wins. Check both regimes.
+        assert!(hybrid.outcomes[0].finish > pure.outcomes[0].finish);
+
+        let slow_switch = Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(100));
+        let pure_slow = simulate_circuit(&cs, &slow_switch, &OnlineConfig::default(), &ShortestFirst);
+        let hybrid_slow = simulate_hybrid(&cs, &slow_switch, &HybridConfig::default(), &ShortestFirst);
+        assert!(hybrid_slow.outcomes[0].finish < pure_slow.outcomes[0].finish);
+    }
+
+    #[test]
+    fn parts_share_nothing_but_the_id_space() {
+        // Two coflows, one all-small, one all-big: both complete, and the
+        // merged outcome count matches the input.
+        let cs = vec![
+            Coflow::builder(0).flow(0, 1, mb(1)).build(),
+            Coflow::builder(1).flow(2, 3, mb(100)).build(),
+        ];
+        let h = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst);
+        assert_eq!(h.outcomes.len(), 2);
+        assert!(h.outcomes.iter().all(|o| o.finish > Time::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_packet_bandwidth_is_rejected() {
+        let cfg = HybridConfig {
+            packet_bandwidth_fraction: 0.0,
+            ..HybridConfig::default()
+        };
+        let _ = simulate_hybrid(&[], &fabric(), &cfg, &ShortestFirst);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ocs-sim — trace-driven simulation drivers for the circuit network
+//!
+//! * [`intra_driver`] — the paper's intra-Coflow evaluation: each Coflow
+//!   serviced alone on an idle fabric, under Sunflow or any of the
+//!   assignment-based baselines.
+//! * [`online`] — the inter-Coflow evaluation: detailed trace replay with
+//!   arrival times, rescheduling on Coflow arrivals and completions,
+//!   configurable in-flight-circuit policy and the optional §4.2
+//!   starvation guard.
+//! * [`hybrid`] — the §6 REACToR-style hybrid: small flows offloaded to a
+//!   slim packet network, heavy flows on Sunflow-scheduled circuits.
+//! * [`aggregate`] — the §3.2 straw man, measured: Solstice/TMS/Edmond
+//!   forced to schedule all outstanding Coflows as one aggregated demand
+//!   matrix, with FIFO service attribution.
+//!
+//! The packet-switched counterpart lives in `ocs-packet`; both produce
+//! [`ocs_model::ScheduleOutcome`]s so results compare directly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod hybrid;
+pub mod intra_driver;
+pub mod online;
+
+pub use aggregate::simulate_circuit_aggregated;
+pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult};
+pub use intra_driver::{run_intra, IntraEngine};
+pub use online::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult};

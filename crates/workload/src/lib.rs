@@ -1,0 +1,30 @@
+//! # ocs-workload — Coflow workloads for the Sunflow evaluation
+//!
+//! * [`trace`] — parser/writer for the public Facebook `coflow-benchmark`
+//!   format, so the real one-hour production trace can be dropped in.
+//! * [`synth`] — a seeded synthetic generator calibrated to the paper's
+//!   published aggregates (Table 4 category mix, M2M byte dominance,
+//!   heavy-tailed sizes, ≈12 % idleness at 1 Gbps), making the repository
+//!   self-contained.
+//! * [`perturb`] — the ±5 % size perturbation of §5.1.
+//! * [`idleness`] — the network-idleness metric and the byte-scaling
+//!   procedure behind Figure 8's load settings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod idleness;
+pub mod perturb;
+pub mod synth;
+pub mod trace;
+
+pub use idleness::{network_idleness, scale_to_idleness};
+pub use perturb::perturb_sizes;
+pub use synth::{generate, SynthConfig};
+pub use trace::{parse, write, ParseError, Trace, MB};
+
+/// The paper's default workload: a synthetic Facebook-like trace with
+/// ±5 % size perturbation applied, on the default seed.
+pub fn paper_workload() -> Vec<ocs_model::Coflow> {
+    perturb_sizes(&generate(&SynthConfig::default()), 0.05, SynthConfig::default().seed ^ 0xabcd)
+}

@@ -1,0 +1,90 @@
+//! Size perturbation (§5.1 of the paper).
+//!
+//! The trace's sizes are rounded to the nearest MB, so many subflows in a
+//! Coflow are exactly equal. The paper adds ±5 % perturbation to each
+//! flow's size "to account for unequal flow sizes in real MapReduce
+//! jobs", flooring the result at 1 MB (the smallest flow in the trace) —
+//! which also pins the Lemma 2 factor to 4.5 (α = 1.25 at δ = 10 ms,
+//! B = 1 Gbps).
+
+use crate::trace::MB;
+use ocs_model::{Coflow, Flow};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Apply a uniform ±`fraction` size perturbation to every flow, flooring
+/// at 1 MB. Deterministic per seed.
+///
+/// # Panics
+/// Panics unless `0 <= fraction < 1`.
+pub fn perturb_sizes(coflows: &[Coflow], fraction: f64, seed: u64) -> Vec<Coflow> {
+    assert!((0.0..1.0).contains(&fraction), "fraction must be in [0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    coflows
+        .iter()
+        .map(|c| {
+            let mut b = Coflow::builder(c.id()).arrival(c.arrival());
+            for &Flow { src, dst, bytes } in c.flows() {
+                let factor = 1.0 + rng.gen_range(-fraction..=fraction);
+                let perturbed = ((bytes as f64 * factor).round() as u64).max(MB);
+                b = b.flow(src, dst, perturbed);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coflow() -> Coflow {
+        Coflow::builder(0)
+            .flow(0, 1, 10 * MB)
+            .flow(1, 2, 10 * MB)
+            .flow(2, 3, MB)
+            .build()
+    }
+
+    #[test]
+    fn stays_within_five_percent_with_floor() {
+        let out = perturb_sizes(&[coflow()], 0.05, 7);
+        for f in out[0].flows() {
+            if f.bytes > MB {
+                let orig = if f.src == 2 { MB } else { 10 * MB } as f64;
+                let ratio = f.bytes as f64 / orig;
+                assert!((0.95..=1.05).contains(&ratio), "ratio {ratio}");
+            }
+            assert!(f.bytes >= MB);
+        }
+    }
+
+    #[test]
+    fn equal_sizes_become_unequal() {
+        let out = perturb_sizes(&[coflow()], 0.05, 7);
+        assert_ne!(out[0].flows()[0].bytes, out[0].flows()[1].bytes);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = perturb_sizes(&[coflow()], 0.05, 1);
+        let b = perturb_sizes(&[coflow()], 0.05, 1);
+        let c = perturb_sizes(&[coflow()], 0.05, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let orig = vec![coflow()];
+        assert_eq!(perturb_sizes(&orig, 0.0, 9), orig);
+    }
+
+    #[test]
+    fn structure_is_preserved() {
+        let out = perturb_sizes(&[coflow()], 0.05, 3);
+        assert_eq!(out[0].num_flows(), 3);
+        assert_eq!(out[0].category(), coflow().category());
+        assert_eq!(out[0].arrival(), coflow().arrival());
+    }
+}

@@ -1,0 +1,316 @@
+//! Parser and writer for the Facebook `coflow-benchmark` trace format.
+//!
+//! The paper's workload is a one-hour Hive/MapReduce trace from a
+//! Facebook production cluster, published as `coflow-benchmark`
+//! (<https://github.com/coflow/coflow-benchmark>). The file format is:
+//!
+//! ```text
+//! <num racks> <num coflows>
+//! <id> <arrival ms> <m> <rack_1> … <rack_m> <r> <rack:MB> … <rack:MB>
+//! ```
+//!
+//! Each line is one Coflow: `m` mapper racks, then `r` reducers as
+//! `rack:size` pairs where `size` is the total megabytes the reducer
+//! receives. As in the original Varys/coflow-benchmark semantics, every
+//! mapper sends an equal share of each reducer's bytes, so one line
+//! expands to `m × r` flows.
+//!
+//! The real trace file can be dropped into the benchmark harness; all
+//! experiments also run against the calibrated synthetic generator in
+//! [`crate::synth`] so the repository is self-contained.
+
+use ocs_model::{Coflow, Time};
+use std::fmt;
+
+/// One megabyte as used by the trace (2²⁰ bytes, matching the original
+/// simulator).
+pub const MB: u64 = 1 << 20;
+
+/// A parsed trace: the fabric size it was recorded on plus its Coflows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Number of racks (fabric ports).
+    pub ports: usize,
+    /// The Coflows, in file order.
+    pub coflows: Vec<Coflow>,
+}
+
+/// Parse failure, with the 1-based line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a trace from its textual form.
+///
+/// Rack ids may be 0- or 1-based; 1-based files (the published trace) are
+/// detected by the absence of rack 0 and shifted down. Reducer sizes are
+/// megabytes and may be fractional. Empty lines are ignored.
+pub fn parse(text: &str) -> Result<Trace, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (hline, header) = lines.next().ok_or_else(|| err(0, "empty trace"))?;
+    let mut it = header.split_whitespace();
+    let ports: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err(hline, "missing/invalid rack count"))?;
+    let expect: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err(hline, "missing/invalid coflow count"))?;
+    if ports == 0 {
+        return Err(err(hline, "rack count must be positive"));
+    }
+
+    // First pass: raw records with original rack ids.
+    struct Raw {
+        line: usize,
+        id: u64,
+        arrival_ms: u64,
+        mappers: Vec<usize>,
+        reducers: Vec<(usize, f64)>,
+    }
+    let mut raws = Vec::new();
+    let mut min_rack = usize::MAX;
+
+    for (ln, line) in lines {
+        let mut t = line.split_whitespace();
+        let mut next_num = |what: &str| -> Result<u64, ParseError> {
+            t.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(ln, format!("missing/invalid {what}")))
+        };
+        let id = next_num("coflow id")?;
+        let arrival_ms = next_num("arrival time")?;
+        let m = next_num("mapper count")? as usize;
+        let mut mappers = Vec::with_capacity(m);
+        for k in 0..m {
+            let rack = next_num(&format!("mapper {k} location"))? as usize;
+            min_rack = min_rack.min(rack);
+            mappers.push(rack);
+        }
+        let r = next_num("reducer count")? as usize;
+        let mut reducers = Vec::with_capacity(r);
+        for k in 0..r {
+            let tok = t
+                .next()
+                .ok_or_else(|| err(ln, format!("missing reducer {k}")))?;
+            let (rack_s, size_s) = tok
+                .split_once(':')
+                .ok_or_else(|| err(ln, format!("reducer {k} is not rack:sizeMB")))?;
+            let rack: usize = rack_s
+                .parse()
+                .map_err(|_| err(ln, format!("bad reducer rack {rack_s:?}")))?;
+            let size: f64 = size_s
+                .parse()
+                .map_err(|_| err(ln, format!("bad reducer size {size_s:?}")))?;
+            if size < 0.0 || size.is_nan() {
+                return Err(err(ln, "negative reducer size"));
+            }
+            min_rack = min_rack.min(rack);
+            reducers.push((rack, size));
+        }
+        if m == 0 || r == 0 {
+            return Err(err(ln, "coflow needs at least one mapper and reducer"));
+        }
+        raws.push(Raw {
+            line: ln,
+            id,
+            arrival_ms,
+            mappers,
+            reducers,
+        });
+    }
+
+    // 1-based rack ids (the published trace) are shifted down.
+    let base = if min_rack >= 1 { 1 } else { 0 };
+
+    let mut coflows = Vec::with_capacity(raws.len());
+    for raw in raws {
+        let mut b = Coflow::builder(raw.id).arrival(Time::from_millis(raw.arrival_ms));
+        for &(r_rack, size_mb) in &raw.reducers {
+            let dst = r_rack - base;
+            if dst >= ports {
+                return Err(err(raw.line, format!("reducer rack {r_rack} out of range")));
+            }
+            let total_bytes = (size_mb * MB as f64).round() as u64;
+            let m = raw.mappers.len() as u64;
+            let per = total_bytes / m;
+            let mut extra = total_bytes % m;
+            for &m_rack in &raw.mappers {
+                let src = m_rack - base;
+                if src >= ports {
+                    return Err(err(raw.line, format!("mapper rack {m_rack} out of range")));
+                }
+                let bytes = per + if extra > 0 { 1 } else { 0 };
+                extra = extra.saturating_sub(1);
+                b = b.flow(src, dst, bytes);
+            }
+        }
+        let c = b
+            .try_build()
+            .ok_or_else(|| err(raw.line, "coflow has no bytes"))?;
+        coflows.push(c);
+    }
+
+    if coflows.len() != expect {
+        return Err(err(
+            1,
+            format!("header declares {expect} coflows, file has {}", coflows.len()),
+        ));
+    }
+    Ok(Trace { ports, coflows })
+}
+
+/// Render a set of Coflows in the trace format (inverse of [`parse`],
+/// up to the per-mapper byte split: each flow becomes its own
+/// single-mapper reducer entry).
+pub fn write(ports: usize, coflows: &[Coflow]) -> String {
+    let mut out = format!("{} {}\n", ports, coflows.len());
+    for c in coflows {
+        // Represent each coflow exactly: mappers = distinct sources; one
+        // reducer entry per (dst) with the total MB, only valid when the
+        // per-mapper split is uniform — otherwise fall back to one line
+        // per flow via single-mapper coflow encoding. For simplicity and
+        // exactness we always emit one mapper set per coflow when uniform,
+        // else per-flow lines are not representable; we emit the uniform
+        // approximation used by the benchmark tooling.
+        let mut srcs: Vec<usize> = c.flows().iter().map(|f| f.src).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        let mut dsts: Vec<usize> = c.flows().iter().map(|f| f.dst).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        out.push_str(&format!(
+            "{} {} {} ",
+            c.id(),
+            c.arrival().as_ps() / ocs_model::time::PS_PER_MS,
+            srcs.len()
+        ));
+        for s in &srcs {
+            out.push_str(&format!("{} ", s + 1));
+        }
+        out.push_str(&format!("{}", dsts.len()));
+        for d in &dsts {
+            let total: u64 = c
+                .flows()
+                .iter()
+                .filter(|f| f.dst == *d)
+                .map(|f| f.bytes)
+                .sum();
+            out.push_str(&format!(" {}:{}", d + 1, total / MB));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+150 2
+1 100 2 1 2 1 3:10
+7 250 1 5 2 6:4 7:2
+";
+
+    #[test]
+    fn parses_the_benchmark_format() {
+        let t = parse(SAMPLE).unwrap();
+        assert_eq!(t.ports, 150);
+        assert_eq!(t.coflows.len(), 2);
+
+        let c1 = &t.coflows[0];
+        assert_eq!(c1.id(), 1);
+        assert_eq!(c1.arrival(), Time::from_millis(100));
+        // 2 mappers x 1 reducer = 2 flows of 5 MB each.
+        assert_eq!(c1.num_flows(), 2);
+        assert_eq!(c1.total_bytes(), 10 * MB);
+        assert_eq!(c1.flows()[0].src, 0); // 1-based shifted down
+        assert_eq!(c1.flows()[0].dst, 2);
+
+        let c2 = &t.coflows[1];
+        assert_eq!(c2.num_flows(), 2);
+        assert_eq!(c2.flows()[0].bytes, 4 * MB);
+        assert_eq!(c2.flows()[1].bytes, 2 * MB);
+    }
+
+    #[test]
+    fn uneven_split_preserves_total() {
+        let text = "10 1\n1 0 3 1 2 3 1 4:10\n";
+        let t = parse(text).unwrap();
+        assert_eq!(t.coflows[0].total_bytes(), 10 * MB);
+        assert_eq!(t.coflows[0].num_flows(), 3);
+    }
+
+    #[test]
+    fn zero_based_racks_are_accepted() {
+        let text = "4 1\n1 0 1 0 1 3:1\n";
+        let t = parse(text).unwrap();
+        assert_eq!(t.coflows[0].flows()[0].src, 0);
+        assert_eq!(t.coflows[0].flows()[0].dst, 3);
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error() {
+        let text = "4 5\n1 0 1 1 1 2:1\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("declares"));
+    }
+
+    #[test]
+    fn out_of_range_rack_is_an_error() {
+        let text = "4 1\n1 0 1 9 1 2:1\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn malformed_reducer_is_an_error() {
+        let text = "4 1\n1 0 1 1 1 2-1\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn roundtrip_through_write() {
+        let t = parse(SAMPLE).unwrap();
+        let t2 = parse(&write(t.ports, &t.coflows)).unwrap();
+        assert_eq!(t2.coflows.len(), t.coflows.len());
+        for (a, b) in t.coflows.iter().zip(&t2.coflows) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.arrival(), b.arrival());
+            assert_eq!(a.total_bytes(), b.total_bytes());
+            assert_eq!(a.category(), b.category());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse("").is_err());
+        assert!(parse("   \n  ").is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the synthetic workload generator and the idleness
+//! machinery, across seeds and fabric sizes.
+
+use ocs_workload::{generate, network_idleness, perturb_sizes, scale_to_idleness, SynthConfig, MB};
+use ocs_model::{Bandwidth, Dur, Fabric};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (4usize..40, 5usize..60, any::<u64>(), 60.0f64..1200.0).prop_map(
+        |(ports, coflows, seed, horizon_secs)| SynthConfig {
+            ports,
+            coflows,
+            horizon_secs,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural invariants of every generated workload.
+    #[test]
+    fn generated_workloads_are_well_formed(cfg in arb_config()) {
+        let coflows = generate(&cfg);
+        prop_assert_eq!(coflows.len(), cfg.coflows);
+        let mut prev_arrival = ocs_model::Time::ZERO;
+        for (k, c) in coflows.iter().enumerate() {
+            prop_assert_eq!(c.id(), k as u64);
+            prop_assert!(c.min_ports() <= cfg.ports);
+            prop_assert!(c.arrival() >= prev_arrival, "arrivals sorted");
+            prev_arrival = c.arrival();
+            for f in c.flows() {
+                prop_assert!(f.bytes >= MB, "1 MB floor");
+                prop_assert_eq!(f.bytes % MB, 0, "MB rounding");
+                prop_assert!(f.src != f.dst || f.src == f.dst); // ports valid by min_ports
+            }
+            // Category is consistent with the endpoint sets.
+            let cat = c.category();
+            prop_assert_eq!(
+                cat,
+                match (c.num_senders() > 1, c.num_receivers() > 1) {
+                    (false, false) => ocs_model::Category::OneToOne,
+                    (false, true) => ocs_model::Category::OneToMany,
+                    (true, false) => ocs_model::Category::ManyToOne,
+                    (true, true) => ocs_model::Category::ManyToMany,
+                }
+            );
+        }
+    }
+
+    /// The same seed reproduces the workload bit-for-bit; different seeds
+    /// diverge.
+    #[test]
+    fn seeds_control_determinism(cfg in arb_config()) {
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        prop_assert_eq!(&a, &b);
+        let other = generate(&SynthConfig { seed: cfg.seed.wrapping_add(1), ..cfg });
+        prop_assert_ne!(&a, &other);
+    }
+
+    /// Perturbation keeps every flow within the band and above the floor.
+    #[test]
+    fn perturbation_stays_in_band(cfg in arb_config(), pct in 0.01f64..0.3, seed in any::<u64>()) {
+        let base = generate(&cfg);
+        let p = perturb_sizes(&base, pct, seed);
+        for (a, b) in base.iter().zip(&p) {
+            prop_assert_eq!(a.num_flows(), b.num_flows());
+            for (fa, fb) in a.flows().iter().zip(b.flows()) {
+                prop_assert!(fb.bytes >= MB);
+                let lo = (fa.bytes as f64 * (1.0 - pct) - 1.0).max(MB as f64);
+                let hi = fa.bytes as f64 * (1.0 + pct) + 1.0;
+                prop_assert!((fb.bytes as f64) >= lo && (fb.bytes as f64) <= hi);
+            }
+        }
+    }
+
+    /// Idleness is monotone under byte scaling, and scale_to_idleness
+    /// lands near its target whenever the target is reachable.
+    #[test]
+    fn idleness_scaling_behaves(cfg in arb_config(), target in 0.25f64..0.9) {
+        let coflows = generate(&cfg);
+        let fabric = Fabric::new(cfg.ports, Bandwidth::GBPS, Dur::from_millis(10));
+        let idle_base = network_idleness(&coflows, &fabric);
+        prop_assert!((0.0..=1.0).contains(&idle_base));
+
+        let half: Vec<_> = coflows.iter().map(|c| c.scaled_bytes(1, 2)).collect();
+        prop_assert!(network_idleness(&half, &fabric) >= idle_base - 1e-9);
+
+        let (scaled, _) = scale_to_idleness(&coflows, &fabric, target);
+        let got = network_idleness(&scaled, &fabric);
+        // Discreteness can leave a gap, but we never overshoot wildly.
+        prop_assert!((got - target).abs() < 0.2, "target {target}, got {got}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: schedule one Coflow with Sunflow and inspect the result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sunflow::model::{circuit_lower_bound, packet_lower_bound, Coflow, Fabric};
+use sunflow::scheduler::{IntraScheduler, SunflowConfig};
+
+fn main() {
+    // A 4-port optical circuit switch: 1 Gbps links, 10 ms circuit
+    // reconfiguration delay (typical of a 3D-MEMS switch).
+    let fabric = Fabric::new(4, Fabric::GBPS, Fabric::default_delta());
+
+    // A MapReduce-style shuffle: 2 mappers x 2 reducers, with a skewed
+    // reducer (reducer 1 receives 4x the bytes of reducer 0).
+    let coflow = Coflow::builder(0)
+        .flow(0, 0, 25_000_000)
+        .flow(1, 0, 25_000_000)
+        .flow(0, 1, 100_000_000)
+        .flow(1, 1, 100_000_000)
+        .build();
+
+    println!("Coflow: {} flows, {} bytes, category {}",
+        coflow.num_flows(), coflow.total_bytes(), coflow.category());
+
+    let schedule = IntraScheduler::new(&fabric, SunflowConfig::default()).schedule(&coflow);
+
+    println!("\nReservations (first delta of each is the reconfiguration):");
+    for r in schedule.reservations() {
+        println!(
+            "  circuit [in.{} -> out.{}]  {} .. {}  (flow #{})",
+            r.src, r.dst, r.start, r.end, r.flow.flow_idx
+        );
+    }
+
+    let cct = schedule.cct();
+    let tcl = circuit_lower_bound(&coflow, &fabric);
+    let tpl = packet_lower_bound(&coflow, &fabric);
+    println!("\nCCT             = {cct}");
+    println!("T_cL (circuit)  = {tcl}  -> CCT/T_cL = {:.3}", cct.ratio(tcl));
+    println!("T_pL (packet)   = {tpl}  -> CCT/T_pL = {:.3}", cct.ratio(tpl));
+    println!("circuit setups  = {} (minimum possible: {})",
+        schedule.circuit_setups(), coflow.num_flows());
+
+    // Lemma 1 of the paper, checkable exactly:
+    assert!(cct <= tcl * 2, "Lemma 1 violated?!");
+    println!("\nLemma 1 holds: CCT <= 2 * T_cL");
+
+    // The Figure-1c view of the schedule: '=' is the reconfiguration
+    // delta; digits are the destination port being served.
+    println!("\n{}", sunflow::metrics::render_gantt(
+        schedule.reservations(),
+        sunflow::metrics::GanttConfig::new(64, fabric.delta()),
+    ));
+}

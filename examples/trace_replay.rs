@@ -1,0 +1,80 @@
+//! Trace replay: run a Facebook-like workload through the three
+//! inter-Coflow schedulers the paper compares — Sunflow on the optical
+//! circuit switch, Varys and Aalo on the packet switch — and report the
+//! average CCTs (the Figure 8 quantity).
+//!
+//! ```sh
+//! cargo run --release --example trace_replay [num_coflows]
+//! ```
+
+use sunflow::metrics::{mean, Table};
+use sunflow::model::Fabric;
+use sunflow::packet::{simulate_packet, Aalo, Varys};
+use sunflow::scheduler::ShortestFirst;
+use sunflow::sim::{simulate_circuit, OnlineConfig};
+use sunflow::workload::{network_idleness, perturb_sizes, generate, SynthConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("argument must be a coflow count"))
+        .unwrap_or(120);
+
+    // A smaller cousin of the paper's workload for a quick run.
+    let cfg = SynthConfig {
+        coflows: n,
+        horizon_secs: 3600.0 * n as f64 / 526.0,
+        ..SynthConfig::default()
+    };
+    let coflows = perturb_sizes(&generate(&cfg), 0.05, 7);
+    let fabric = Fabric::paper_default();
+    println!(
+        "{} coflows on a {}-port fabric, network idleness {:.0}%\n",
+        coflows.len(),
+        fabric.ports(),
+        network_idleness(&coflows, &fabric) * 100.0
+    );
+
+    let avg = |ccts: Vec<f64>| mean(&ccts).unwrap_or(f64::NAN);
+
+    let sunflow = simulate_circuit(&coflows, &fabric, &OnlineConfig::default(), &ShortestFirst);
+    let sun_avg = avg(sunflow
+        .outcomes
+        .iter()
+        .zip(&coflows)
+        .map(|(o, c)| o.cct(c.arrival()).as_secs_f64())
+        .collect());
+
+    let varys_avg = avg(simulate_packet(&coflows, &fabric, &mut Varys)
+        .iter()
+        .zip(&coflows)
+        .map(|(o, c)| o.cct(c.arrival()).as_secs_f64())
+        .collect());
+
+    let aalo_avg = avg(simulate_packet(&coflows, &fabric, &mut Aalo::default())
+        .iter()
+        .zip(&coflows)
+        .map(|(o, c)| o.cct(c.arrival()).as_secs_f64())
+        .collect());
+
+    let mut table = Table::new(["scheduler", "network", "avg CCT (s)", "vs Sunflow"]);
+    table.row(["Sunflow (SCF)", "optical circuit", &format!("{sun_avg:.3}"), "1.00"]);
+    table.row([
+        "Varys",
+        "packet",
+        &format!("{varys_avg:.3}"),
+        &format!("{:.2}", sun_avg / varys_avg),
+    ]);
+    table.row([
+        "Aalo",
+        "packet",
+        &format!("{aalo_avg:.3}"),
+        &format!("{:.2}", sun_avg / aalo_avg),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "Under modest-to-heavy load the circuit-switched network with Sunflow\n\
+         achieves average CCT comparable to the packet-switched schedulers,\n\
+         while drawing an order of magnitude less switch power (paper §1, §5.4)."
+    );
+}

@@ -1,0 +1,58 @@
+//! # Sunflow — efficient optical circuit scheduling for Coflows
+//!
+//! This crate is the facade of a full reproduction of *"Sunflow: Efficient
+//! Optical Circuit Scheduling for Coflows"* (Huang, Sun, Ng — CoNEXT 2016).
+//! It re-exports the workspace crates under stable module names so that a
+//! downstream user only ever depends on `sunflow`:
+//!
+//! * [`model`] — the network and traffic model: an `N`-port non-blocking
+//!   switch with link bandwidth `B` and circuit reconfiguration delay `δ`,
+//!   Coflows, demand matrices and the CCT lower bounds `T_cL` / `T_pL`.
+//! * [`scheduler`] — the Sunflow algorithm itself: the Port Reservation
+//!   Table, intra-Coflow scheduling (Algorithm 1 of the paper), the
+//!   inter-Coflow priority framework and the starvation guard.
+//! * [`baselines`] — the circuit-switched baselines Solstice, TMS and
+//!   Edmond together with assignment executors for the all-stop and
+//!   not-all-stop switch models.
+//! * [`packet`] — the packet-switched Coflow schedulers Varys and Aalo on a
+//!   fluid-rate fabric.
+//! * [`sim`] — the discrete-event simulation drivers (sequential
+//!   intra-Coflow replay and online trace replay).
+//! * [`workload`] — trace parsing and the calibrated synthetic Facebook-like
+//!   workload generator.
+//! * [`matching`] — bipartite matching algorithms used by the baselines.
+//! * [`metrics`] — statistics and report rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sunflow::model::{Coflow, Fabric};
+//! use sunflow::scheduler::{IntraScheduler, SunflowConfig};
+//!
+//! // A 4-port fabric at 1 Gbps with a 10 ms reconfiguration delay, the
+//! // defaults used throughout the paper's evaluation.
+//! let fabric = Fabric::new(4, Fabric::GBPS, Fabric::default_delta());
+//!
+//! // A 2x2 many-to-many Coflow shuffling 100 MB per flow.
+//! let coflow = Coflow::builder(0)
+//!     .flow(0, 0, 100_000_000)
+//!     .flow(0, 1, 100_000_000)
+//!     .flow(1, 0, 100_000_000)
+//!     .flow(1, 1, 100_000_000)
+//!     .build();
+//!
+//! let schedule = IntraScheduler::new(&fabric, SunflowConfig::default()).schedule(&coflow);
+//! // Lemma 1: Sunflow is always within a factor of two of the circuit
+//! // lower bound.
+//! let lower = sunflow::model::circuit_lower_bound(&coflow, &fabric);
+//! assert!(schedule.cct() <= lower * 2);
+//! ```
+
+pub use ocs_baselines as baselines;
+pub use ocs_matching as matching;
+pub use ocs_metrics as metrics;
+pub use ocs_model as model;
+pub use ocs_packet as packet;
+pub use ocs_sim as sim;
+pub use ocs_workload as workload;
+pub use sunflow_core as scheduler;

@@ -1,0 +1,98 @@
+//! Cross-crate property tests: randomized Coflows through every
+//! scheduler in the workspace, checking the invariants that must hold
+//! regardless of input.
+
+use proptest::prelude::*;
+use sunflow::baselines::CircuitScheduler;
+use sunflow::model::{
+    circuit_lower_bound, packet_lower_bound, Bandwidth, Coflow, Dur, Fabric, Time,
+};
+use sunflow::packet::{simulate_packet, Aalo, Varys};
+use sunflow::scheduler::{IntraScheduler, SunflowConfig};
+
+fn arb_coflow() -> impl Strategy<Value = Coflow> {
+    proptest::collection::btree_set((0usize..6, 0usize..6), 1..=12).prop_flat_map(|pairs| {
+        let pairs: Vec<(usize, usize)> = pairs.into_iter().collect();
+        let len = pairs.len();
+        (
+            Just(pairs),
+            proptest::collection::vec(1u64..32_000_000, len),
+        )
+            .prop_map(|(pairs, sizes)| {
+                let mut b = Coflow::builder(0);
+                for (&(s, d), &z) in pairs.iter().zip(&sizes) {
+                    b = b.flow(s, d, z);
+                }
+                b.build()
+            })
+    })
+}
+
+fn arb_fabric() -> impl Strategy<Value = Fabric> {
+    (
+        prop_oneof![
+            Just(Dur::ZERO),
+            Just(Dur::from_micros(100)),
+            Just(Dur::from_millis(10)),
+        ],
+        prop_oneof![Just(1u64), Just(40)],
+    )
+        .prop_map(|(delta, gbps)| Fabric::new(6, Bandwidth::from_gbps(gbps), delta))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every circuit scheduler produces a complete schedule that finishes
+    /// all flows and never beats the theoretical lower bound.
+    #[test]
+    fn circuit_schedulers_are_sound(coflow in arb_coflow(), fabric in arb_fabric()) {
+        for sched in [
+            CircuitScheduler::Solstice,
+            CircuitScheduler::Tms,
+            CircuitScheduler::Edmond { slot: Dur::from_millis(50) },
+        ] {
+            let o = sched.service_coflow(&coflow, &fabric, Time::ZERO);
+            prop_assert_eq!(o.flow_finish.len(), coflow.num_flows());
+            prop_assert!(o.cct(Time::ZERO) >= circuit_lower_bound(&coflow, &fabric),
+                "{} beat T_cL", sched.name());
+            // Coflow finish is the max of flow finishes.
+            prop_assert!(o.flow_finish.iter().all(|&t| t <= o.finish));
+        }
+    }
+
+    /// Sunflow never schedules worse than twice the lower bound, and its
+    /// switching count is optimal offline — invariants, not tendencies.
+    #[test]
+    fn sunflow_dominates_structurally(coflow in arb_coflow(), fabric in arb_fabric()) {
+        let s = IntraScheduler::new(&fabric, SunflowConfig::default()).schedule(&coflow);
+        prop_assert!(s.cct() <= circuit_lower_bound(&coflow, &fabric) * 2);
+        prop_assert_eq!(s.circuit_setups(), coflow.num_flows() as u64);
+    }
+
+    /// The packet simulators drain every coflow and respect T_pL.
+    #[test]
+    fn packet_simulators_are_sound(coflow in arb_coflow(), fabric in arb_fabric()) {
+        for outcomes in [
+            simulate_packet(std::slice::from_ref(&coflow), &fabric, &mut Varys),
+            simulate_packet(std::slice::from_ref(&coflow), &fabric, &mut Aalo::default()),
+        ] {
+            let cct = outcomes[0].cct(Time::ZERO).as_secs_f64();
+            let tpl = packet_lower_bound(&coflow, &fabric).as_secs_f64();
+            prop_assert!(cct >= tpl - 1e-6, "{cct} < {tpl}");
+            // Fluid simulation cannot take more than |C| serializations
+            // of the bottleneck (gross sanity bound), plus Aalo's 10 ms
+            // coordination epoch before first service.
+            prop_assert!(cct <= tpl * (coflow.num_flows() as f64 + 1.0) + 0.021);
+        }
+    }
+
+    /// Sunflow in a circuit network is at least as slow as the packet
+    /// ideal but within the Lemma 2 envelope.
+    #[test]
+    fn circuit_vs_packet_sandwich(coflow in arb_coflow(), fabric in arb_fabric()) {
+        let s = IntraScheduler::new(&fabric, SunflowConfig::default()).schedule(&coflow);
+        prop_assert!(sunflow::model::lemma2_holds(s.cct(), &coflow, &fabric));
+        prop_assert!(s.cct() >= packet_lower_bound(&coflow, &fabric));
+    }
+}
