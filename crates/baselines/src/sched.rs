@@ -95,7 +95,11 @@ impl CircuitScheduler {
 
         let mut demand = DemandMatrix::zero(k);
         for f in coflow.flows() {
-            demand.add(src_of[&f.src], dst_of[&f.dst], fabric.processing_time(f.bytes));
+            demand.add(
+                src_of[&f.src],
+                dst_of[&f.dst],
+                fabric.processing_time(f.bytes),
+            );
         }
 
         let schedule = self.schedule(&demand);

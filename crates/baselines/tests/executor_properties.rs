@@ -11,15 +11,17 @@ fn arb_coflow() -> impl Strategy<Value = Coflow> {
     proptest::collection::btree_set((0usize..5, 0usize..5), 1..=10).prop_flat_map(|pairs| {
         let pairs: Vec<(usize, usize)> = pairs.into_iter().collect();
         let len = pairs.len();
-        (Just(pairs), proptest::collection::vec(1u64..16_000_000, len)).prop_map(
-            |(pairs, sizes)| {
+        (
+            Just(pairs),
+            proptest::collection::vec(1u64..16_000_000, len),
+        )
+            .prop_map(|(pairs, sizes)| {
                 let mut b = Coflow::builder(0);
                 for (&(s, d), &z) in pairs.iter().zip(&sizes) {
                     b = b.flow(s, d, z);
                 }
                 b.build()
-            },
-        )
+            })
     })
 }
 

@@ -2,7 +2,14 @@
 //! DESIGN.md. Run with `cargo bench -p ocs-bench --bench ablations`.
 
 fn main() {
-    for report in ocs_bench::experiments::ablations::run_all() {
-        ocs_bench::emit(&report);
+    let (reports, timing) = ocs_bench::experiments::ablations::run_all_measured();
+    for report in &reports {
+        ocs_bench::emit(report);
+    }
+    // One umbrella record so the whole suite lands in BENCH_ablations.json.
+    let summary = ocs_bench::experiments::ablations::summary(&reports);
+    let ok = ocs_bench::emit_timed("ablations", &summary, &timing);
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
     }
 }

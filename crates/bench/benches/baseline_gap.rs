@@ -1,8 +1,9 @@
-//! Bench target regenerating the paper's baseline gap experiment.
+//! Bench target regenerating the paper's baseline_gap experiment.
 //! Run with `cargo bench -p ocs-bench --bench baseline_gap`.
 
 fn main() {
-    let ok = ocs_bench::emit(&ocs_bench::experiments::baseline_gap::run());
+    let (report, timing) = ocs_bench::experiments::baseline_gap::run_measured();
+    let ok = ocs_bench::emit_timed("baseline_gap", &report, &timing);
     if !ok {
         println!("(some claims outside tolerance — see MISS rows above)");
     }

@@ -1,8 +1,9 @@
-//! Bench target for the fairshare_gap extension experiment.
+//! Bench target regenerating the paper's fairshare_gap experiment.
 //! Run with `cargo bench -p ocs-bench --bench fairshare_gap`.
 
 fn main() {
-    let ok = ocs_bench::emit(&ocs_bench::experiments::fairshare_gap::run());
+    let (report, timing) = ocs_bench::experiments::fairshare_gap::run_measured();
+    let ok = ocs_bench::emit_timed("fairshare_gap", &report, &timing);
     if !ok {
         println!("(some claims outside tolerance — see MISS rows above)");
     }

@@ -2,7 +2,8 @@
 //! Run with `cargo bench -p ocs-bench --bench fig10`.
 
 fn main() {
-    let ok = ocs_bench::emit(&ocs_bench::experiments::fig10::run());
+    let (report, timing) = ocs_bench::experiments::fig10::run_measured();
+    let ok = ocs_bench::emit_timed("fig10", &report, &timing);
     if !ok {
         println!("(some claims outside tolerance — see MISS rows above)");
     }

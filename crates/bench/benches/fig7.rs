@@ -2,7 +2,8 @@
 //! Run with `cargo bench -p ocs-bench --bench fig7`.
 
 fn main() {
-    let ok = ocs_bench::emit(&ocs_bench::experiments::fig7::run());
+    let (report, timing) = ocs_bench::experiments::fig7::run_measured();
+    let ok = ocs_bench::emit_timed("fig7", &report, &timing);
     if !ok {
         println!("(some claims outside tolerance — see MISS rows above)");
     }

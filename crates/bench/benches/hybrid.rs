@@ -1,8 +1,9 @@
-//! Bench target for the hybrid extension experiment.
+//! Bench target regenerating the paper's hybrid experiment.
 //! Run with `cargo bench -p ocs-bench --bench hybrid`.
 
 fn main() {
-    let ok = ocs_bench::emit(&ocs_bench::experiments::hybrid::run());
+    let (report, timing) = ocs_bench::experiments::hybrid::run_measured();
+    let ok = ocs_bench::emit_timed("hybrid", &report, &timing);
     if !ok {
         println!("(some claims outside tolerance — see MISS rows above)");
     }

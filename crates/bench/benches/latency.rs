@@ -7,10 +7,10 @@
 //! count (Table 3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ocs_bench::experiments::table3::{dense_shuffle, sparse_coflow};
 use ocs_baselines::CircuitScheduler;
+use ocs_bench::experiments::table3::{dense_shuffle, sparse_coflow};
 use ocs_model::{Bandwidth, DemandMatrix, Dur, Fabric, Time};
-use sunflow_core::{IntraScheduler, Prt, SunflowConfig};
+use sunflow_core::{IntraScheduler, Prt, ResvKind, SunflowConfig};
 
 fn sunflow_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("sunflow_schedule");
@@ -67,10 +67,58 @@ fn sunflow_port_independence(c: &mut Criterion) {
     group.finish();
 }
 
+fn prt_fastpath(c: &mut Criterion) {
+    // The PRT hot path of Algorithm 1, on the full schedule of a
+    // 3,000-subflow Coflow (§6's latency claim). The scheduler builds
+    // the table incrementally — query at the frontier, then append —
+    // so the bench replays exactly that: for each reservation in
+    // schedule order, issue the four port queries at its start and then
+    // reserve it. "cached" goes through the tail-cache fast path,
+    // "naive" through the `BTreeMap`-scanning reference implementations.
+    let coflow = dense_shuffle(55); // 55x55 = 3025 subflows
+    let fabric = Fabric::new(150, Bandwidth::GBPS, Dur::from_millis(10));
+    let intra = IntraScheduler::new(&fabric, SunflowConfig::default());
+    let mut built = Prt::new(fabric.ports());
+    intra.schedule_on(&mut built, &coflow, Time::ZERO);
+    let mut schedule = built.flow_reservations();
+    schedule.sort_by_key(|r| (r.start, r.src));
+    let kind = |r: &ocs_model::Reservation| ResvKind::Flow(r.flow);
+
+    let mut group = c.benchmark_group("prt_build_3025");
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let mut prt = Prt::new(fabric.ports());
+            for r in &schedule {
+                std::hint::black_box(prt.in_free_at(r.src, r.start));
+                std::hint::black_box(prt.out_free_at(r.dst, r.start));
+                std::hint::black_box(prt.in_next_start_after(r.src, r.start));
+                std::hint::black_box(prt.out_next_start_after(r.dst, r.start));
+                prt.reserve(r.src, r.dst, r.start, r.end, kind(r));
+            }
+            std::hint::black_box(prt)
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut prt = Prt::new(fabric.ports());
+            for r in &schedule {
+                std::hint::black_box(prt.naive_in_free_at(r.src, r.start));
+                std::hint::black_box(prt.naive_out_free_at(r.dst, r.start));
+                std::hint::black_box(prt.naive_in_next_start_after(r.src, r.start));
+                std::hint::black_box(prt.naive_out_next_start_after(r.dst, r.start));
+                prt.naive_reserve(r.src, r.dst, r.start, r.end, kind(r));
+            }
+            std::hint::black_box(prt)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     sunflow_latency,
     baseline_latency,
-    sunflow_port_independence
+    sunflow_port_independence,
+    prt_fastpath
 );
 criterion_main!(benches);

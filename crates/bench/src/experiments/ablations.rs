@@ -68,10 +68,7 @@ pub fn active_policy() -> Report {
     let fabric = fabric_gbps(1);
     let coflows = workload();
     let run = |policy: ActiveCircuitPolicy| -> f64 {
-        let cfg = OnlineConfig {
-            active_policy: policy,
-            ..OnlineConfig::default()
-        };
+        let cfg = OnlineConfig::default().active_policy(policy);
         let r = simulate_circuit(coflows, &fabric, &cfg, &ShortestFirst);
         mean(
             &r.outcomes
@@ -115,11 +112,7 @@ pub fn active_policy() -> Report {
 pub fn starvation_guard() -> Report {
     // The victim fans out of in.0 while an oversubscribing stream of
     // 1 MB coflows monopolizes out.0/out.1 under shortest-first.
-    let fabric = ocs_model::Fabric::new(
-        4,
-        ocs_model::Bandwidth::GBPS,
-        Dur::from_millis(10),
-    );
+    let fabric = ocs_model::Fabric::new(4, ocs_model::Bandwidth::GBPS, Dur::from_millis(10));
     let mut coflows = vec![Coflow::builder(0)
         .flow(0, 0, 10 * 1_000_000)
         .flow(0, 1, 10 * 1_000_000)
@@ -137,17 +130,14 @@ pub fn starvation_guard() -> Report {
         }
     }
     let run = |guard: Option<GuardConfig>| {
-        let cfg = OnlineConfig {
-            guard,
-            ..OnlineConfig::default()
-        };
+        let cfg = OnlineConfig::default().guard(guard);
         simulate_circuit(&coflows, &fabric, &cfg, &ShortestFirst)
     };
     let off = run(None);
-    let on = run(Some(GuardConfig {
-        period: Dur::from_millis(100),
-        tau: Dur::from_millis(30),
-    }));
+    let on = run(Some(GuardConfig::new(
+        Dur::from_millis(100),
+        Dur::from_millis(30),
+    )));
 
     let victim_off = off.outcomes[0].cct(Time::ZERO).as_secs_f64();
     let victim_on = on.outcomes[0].cct(Time::ZERO).as_secs_f64();
@@ -173,13 +163,21 @@ pub fn starvation_guard() -> Report {
     report.claim(
         "guard rescues the starved victim (>=25% faster)",
         1.0,
-        if victim_on < victim_off * 0.75 { 1.0 } else { 0.0 },
+        if victim_on < victim_off * 0.75 {
+            1.0
+        } else {
+            0.0
+        },
         0.001,
     );
     report.claim(
         "guard costs some average CCT (reduced utilization, §4.2)",
         1.0,
-        if avg(&on) >= avg(&off) * 0.98 { 1.0 } else { 0.0 },
+        if avg(&on) >= avg(&off) * 0.98 {
+            1.0
+        } else {
+            0.0
+        },
         0.001,
     );
     report
@@ -194,17 +192,17 @@ pub fn quantization() -> Report {
     let fabric = fabric_gbps(1);
     let coflows = workload();
     let run = |quantum: Option<Dur>| -> (f64, f64) {
-        let cfg = SunflowConfig {
-            quantum,
-            ..SunflowConfig::default()
-        };
+        let cfg = SunflowConfig::default().quantum(quantum);
         let intra = IntraScheduler::new(&fabric, cfg);
         let t0 = Instant::now();
         let ccts: Vec<f64> = coflows
             .iter()
             .map(|c| {
                 let mut prt = Prt::new(fabric.ports());
-                intra.schedule_on(&mut prt, c, Time::ZERO).cct().as_secs_f64()
+                intra
+                    .schedule_on(&mut prt, c, Time::ZERO)
+                    .cct()
+                    .as_secs_f64()
             })
             .collect();
         let compute = t0.elapsed().as_secs_f64();
@@ -223,19 +221,57 @@ pub fn quantization() -> Report {
     report.claim(
         "quantization never improves CCT (it only rounds demand up)",
         1.0,
-        if cct_q10 >= cct_exact * 0.999 && cct_q100 >= cct_q10 * 0.999 { 1.0 } else { 0.0 },
+        if cct_q10 >= cct_exact * 0.999 && cct_q100 >= cct_q10 * 0.999 {
+            1.0
+        } else {
+            0.0
+        },
         0.001,
     );
     report.claim(
         "10ms quantization costs <5% average CCT",
         1.0,
-        if cct_q10 <= cct_exact * 1.05 { 1.0 } else { 0.0 },
+        if cct_q10 <= cct_exact * 1.05 {
+            1.0
+        } else {
+            0.0
+        },
         0.001,
     );
     report
 }
 
+/// Run all four ablations as one parallel sweep; returns the reports in
+/// the fixed order plus the sweep timing.
+pub fn run_all_measured() -> (Vec<Report>, ocs_metrics::SweepTiming) {
+    let mut sweep = crate::sweep::<Report>();
+    sweep.add("switch_model", switch_model);
+    sweep.add("active_policy", active_policy);
+    sweep.add("starvation_guard", starvation_guard);
+    sweep.add("quantization", quantization);
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+    (result.runs.into_iter().map(|r| r.value).collect(), timing)
+}
+
+/// Fold the individual ablation reports into one umbrella report, so the
+/// whole suite lands in a single `BENCH_ablations.json` record.
+pub fn summary(reports: &[Report]) -> Report {
+    let mut summary = Report::new("Ablations — design-choice validation suite");
+    for rep in reports {
+        for c in rep.claims() {
+            summary.claim(
+                format!("{}: {}", rep.title, c.what),
+                c.paper,
+                c.measured,
+                c.tolerance,
+            );
+        }
+    }
+    summary
+}
+
 /// Run all ablations into one report list.
 pub fn run_all() -> Vec<Report> {
-    vec![switch_model(), active_policy(), starvation_guard(), quantization()]
+    run_all_measured().0
 }

@@ -14,12 +14,13 @@
 use crate::intra_eval::{eval_intra, IntraRow};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_baselines::CircuitScheduler;
-use ocs_metrics::{mean, Report};
+use ocs_metrics::{mean, Report, SweepTiming};
 use ocs_model::{packet_lower_bound, Coflow, Dur};
 use ocs_sim::IntraEngine;
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
+/// Run the three baseline evaluations in parallel and produce the report
+/// plus its timing.
+pub fn run_measured() -> (Report, SweepTiming) {
     let fabric = fabric_gbps(1);
     let subset: Vec<Coflow> = workload()
         .iter()
@@ -27,21 +28,33 @@ pub fn run() -> Report {
         .cloned()
         .collect();
 
-    let eval = |sched: CircuitScheduler| -> Vec<IntraRow> {
-        eval_intra(&subset, &fabric, IntraEngine::Baseline(sched))
-    };
-    let sol = eval(CircuitScheduler::Solstice);
-    let tms = eval(CircuitScheduler::Tms);
-    let edm = eval(CircuitScheduler::edmond_default());
+    let mut sweep = crate::sweep::<Vec<IntraRow>>();
+    for (name, sched) in [
+        ("solstice", CircuitScheduler::Solstice),
+        ("tms", CircuitScheduler::Tms),
+        ("edmond", CircuitScheduler::edmond_default()),
+    ] {
+        let (subset, fabric) = (&subset, &fabric);
+        sweep.add(name, move || {
+            eval_intra(subset, fabric, IntraEngine::Baseline(sched))
+        });
+    }
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+    let (sol, tms, edm) = (
+        &result.runs[0].value,
+        &result.runs[1].value,
+        &result.runs[2].value,
+    );
 
     let ratio = |xs: &[IntraRow]| -> Vec<f64> {
         xs.iter()
-            .zip(&sol)
+            .zip(sol)
             .map(|(x, s)| x.cct.ratio(s.cct))
             .collect()
     };
-    let tms_ratio = mean(&ratio(&tms)).unwrap_or(f64::NAN);
-    let edm_ratio = mean(&ratio(&edm)).unwrap_or(f64::NAN);
+    let tms_ratio = mean(&ratio(tms)).unwrap_or(f64::NAN);
+    let edm_ratio = mean(&ratio(edm)).unwrap_or(f64::NAN);
 
     let mut report = Report::new("§5.2 — baseline gap: TMS and Edmond vs Solstice (B=1G)");
     report.note(format!(
@@ -49,13 +62,32 @@ pub fn run() -> Report {
         subset.len(),
         workload().len()
     ));
-    report.claim("avg CCT ratio TMS/Solstice (paper: >2)", 2.0, tms_ratio, 1.20);
-    report.claim("avg CCT ratio Edmond/Solstice (paper: >6)", 6.0, edm_ratio, 1.20);
+    report.claim(
+        "avg CCT ratio TMS/Solstice (paper: >2)",
+        2.0,
+        tms_ratio,
+        1.20,
+    );
+    report.claim(
+        "avg CCT ratio Edmond/Solstice (paper: >6)",
+        6.0,
+        edm_ratio,
+        1.20,
+    );
     report.claim(
         "ordering Solstice < TMS < Edmond",
         1.0,
-        if tms_ratio > 1.0 && edm_ratio > tms_ratio { 1.0 } else { 0.0 },
+        if tms_ratio > 1.0 && edm_ratio > tms_ratio {
+            1.0
+        } else {
+            0.0
+        },
         0.001,
     );
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

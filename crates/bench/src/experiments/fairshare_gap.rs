@@ -10,15 +10,17 @@
 
 use crate::inter_eval::{avg_cct_secs, eval_inter, InterEngine};
 use crate::workloads::{fabric_gbps, workload};
-use ocs_metrics::Report;
+use ocs_metrics::{Report, SweepTiming};
 use ocs_packet::{simulate_packet, FairSharing};
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
-    let fabric = fabric_gbps(1);
+/// Run fair sharing and every Coflow-aware engine in parallel; produce
+/// the report plus its timing.
+pub fn run_measured() -> (Report, SweepTiming) {
     let coflows = workload();
 
-    let fair = {
+    let mut sweep = crate::sweep::<f64>();
+    sweep.add("fair-sharing", move || {
+        let fabric = fabric_gbps(1);
         let outcomes = simulate_packet(coflows, &fabric, &mut FairSharing);
         ocs_metrics::mean(
             &coflows
@@ -28,12 +30,22 @@ pub fn run() -> Report {
                 .collect::<Vec<_>>(),
         )
         .unwrap_or(f64::NAN)
-    };
+    });
+    for engine in InterEngine::ALL {
+        sweep.add(engine.name(), move || {
+            avg_cct_secs(&eval_inter(coflows, &fabric_gbps(1), engine))
+        });
+    }
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+    let fair = result.runs[0].value;
 
     let mut report = Report::new("Extension — Coflow-agnostic fair sharing vs Coflow schedulers");
-    report.note(format!("avg CCT, per-flow max-min fair sharing: {fair:.3}s"));
-    for engine in InterEngine::ALL {
-        let avg = avg_cct_secs(&eval_inter(coflows, &fabric, engine));
+    report.note(format!(
+        "avg CCT, per-flow max-min fair sharing: {fair:.3}s"
+    ));
+    for (i, engine) in InterEngine::ALL.into_iter().enumerate() {
+        let avg = result.runs[i + 1].value;
         report.note(format!(
             "avg CCT, {}: {avg:.3}s  (fair-share / {} = {:.2}x)",
             engine.name(),
@@ -52,5 +64,10 @@ pub fn run() -> Report {
          even a circuit switch with reconfiguration delays beats a packet switch \
          that ignores Coflow structure.",
     );
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

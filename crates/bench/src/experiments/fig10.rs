@@ -6,9 +6,9 @@
 //! 0.65 / 0.98; 100 µs → 0.61 / 0.98; 10 µs → 0.61 / 0.98. As for the
 //! intra case, optimizing switching hardware below δ ≈ 1 ms buys little.
 
-use crate::inter_eval::{eval_inter, InterEngine};
+use crate::inter_eval::{eval_inter, InterEngine, InterRow};
 use crate::workloads::{fabric_gbps, workload, DELTA_SWEEP};
-use ocs_metrics::{mean, percentile, Report};
+use ocs_metrics::{mean, percentile, Report, SweepTiming};
 
 /// Paper values: (delta label, avg, p95) normalized to the 10 ms baseline.
 const PAPER: [(&str, f64, f64); 5] = [
@@ -19,19 +19,35 @@ const PAPER: [(&str, f64, f64); 5] = [
     ("10us", 0.61, 0.98),
 ];
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
+/// Run the δ sweep in parallel and produce the report plus its timing.
+pub fn run_measured() -> (Report, SweepTiming) {
     let coflows = workload();
-    let base = eval_inter(coflows, &fabric_gbps(1), InterEngine::Sunflow);
+
+    let mut sweep = crate::sweep::<Vec<InterRow>>();
+    sweep.add("baseline delta=10ms", move || {
+        eval_inter(coflows, &fabric_gbps(1), InterEngine::Sunflow)
+    });
+    for (label, delta) in DELTA_SWEEP {
+        sweep.add(format!("delta={label}"), move || {
+            eval_inter(
+                coflows,
+                &fabric_gbps(1).with_delta(delta),
+                InterEngine::Sunflow,
+            )
+        });
+    }
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+    let base = &result.runs[0].value;
 
     let mut report = Report::new("Figure 10 — inter-Coflow sensitivity to delta (Sunflow, B=1G)");
-    for ((label, delta), (plabel, p_avg, p_p95)) in DELTA_SWEEP.into_iter().zip(PAPER) {
+    for (i, ((label, _), (plabel, p_avg, p_p95))) in DELTA_SWEEP.into_iter().zip(PAPER).enumerate()
+    {
         debug_assert_eq!(label, plabel);
-        let fabric = fabric_gbps(1).with_delta(delta);
-        let rows = eval_inter(coflows, &fabric, InterEngine::Sunflow);
+        let rows = &result.runs[i + 1].value;
         let normalized: Vec<f64> = rows
             .iter()
-            .zip(&base)
+            .zip(base)
             .map(|(r, b)| r.cct.as_secs_f64() / b.cct.as_secs_f64())
             .collect();
         let avg = mean(&normalized).unwrap_or(f64::NAN);
@@ -40,5 +56,10 @@ pub fn run() -> Report {
         report.claim(format!("delta={label} p95 CCT vs 10ms"), p_p95, p95, 0.45);
     }
     report.note("Shape check: mirrors Figure 6 — heavy penalty at 100ms, plateau below 1ms.");
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

@@ -15,7 +15,7 @@
 use crate::intra_eval::{eval_intra, mean_of, p95_of, IntraRow};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_baselines::CircuitScheduler;
-use ocs_metrics::Report;
+use ocs_metrics::{Report, SweepTiming};
 use ocs_sim::IntraEngine;
 use sunflow_core::SunflowConfig;
 
@@ -26,25 +26,62 @@ const PAPER: [(u64, f64, f64, f64, f64); 3] = [
     (100, 1.04, 1.27, 3.17, 13.83),
 ];
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
+/// Run the B × engine sweep in parallel and produce the report plus its
+/// timing.
+pub fn run_measured() -> (Report, SweepTiming) {
     let coflows = workload();
+
+    let mut sweep = crate::sweep::<Vec<IntraRow>>();
+    for (gbps, ..) in PAPER {
+        for (name, engine) in [
+            ("sunflow", IntraEngine::Sunflow(SunflowConfig::default())),
+            (
+                "solstice",
+                IntraEngine::Baseline(CircuitScheduler::Solstice),
+            ),
+        ] {
+            sweep.add(format!("B={gbps}G/{name}"), move || {
+                eval_intra(coflows, &fabric_gbps(gbps), engine)
+            });
+        }
+    }
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+
     let mut report = Report::new("Figure 3 — intra-Coflow CCT / T_cL, Sunflow vs Solstice");
+    for (i, (gbps, p_sun_avg, p_sun_p95, p_sol_avg, p_sol_p95)) in PAPER.into_iter().enumerate() {
+        let sun = &result.runs[2 * i].value;
+        let sol = &result.runs[2 * i + 1].value;
 
-    for (gbps, p_sun_avg, p_sun_p95, p_sol_avg, p_sol_p95) in PAPER {
-        let fabric = fabric_gbps(gbps);
-        let sun = eval_intra(coflows, &fabric, IntraEngine::Sunflow(SunflowConfig::default()));
-        let sol = eval_intra(coflows, &fabric, IntraEngine::Baseline(CircuitScheduler::Solstice));
+        let sun_avg = mean_of(sun, IntraRow::ratio_tcl);
+        let sun_p95 = p95_of(sun, IntraRow::ratio_tcl);
+        let sol_avg = mean_of(sol, IntraRow::ratio_tcl);
+        let sol_p95 = p95_of(sol, IntraRow::ratio_tcl);
 
-        let sun_avg = mean_of(&sun, IntraRow::ratio_tcl);
-        let sun_p95 = p95_of(&sun, IntraRow::ratio_tcl);
-        let sol_avg = mean_of(&sol, IntraRow::ratio_tcl);
-        let sol_p95 = p95_of(&sol, IntraRow::ratio_tcl);
-
-        report.claim(format!("B={gbps}G Sunflow avg CCT/T_cL"), p_sun_avg, sun_avg, 0.15);
-        report.claim(format!("B={gbps}G Sunflow p95 CCT/T_cL"), p_sun_p95, sun_p95, 0.30);
-        report.claim(format!("B={gbps}G Solstice avg CCT/T_cL"), p_sol_avg, sol_avg, 0.60);
-        report.claim(format!("B={gbps}G Solstice p95 CCT/T_cL"), p_sol_p95, sol_p95, 0.80);
+        report.claim(
+            format!("B={gbps}G Sunflow avg CCT/T_cL"),
+            p_sun_avg,
+            sun_avg,
+            0.15,
+        );
+        report.claim(
+            format!("B={gbps}G Sunflow p95 CCT/T_cL"),
+            p_sun_p95,
+            sun_p95,
+            0.30,
+        );
+        report.claim(
+            format!("B={gbps}G Solstice avg CCT/T_cL"),
+            p_sol_avg,
+            sol_avg,
+            0.60,
+        );
+        report.claim(
+            format!("B={gbps}G Solstice p95 CCT/T_cL"),
+            p_sol_p95,
+            sol_p95,
+            0.80,
+        );
 
         // The structural claims that must hold exactly.
         let sun_max = sun.iter().map(IntraRow::ratio_tcl).fold(0.0, f64::max);
@@ -61,5 +98,10 @@ pub fn run() -> Report {
         "Shape check: Sunflow stays ~1.0x across B; Solstice worsens as B grows \
          (processing time shrinks relative to delta).",
     );
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

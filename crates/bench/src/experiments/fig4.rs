@@ -8,41 +8,80 @@
 use crate::intra_eval::{eval_intra, mean_of, p95_of, IntraRow};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_baselines::CircuitScheduler;
-use ocs_metrics::{cdf_at, Report};
+use ocs_metrics::{cdf_at, Report, SweepTiming};
 use ocs_model::Category;
 use ocs_sim::IntraEngine;
 use sunflow_core::SunflowConfig;
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
-    let fabric = fabric_gbps(1);
+/// Run both engine evaluations in parallel and produce the report plus
+/// its timing.
+pub fn run_measured() -> (Report, SweepTiming) {
     let m2m = |rows: Vec<IntraRow>| -> Vec<IntraRow> {
         rows.into_iter()
             .filter(|r| r.category == Category::ManyToMany)
             .collect()
     };
-    let sun = m2m(eval_intra(
-        workload(),
-        &fabric,
-        IntraEngine::Sunflow(SunflowConfig::default()),
-    ));
-    let sol = m2m(eval_intra(
-        workload(),
-        &fabric,
-        IntraEngine::Baseline(CircuitScheduler::Solstice),
-    ));
+    let mut sweep = crate::sweep::<Vec<IntraRow>>();
+    sweep.add("sunflow", move || {
+        m2m(eval_intra(
+            workload(),
+            &fabric_gbps(1),
+            IntraEngine::Sunflow(SunflowConfig::default()),
+        ))
+    });
+    sweep.add("solstice", move || {
+        m2m(eval_intra(
+            workload(),
+            &fabric_gbps(1),
+            IntraEngine::Baseline(CircuitScheduler::Solstice),
+        ))
+    });
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+    let sun = &result.runs[0].value;
+    let sol = &result.runs[1].value;
 
     let mut report = Report::new("Figure 4 — M2M Coflows: CCT over lower bounds (B=1G)");
-    report.claim("Sunflow avg CCT/T_cL (M2M)", 1.10, mean_of(&sun, IntraRow::ratio_tcl), 0.20);
-    report.claim("Sunflow p95 CCT/T_cL (M2M)", 1.46, p95_of(&sun, IntraRow::ratio_tcl), 0.30);
-    report.claim("Solstice avg CCT/T_cL (M2M)", 2.81, mean_of(&sol, IntraRow::ratio_tcl), 0.60);
-    report.claim("Solstice p95 CCT/T_cL (M2M)", 7.70, p95_of(&sol, IntraRow::ratio_tcl), 0.80);
+    report.claim(
+        "Sunflow avg CCT/T_cL (M2M)",
+        1.10,
+        mean_of(sun, IntraRow::ratio_tcl),
+        0.20,
+    );
+    report.claim(
+        "Sunflow p95 CCT/T_cL (M2M)",
+        1.46,
+        p95_of(sun, IntraRow::ratio_tcl),
+        0.30,
+    );
+    report.claim(
+        "Solstice avg CCT/T_cL (M2M)",
+        2.81,
+        mean_of(sol, IntraRow::ratio_tcl),
+        0.60,
+    );
+    report.claim(
+        "Solstice p95 CCT/T_cL (M2M)",
+        7.70,
+        p95_of(sol, IntraRow::ratio_tcl),
+        0.80,
+    );
 
     // Hard bounds.
     let sun_tcl: Vec<f64> = sun.iter().map(IntraRow::ratio_tcl).collect();
     let sun_tpl: Vec<f64> = sun.iter().map(IntraRow::ratio_tpl).collect();
-    report.claim("fraction of Sunflow CCT/T_cL < 2", 1.0, cdf_at(&sun_tcl, 2.0 - 1e-12), 0.001);
-    report.claim("fraction of Sunflow CCT/T_pL < 4.5", 1.0, cdf_at(&sun_tpl, 4.5), 0.001);
+    report.claim(
+        "fraction of Sunflow CCT/T_cL < 2",
+        1.0,
+        cdf_at(&sun_tcl, 2.0 - 1e-12),
+        0.001,
+    );
+    report.claim(
+        "fraction of Sunflow CCT/T_pL < 4.5",
+        1.0,
+        cdf_at(&sun_tpl, 4.5),
+        0.001,
+    );
 
     // CDF series for the figure.
     for (name, xs) in [
@@ -63,5 +102,10 @@ pub fn run() -> Report {
             .collect();
         report.note(format!("CDF {name}: {}", pts.join(" ")));
     }
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

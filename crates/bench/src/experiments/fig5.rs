@@ -9,29 +9,38 @@
 use crate::intra_eval::{eval_intra, mean_of, IntraRow};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_baselines::CircuitScheduler;
-use ocs_metrics::{cdf_at, pearson, Report};
+use ocs_metrics::{cdf_at, pearson, Report, SweepTiming};
 use ocs_model::Category;
 use ocs_sim::IntraEngine;
 use sunflow_core::SunflowConfig;
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
-    let fabric = fabric_gbps(1);
+/// Run both engine evaluations in parallel and produce the report plus
+/// its timing.
+pub fn run_measured() -> (Report, SweepTiming) {
     let m2m = |rows: Vec<IntraRow>| -> Vec<IntraRow> {
         rows.into_iter()
             .filter(|r| r.category == Category::ManyToMany)
             .collect()
     };
-    let sun = m2m(eval_intra(
-        workload(),
-        &fabric,
-        IntraEngine::Sunflow(SunflowConfig::default()),
-    ));
-    let sol = m2m(eval_intra(
-        workload(),
-        &fabric,
-        IntraEngine::Baseline(CircuitScheduler::Solstice),
-    ));
+    let mut sweep = crate::sweep::<Vec<IntraRow>>();
+    sweep.add("sunflow", move || {
+        m2m(eval_intra(
+            workload(),
+            &fabric_gbps(1),
+            IntraEngine::Sunflow(SunflowConfig::default()),
+        ))
+    });
+    sweep.add("solstice", move || {
+        m2m(eval_intra(
+            workload(),
+            &fabric_gbps(1),
+            IntraEngine::Baseline(CircuitScheduler::Solstice),
+        ))
+    });
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+    let sun = &result.runs[0].value;
+    let sol = &result.runs[1].value;
 
     let mut report = Report::new("Figure 5 — switching count over minimum (M2M, B=1G)");
 
@@ -44,9 +53,14 @@ pub fn run() -> Report {
         cdf_at(&sun_norm, 1.0),
         0.001,
     );
-    report.claim("Sunflow avg normalized switching", 1.0, mean_of(&sun, IntraRow::norm_switching), 0.001);
+    report.claim(
+        "Sunflow avg normalized switching",
+        1.0,
+        mean_of(sun, IntraRow::norm_switching),
+        0.001,
+    );
 
-    let sol_mean = mean_of(&sol, IntraRow::norm_switching);
+    let sol_mean = mean_of(sol, IntraRow::norm_switching);
     report.note(format!(
         "Solstice avg normalized switching: {sol_mean:.2} (paper: 'numerous switchings per subflow')"
     ));
@@ -67,7 +81,15 @@ pub fn run() -> Report {
             .iter()
             .map(|&x| format!("F({x})={:.2}", cdf_at(xs, x)))
             .collect();
-        report.note(format!("CDF {name} normalized switching: {}", pts.join(" ")));
+        report.note(format!(
+            "CDF {name} normalized switching: {}",
+            pts.join(" ")
+        ));
     }
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

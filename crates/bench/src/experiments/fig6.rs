@@ -7,9 +7,9 @@
 //! 10 µs → 0.61 / 0.99. Beyond δ = 1 ms the marginal benefit of faster
 //! switching is very small.
 
-use crate::intra_eval::eval_intra;
+use crate::intra_eval::{eval_intra, IntraRow};
 use crate::workloads::{fabric_gbps, workload, DELTA_SWEEP};
-use ocs_metrics::{mean, percentile, Report};
+use ocs_metrics::{mean, percentile, Report, SweepTiming};
 use ocs_sim::IntraEngine;
 use sunflow_core::SunflowConfig;
 
@@ -22,20 +22,32 @@ const PAPER: [(&str, f64, f64); 5] = [
     ("10us", 0.61, 0.99),
 ];
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
+/// Run the δ sweep in parallel and produce the report plus its timing.
+pub fn run_measured() -> (Report, SweepTiming) {
     let coflows = workload();
     let engine = IntraEngine::Sunflow(SunflowConfig::default());
-    let base = eval_intra(coflows, &fabric_gbps(1), engine);
+
+    let mut sweep = crate::sweep::<Vec<IntraRow>>();
+    sweep.add("baseline delta=10ms", move || {
+        eval_intra(coflows, &fabric_gbps(1), engine)
+    });
+    for (label, delta) in DELTA_SWEEP {
+        sweep.add(format!("delta={label}"), move || {
+            eval_intra(coflows, &fabric_gbps(1).with_delta(delta), engine)
+        });
+    }
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+    let base = &result.runs[0].value;
 
     let mut report = Report::new("Figure 6 — intra-Coflow sensitivity to delta (Sunflow, B=1G)");
-    for ((label, delta), (plabel, p_avg, p_p95)) in DELTA_SWEEP.into_iter().zip(PAPER) {
+    for (i, ((label, _), (plabel, p_avg, p_p95))) in DELTA_SWEEP.into_iter().zip(PAPER).enumerate()
+    {
         debug_assert_eq!(label, plabel);
-        let fabric = fabric_gbps(1).with_delta(delta);
-        let rows = eval_intra(coflows, &fabric, engine);
+        let rows = &result.runs[i + 1].value;
         let normalized: Vec<f64> = rows
             .iter()
-            .zip(&base)
+            .zip(base)
             .map(|(r, b)| r.cct.ratio(b.cct))
             .collect();
         let avg = mean(&normalized).unwrap_or(f64::NAN);
@@ -46,5 +58,10 @@ pub fn run() -> Report {
     report.note(
         "Shape check: large penalty at 100ms; modest gain at 1ms; negligible gain below 100us.",
     );
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

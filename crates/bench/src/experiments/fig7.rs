@@ -8,18 +8,24 @@
 
 use crate::intra_eval::{eval_intra, mean_of, p95_of, IntraRow};
 use crate::workloads::{fabric_gbps, workload};
-use ocs_metrics::{spearman, Report};
+use ocs_metrics::{spearman, Report, SweepTiming};
 use ocs_sim::IntraEngine;
 use sunflow_core::SunflowConfig;
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
-    let fabric = fabric_gbps(1);
-    let rows = eval_intra(
-        workload(),
-        &fabric,
-        IntraEngine::Sunflow(SunflowConfig::default()),
-    );
+/// Run the (single-configuration) evaluation under the sweep engine and
+/// produce the report plus its timing.
+pub fn run_measured() -> (Report, SweepTiming) {
+    let mut sweep = crate::sweep::<Vec<IntraRow>>();
+    sweep.add("sunflow B=1G", move || {
+        eval_intra(
+            workload(),
+            &fabric_gbps(1),
+            IntraEngine::Sunflow(SunflowConfig::default()),
+        )
+    });
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+    let rows = &result.runs[0].value;
     let long: Vec<IntraRow> = rows.iter().filter(|r| r.long).cloned().collect();
 
     let mut report = Report::new("Figure 7 — Sunflow CCT / T_pL, long vs all Coflows (B=1G)");
@@ -27,17 +33,46 @@ pub fn run() -> Report {
     let long_frac = long.len() as f64 / rows.len() as f64;
     report.claim("long Coflow fraction", 0.252, long_frac, 0.30);
 
-    report.claim("long avg CCT/T_pL", 1.09, mean_of(&long, IntraRow::ratio_tpl), 0.20);
-    report.claim("long p95 CCT/T_pL", 1.25, p95_of(&long, IntraRow::ratio_tpl), 0.30);
-    report.claim("overall avg CCT/T_pL", 1.86, mean_of(&rows, IntraRow::ratio_tpl), 0.35);
-    report.claim("overall p95 CCT/T_pL", 2.31, p95_of(&rows, IntraRow::ratio_tpl), 0.35);
+    report.claim(
+        "long avg CCT/T_pL",
+        1.09,
+        mean_of(&long, IntraRow::ratio_tpl),
+        0.20,
+    );
+    report.claim(
+        "long p95 CCT/T_pL",
+        1.25,
+        p95_of(&long, IntraRow::ratio_tpl),
+        0.30,
+    );
+    report.claim(
+        "overall avg CCT/T_pL",
+        1.86,
+        mean_of(rows, IntraRow::ratio_tpl),
+        0.35,
+    );
+    report.claim(
+        "overall p95 CCT/T_pL",
+        2.31,
+        p95_of(rows, IntraRow::ratio_tpl),
+        0.35,
+    );
 
     let max_ratio = rows.iter().map(IntraRow::ratio_tpl).fold(0.0, f64::max);
     report.note(format!(
         "max CCT/T_pL = {max_ratio:.3} (theoretical cap 4.5 with the 1 MB floor): {}",
-        if max_ratio <= 4.5 { "holds" } else { "VIOLATED" }
+        if max_ratio <= 4.5 {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
-    report.claim("all CCT/T_pL within 4.5", 1.0, if max_ratio <= 4.5 { 1.0 } else { 0.0 }, 0.001);
+    report.claim(
+        "all CCT/T_pL within 4.5",
+        1.0,
+        if max_ratio <= 4.5 { 1.0 } else { 0.0 },
+        0.001,
+    );
 
     // Rank correlation between p_avg and CCT/T_pL (paper: -0.96).
     let pavg: Vec<f64> = rows.iter().map(|r| r.pavg.as_secs_f64()).collect();
@@ -49,5 +84,10 @@ pub fn run() -> Report {
         "Shape check: as p_avg grows, circuit duty cycle grows and CCT/T_pL -> 1 — \
          Sunflow approaches packet switching for the Coflows that carry the bytes.",
     );
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

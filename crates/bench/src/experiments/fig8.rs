@@ -10,9 +10,9 @@
 //! Aalo; only in heavily underutilized networks (81 %, 98 %) does the
 //! circuit-switching penalty dominate (up to 3.27x of Varys at 98 %).
 
-use crate::inter_eval::{avg_cct_secs, eval_inter, InterEngine};
+use crate::inter_eval::{avg_cct_secs, eval_inter, InterEngine, InterRow};
 use crate::workloads::{fabric_gbps, workload};
-use ocs_metrics::Report;
+use ocs_metrics::{Report, SweepTiming};
 use ocs_model::Coflow;
 use ocs_workload::{network_idleness, scale_to_idleness};
 
@@ -31,38 +31,62 @@ pub struct Setting {
     pub vs_aalo: f64,
 }
 
-/// Run all settings; returns them alongside the report.
-pub fn run_settings() -> Vec<Setting> {
+/// Run all settings (every load case × engine as one parallel sweep);
+/// returns them alongside the sweep timing.
+pub fn run_settings_measured() -> (Vec<Setting>, SweepTiming) {
     let base = workload();
-    let mut out = Vec::new();
+    // Materialize the load cases up front so the sweep's jobs are pure
+    // scheduling work over shared borrowed traces.
+    let mut cases: Vec<(String, u64, Vec<Coflow>)> = Vec::new();
     for gbps in [1u64, 10, 100] {
         let fabric = fabric_gbps(gbps);
-        let mut cases: Vec<(String, Vec<Coflow>)> =
-            vec![("original".into(), base.to_vec())];
+        cases.push((format!("B={gbps}G original"), gbps, base.to_vec()));
         for target in [0.20, 0.40] {
             let (scaled, _) = scale_to_idleness(base, &fabric, target);
-            cases.push((format!("{:.0}% idleness", target * 100.0), scaled));
-        }
-        for (label, coflows) in cases {
-            let idleness = network_idleness(&coflows, &fabric);
-            let sun = avg_cct_secs(&eval_inter(&coflows, &fabric, InterEngine::Sunflow));
-            let varys = avg_cct_secs(&eval_inter(&coflows, &fabric, InterEngine::Varys));
-            let aalo = avg_cct_secs(&eval_inter(&coflows, &fabric, InterEngine::Aalo));
-            out.push(Setting {
-                label: format!("B={gbps}G {label}"),
+            cases.push((
+                format!("B={gbps}G {:.0}% idleness", target * 100.0),
                 gbps,
-                idleness,
-                vs_varys: sun / varys,
-                vs_aalo: sun / aalo,
+                scaled,
+            ));
+        }
+    }
+
+    const ENGINES: [InterEngine; 3] = [InterEngine::Sunflow, InterEngine::Varys, InterEngine::Aalo];
+    let mut sweep = crate::sweep::<Vec<InterRow>>();
+    for (label, gbps, coflows) in &cases {
+        for engine in ENGINES {
+            let gbps = *gbps;
+            sweep.add(format!("{label}/{}", engine.name()), move || {
+                eval_inter(coflows, &fabric_gbps(gbps), engine)
             });
         }
     }
-    out
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+
+    let mut out = Vec::new();
+    for (i, (label, gbps, coflows)) in cases.iter().enumerate() {
+        let avg = |k: usize| avg_cct_secs(&result.runs[ENGINES.len() * i + k].value);
+        let (sun, varys, aalo) = (avg(0), avg(1), avg(2));
+        out.push(Setting {
+            label: label.clone(),
+            gbps: *gbps,
+            idleness: network_idleness(coflows, &fabric_gbps(*gbps)),
+            vs_varys: sun / varys,
+            vs_aalo: sun / aalo,
+        });
+    }
+    (out, timing)
 }
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
-    let settings = run_settings();
+/// Run all settings; returns them alongside the report.
+pub fn run_settings() -> Vec<Setting> {
+    run_settings_measured().0
+}
+
+/// Run the experiment and produce the report plus its sweep timing.
+pub fn run_measured() -> (Report, SweepTiming) {
+    let (settings, timing) = run_settings_measured();
     let mut report = Report::new("Figure 8 — normalized average CCT vs network idleness");
 
     for s in &settings {
@@ -77,7 +101,10 @@ pub fn run() -> Report {
 
     // The paper's qualitative claims, mapped onto our measured idleness.
     // (a) At the original 1 Gbps load, Sunflow matches Varys.
-    if let Some(s) = settings.iter().find(|s| s.gbps == 1 && s.label.contains("original")) {
+    if let Some(s) = settings
+        .iter()
+        .find(|s| s.gbps == 1 && s.label.contains("original"))
+    {
         report.claim("Sunflow/Varys at original 1G load", 0.98, s.vs_varys, 0.25);
         report.claim("Sunflow/Aalo at original 1G load", 0.48, s.vs_aalo, 0.60);
     }
@@ -88,21 +115,37 @@ pub fn run() -> Report {
         .filter(|s| s.label.contains("idleness"))
         .collect();
     let worst_busy = busy.iter().map(|s| s.vs_varys).fold(0.0, f64::max);
-    report.claim("worst Sunflow/Varys at 20-40% idleness", 1.01, worst_busy, 0.25);
+    report.claim(
+        "worst Sunflow/Varys at 20-40% idleness",
+        1.01,
+        worst_busy,
+        0.25,
+    );
     let worst_busy_aalo = busy.iter().map(|s| s.vs_aalo).fold(0.0, f64::max);
-    report.claim("worst Sunflow/Aalo at 20-40% idleness", 0.83, worst_busy_aalo, 0.40);
+    report.claim(
+        "worst Sunflow/Aalo at 20-40% idleness",
+        0.83,
+        worst_busy_aalo,
+        0.40,
+    );
     // (c) Underutilized networks punish circuit switching: the
     // original-bytes setting at 100 G has very high idleness, and the
     // ratio to Varys exceeds 1.
-    if let Some(s) = settings.iter().find(|s| s.gbps == 100 && s.label.contains("original")) {
+    if let Some(s) = settings
+        .iter()
+        .find(|s| s.gbps == 100 && s.label.contains("original"))
+    {
         report.claim("Sunflow/Varys at idle 100G load", 3.27, s.vs_varys, 0.80);
         report.note(format!(
             "100G original idleness measured {:.0}% (paper 98%)",
             s.idleness * 100.0
         ));
     }
-    report.note(
-        "Shape check: ratios ~1 under load; circuit penalty grows as the network empties.",
-    );
-    report
+    report.note("Shape check: ratios ~1 under load; circuit penalty grows as the network empties.");
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

@@ -11,7 +11,7 @@
 
 use crate::inter_eval::{eval_inter, InterEngine, InterRow};
 use crate::workloads::{fabric_gbps, workload};
-use ocs_metrics::{mean, Report};
+use ocs_metrics::{mean, Report, SweepTiming};
 
 fn ratios(sun: &[InterRow], other: &[InterRow], long: Option<bool>) -> Vec<f64> {
     sun.iter()
@@ -21,26 +21,64 @@ fn ratios(sun: &[InterRow], other: &[InterRow], long: Option<bool>) -> Vec<f64> 
         .collect()
 }
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
-    let fabric = fabric_gbps(1);
+/// Run the three engine evaluations in parallel and produce the report
+/// plus its timing.
+pub fn run_measured() -> (Report, SweepTiming) {
     let coflows = workload();
-    let sun = eval_inter(coflows, &fabric, InterEngine::Sunflow);
-    let varys = eval_inter(coflows, &fabric, InterEngine::Varys);
-    let aalo = eval_inter(coflows, &fabric, InterEngine::Aalo);
+    let mut sweep = crate::sweep::<Vec<InterRow>>();
+    for engine in [InterEngine::Sunflow, InterEngine::Varys, InterEngine::Aalo] {
+        sweep.add(engine.name(), move || {
+            eval_inter(coflows, &fabric_gbps(1), engine)
+        });
+    }
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+    let sun = &result.runs[0].value;
+    let varys = &result.runs[1].value;
+    let aalo = &result.runs[2].value;
 
     let mut report = Report::new("Figure 9 — per-Coflow CCT: Sunflow vs Varys/Aalo (B=1G)");
 
     let avg = |xs: Vec<f64>| mean(&xs).unwrap_or(f64::NAN);
-    report.claim("avg CCT ratio vs Varys (all)", 1.87, avg(ratios(&sun, &varys, None)), 0.50);
-    report.claim("avg CCT ratio vs Aalo (all)", 1.69, avg(ratios(&sun, &aalo, None)), 0.50);
-    report.claim("avg CCT ratio vs Varys (short)", 2.16, avg(ratios(&sun, &varys, Some(false))), 0.55);
-    report.claim("avg CCT ratio vs Aalo (short)", 1.96, avg(ratios(&sun, &aalo, Some(false))), 0.55);
-    report.claim("avg CCT ratio vs Varys (long)", 1.07, avg(ratios(&sun, &varys, Some(true))), 0.35);
-    report.claim("avg CCT ratio vs Aalo (long)", 0.90, avg(ratios(&sun, &aalo, Some(true))), 0.40);
+    report.claim(
+        "avg CCT ratio vs Varys (all)",
+        1.87,
+        avg(ratios(sun, varys, None)),
+        0.50,
+    );
+    report.claim(
+        "avg CCT ratio vs Aalo (all)",
+        1.69,
+        avg(ratios(sun, aalo, None)),
+        0.50,
+    );
+    report.claim(
+        "avg CCT ratio vs Varys (short)",
+        2.16,
+        avg(ratios(sun, varys, Some(false))),
+        0.55,
+    );
+    report.claim(
+        "avg CCT ratio vs Aalo (short)",
+        1.96,
+        avg(ratios(sun, aalo, Some(false))),
+        0.55,
+    );
+    report.claim(
+        "avg CCT ratio vs Varys (long)",
+        1.07,
+        avg(ratios(sun, varys, Some(true))),
+        0.35,
+    );
+    report.claim(
+        "avg CCT ratio vs Aalo (long)",
+        0.90,
+        avg(ratios(sun, aalo, Some(true))),
+        0.40,
+    );
 
     // Delta-CCT sign structure across the T_pL axis.
-    for (name, other) in [("Varys", &varys), ("Aalo", &aalo)] {
+    for (name, other) in [("Varys", varys), ("Aalo", aalo)] {
         let mut buckets: Vec<(f64, usize, usize)> = Vec::new(); // (edge, faster, slower)
         for (s, o) in sun.iter().zip(other.iter()) {
             let tpl = s.tpl.as_secs_f64();
@@ -78,5 +116,10 @@ pub fn run() -> Report {
         "Shape check: Sunflow loses on small coflows (delta penalty), wins increasingly \
          often as T_pL grows.",
     );
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

@@ -7,60 +7,89 @@
 //! traffic split, quantifying when the hybrid beats the pure OCS.
 
 use crate::workloads::{fabric_gbps, workload};
-use ocs_metrics::{mean, Report};
+use ocs_metrics::{mean, Report, SweepTiming};
+use ocs_model::Fabric;
 use ocs_sim::{simulate_circuit, simulate_hybrid, HybridConfig, OnlineConfig};
 use ocs_workload::MB;
 use sunflow_core::ShortestFirst;
 
-/// Sweep offload thresholds on one fabric; returns
-/// `(pure_avg, best_hybrid_avg)` and appends the series to the report.
-fn sweep(report: &mut Report, fabric: &ocs_model::Fabric, label: &str) -> (f64, f64) {
+/// One replay's outcome: average CCT plus the circuit/packet flow split
+/// (0/0 for the pure OCS).
+type Run = (f64, usize, usize);
+
+fn avg_cct(finishes: Vec<f64>) -> f64 {
+    mean(&finishes).unwrap_or(f64::NAN)
+}
+
+fn add_jobs<'a>(sweep: &mut ocs_sim::Sweep<'a, Run>, fabric: &'a Fabric, label: &str) {
     let coflows = workload();
-    let avg = |finishes: Vec<f64>| mean(&finishes).unwrap_or(f64::NAN);
-
-    let pure = simulate_circuit(coflows, fabric, &OnlineConfig::default(), &ShortestFirst);
-    let pure_avg = avg(pure
-        .outcomes
-        .iter()
-        .zip(coflows)
-        .map(|(o, c)| o.cct(c.arrival()).as_secs_f64())
-        .collect());
-    report.note(format!("[{label}] pure OCS: avg CCT {pure_avg:.3}s"));
-
-    let mut best_hybrid = f64::INFINITY;
+    sweep.add(format!("[{label}] pure"), move || {
+        let pure = simulate_circuit(coflows, fabric, &OnlineConfig::default(), &ShortestFirst);
+        let avg = avg_cct(
+            pure.outcomes
+                .iter()
+                .zip(coflows)
+                .map(|(o, c)| o.cct(c.arrival()).as_secs_f64())
+                .collect(),
+        );
+        (avg, 0, 0)
+    });
     for threshold_mb in [2u64, 8, 32] {
-        let cfg = HybridConfig {
-            small_flow_threshold: threshold_mb * MB,
-            packet_bandwidth_fraction: 0.1,
-            ..HybridConfig::default()
-        };
-        let h = simulate_hybrid(coflows, fabric, &cfg, &ShortestFirst);
-        let h_avg = avg(h
-            .outcomes
-            .iter()
-            .zip(coflows)
-            .map(|(o, c)| o.cct(c.arrival()).as_secs_f64())
-            .collect());
+        sweep.add(format!("[{label}] offload<{threshold_mb}MB"), move || {
+            let cfg = HybridConfig {
+                small_flow_threshold: threshold_mb * MB,
+                packet_bandwidth_fraction: 0.1,
+                ..HybridConfig::default()
+            };
+            let h = simulate_hybrid(coflows, fabric, &cfg, &ShortestFirst);
+            let avg = avg_cct(
+                h.outcomes
+                    .iter()
+                    .zip(coflows)
+                    .map(|(o, c)| o.cct(c.arrival()).as_secs_f64())
+                    .collect(),
+            );
+            (avg, h.circuit_flows, h.packet_flows)
+        });
+    }
+}
+
+/// Digest one fabric's four runs into report notes; returns
+/// `(pure_avg, best_hybrid_avg)`.
+fn digest(report: &mut Report, runs: &[ocs_sim::SweepRun<Run>], label: &str) -> (f64, f64) {
+    let (pure_avg, ..) = runs[0].value;
+    report.note(format!("[{label}] pure OCS: avg CCT {pure_avg:.3}s"));
+    let mut best_hybrid = f64::INFINITY;
+    for (run, threshold_mb) in runs[1..].iter().zip([2u64, 8, 32]) {
+        let (h_avg, circuit, packet) = run.value;
         best_hybrid = best_hybrid.min(h_avg);
         report.note(format!(
             "[{label}] hybrid, offload < {threshold_mb} MB (10% packet bw): avg CCT {h_avg:.3}s \
-             ({} circuit / {} packet flows) — {:.2}x of pure OCS",
-            h.circuit_flows,
-            h.packet_flows,
+             ({circuit} circuit / {packet} packet flows) — {:.2}x of pure OCS",
             h_avg / pure_avg
         ));
     }
     (pure_avg, best_hybrid)
 }
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
+/// Run both fabrics' offload sweeps as one parallel sweep; produce the
+/// report plus its timing.
+pub fn run_measured() -> (Report, SweepTiming) {
+    let fast = fabric_gbps(1);
+    let slow = fabric_gbps(1).with_delta(ocs_model::Dur::from_millis(100));
+
+    let mut sweep = crate::sweep::<Run>();
+    add_jobs(&mut sweep, &fast, "delta=10ms");
+    add_jobs(&mut sweep, &slow, "delta=100ms");
+    let result = sweep.run();
+    let timing = crate::timing_of(&result);
+
     let mut report = Report::new("Extension — hybrid circuit/packet offload threshold sweep");
 
     // At the default 10 ms MEMS delay under heavy load, the pure OCS
     // should hold its own — the paper's thesis that Sunflow makes the
     // pure circuit fabric viable.
-    let (pure_10, best_10) = sweep(&mut report, &fabric_gbps(1), "delta=10ms");
+    let (pure_10, best_10) = digest(&mut report, &result.runs[0..4], "delta=10ms");
     report.claim(
         "at delta=10ms/heavy load, pure OCS within 5% of the best hybrid",
         1.0,
@@ -70,8 +99,7 @@ pub fn run() -> Report {
 
     // With a slow (100 ms) switch, small flows drown in reconfigurations
     // and the packet offload wins — the regime hybrids were built for.
-    let slow = fabric_gbps(1).with_delta(ocs_model::Dur::from_millis(100));
-    let (pure_100, best_100) = sweep(&mut report, &slow, "delta=100ms");
+    let (pure_100, best_100) = digest(&mut report, &result.runs[4..8], "delta=100ms");
     report.claim(
         "at delta=100ms, some offload threshold beats the pure OCS",
         1.0,
@@ -83,5 +111,10 @@ pub fn run() -> Report {
          with a fast MEMS switch and a busy fabric the offload buys nothing, \
          with a slow switch it is decisive.",
     );
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

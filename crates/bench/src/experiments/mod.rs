@@ -5,7 +5,6 @@ pub mod ablations;
 pub mod aggregate_baseline;
 pub mod baseline_gap;
 pub mod fairshare_gap;
-pub mod hybrid;
 pub mod fig10;
 pub mod fig3;
 pub mod fig4;
@@ -14,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod hybrid;
 pub mod ordering;
 pub mod table3;
 pub mod table4;

@@ -19,7 +19,7 @@ pub fn run() -> Report {
         eval_intra(
             coflows,
             &fabric,
-            IntraEngine::Sunflow(SunflowConfig { order, ..SunflowConfig::default() }),
+            IntraEngine::Sunflow(SunflowConfig::default().order(order)),
         )
     };
     let base = eval(FlowOrder::OrderedPort);

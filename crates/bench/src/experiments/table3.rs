@@ -13,9 +13,9 @@
 //!    compute time stays flat (it never looks at idle ports).
 
 use ocs_baselines::CircuitScheduler;
-use ocs_metrics::Report;
+use ocs_metrics::{Report, SweepTiming};
 use ocs_model::{Bandwidth, Coflow, DemandMatrix, Dur, Fabric};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use sunflow_core::{IntraScheduler, Prt, SunflowConfig};
 
 /// A deterministic dense shuffle Coflow of `n x n` flows with varied
@@ -36,9 +36,13 @@ pub fn sparse_coflow(n: usize, flows: usize) -> Coflow {
     let mut state = 0x1234_5678_u64;
     let mut made = 0;
     while made < flows {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let i = (state >> 33) as usize % n;
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % n;
         let before = b.clone().try_build().map_or(0, |c| c.num_flows());
         b = b.flow(i, j, 2_000_000);
@@ -72,30 +76,74 @@ fn sunflow_time(coflow: &Coflow, fabric: &Fabric) -> f64 {
     let intra = IntraScheduler::new(fabric, SunflowConfig::default());
     time_it(|| {
         let mut prt = Prt::new(fabric.ports());
-        std::hint::black_box(intra.schedule_on(&mut prt, std::hint::black_box(coflow), ocs_model::Time::ZERO));
+        std::hint::black_box(intra.schedule_on(
+            &mut prt,
+            std::hint::black_box(coflow),
+            ocs_model::Time::ZERO,
+        ));
     })
 }
 
-/// Run the experiment and produce the report.
-pub fn run() -> Report {
+/// Run the experiment and produce the report plus per-measurement
+/// timings.
+///
+/// Timing-measurement jobs interfere when co-scheduled, so this sweep
+/// deliberately uses [`ocs_sim::Sweep::run_sequential`]; each job reports
+/// its median scheduler time as the sweep's `compute` column.
+pub fn run_measured() -> (Report, SweepTiming) {
     let mut report = Report::new("Table 3 — empirical scheduler compute-time scaling");
 
     // 1. Dense shuffles.
     let sizes = [8usize, 16, 32, 48];
-    let mut times: Vec<(String, Vec<f64>)> = vec![
-        ("Sunflow".into(), Vec::new()),
-        ("Solstice".into(), Vec::new()),
-        ("TMS".into(), Vec::new()),
-        ("Edmond".into(), Vec::new()),
+    const SCHEDULERS: [(&str, Option<CircuitScheduler>); 4] = [
+        ("Sunflow", None),
+        ("Solstice", Some(CircuitScheduler::Solstice)),
+        ("TMS", Some(CircuitScheduler::Tms)),
+        ("Edmond", None), // edmond_default() is not const; resolved below
     ];
+    let mut sweep = crate::sweep::<f64>();
     for &n in &sizes {
-        let coflow = dense_shuffle(n);
-        let fabric = Fabric::new(n, Bandwidth::GBPS, Dur::from_millis(10));
-        times[0].1.push(sunflow_time(&coflow, &fabric));
-        times[1].1.push(schedule_time(CircuitScheduler::Solstice, &coflow, &fabric));
-        times[2].1.push(schedule_time(CircuitScheduler::Tms, &coflow, &fabric));
-        times[3].1.push(schedule_time(CircuitScheduler::edmond_default(), &coflow, &fabric));
+        for (name, sched) in SCHEDULERS {
+            let sched = if name == "Edmond" {
+                Some(CircuitScheduler::edmond_default())
+            } else {
+                sched
+            };
+            sweep.add_measured(format!("dense {name} N={n}"), move || {
+                let coflow = dense_shuffle(n);
+                let fabric = Fabric::new(n, Bandwidth::GBPS, Dur::from_millis(10));
+                let t = match sched {
+                    Some(s) => schedule_time(s, &coflow, &fabric),
+                    None => sunflow_time(&coflow, &fabric),
+                };
+                (t, Duration::from_secs_f64(t))
+            });
+        }
     }
+    // 2. Fixed |C| = 64 on growing fabrics: Sunflow must stay flat.
+    let ports = [64usize, 256, 1024];
+    for &n in &ports {
+        sweep.add_measured(format!("fixed Sunflow N={n}"), move || {
+            let coflow = sparse_coflow(n, 64);
+            let fabric = Fabric::new(n, Bandwidth::GBPS, Dur::from_millis(10));
+            let t = sunflow_time(&coflow, &fabric);
+            (t, Duration::from_secs_f64(t))
+        });
+    }
+    let result = sweep.run_sequential();
+    let timing = crate::timing_of(&result);
+
+    let names = ["Sunflow", "Solstice", "TMS", "Edmond"];
+    let times: Vec<(String, Vec<f64>)> = names
+        .iter()
+        .enumerate()
+        .map(|(k, name)| {
+            let ts = (0..sizes.len())
+                .map(|si| result.runs[si * names.len() + k].value)
+                .collect();
+            (name.to_string(), ts)
+        })
+        .collect();
     for (name, ts) in &times {
         let series: Vec<String> = sizes
             .iter()
@@ -105,17 +153,16 @@ pub fn run() -> Report {
         // Log-log slope between the first and last point.
         let slope = (ts[ts.len() - 1] / ts[0]).ln()
             / (sizes[sizes.len() - 1] as f64 / sizes[0] as f64).ln();
-        report.note(format!("dense {name}: {} (growth ~N^{slope:.1})", series.join("  ")));
+        report.note(format!(
+            "dense {name}: {} (growth ~N^{slope:.1})",
+            series.join("  ")
+        ));
     }
 
-    // 2. Fixed |C| = 64 on growing fabrics: Sunflow must stay flat.
-    let ports = [64usize, 256, 1024];
-    let mut sun_fixed = Vec::new();
-    for &n in &ports {
-        let coflow = sparse_coflow(n, 64);
-        let fabric = Fabric::new(n, Bandwidth::GBPS, Dur::from_millis(10));
-        sun_fixed.push(sunflow_time(&coflow, &fabric));
-    }
+    let fixed_base = sizes.len() * names.len();
+    let sun_fixed: Vec<f64> = (0..ports.len())
+        .map(|pi| result.runs[fixed_base + pi].value)
+        .collect();
     report.note(format!(
         "fixed |C|=64: Sunflow {} — complexity tracks |C|, not N",
         ports
@@ -128,7 +175,12 @@ pub fn run() -> Report {
     // Sunflow time on N=1024 should not blow up relative to N=64
     // (allowing generous noise + PRT allocation costs).
     let growth = sun_fixed[2] / sun_fixed[0].max(1e-9);
-    report.claim("Sunflow slowdown, N 64->1024 at fixed |C|", 1.0, growth, 9.0);
+    report.claim(
+        "Sunflow slowdown, N 64->1024 at fixed |C|",
+        1.0,
+        growth,
+        9.0,
+    );
 
     // Ordering claim: on the densest instance, Sunflow (O(|C|^2) = O(N^4)
     // with small constants) must still be far from the slowest; TMS must
@@ -137,8 +189,17 @@ pub fn run() -> Report {
     report.claim(
         "TMS slower than Solstice on dense N=48",
         1.0,
-        if times[2].1[last] > times[1].1[last] { 1.0 } else { 0.0 },
+        if times[2].1[last] > times[1].1[last] {
+            1.0
+        } else {
+            0.0
+        },
         0.001,
     );
-    report
+    (report, timing)
+}
+
+/// Run the experiment and produce the report.
+pub fn run() -> Report {
+    run_measured().0
 }

@@ -22,7 +22,13 @@ pub fn run() -> Report {
     let total_bytes: u64 = coflows.iter().map(|c| c.total_bytes()).sum();
 
     let mut report = Report::new("Table 4 — Coflows by sender-to-receiver ratio");
-    let mut table = Table::new(["category", "coflow% (paper)", "coflow% (ours)", "bytes% (paper)", "bytes% (ours)"]);
+    let mut table = Table::new([
+        "category",
+        "coflow% (paper)",
+        "coflow% (ours)",
+        "bytes% (paper)",
+        "bytes% (ours)",
+    ]);
 
     for (cat, p_count, p_bytes) in PAPER {
         let ours: Vec<_> = coflows.iter().filter(|c| c.category() == cat).collect();

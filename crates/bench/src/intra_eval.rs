@@ -92,7 +92,10 @@ mod tests {
     fn rows_carry_consistent_bounds() {
         let f = Fabric::new(8, Bandwidth::GBPS, Dur::from_millis(10));
         let cs = vec![
-            Coflow::builder(0).flow(0, 0, 5_000_000).flow(1, 1, 1_000_000).build(),
+            Coflow::builder(0)
+                .flow(0, 0, 5_000_000)
+                .flow(1, 1, 1_000_000)
+                .build(),
             Coflow::builder(1).flow(0, 1, 12_000_000).build(),
         ];
         let rows = eval_intra(&cs, &f, IntraEngine::Sunflow(SunflowConfig::default()));
@@ -108,16 +111,20 @@ mod tests {
 
 #[cfg(test)]
 mod probe {
-    
+
     use crate::workloads::{fabric_gbps, workload};
-    use ocs_baselines::{CircuitScheduler};
-    use ocs_model::{DemandMatrix, Category, Time};
+    use ocs_baselines::CircuitScheduler;
+    use ocs_model::{Category, DemandMatrix, Time};
 
     #[test]
     #[ignore]
     fn probe_solstice() {
         let fabric = fabric_gbps(1);
-        for c in workload().iter().filter(|c| c.category() == Category::ManyToMany).take(8) {
+        for c in workload()
+            .iter()
+            .filter(|c| c.category() == Category::ManyToMany)
+            .take(8)
+        {
             // compact like service_coflow does
             let o = CircuitScheduler::Solstice.service_coflow(c, &fabric, Time::ZERO);
             let tcl = ocs_model::circuit_lower_bound(c, &fabric);

@@ -9,7 +9,11 @@
 //! Knobs (environment variables):
 //! * `OCS_TRACE_FILE` — path to a real `coflow-benchmark` trace to use
 //!   instead of the calibrated synthetic workload;
-//! * `OCS_BENCH_COFLOWS` — truncate the workload for quick runs.
+//! * `OCS_BENCH_COFLOWS` — truncate the workload for quick runs;
+//! * `OCS_BENCH_THREADS` — worker threads for the sweep engine
+//!   (default: all cores);
+//! * `OCS_BENCH_JSON_DIR` — where to write `BENCH_<id>.json` records
+//!   (default: current directory).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,7 +23,35 @@ pub mod inter_eval;
 pub mod intra_eval;
 pub mod workloads;
 
-use ocs_metrics::Report;
+use ocs_metrics::{Report, RunTiming, SweepTiming};
+use ocs_sim::{Sweep, SweepBuilder, SweepResult};
+
+/// A sweep configured from the environment (`OCS_BENCH_THREADS`).
+pub fn sweep<'a, T: Send>() -> Sweep<'a, T> {
+    let threads = std::env::var("OCS_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    SweepBuilder::new().threads(threads).build()
+}
+
+/// Extract the timing summary of a finished sweep.
+pub fn timing_of<T>(result: &SweepResult<T>) -> SweepTiming {
+    SweepTiming {
+        runs: result
+            .runs
+            .iter()
+            .map(|r| RunTiming {
+                label: r.label.clone(),
+                wall_s: r.wall.as_secs_f64(),
+                compute_s: r.compute.map(|d| d.as_secs_f64()),
+            })
+            .collect(),
+        wall_s: result.wall.as_secs_f64(),
+        threads: result.threads,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
 
 /// Print a report (with a truncation warning when applicable) and return
 /// whether all claims held.
@@ -31,4 +63,18 @@ pub fn emit(report: &Report) -> bool {
     }
     println!("{}", report.render());
     report.all_hold()
+}
+
+/// [`emit`] plus the sweep timing table, and write the experiment's
+/// `BENCH_<id>.json` record to `OCS_BENCH_JSON_DIR` (default: cwd).
+pub fn emit_timed(id: &str, report: &Report, timing: &SweepTiming) -> bool {
+    let ok = emit(report);
+    println!("{}", timing.render());
+    let dir = std::env::var_os("OCS_BENCH_JSON_DIR")
+        .map_or_else(|| std::path::PathBuf::from("."), Into::into);
+    match ocs_metrics::write_bench_json(&dir, id, report, timing, workloads::truncated()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_{id}.json: {e}"),
+    }
+    ok
 }

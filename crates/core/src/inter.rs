@@ -79,7 +79,10 @@ impl ClassThenShortest {
 
     /// The class a Coflow belongs to.
     pub fn class_of(&self, coflow: &Coflow) -> u32 {
-        *self.classes.get(&coflow.id()).unwrap_or(&self.default_class)
+        *self
+            .classes
+            .get(&coflow.id())
+            .unwrap_or(&self.default_class)
     }
 }
 
@@ -219,7 +222,10 @@ mod tests {
     fn figure2_truncation_behaviour() {
         let f = fabric();
         // C1: two flows from in.0; C2 shares out.1 via in.1.
-        let c1 = Coflow::builder(0).flow(0, 0, mb(1)).flow(0, 1, mb(1)).build();
+        let c1 = Coflow::builder(0)
+            .flow(0, 0, mb(1))
+            .flow(0, 1, mb(1))
+            .build();
         let c2 = Coflow::builder(1).flow(1, 1, mb(100)).build();
         let inter = InterScheduler::new(&f, SunflowConfig::default());
         let schedules = inter.schedule_batch(&[c1.clone(), c2.clone()], &ShortestFirst);
@@ -289,8 +295,14 @@ mod tests {
     fn batch_satisfies_all_demand() {
         let f = fabric();
         let coflows = vec![
-            Coflow::builder(0).flow(0, 0, mb(3)).flow(1, 1, mb(2)).build(),
-            Coflow::builder(1).flow(0, 1, mb(5)).flow(1, 0, mb(7)).build(),
+            Coflow::builder(0)
+                .flow(0, 0, mb(3))
+                .flow(1, 1, mb(2))
+                .build(),
+            Coflow::builder(1)
+                .flow(0, 1, mb(5))
+                .flow(1, 0, mb(7))
+                .build(),
             Coflow::builder(2).flow(2, 2, mb(1)).build(),
         ];
         let inter = InterScheduler::new(&f, SunflowConfig::default());

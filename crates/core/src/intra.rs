@@ -22,8 +22,7 @@ use ocs_model::{
 /// The order in which Algorithm 1 considers the demand entries of a
 /// Coflow. Lemma 1 holds for every ordering; §5.3.1 of the paper measures
 /// the (small) performance differences between these three.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum FlowOrder {
     /// Sort by `(src, dst)` port label — the paper's default.
     #[default]
@@ -37,9 +36,25 @@ pub enum FlowOrder {
     SortedDemand,
 }
 
-
 /// Configuration of the Sunflow scheduler.
+///
+/// Construct it fluently from the default:
+///
+/// ```
+/// use sunflow_core::{FlowOrder, SunflowConfig};
+/// use ocs_model::Dur;
+///
+/// let cfg = SunflowConfig::default()
+///     .order(FlowOrder::SortedDemand)
+///     .quantum(Dur::from_millis(10));
+/// assert_eq!(cfg.order, FlowOrder::SortedDemand);
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: new knobs may appear without a
+/// breaking change, so downstream code must use the builder methods
+/// rather than struct literals.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SunflowConfig {
     /// Demand-consideration order (Algorithm 1 line 3, "shuffle P if
     /// desired").
@@ -55,12 +70,22 @@ pub struct SunflowConfig {
 }
 
 impl SunflowConfig {
+    /// Set the demand-consideration order.
+    pub fn order(mut self, order: FlowOrder) -> SunflowConfig {
+        self.order = order;
+        self
+    }
+
+    /// Set (or clear, with `None`) the §6 demand quantum.
+    pub fn quantum(mut self, quantum: impl Into<Option<Dur>>) -> SunflowConfig {
+        self.quantum = quantum.into();
+        self
+    }
+
     /// Round a demand up per the configured quantum.
     pub fn quantize(&self, p: Dur) -> Dur {
         match self.quantum {
-            Some(q) if !q.is_zero() => {
-                Dur::from_ps(p.as_ps().div_ceil(q.as_ps()) * q.as_ps())
-            }
+            Some(q) if !q.is_zero() => Dur::from_ps(p.as_ps().div_ceil(q.as_ps()) * q.as_ps()),
             _ => p,
         }
     }
@@ -482,7 +507,7 @@ mod tests {
             FlowOrder::Random { seed: 1 },
             FlowOrder::Random { seed: 99 },
         ] {
-            let s = IntraScheduler::new(&f, SunflowConfig { order, ..SunflowConfig::default() }).schedule(&c);
+            let s = IntraScheduler::new(&f, SunflowConfig::default().order(order)).schedule(&c);
             validate_port_constraints(s.reservations()).unwrap();
             assert!(lemma1_holds(s.cct(), &c, &f), "order {order:?}");
             // Demand satisfied exactly: each flow's reservations deliver
@@ -509,10 +534,7 @@ mod tests {
             }
         }
         let c = b.build();
-        let cfg = SunflowConfig {
-            order: FlowOrder::Random { seed: 7 },
-            ..SunflowConfig::default()
-        };
+        let cfg = SunflowConfig::default().order(FlowOrder::Random { seed: 7 });
         let a = IntraScheduler::new(&f, cfg).schedule(&c);
         let b2 = IntraScheduler::new(&f, cfg).schedule(&c);
         assert_eq!(a.reservations(), b2.reservations());
@@ -557,7 +579,14 @@ mod tests {
             dst: 0,
             remaining: Dur::from_millis(40),
         }];
-        let rs = schedule_demands(&mut prt, 1, &demands, Time::ZERO, delta, SunflowConfig::default());
+        let rs = schedule_demands(
+            &mut prt,
+            1,
+            &demands,
+            Time::ZERO,
+            delta,
+            SunflowConfig::default(),
+        );
         // First reservation truncated at 30 ms (delivers 20 ms of data),
         // second starts at 60 ms for the remaining 20 ms + delta.
         assert_eq!(rs.len(), 2);
@@ -590,8 +619,14 @@ mod tests {
             dst: 0,
             remaining: Dur::from_millis(10),
         }];
-        let rs =
-            schedule_demands(&mut prt, 1, &demands, Time::ZERO, f.delta(), SunflowConfig::default());
+        let rs = schedule_demands(
+            &mut prt,
+            1,
+            &demands,
+            Time::ZERO,
+            f.delta(),
+            SunflowConfig::default(),
+        );
         assert_eq!(rs.len(), 1);
         // Not scheduled in the 5 ms gap (< delta = 10 ms); starts at 50 ms.
         assert_eq!(rs[0].start, Time::from_millis(50));
@@ -612,14 +647,7 @@ mod tests {
             .build();
         let exact = IntraScheduler::new(&f, SunflowConfig::default()).schedule(&c);
         let q = Dur::from_millis(10);
-        let approx = IntraScheduler::new(
-            &f,
-            SunflowConfig {
-                quantum: Some(q),
-                ..SunflowConfig::default()
-            },
-        )
-        .schedule(&c);
+        let approx = IntraScheduler::new(&f, SunflowConfig::default().quantum(q)).schedule(&c);
         validate_port_constraints(approx.reservations()).unwrap();
         assert!(approx.cct() >= exact.cct());
         // Two flows per port: at most 2 quanta of overshoot.
@@ -632,14 +660,14 @@ mod tests {
 
     #[test]
     fn quantize_rounds_up_to_multiples() {
-        let cfg = SunflowConfig {
-            quantum: Some(Dur::from_millis(10)),
-            ..SunflowConfig::default()
-        };
+        let cfg = SunflowConfig::default().quantum(Dur::from_millis(10));
         assert_eq!(cfg.quantize(Dur::from_millis(1)), Dur::from_millis(10));
         assert_eq!(cfg.quantize(Dur::from_millis(10)), Dur::from_millis(10));
         assert_eq!(cfg.quantize(Dur::from_millis(11)), Dur::from_millis(20));
-        assert_eq!(SunflowConfig::default().quantize(Dur::from_millis(11)), Dur::from_millis(11));
+        assert_eq!(
+            SunflowConfig::default().quantize(Dur::from_millis(11)),
+            Dur::from_millis(11)
+        );
     }
 
     #[test]

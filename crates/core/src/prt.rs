@@ -82,8 +82,20 @@ pub struct RemovedResv {
 pub struct Prt {
     ins: Vec<BTreeMap<Time, Entry>>,
     outs: Vec<BTreeMap<Time, Entry>>,
-    /// Multiset of reservation end times (each circuit contributes one).
+    /// Multiset of reservation end times (each circuit contributes one),
+    /// maintained incrementally by reserve/truncate/cut — never rescanned.
     releases: BTreeMap<Time, u32>,
+    /// Fast-path cache: per input port, the `(start, end)` of its
+    /// *latest-starting* reservation. Reservations on a port never
+    /// overlap, so this entry also carries the port's horizon: the port
+    /// is free at any `t >= end`, busy in `[start, end)`, and has no
+    /// reservation starting after `start`. Algorithm 1 overwhelmingly
+    /// queries at-or-past the tail (it appends reservations in
+    /// increasing `t`), so these three answers cover the hot path
+    /// without touching the `BTreeMap`.
+    in_tail: Vec<Option<(Time, Time)>>,
+    /// Same cache for output ports.
+    out_tail: Vec<Option<(Time, Time)>>,
 }
 
 impl Prt {
@@ -97,6 +109,8 @@ impl Prt {
             ins: vec![BTreeMap::new(); n],
             outs: vec![BTreeMap::new(); n],
             releases: BTreeMap::new(),
+            in_tail: vec![None; n],
+            out_tail: vec![None; n],
         }
     }
 
@@ -118,31 +132,101 @@ impl Prt {
     }
 
     fn next_start_after(map: &BTreeMap<Time, Entry>, t: Time) -> Time {
-        match map.range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded)).next() {
+        match map
+            .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
+            .next()
+        {
             Some((&s, _)) => s,
             None => Time::MAX,
         }
     }
 
+    /// `free_at` with the tail cache consulted first. The tail entry
+    /// resolves every query at or after its reservation's start; only
+    /// queries strictly before the tail's start walk the map.
+    #[inline]
+    fn free_at_cached(map: &BTreeMap<Time, Entry>, tail: Option<(Time, Time)>, t: Time) -> bool {
+        match tail {
+            None => true,
+            Some((start, end)) => {
+                if t >= end {
+                    true
+                } else if t >= start {
+                    false
+                } else {
+                    Self::free_at(map, t)
+                }
+            }
+        }
+    }
+
+    /// `next_start_after` with the tail cache consulted first.
+    #[inline]
+    fn next_start_after_cached(
+        map: &BTreeMap<Time, Entry>,
+        tail: Option<(Time, Time)>,
+        t: Time,
+    ) -> Time {
+        match tail {
+            None => Time::MAX,
+            Some((start, _)) => {
+                if t >= start {
+                    Time::MAX
+                } else {
+                    Self::next_start_after(map, t)
+                }
+            }
+        }
+    }
+
     /// Is input port `i` free at instant `t`?
     pub fn in_free_at(&self, i: InPort, t: Time) -> bool {
-        Self::free_at(&self.ins[i], t)
+        Self::free_at_cached(&self.ins[i], self.in_tail[i], t)
     }
 
     /// Is output port `j` free at instant `t`?
     pub fn out_free_at(&self, j: OutPort, t: Time) -> bool {
-        Self::free_at(&self.outs[j], t)
+        Self::free_at_cached(&self.outs[j], self.out_tail[j], t)
     }
 
     /// The earliest reservation start strictly after `t` on input port
     /// `i`, or `Time::MAX` if the port is unreserved beyond `t`.
     pub fn in_next_start_after(&self, i: InPort, t: Time) -> Time {
-        Self::next_start_after(&self.ins[i], t)
+        Self::next_start_after_cached(&self.ins[i], self.in_tail[i], t)
     }
 
     /// The earliest reservation start strictly after `t` on output port
     /// `j`, or `Time::MAX` if the port is unreserved beyond `t`.
     pub fn out_next_start_after(&self, j: OutPort, t: Time) -> Time {
+        Self::next_start_after_cached(&self.outs[j], self.out_tail[j], t)
+    }
+
+    /// Reference implementation of [`Prt::in_free_at`] that always walks
+    /// the `BTreeMap`, bypassing the tail cache. Kept for the
+    /// equivalence property tests and the fast-path micro-benchmarks.
+    #[doc(hidden)]
+    pub fn naive_in_free_at(&self, i: InPort, t: Time) -> bool {
+        Self::free_at(&self.ins[i], t)
+    }
+
+    /// Reference implementation of [`Prt::out_free_at`] (see
+    /// [`Prt::naive_in_free_at`]).
+    #[doc(hidden)]
+    pub fn naive_out_free_at(&self, j: OutPort, t: Time) -> bool {
+        Self::free_at(&self.outs[j], t)
+    }
+
+    /// Reference implementation of [`Prt::in_next_start_after`] (see
+    /// [`Prt::naive_in_free_at`]).
+    #[doc(hidden)]
+    pub fn naive_in_next_start_after(&self, i: InPort, t: Time) -> Time {
+        Self::next_start_after(&self.ins[i], t)
+    }
+
+    /// Reference implementation of [`Prt::out_next_start_after`] (see
+    /// [`Prt::naive_in_free_at`]).
+    #[doc(hidden)]
+    pub fn naive_out_next_start_after(&self, j: OutPort, t: Time) -> Time {
         Self::next_start_after(&self.outs[j], t)
     }
 
@@ -162,8 +246,16 @@ impl Prt {
     /// on either port — those are scheduler bugs, not input conditions.
     pub fn reserve(&mut self, src: InPort, dst: OutPort, start: Time, end: Time, kind: ResvKind) {
         assert!(end > start, "reservation interval must be non-empty");
-        for (map, port, side) in [(&self.ins[src], src, "input"), (&self.outs[dst], dst, "output")]
-        {
+        for (map, tail, port, side) in [
+            (&self.ins[src], self.in_tail[src], src, "input"),
+            (&self.outs[dst], self.out_tail[dst], dst, "output"),
+        ] {
+            // Append-at-tail fast path: starting at or after the port's
+            // horizon can neither land on a busy instant nor overlap a
+            // later reservation — skip both map walks.
+            if tail.is_none_or(|(_, tail_end)| start >= tail_end) {
+                continue;
+            }
             assert!(
                 Self::free_at(map, start),
                 "{side} port {port} is busy at {start}"
@@ -186,6 +278,59 @@ impl Prt {
         };
         self.ins[src].insert(start, entry_in);
         self.outs[dst].insert(start, entry_out);
+        if self.in_tail[src].is_none_or(|(s, _)| start > s) {
+            self.in_tail[src] = Some((start, end));
+        }
+        if self.out_tail[dst].is_none_or(|(s, _)| start > s) {
+            self.out_tail[dst] = Some((start, end));
+        }
+        *self.releases.entry(end).or_insert(0) += 1;
+    }
+
+    /// Reference implementation of [`Prt::reserve`] that always runs both
+    /// overlap scans and skips the tail-cache bookkeeping. Kept for the
+    /// fast-path micro-benchmarks; a table built through it must only be
+    /// queried through the `naive_*` accessors.
+    #[doc(hidden)]
+    pub fn naive_reserve(
+        &mut self,
+        src: InPort,
+        dst: OutPort,
+        start: Time,
+        end: Time,
+        kind: ResvKind,
+    ) {
+        assert!(end > start, "reservation interval must be non-empty");
+        for (map, port, side) in [
+            (&self.ins[src], src, "input"),
+            (&self.outs[dst], dst, "output"),
+        ] {
+            assert!(
+                Self::free_at(map, start),
+                "{side} port {port} is busy at {start}"
+            );
+            let next = Self::next_start_after(map, start);
+            assert!(
+                end <= next,
+                "reservation on {side} port {port} would overlap the next one at {next}"
+            );
+        }
+        self.ins[src].insert(
+            start,
+            Entry {
+                end,
+                peer: dst,
+                kind,
+            },
+        );
+        self.outs[dst].insert(
+            start,
+            Entry {
+                end,
+                peer: src,
+                kind,
+            },
+        );
         *self.releases.entry(end).or_insert(0) += 1;
     }
 
@@ -247,6 +392,7 @@ impl Prt {
     pub fn truncate_future(&mut self, now: Time, keep_active: bool) -> Vec<RemovedResv> {
         let mut removed = Vec::new();
         let n = self.ports();
+        let mut touched = false;
         for src in 0..n {
             let starts: Vec<Time> = self.ins[src].keys().copied().collect();
             for start in starts {
@@ -256,6 +402,7 @@ impl Prt {
                     self.ins[src].remove(&start);
                     self.outs[e.peer].remove(&start);
                     self.release_removed(e.end);
+                    touched = true;
                     removed.push(RemovedResv {
                         src,
                         dst: e.peer,
@@ -270,7 +417,11 @@ impl Prt {
                     self.release_removed(e.end);
                     *self.releases.entry(now).or_insert(0) += 1;
                     self.ins[src].get_mut(&start).expect("entry exists").end = now;
-                    self.outs[e.peer].get_mut(&start).expect("peer entry exists").end = now;
+                    self.outs[e.peer]
+                        .get_mut(&start)
+                        .expect("peer entry exists")
+                        .end = now;
+                    touched = true;
                     removed.push(RemovedResv {
                         src,
                         dst: e.peer,
@@ -281,7 +432,20 @@ impl Prt {
                 }
             }
         }
+        if touched {
+            // Truncation already walked every port; rebuilding the tail
+            // caches from the maps is cheaper than tracking which ports
+            // lost their latest reservation.
+            for p in 0..n {
+                self.in_tail[p] = Self::tail_of(&self.ins[p]);
+                self.out_tail[p] = Self::tail_of(&self.outs[p]);
+            }
+        }
         removed
+    }
+
+    fn tail_of(map: &BTreeMap<Time, Entry>) -> Option<(Time, Time)> {
+        map.iter().next_back().map(|(&s, e)| (s, e.end))
     }
 
     /// Cut one in-flight reservation short so it releases its ports at
@@ -294,8 +458,7 @@ impl Prt {
     /// Panics unless a reservation keyed by `(src, start)` exists and is
     /// in flight (`start < now < end`).
     pub fn cut_reservation(&mut self, src: InPort, start: Time, now: Time) {
-        let e = *self
-            .ins[src]
+        let e = *self.ins[src]
             .get(&start)
             .expect("cut_reservation: no reservation at this key");
         assert!(
@@ -306,6 +469,12 @@ impl Prt {
         *self.releases.entry(now).or_insert(0) += 1;
         self.ins[src].get_mut(&start).expect("checked").end = now;
         self.outs[e.peer].get_mut(&start).expect("peer entry").end = now;
+        if self.in_tail[src].is_some_and(|(s, _)| s == start) {
+            self.in_tail[src] = Some((start, now));
+        }
+        if self.out_tail[e.peer].is_some_and(|(s, _)| s == start) {
+            self.out_tail[e.peer] = Some((start, now));
+        }
     }
 
     fn release_removed(&mut self, end: Time) {
@@ -428,7 +597,7 @@ mod tests {
         assert_eq!(removed.len(), 1);
         assert_eq!(removed[0].src, 1);
         assert_eq!(removed[0].end, t(25)); // reports the original end
-        // The active reservation was cut at 15.
+                                           // The active reservation was cut at 15.
         assert!(prt.in_free_at(1, t(15)));
         assert_eq!(prt.next_release_after(t(14)), Some(t(15)));
     }

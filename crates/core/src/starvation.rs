@@ -23,7 +23,20 @@ use ocs_model::{Assignment, Dur, Time};
 
 /// Parameters of the starvation guard: `T` (normal scheduling) and `τ`
 /// (shared round-robin window) per recurring interval.
+///
+/// Construct with [`GuardConfig::new`] (the struct is
+/// `#[non_exhaustive]`, so struct literals do not compile outside this
+/// crate):
+///
+/// ```
+/// use sunflow_core::GuardConfig;
+/// use ocs_model::Dur;
+///
+/// let g = GuardConfig::new(Dur::from_millis(100), Dur::from_millis(30));
+/// assert_eq!(g.tau, Dur::from_millis(30));
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct GuardConfig {
     /// Length of the priority-scheduled part of each interval (`T`).
     pub period: Dur,
@@ -33,6 +46,24 @@ pub struct GuardConfig {
 }
 
 impl GuardConfig {
+    /// A guard running normal scheduling for `period` (`T`) followed by
+    /// a `tau` (`τ`) shared window, per recurring interval.
+    pub fn new(period: Dur, tau: Dur) -> GuardConfig {
+        GuardConfig { period, tau }
+    }
+
+    /// Set the priority-scheduled part (`T`).
+    pub fn period(mut self, period: Dur) -> GuardConfig {
+        self.period = period;
+        self
+    }
+
+    /// Set the shared-window length (`τ`).
+    pub fn tau(mut self, tau: Dur) -> GuardConfig {
+        self.tau = tau;
+        self
+    }
+
     /// Validate against a fabric's `δ`: the paper requires `T ≫ τ > δ`.
     ///
     /// # Panics
@@ -166,10 +197,7 @@ mod tests {
     fn guard() -> StarvationGuard {
         StarvationGuard::new(
             4,
-            GuardConfig {
-                period: Dur::from_millis(100),
-                tau: Dur::from_millis(20),
-            },
+            GuardConfig::new(Dur::from_millis(100), Dur::from_millis(20)),
         )
     }
 
@@ -249,10 +277,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "must exceed")]
     fn tau_not_exceeding_delta_is_rejected() {
-        GuardConfig {
-            period: Dur::from_millis(100),
-            tau: Dur::from_millis(5),
-        }
-        .validate(Dur::from_millis(10));
+        GuardConfig::new(Dur::from_millis(100), Dur::from_millis(5)).validate(Dur::from_millis(10));
     }
 }

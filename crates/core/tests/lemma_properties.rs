@@ -60,7 +60,7 @@ proptest! {
     /// bandwidths, deltas and orderings.
     #[test]
     fn lemma1_and_validity(coflow in arb_coflow(0), fabric in arb_fabric(), order in arb_order()) {
-        let s = IntraScheduler::new(&fabric, SunflowConfig { order, ..SunflowConfig::default() }).schedule(&coflow);
+        let s = IntraScheduler::new(&fabric, SunflowConfig::default().order(order)).schedule(&coflow);
 
         // The optical port constraint always holds.
         prop_assert!(validate_port_constraints(s.reservations()).is_ok());

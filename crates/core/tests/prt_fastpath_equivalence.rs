@@ -1,0 +1,136 @@
+//! Equivalence property tests for the PRT tail-cache fast path: after any
+//! legal sequence of reserves, truncations and cuts, the cached
+//! `free_at`/`next_start_after` queries must agree with the naive
+//! `BTreeMap`-scanning reference implementations at every probe instant.
+
+use ocs_model::{FlowRef, Time};
+use proptest::prelude::*;
+use sunflow_core::{Prt, ResvKind};
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Try to reserve (src, dst, start_ms, len_ms); skipped if illegal.
+    Reserve(usize, usize, u64, u64),
+    /// Truncate the future at now_ms, keeping in-flight circuits.
+    TruncateKeep(u64),
+    /// Truncate the future at now_ms, cutting in-flight circuits.
+    TruncateCut(u64),
+    /// Cut the k-th in-flight reservation (if any) at now_ms.
+    Cut(usize, u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..4, 0usize..4, 0u64..200, 1u64..60)
+                .prop_map(|(s, d, t, l)| Op::Reserve(s, d, t, l)),
+            (0u64..250).prop_map(Op::TruncateKeep),
+            (0u64..250).prop_map(Op::TruncateCut),
+            (0usize..8, 1u64..250).prop_map(|(k, t)| Op::Cut(k, t)),
+        ],
+        1..50,
+    )
+}
+
+fn legal_reserve(prt: &Prt, src: usize, dst: usize, start: Time, end: Time) -> bool {
+    prt.in_free_at(src, start)
+        && prt.out_free_at(dst, start)
+        && end <= prt.in_next_start_after(src, start)
+        && end <= prt.out_next_start_after(dst, start)
+}
+
+/// Probe every port at `t` and check the cached queries against the naive
+/// reference scans.
+fn assert_agreement(prt: &Prt, t: Time) -> Result<(), TestCaseError> {
+    for p in 0..prt.ports() {
+        prop_assert_eq!(
+            prt.in_free_at(p, t),
+            prt.naive_in_free_at(p, t),
+            "in_free_at({}, {:?}) diverged from naive scan",
+            p,
+            t
+        );
+        prop_assert_eq!(
+            prt.out_free_at(p, t),
+            prt.naive_out_free_at(p, t),
+            "out_free_at({}, {:?}) diverged from naive scan",
+            p,
+            t
+        );
+        prop_assert_eq!(
+            prt.in_next_start_after(p, t),
+            prt.naive_in_next_start_after(p, t),
+            "in_next_start_after({}, {:?}) diverged from naive scan",
+            p,
+            t
+        );
+        prop_assert_eq!(
+            prt.out_next_start_after(p, t),
+            prt.naive_out_next_start_after(p, t),
+            "out_next_start_after({}, {:?}) diverged from naive scan",
+            p,
+            t
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tail-cache fast path answers exactly like the naive map scan
+    /// after every mutation, probed across the whole time range the ops
+    /// can touch (including instants before, inside and past every
+    /// reservation).
+    #[test]
+    fn cached_queries_match_naive_scan(ops in arb_ops()) {
+        let mut prt = Prt::new(4);
+        let mut counter = 0usize;
+        for op in ops {
+            match op {
+                Op::Reserve(src, dst, t, l) => {
+                    let start = Time::from_millis(t);
+                    let end = Time::from_millis(t + l);
+                    if legal_reserve(&prt, src, dst, start, end) {
+                        counter += 1;
+                        prt.reserve(
+                            src,
+                            dst,
+                            start,
+                            end,
+                            ResvKind::Flow(FlowRef { coflow: 1, flow_idx: counter }),
+                        );
+                    }
+                }
+                Op::TruncateKeep(t) => {
+                    prt.truncate_future(Time::from_millis(t), true);
+                }
+                Op::TruncateCut(t) => {
+                    prt.truncate_future(Time::from_millis(t), false);
+                }
+                Op::Cut(k, t) => {
+                    let now = Time::from_millis(t);
+                    let in_flight: Vec<_> = prt
+                        .flow_reservations()
+                        .into_iter()
+                        .filter(|r| r.start < now && now < r.end)
+                        .collect();
+                    if !in_flight.is_empty() {
+                        let r = &in_flight[k % in_flight.len()];
+                        prt.cut_reservation(r.src, r.start, now);
+                    }
+                }
+            }
+            // Probe a spread of instants: a coarse grid over the reachable
+            // range plus the exact boundary instants of every reservation
+            // (the half-open edges are where an off-by-one would hide).
+            for ms in (0..=280).step_by(7) {
+                assert_agreement(&prt, Time::from_millis(ms)).unwrap();
+            }
+            for r in prt.flow_reservations() {
+                assert_agreement(&prt, r.start).unwrap();
+                assert_agreement(&prt, r.end).unwrap();
+            }
+        }
+    }
+}

@@ -128,7 +128,9 @@ mod tests {
     fn stuffed_pseudorandom_matrices_roundtrip() {
         let mut seed: u64 = 7;
         let mut next = move || {
-            seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            seed = seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             (seed >> 45) % 30
         };
         for n in 1..=10 {

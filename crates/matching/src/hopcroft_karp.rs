@@ -49,7 +49,10 @@ pub fn max_matching(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Matchi
     assert_eq!(adj.len(), n_left, "adjacency list length must equal n_left");
     for row in adj {
         for &j in row {
-            assert!(j < n_right, "adjacency references right vertex {j} >= {n_right}");
+            assert!(
+                j < n_right,
+                "adjacency references right vertex {j} >= {n_right}"
+            );
         }
     }
 
@@ -204,7 +207,9 @@ mod tests {
     #[test]
     fn dense_instance() {
         let n = 64;
-        let adj: Vec<Vec<usize>> = (0..n).map(|i| (0..n).filter(|j| (i + j) % 3 != 0).collect()).collect();
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..n).filter(|j| (i + j) % 3 != 0).collect())
+            .collect();
         let m = max_matching(n, n, &adj);
         // Verify against König: this graph is dense enough to be perfect.
         assert_eq!(m.size(), n);

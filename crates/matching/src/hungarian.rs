@@ -166,7 +166,9 @@ mod tests {
         // force (n! permutations).
         let mut seed: u64 = 0x5eed;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) % 1000
         };
         for n in 2..=6 {

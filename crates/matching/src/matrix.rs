@@ -43,7 +43,10 @@ impl Matrix {
     /// Panics unless `rows` is square and non-empty.
     pub fn from_rows(rows: &[Vec<u64>]) -> Matrix {
         let n = rows.len();
-        assert!(n > 0 && rows.iter().all(|r| r.len() == n), "matrix must be square");
+        assert!(
+            n > 0 && rows.iter().all(|r| r.len() == n),
+            "matrix must be square"
+        );
         Matrix {
             n,
             data: rows.iter().flatten().copied().collect(),
@@ -113,7 +116,11 @@ impl Matrix {
 
     /// Iterate non-zero entries as `(i, j, value)`.
     pub fn nonzero(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
-        self.data.iter().enumerate().filter(|&(_k, &v)| v > 0).map(|(k, &v)| (k / self.n, k % self.n, v))
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|&(_k, &v)| v > 0)
+            .map(|(k, &v)| (k / self.n, k % self.n, v))
     }
 
     /// Number of non-zero entries.

@@ -47,7 +47,11 @@ pub fn render_gantt(reservations: &[Reservation], config: GanttConfig) -> String
     if reservations.is_empty() {
         return String::new();
     }
-    let t0 = reservations.iter().map(|r| r.start).min().expect("non-empty");
+    let t0 = reservations
+        .iter()
+        .map(|r| r.start)
+        .min()
+        .expect("non-empty");
     let t1 = reservations.iter().map(|r| r.end).max().expect("non-empty");
     let span = t1.since(t0).as_ps().max(1);
     let col_of = |t: Time| -> usize {
@@ -151,10 +155,7 @@ mod tests {
 
     #[test]
     fn large_port_numbers_use_hash() {
-        let g = render_gantt(
-            &[resv(0, 117, 0, 50)],
-            GanttConfig::new(20, Dur::ZERO),
-        );
+        let g = render_gantt(&[resv(0, 117, 0, 50)], GanttConfig::new(20, Dur::ZERO));
         assert!(g.contains('#'));
     }
 

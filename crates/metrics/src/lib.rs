@@ -7,15 +7,19 @@
 //!   target to print whether the qualitative result reproduces.
 //! * [`gantt`] — ASCII timelines of circuit schedules (the Figure 1c
 //!   view), for examples and debugging.
+//! * [`bench_json`] — machine-readable `BENCH_<id>.json` records with
+//!   per-run timings and parallel-sweep speedups.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench_json;
 pub mod gantt;
 pub mod report;
 pub mod stats;
 pub mod table;
 
+pub use bench_json::{bench_json as render_bench_json, write_bench_json, RunTiming, SweepTiming};
 pub use gantt::{render_gantt, GanttConfig};
 pub use report::{Claim, Report};
 pub use stats::{cdf, cdf_at, mean, pearson, percentile, spearman};

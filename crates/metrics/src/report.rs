@@ -65,7 +65,8 @@ impl Report {
         measured: f64,
         tolerance: f64,
     ) -> &mut Report {
-        self.claims.push(Claim::new(what, paper, measured, tolerance));
+        self.claims
+            .push(Claim::new(what, paper, measured, tolerance));
         self
     }
 

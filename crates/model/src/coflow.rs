@@ -223,11 +223,7 @@ impl CoflowBuilder {
         if bytes == 0 {
             return self;
         }
-        if let Some(existing) = self
-            .flows
-            .iter_mut()
-            .find(|f| f.src == src && f.dst == dst)
-        {
+        if let Some(existing) = self.flows.iter_mut().find(|f| f.src == src && f.dst == dst) {
             existing.bytes = existing
                 .bytes
                 .checked_add(bytes)
@@ -287,10 +283,7 @@ mod tests {
         assert_eq!(mk(&[(0, 0, 1)]).category(), Category::OneToOne);
         assert_eq!(mk(&[(0, 0, 1), (0, 1, 1)]).category(), Category::OneToMany);
         assert_eq!(mk(&[(0, 0, 1), (1, 0, 1)]).category(), Category::ManyToOne);
-        assert_eq!(
-            mk(&[(0, 0, 1), (1, 1, 1)]).category(),
-            Category::ManyToMany
-        );
+        assert_eq!(mk(&[(0, 0, 1), (1, 1, 1)]).category(), Category::ManyToMany);
     }
 
     #[test]

@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn aggregation_merges_coflows() {
         let a = Coflow::builder(0).flow(0, 1, 1_000_000).build();
-        let b = Coflow::builder(1).flow(0, 1, 1_000_000).flow(2, 2, 125_000).build();
+        let b = Coflow::builder(1)
+            .flow(0, 1, 1_000_000)
+            .flow(2, 2, 125_000)
+            .build();
         let m = DemandMatrix::from_coflows(&[a, b], &fabric());
         assert_eq!(m.get(0, 1), Dur::from_millis(16));
         assert_eq!(m.get(2, 2), Dur::from_millis(1));

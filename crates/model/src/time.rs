@@ -354,10 +354,7 @@ mod tests {
             Dur::from_millis(8)
         );
         // 1 byte at 100 Gbps = 80 ps.
-        assert_eq!(
-            Bandwidth::from_gbps(100).transfer_time(1),
-            Dur::from_ps(80)
-        );
+        assert_eq!(Bandwidth::from_gbps(100).transfer_time(1), Dur::from_ps(80));
         // 1 MB at 10 Gbps = 0.8 ms.
         assert_eq!(
             Bandwidth::from_gbps(10).transfer_time(1_000_000),
@@ -415,9 +412,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: Dur = [Dur::from_millis(1), Dur::from_millis(2)]
-            .into_iter()
-            .sum();
+        let total: Dur = [Dur::from_millis(1), Dur::from_millis(2)].into_iter().sum();
         assert_eq!(total, Dur::from_millis(3));
     }
 }

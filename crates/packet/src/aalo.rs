@@ -107,7 +107,11 @@ impl Aalo {
         // instead of racing for the residue.
         let snap_in = cap.ins.clone();
         let snap_out = cap.outs.clone();
-        for f in c.flows.iter_mut().filter(|f| !f.done() && f.remaining > 0.0) {
+        for f in c
+            .flows
+            .iter_mut()
+            .filter(|f| !f.done() && f.remaining > 0.0)
+        {
             let r = (snap_in[f.src] / k_in[f.src] as f64)
                 .min(snap_out[f.dst] / k_out[f.dst] as f64)
                 .min(cap.ins[f.src])
@@ -268,10 +272,21 @@ mod tests {
         // Weighted sharing (decay 2): queue 0 gets 2/3, queue 1 gets 1/3
         // of the contended link — the newcomer dominates but does not
         // monopolize.
-        assert!((act[1].flows[0].rate - 666.66).abs() < 0.1, "{}", act[1].flows[0].rate);
-        assert!((act[0].flows[0].rate - 333.33).abs() < 0.1, "{}", act[0].flows[0].rate);
+        assert!(
+            (act[1].flows[0].rate - 666.66).abs() < 0.1,
+            "{}",
+            act[1].flows[0].rate
+        );
+        assert!(
+            (act[0].flows[0].rate - 333.33).abs() < 0.1,
+            "{}",
+            act[0].flows[0].rate
+        );
         // Strict priority is recovered with an infinite decay.
-        let mut strict = Aalo::new(AaloConfig { queue_weight_decay: f64::INFINITY, ..AaloConfig::default() });
+        let mut strict = Aalo::new(AaloConfig {
+            queue_weight_decay: f64::INFINITY,
+            ..AaloConfig::default()
+        });
         strict.allocate(&mut act, &fabric(), Time::ZERO);
         assert!((act[1].flows[0].rate - 1000.0).abs() < 1e-6);
         assert_eq!(act[0].flows[0].rate, 0.0);

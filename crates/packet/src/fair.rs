@@ -121,12 +121,20 @@ mod tests {
         // Three flows into out.0 from three different coflows: each gets
         // a third — fairness ignores coflow boundaries entirely.
         let cs: Vec<Coflow> = (0..3)
-            .map(|i| Coflow::builder(i).flow(i as usize, 0, 1000 * (i + 1)).build())
+            .map(|i| {
+                Coflow::builder(i)
+                    .flow(i as usize, 0, 1000 * (i + 1))
+                    .build()
+            })
             .collect();
         let mut act: Vec<ActiveCoflow> = cs.iter().map(ActiveCoflow::new).collect();
         FairSharing.allocate(&mut act, &fabric(), Time::ZERO);
         for a in &act {
-            assert!((a.flows[0].rate - 333.33).abs() < 0.1, "{}", a.flows[0].rate);
+            assert!(
+                (a.flows[0].rate - 333.33).abs() < 0.1,
+                "{}",
+                a.flows[0].rate
+            );
         }
     }
 

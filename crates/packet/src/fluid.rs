@@ -89,7 +89,11 @@ impl ActiveCoflow {
 
     /// Sum of current flow rates (bytes/second).
     pub fn total_rate(&self) -> f64 {
-        self.flows.iter().filter(|f| !f.done()).map(|f| f.rate).sum()
+        self.flows
+            .iter()
+            .filter(|f| !f.done())
+            .map(|f| f.rate)
+            .sum()
     }
 
     /// Advance all unfinished flows by `dt_secs` at their current rates.

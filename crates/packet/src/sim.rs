@@ -100,10 +100,7 @@ pub fn simulate_packet(
             .min();
         let t_sched = scheduler.next_event(&acts, now).filter(|&t| t > now);
 
-        let t_next = [t_arrival, t_finish, t_sched]
-            .into_iter()
-            .flatten()
-            .min();
+        let t_next = [t_arrival, t_finish, t_sched].into_iter().flatten().min();
 
         let Some(t_next) = t_next else {
             assert!(
@@ -220,20 +217,17 @@ mod tests {
             // MADD achieves T_pL exactly for a lone coflow; Aalo's equal
             // split may exceed it but never beats it.
             assert!(cct >= tpl, "{}", s.name());
-            assert!(
-                cct <= tpl * 3,
-                "{} took {} vs bound {}",
-                s.name(),
-                cct,
-                tpl
-            );
+            assert!(cct <= tpl * 3, "{} took {} vs bound {}", s.name(), cct, tpl);
         }
     }
 
     #[test]
     fn varys_alone_achieves_bottleneck_exactly() {
         let f = fabric();
-        let c = Coflow::builder(0).flow(0, 0, mb(8)).flow(0, 1, mb(8)).build();
+        let c = Coflow::builder(0)
+            .flow(0, 0, mb(8))
+            .flow(0, 1, mb(8))
+            .build();
         let out = simulate_packet(std::slice::from_ref(&c), &f, &mut Varys);
         let cct = out[0].cct(Time::ZERO);
         let tpl = packet_lower_bound(&c, &f);
@@ -284,7 +278,10 @@ mod tests {
         // Coflow A: two flows, one tiny (finishes early). Coflow B waits
         // behind A on in.0. B's start is NOT advanced when A's tiny flow
         // finishes because Varys only reschedules on coflow events.
-        let a = Coflow::builder(0).flow(0, 0, mb(1)).flow(1, 1, mb(100)).build();
+        let a = Coflow::builder(0)
+            .flow(0, 0, mb(1))
+            .flow(1, 1, mb(100))
+            .build();
         let b = Coflow::builder(1).flow(0, 2, mb(100)).build();
         let out = simulate_packet(&[a, b], &f, &mut Varys);
         // A's bottleneck is 100 MB on in.1 -> 0.8 s; its in.0 flow runs at

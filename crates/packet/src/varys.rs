@@ -54,7 +54,11 @@ fn madd(c: &mut ActiveCoflow, cap: &mut PortCapacity) {
     if !gamma.is_finite() || gamma <= 0.0 {
         return;
     }
-    for f in c.flows.iter_mut().filter(|f| !f.done() && f.remaining > 0.0) {
+    for f in c
+        .flows
+        .iter_mut()
+        .filter(|f| !f.done() && f.remaining > 0.0)
+    {
         // Guard against floating-point drift: never exceed what the ports
         // have left.
         let r = (f.remaining / gamma)
@@ -168,7 +172,11 @@ mod tests {
     #[test]
     fn port_constraints_hold_after_backfill() {
         let cs = [
-            Coflow::builder(0).flow(0, 0, 900).flow(0, 1, 100).flow(1, 1, 400).build(),
+            Coflow::builder(0)
+                .flow(0, 0, 900)
+                .flow(0, 1, 100)
+                .flow(1, 1, 400)
+                .build(),
             Coflow::builder(1).flow(0, 1, 500).flow(2, 0, 800).build(),
             Coflow::builder(2).flow(1, 0, 300).build(),
         ];

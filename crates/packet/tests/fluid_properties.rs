@@ -2,8 +2,8 @@
 //! conservation, port-capacity feasibility, and scheduler-independent
 //! sanity across Varys and Aalo.
 
-use ocs_packet::{simulate_packet, Aalo, ActiveCoflow, RateScheduler, Varys};
 use ocs_model::{packet_lower_bound, Bandwidth, Coflow, Dur, Fabric, Time};
+use ocs_packet::{simulate_packet, Aalo, ActiveCoflow, RateScheduler, Varys};
 use proptest::prelude::*;
 
 fn arb_workload() -> impl Strategy<Value = Vec<Coflow>> {

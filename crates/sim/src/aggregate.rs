@@ -132,41 +132,39 @@ pub fn simulate_circuit_aggregated(
 
     // FIFO attribution queues per circuit: (workload index, flow index,
     // remaining processing time).
-    let mut fifo: HashMap<(usize, usize), VecDeque<(usize, usize, Dur)>> = HashMap::new();
+    type FifoQueues = HashMap<(usize, usize), VecDeque<(usize, usize, Dur)>>;
+    let mut fifo: FifoQueues = HashMap::new();
     let mut remaining = DemandMatrix::zero(n);
     let mut cur: Vec<Option<usize>> = vec![None; n];
-    let mut finish: Vec<Vec<Option<Time>>> = coflows
-        .iter()
-        .map(|c| vec![None; c.num_flows()])
-        .collect();
+    let mut finish: Vec<Vec<Option<Time>>> =
+        coflows.iter().map(|c| vec![None; c.num_flows()]).collect();
     let mut setups = 0u64;
     let mut t = Time::ZERO;
 
-    let apply_segments = |segments: &[Segment],
-                              fifo: &mut HashMap<(usize, usize), VecDeque<(usize, usize, Dur)>>,
-                              finish: &mut [Vec<Option<Time>>]| {
-        let mut segs = segments.to_vec();
-        segs.sort_by_key(|s| (s.tx_start, s.src, s.dst));
-        for s in segs {
-            let queue = fifo
-                .get_mut(&(s.src, s.dst))
-                .expect("segment on circuit without demand");
-            let mut cursor = s.tx_start;
-            let mut budget = s.tx_end.since(s.tx_start);
-            while budget > Dur::ZERO {
-                let (ci, fi, rem) = *queue.front().expect("served beyond queued demand");
-                let take = rem.min(budget);
-                budget -= take;
-                cursor += take;
-                if take == rem {
-                    queue.pop_front();
-                    finish[ci][fi] = Some(cursor);
-                } else {
-                    queue.front_mut().expect("checked").2 = rem - take;
+    let apply_segments =
+        |segments: &[Segment], fifo: &mut FifoQueues, finish: &mut [Vec<Option<Time>>]| {
+            let mut segs = segments.to_vec();
+            segs.sort_by_key(|s| (s.tx_start, s.src, s.dst));
+            for s in segs {
+                let queue = fifo
+                    .get_mut(&(s.src, s.dst))
+                    .expect("segment on circuit without demand");
+                let mut cursor = s.tx_start;
+                let mut budget = s.tx_end.since(s.tx_start);
+                while budget > Dur::ZERO {
+                    let (ci, fi, rem) = *queue.front().expect("served beyond queued demand");
+                    let take = rem.min(budget);
+                    budget -= take;
+                    cursor += take;
+                    if take == rem {
+                        queue.pop_front();
+                        finish[ci][fi] = Some(cursor);
+                    } else {
+                        queue.front_mut().expect("checked").2 = rem - take;
+                    }
                 }
             }
-        }
-    };
+        };
 
     let mut k = 0usize;
     while k < order.len() {
@@ -178,7 +176,9 @@ pub fn simulate_circuit_aggregated(
             for (fi, f) in coflows[idx].flows().iter().enumerate() {
                 let p = fabric.processing_time(f.bytes);
                 remaining.add(f.src, f.dst, p);
-                fifo.entry((f.src, f.dst)).or_default().push_back((idx, fi, p));
+                fifo.entry((f.src, f.dst))
+                    .or_default()
+                    .push_back((idx, fi, p));
             }
             k += 1;
         }
@@ -299,11 +299,8 @@ mod tests {
             .flow(0, 1, mb(2))
             .flow(1, 0, mb(3))
             .build();
-        let agg = simulate_circuit_aggregated(
-            std::slice::from_ref(&c),
-            &f,
-            CircuitScheduler::Solstice,
-        );
+        let agg =
+            simulate_circuit_aggregated(std::slice::from_ref(&c), &f, CircuitScheduler::Solstice);
         let intra = CircuitScheduler::Solstice.service_coflow(&c, &f, Time::ZERO);
         // Aggregation with one coflow schedules on the full fabric matrix
         // instead of the compacted one, so CCTs need not be identical —

@@ -237,12 +237,7 @@ mod tests {
     #[test]
     fn small_coflows_avoid_delta_on_the_hybrid() {
         let cs = vec![Coflow::builder(0).flow(0, 1, mb(1)).build()];
-        let pure = simulate_circuit(
-            &cs,
-            &fabric(),
-            &OnlineConfig::default(),
-            &ShortestFirst,
-        );
+        let pure = simulate_circuit(&cs, &fabric(), &OnlineConfig::default(), &ShortestFirst);
         let hybrid = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst);
         // Pure circuit: delta (10 ms) + ~8.4 ms. Hybrid: ~84 ms at 10% bw
         // — here the circuit actually wins; but with delta = 100 ms the
@@ -250,8 +245,10 @@ mod tests {
         assert!(hybrid.outcomes[0].finish > pure.outcomes[0].finish);
 
         let slow_switch = Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(100));
-        let pure_slow = simulate_circuit(&cs, &slow_switch, &OnlineConfig::default(), &ShortestFirst);
-        let hybrid_slow = simulate_hybrid(&cs, &slow_switch, &HybridConfig::default(), &ShortestFirst);
+        let pure_slow =
+            simulate_circuit(&cs, &slow_switch, &OnlineConfig::default(), &ShortestFirst);
+        let hybrid_slow =
+            simulate_hybrid(&cs, &slow_switch, &HybridConfig::default(), &ShortestFirst);
         assert!(hybrid_slow.outcomes[0].finish < pure_slow.outcomes[0].finish);
     }
 

@@ -12,6 +12,9 @@
 //! * [`aggregate`] — the §3.2 straw man, measured: Solstice/TMS/Edmond
 //!   forced to schedule all outstanding Coflows as one aggregated demand
 //!   matrix, with FIFO service attribution.
+//! * [`sweep`] — the parallel experiment sweep engine: independent
+//!   (trace, B, δ, policy) configurations fanned out over scoped worker
+//!   threads with deterministic result ordering and per-run timings.
 //!
 //! The packet-switched counterpart lives in `ocs-packet`; both produce
 //! [`ocs_model::ScheduleOutcome`]s so results compare directly.
@@ -23,8 +26,10 @@ pub mod aggregate;
 pub mod hybrid;
 pub mod intra_driver;
 pub mod online;
+pub mod sweep;
 
 pub use aggregate::simulate_circuit_aggregated;
 pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult};
 pub use intra_driver::{run_intra, IntraEngine};
 pub use online::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult};
+pub use sweep::{Sweep, SweepBuilder, SweepResult, SweepRun};

@@ -53,7 +53,23 @@ pub enum ActiveCircuitPolicy {
 }
 
 /// Configuration of the online replay.
+///
+/// Construct it fluently from the default (the struct is
+/// `#[non_exhaustive]`, so struct literals do not compile outside this
+/// crate):
+///
+/// ```
+/// use ocs_sim::{ActiveCircuitPolicy, OnlineConfig};
+/// use sunflow_core::GuardConfig;
+/// use ocs_model::Dur;
+///
+/// let cfg = OnlineConfig::default()
+///     .active_policy(ActiveCircuitPolicy::Keep)
+///     .guard(GuardConfig::new(Dur::from_millis(100), Dur::from_millis(30)));
+/// assert!(cfg.guard.is_some());
+/// ```
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct OnlineConfig {
     /// Sunflow intra-Coflow settings (reservation ordering).
     pub sunflow: SunflowConfig,
@@ -70,6 +86,26 @@ impl Default for OnlineConfig {
             active_policy: ActiveCircuitPolicy::Yield,
             guard: None,
         }
+    }
+}
+
+impl OnlineConfig {
+    /// Set the Sunflow intra-Coflow configuration.
+    pub fn sunflow(mut self, sunflow: SunflowConfig) -> OnlineConfig {
+        self.sunflow = sunflow;
+        self
+    }
+
+    /// Set the in-flight circuit policy at rescheduling events.
+    pub fn active_policy(mut self, policy: ActiveCircuitPolicy) -> OnlineConfig {
+        self.active_policy = policy;
+        self
+    }
+
+    /// Enable (or disable, with `None`) the §4.2 starvation guard.
+    pub fn guard(mut self, guard: impl Into<Option<GuardConfig>>) -> OnlineConfig {
+        self.guard = guard.into();
+        self
     }
 }
 
@@ -280,11 +316,7 @@ pub fn simulate_circuit(
         // who-may-displace-whom decisions).
         let mut prio: Vec<&Coflow> = active.iter().map(|&i| &coflows[i]).collect();
         policy.sort(&mut prio, fabric);
-        let rank: HashMap<u64, usize> = prio
-            .iter()
-            .enumerate()
-            .map(|(r, c)| (c.id(), r))
-            .collect();
+        let rank: HashMap<u64, usize> = prio.iter().enumerate().map(|(r, c)| (c.id(), r)).collect();
 
         // Under Preempt every in-flight circuit is torn down immediately;
         // under Keep and Yield they initially continue (Yield may cut
@@ -440,7 +472,10 @@ pub fn simulate_circuit(
             .flatten()
             .min()
             .expect("events must exist while work remains");
-        assert!(t_next > now, "online replay failed to make progress at {now}");
+        assert!(
+            t_next > now,
+            "online replay failed to make progress at {now}"
+        );
         assert!(t_next != Time::MAX, "no progress possible: deadlock");
 
         fuel = fuel
@@ -486,8 +521,7 @@ mod tests {
             &OnlineConfig::default(),
             &ShortestFirst,
         );
-        let offline = sunflow_core::IntraScheduler::new(&f, SunflowConfig::default())
-            .schedule(&c);
+        let offline = sunflow_core::IntraScheduler::new(&f, SunflowConfig::default()).schedule(&c);
         assert_eq!(r.outcomes[0].cct(Time::ZERO), offline.cct());
         assert_eq!(r.outcomes[0].circuit_setups, 3);
     }
@@ -551,10 +585,7 @@ mod tests {
             simulate_circuit(
                 &[long.clone(), short.clone()],
                 &f,
-                &OnlineConfig {
-                    active_policy: policy,
-                    ..OnlineConfig::default()
-                },
+                &OnlineConfig::default().active_policy(policy),
                 &ShortestFirst,
             )
         };
@@ -565,8 +596,14 @@ mod tests {
         // 100 ms: the long coflow's in-flight circuit on in.0 is
         // displaced because the (higher-priority) short coflow needs
         // that input port.
-        assert_eq!(preempt.outcomes[1].cct(short.arrival()), Dur::from_millis(18));
-        assert_eq!(yielded.outcomes[1].cct(short.arrival()), Dur::from_millis(18));
+        assert_eq!(
+            preempt.outcomes[1].cct(short.arrival()),
+            Dur::from_millis(18)
+        );
+        assert_eq!(
+            yielded.outcomes[1].cct(short.arrival()),
+            Dur::from_millis(18)
+        );
         // Under Keep it waits for the long circuit to finish first.
         assert!(keep.outcomes[1].cct(short.arrival()) > Dur::from_millis(18));
         // Displacement costs the long coflow an extra setup.
@@ -620,7 +657,10 @@ mod tests {
     fn guard_prevents_starvation() {
         let f = fabric();
         // The victim: two 10 MB flows from in.0 to out.0 / out.1.
-        let victim_coflow = Coflow::builder(0).flow(0, 0, mb(10)).flow(0, 1, mb(10)).build();
+        let victim_coflow = Coflow::builder(0)
+            .flow(0, 0, mb(10))
+            .flow(0, 1, mb(10))
+            .build();
         // Adversaries: a continuous stream of 1 MB coflows (≈18 ms of
         // service each) hitting out.0 and out.1 every 16 ms from
         // in.1..in.3, so both output ports the victim needs are
@@ -642,13 +682,10 @@ mod tests {
                     id += 1;
                 }
             }
-            let cfg = OnlineConfig {
-                guard: guarded.then_some(GuardConfig {
-                    period: Dur::from_millis(100),
-                    tau: Dur::from_millis(30),
-                }),
-                ..OnlineConfig::default()
-            };
+            let cfg = OnlineConfig::default().guard(guarded.then_some(GuardConfig::new(
+                Dur::from_millis(100),
+                Dur::from_millis(30),
+            )));
             simulate_circuit(&coflows, &f, &cfg, &ShortestFirst)
         };
         let unguarded = mk(false);
@@ -681,7 +718,11 @@ mod tests {
         for i in 0..12u64 {
             let mut b = Coflow::builder(i).arrival(Time::from_millis(i * 5));
             for k in 0..3usize {
-                b = b.flow((i as usize + k) % 4, (i as usize + 2 * k) % 4, mb(1 + (i % 4)));
+                b = b.flow(
+                    (i as usize + k) % 4,
+                    (i as usize + 2 * k) % 4,
+                    mb(1 + (i % 4)),
+                );
             }
             coflows.push(b.build());
         }

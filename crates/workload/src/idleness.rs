@@ -69,23 +69,22 @@ pub fn network_idleness(coflows: &[Coflow], fabric: &Fabric) -> f64 {
 ///
 /// # Panics
 /// Panics if `target` is not within `[0, 1)` or the workload is empty.
-pub fn scale_to_idleness(
-    coflows: &[Coflow],
-    fabric: &Fabric,
-    target: f64,
-) -> (Vec<Coflow>, u64) {
+pub fn scale_to_idleness(coflows: &[Coflow], fabric: &Fabric, target: f64) -> (Vec<Coflow>, u64) {
     assert!((0.0..1.0).contains(&target), "target must be in [0, 1)");
     assert!(!coflows.is_empty(), "cannot scale an empty workload");
 
     let idleness_at = |ppm: u64| -> f64 {
-        let scaled: Vec<Coflow> = coflows.iter().map(|c| c.scaled_bytes(ppm, 1_000_000)).collect();
+        let scaled: Vec<Coflow> = coflows
+            .iter()
+            .map(|c| c.scaled_bytes(ppm, 1_000_000))
+            .collect();
         network_idleness(&scaled, fabric)
     };
 
     // Bigger factor => longer active windows => lower idleness.
     let mut lo: u64 = 1; // very small: max idleness
-    // x1000 cap: enough for any load the paper sweeps while keeping
-    // scaled processing times far from the picosecond clock's range.
+                         // x1000 cap: enough for any load the paper sweeps while keeping
+                         // scaled processing times far from the picosecond clock's range.
     let mut hi: u64 = 1_000_000_000;
     for _ in 0..60 {
         let mid = lo + (hi - lo) / 2;
@@ -105,7 +104,10 @@ pub fn scale_to_idleness(
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
         .expect("two candidates");
     (
-        coflows.iter().map(|c| c.scaled_bytes(ppm, 1_000_000)).collect(),
+        coflows
+            .iter()
+            .map(|c| c.scaled_bytes(ppm, 1_000_000))
+            .collect(),
         ppm,
     )
 }

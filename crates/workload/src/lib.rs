@@ -26,5 +26,9 @@ pub use trace::{parse, write, ParseError, Trace, MB};
 /// The paper's default workload: a synthetic Facebook-like trace with
 /// ±5 % size perturbation applied, on the default seed.
 pub fn paper_workload() -> Vec<ocs_model::Coflow> {
-    perturb_sizes(&generate(&SynthConfig::default()), 0.05, SynthConfig::default().seed ^ 0xabcd)
+    perturb_sizes(
+        &generate(&SynthConfig::default()),
+        0.05,
+        SynthConfig::default().seed ^ 0xabcd,
+    )
 }

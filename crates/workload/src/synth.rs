@@ -315,14 +315,29 @@ mod calibration_probe {
         let f = Fabric::paper_default();
         let idle = crate::idleness::network_idleness(&cs, &f);
         let total: u64 = cs.iter().map(|c| c.total_bytes()).sum();
-        let m2m: u64 = cs.iter().filter(|c| c.category() == Category::ManyToMany).map(|c| c.total_bytes()).sum();
-        let long: Vec<_> = cs.iter().filter(|c| c.total_bytes() / c.num_flows() as u64 >= 5 * MB).collect();
+        let m2m: u64 = cs
+            .iter()
+            .filter(|c| c.category() == Category::ManyToMany)
+            .map(|c| c.total_bytes())
+            .sum();
+        let long: Vec<_> = cs
+            .iter()
+            .filter(|c| c.total_bytes() / c.num_flows() as u64 >= 5 * MB)
+            .collect();
         let long_bytes: u64 = long.iter().map(|c| c.total_bytes()).sum();
         let cats = [
-            cs.iter().filter(|c| c.category() == Category::OneToOne).count(),
-            cs.iter().filter(|c| c.category() == Category::OneToMany).count(),
-            cs.iter().filter(|c| c.category() == Category::ManyToOne).count(),
-            cs.iter().filter(|c| c.category() == Category::ManyToMany).count(),
+            cs.iter()
+                .filter(|c| c.category() == Category::OneToOne)
+                .count(),
+            cs.iter()
+                .filter(|c| c.category() == Category::OneToMany)
+                .count(),
+            cs.iter()
+                .filter(|c| c.category() == Category::ManyToOne)
+                .count(),
+            cs.iter()
+                .filter(|c| c.category() == Category::ManyToMany)
+                .count(),
         ];
         println!("idleness={idle:.3} m2m_bytes={:.5} long_frac={:.3} long_bytes={:.4} cats={cats:?} total_tb={:.2}",
             m2m as f64 / total as f64,

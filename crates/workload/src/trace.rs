@@ -46,7 +46,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -179,7 +183,10 @@ pub fn parse(text: &str) -> Result<Trace, ParseError> {
     if coflows.len() != expect {
         return Err(err(
             1,
-            format!("header declares {expect} coflows, file has {}", coflows.len()),
+            format!(
+                "header declares {expect} coflows, file has {}",
+                coflows.len()
+            ),
         ));
     }
     Ok(Trace { ports, coflows })

@@ -1,8 +1,8 @@
 //! Property tests for the synthetic workload generator and the idleness
 //! machinery, across seeds and fabric sizes.
 
-use ocs_workload::{generate, network_idleness, perturb_sizes, scale_to_idleness, SynthConfig, MB};
 use ocs_model::{Bandwidth, Dur, Fabric};
+use ocs_workload::{generate, network_idleness, perturb_sizes, scale_to_idleness, SynthConfig, MB};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SynthConfig> {
@@ -33,7 +33,7 @@ proptest! {
             for f in c.flows() {
                 prop_assert!(f.bytes >= MB, "1 MB floor");
                 prop_assert_eq!(f.bytes % MB, 0, "MB rounding");
-                prop_assert!(f.src != f.dst || f.src == f.dst); // ports valid by min_ports
+                prop_assert!(f.src < cfg.ports && f.dst < cfg.ports, "ports in range");
             }
             // Category is consistent with the endpoint sets.
             let cat = c.category();

@@ -10,9 +10,7 @@
 
 use sunflow::baselines::CircuitScheduler;
 use sunflow::metrics::Table;
-use sunflow::model::{circuit_lower_bound, Coflow, Fabric, Time};
-use sunflow::sim::IntraEngine;
-use sunflow::scheduler::SunflowConfig;
+use sunflow::prelude::*;
 
 fn main() {
     let fabric = Fabric::new(8, Fabric::GBPS, Fabric::default_delta());
@@ -41,7 +39,13 @@ fn main() {
         IntraEngine::Baseline(CircuitScheduler::edmond_default()),
     ];
 
-    let mut table = Table::new(["scheduler", "CCT", "CCT/T_cL", "circuit setups", "setups/|C|"]);
+    let mut table = Table::new([
+        "scheduler",
+        "CCT",
+        "CCT/T_cL",
+        "circuit setups",
+        "setups/|C|",
+    ]);
     for engine in engines {
         let o = engine.service(&coflow, &fabric);
         let cct = o.cct(Time::ZERO);

@@ -8,11 +8,8 @@
 
 use std::collections::HashMap;
 use sunflow::metrics::Table;
-use sunflow::model::{Coflow, Fabric};
-use sunflow::scheduler::{
-    ClassThenShortest, FirstComeFirstServed, InterScheduler, PriorityPolicy, ShortestFirst,
-    SunflowConfig,
-};
+use sunflow::prelude::*;
+use sunflow::scheduler::{ClassThenShortest, FirstComeFirstServed, InterScheduler, PriorityPolicy};
 
 fn main() {
     let fabric = Fabric::new(6, Fabric::GBPS, Fabric::default_delta());
@@ -29,7 +26,10 @@ fn main() {
             .flow(1, 1, 120_000_000)
             .build(),
         Coflow::builder(1).flow(0, 0, 2_000_000).build(),
-        Coflow::builder(2).flow(1, 1, 30_000_000).flow(0, 1, 30_000_000).build(),
+        Coflow::builder(2)
+            .flow(1, 1, 30_000_000)
+            .flow(0, 1, 30_000_000)
+            .build(),
     ];
 
     let inter = InterScheduler::new(&fabric, SunflowConfig::default());

@@ -4,8 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use sunflow::model::{circuit_lower_bound, packet_lower_bound, Coflow, Fabric};
-use sunflow::scheduler::{IntraScheduler, SunflowConfig};
+use sunflow::prelude::*;
 
 fn main() {
     // A 4-port optical circuit switch: 1 Gbps links, 10 ms circuit
@@ -21,8 +20,12 @@ fn main() {
         .flow(1, 1, 100_000_000)
         .build();
 
-    println!("Coflow: {} flows, {} bytes, category {}",
-        coflow.num_flows(), coflow.total_bytes(), coflow.category());
+    println!(
+        "Coflow: {} flows, {} bytes, category {}",
+        coflow.num_flows(),
+        coflow.total_bytes(),
+        coflow.category()
+    );
 
     let schedule = IntraScheduler::new(&fabric, SunflowConfig::default()).schedule(&coflow);
 
@@ -38,10 +41,19 @@ fn main() {
     let tcl = circuit_lower_bound(&coflow, &fabric);
     let tpl = packet_lower_bound(&coflow, &fabric);
     println!("\nCCT             = {cct}");
-    println!("T_cL (circuit)  = {tcl}  -> CCT/T_cL = {:.3}", cct.ratio(tcl));
-    println!("T_pL (packet)   = {tpl}  -> CCT/T_pL = {:.3}", cct.ratio(tpl));
-    println!("circuit setups  = {} (minimum possible: {})",
-        schedule.circuit_setups(), coflow.num_flows());
+    println!(
+        "T_cL (circuit)  = {tcl}  -> CCT/T_cL = {:.3}",
+        cct.ratio(tcl)
+    );
+    println!(
+        "T_pL (packet)   = {tpl}  -> CCT/T_pL = {:.3}",
+        cct.ratio(tpl)
+    );
+    println!(
+        "circuit setups  = {} (minimum possible: {})",
+        schedule.circuit_setups(),
+        coflow.num_flows()
+    );
 
     // Lemma 1 of the paper, checkable exactly:
     assert!(cct <= tcl * 2, "Lemma 1 violated?!");
@@ -49,8 +61,11 @@ fn main() {
 
     // The Figure-1c view of the schedule: '=' is the reconfiguration
     // delta; digits are the destination port being served.
-    println!("\n{}", sunflow::metrics::render_gantt(
-        schedule.reservations(),
-        sunflow::metrics::GanttConfig::new(64, fabric.delta()),
-    ));
+    println!(
+        "\n{}",
+        sunflow::metrics::render_gantt(
+            schedule.reservations(),
+            sunflow::metrics::GanttConfig::new(64, fabric.delta()),
+        )
+    );
 }

@@ -6,9 +6,7 @@
 //! cargo run --release --example starvation_guard
 //! ```
 
-use sunflow::model::{Coflow, Dur, Fabric, Time};
-use sunflow::scheduler::{GuardConfig, ShortestFirst};
-use sunflow::sim::{simulate_circuit, OnlineConfig};
+use sunflow::prelude::*;
 
 fn main() {
     let fabric = Fabric::new(4, Fabric::GBPS, Fabric::default_delta());
@@ -37,10 +35,7 @@ fn main() {
         simulate_circuit(
             &coflows,
             &fabric,
-            &OnlineConfig {
-                guard,
-                ..OnlineConfig::default()
-            },
+            &OnlineConfig::default().guard(guard),
             &ShortestFirst,
         )
     };
@@ -53,10 +48,10 @@ fn main() {
     );
 
     println!("\nshortest-first + starvation guard (T = 100 ms, τ = 30 ms):");
-    let on = run(Some(GuardConfig {
-        period: Dur::from_millis(100),
-        tau: Dur::from_millis(30),
-    }));
+    let on = run(Some(GuardConfig::new(
+        Dur::from_millis(100),
+        Dur::from_millis(30),
+    )));
     println!(
         "  victim CCT = {}  ({} guard windows elapsed)",
         on.outcomes[0].cct(Time::ZERO),

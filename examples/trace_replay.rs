@@ -8,11 +8,9 @@
 //! ```
 
 use sunflow::metrics::{mean, Table};
-use sunflow::model::Fabric;
 use sunflow::packet::{simulate_packet, Aalo, Varys};
-use sunflow::scheduler::ShortestFirst;
-use sunflow::sim::{simulate_circuit, OnlineConfig};
-use sunflow::workload::{network_idleness, perturb_sizes, generate, SynthConfig};
+use sunflow::prelude::*;
+use sunflow::workload::{generate, network_idleness, perturb_sizes, SynthConfig};
 
 fn main() {
     let n: usize = std::env::args()
@@ -58,7 +56,12 @@ fn main() {
         .collect());
 
     let mut table = Table::new(["scheduler", "network", "avg CCT (s)", "vs Sunflow"]);
-    table.row(["Sunflow (SCF)", "optical circuit", &format!("{sun_avg:.3}"), "1.00"]);
+    table.row([
+        "Sunflow (SCF)",
+        "optical circuit",
+        &format!("{sun_avg:.3}"),
+        "1.00",
+    ]);
     table.row([
         "Varys",
         "packet",

@@ -88,9 +88,7 @@ impl Opts {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --option, got {key:?}"))?;
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             map.insert(key.to_string(), value.clone());
         }
         Ok(Opts(map))
@@ -167,7 +165,10 @@ fn cmd_intra(opts: &Opts) -> Result<(), String> {
     let mut table = Table::new(["metric", "value"]);
     table.row(["scheduler", engine.name()]);
     table.row(["coflows", &coflows.len().to_string()]);
-    table.row(["avg CCT/T_cL", &format!("{:.3}", mean(&ratios).unwrap_or(f64::NAN))]);
+    table.row([
+        "avg CCT/T_cL",
+        &format!("{:.3}", mean(&ratios).unwrap_or(f64::NAN)),
+    ]);
     table.row([
         "p95 CCT/T_cL",
         &format!("{:.3}", percentile(&ratios, 95.0).unwrap_or(f64::NAN)),
@@ -204,7 +205,10 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
     let mut table = Table::new(["metric", "value"]);
     table.row(["scheduler", name]);
     table.row(["coflows", &coflows.len().to_string()]);
-    table.row(["avg CCT (s)", &format!("{:.3}", mean(&ccts).unwrap_or(f64::NAN))]);
+    table.row([
+        "avg CCT (s)",
+        &format!("{:.3}", mean(&ccts).unwrap_or(f64::NAN)),
+    ]);
     table.row([
         "p95 CCT (s)",
         &format!("{:.3}", percentile(&ccts, 95.0).unwrap_or(f64::NAN)),

@@ -23,11 +23,13 @@
 //! * [`matching`] — bipartite matching algorithms used by the baselines.
 //! * [`metrics`] — statistics and report rendering.
 //!
+//! For everyday use, [`prelude`] re-exports the handful of types almost
+//! every program needs:
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use sunflow::model::{Coflow, Fabric};
-//! use sunflow::scheduler::{IntraScheduler, SunflowConfig};
+//! use sunflow::prelude::*;
 //!
 //! // A 4-port fabric at 1 Gbps with a 10 ms reconfiguration delay, the
 //! // defaults used throughout the paper's evaluation.
@@ -44,7 +46,7 @@
 //! let schedule = IntraScheduler::new(&fabric, SunflowConfig::default()).schedule(&coflow);
 //! // Lemma 1: Sunflow is always within a factor of two of the circuit
 //! // lower bound.
-//! let lower = sunflow::model::circuit_lower_bound(&coflow, &fabric);
+//! let lower = circuit_lower_bound(&coflow, &fabric);
 //! assert!(schedule.cct() <= lower * 2);
 //! ```
 
@@ -56,3 +58,32 @@ pub use ocs_packet as packet;
 pub use ocs_sim as sim;
 pub use ocs_workload as workload;
 pub use sunflow_core as scheduler;
+
+pub mod prelude {
+    //! One-stop import for the types nearly every Sunflow program uses.
+    //!
+    //! ```
+    //! use sunflow::prelude::*;
+    //!
+    //! let fabric = Fabric::new(4, Fabric::GBPS, Fabric::default_delta());
+    //! let coflow = Coflow::builder(0).flow(0, 1, 1_000_000).build();
+    //! let cct = IntraScheduler::new(&fabric, SunflowConfig::default())
+    //!     .schedule(&coflow)
+    //!     .cct();
+    //! assert!(cct <= circuit_lower_bound(&coflow, &fabric) * 2);
+    //! ```
+
+    // The traffic and network model.
+    pub use ocs_model::{
+        circuit_lower_bound, packet_lower_bound, Bandwidth, Coflow, Dur, Fabric, Time,
+    };
+    // The Sunflow scheduler and its configuration.
+    pub use sunflow_core::{
+        FlowOrder, GuardConfig, IntraScheduler, Prt, ShortestFirst, SunflowConfig,
+    };
+    // Simulation drivers and the parallel sweep engine.
+    pub use ocs_sim::{
+        run_intra, simulate_circuit, ActiveCircuitPolicy, IntraEngine, OnlineConfig, ReplayResult,
+        Sweep, SweepBuilder,
+    };
+}

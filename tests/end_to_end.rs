@@ -2,12 +2,9 @@
 //! scheduling (circuit and packet) → outcome invariants.
 
 use sunflow::baselines::CircuitScheduler;
-use sunflow::model::{
-    circuit_lower_bound, lemma1_holds, packet_lower_bound, Fabric, Time,
-};
+use sunflow::model::lemma1_holds;
 use sunflow::packet::{simulate_packet, Aalo, Varys};
-use sunflow::scheduler::{IntraScheduler, ShortestFirst, SunflowConfig};
-use sunflow::sim::{run_intra, simulate_circuit, IntraEngine, OnlineConfig};
+use sunflow::prelude::*;
 use sunflow::workload::{generate, perturb_sizes, SynthConfig};
 
 fn small_workload() -> Vec<sunflow::model::Coflow> {
@@ -132,10 +129,7 @@ fn offline_and_online_agree_for_simultaneous_arrivals() {
     let offline = inter.schedule_batch(&coflows, &ShortestFirst);
     // Keep-policy replay matches the offline batch exactly: rescheduling
     // at completions re-derives the same plan when nothing is displaced.
-    let cfg = OnlineConfig {
-        active_policy: sunflow::sim::ActiveCircuitPolicy::Keep,
-        ..OnlineConfig::default()
-    };
+    let cfg = OnlineConfig::default().active_policy(sunflow::sim::ActiveCircuitPolicy::Keep);
     let online = simulate_circuit(&coflows, &f, &cfg, &ShortestFirst);
     for (a, b) in offline.iter().zip(&online.outcomes) {
         assert_eq!(a.finish(), b.finish, "coflow {}", a.coflow());
@@ -163,5 +157,3 @@ fn combining_equal_priority_coflows_costs_average_cct() {
 
     assert!(merged_cct >= avg_separate, "{merged_cct} < {avg_separate}");
 }
-
-use sunflow::model::Coflow;

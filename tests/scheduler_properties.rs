@@ -4,11 +4,8 @@
 
 use proptest::prelude::*;
 use sunflow::baselines::CircuitScheduler;
-use sunflow::model::{
-    circuit_lower_bound, packet_lower_bound, Bandwidth, Coflow, Dur, Fabric, Time,
-};
 use sunflow::packet::{simulate_packet, Aalo, Varys};
-use sunflow::scheduler::{IntraScheduler, SunflowConfig};
+use sunflow::prelude::*;
 
 fn arb_coflow() -> impl Strategy<Value = Coflow> {
     proptest::collection::btree_set((0usize..6, 0usize..6), 1..=12).prop_flat_map(|pairs| {

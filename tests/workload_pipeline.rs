@@ -2,7 +2,7 @@
 //! perturbation → idleness scaling, with the invariants each stage must
 //! preserve.
 
-use sunflow::model::Fabric;
+use sunflow::prelude::*;
 use sunflow::workload::{
     generate, network_idleness, parse, perturb_sizes, scale_to_idleness, write, SynthConfig, MB,
 };

@@ -1,0 +1,187 @@
+//! Offline shim for the subset of the `criterion` 0.5 API used by this
+//! workspace's micro-benchmarks.
+//!
+//! The build environment cannot fetch the real crate, so this shim
+//! provides the same bench-facing surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `black_box`) with a simple but
+//! honest measurement loop:
+//!
+//! * one untimed warm-up call;
+//! * iteration count doubled until a batch takes ≥ 50 ms (so per-call
+//!   timer overhead is amortized), capped by a wall budget;
+//! * median-of-batches per-iteration time reported on stdout as
+//!   `bench: <group>/<name> ... <time>/iter`.
+//!
+//! Set `CRITERION_BUDGET_MS` to change the per-benchmark wall budget
+//! (default 1000 ms).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as the parameter alone.
+    pub fn from_parameter(p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// An id rendering as `function/parameter`.
+    pub fn new(function: impl Into<String>, p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), p),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure under measurement; its [`iter`](Bencher::iter)
+/// method runs and times the workload.
+pub struct Bencher {
+    /// Collected (iterations, elapsed) batches.
+    batches: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measure `f`, amortizing timer overhead over growing batches.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f()); // warm-up, untimed
+        let budget = Duration::from_millis(
+            std::env::var("CRITERION_BUDGET_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1000),
+        );
+        let started = Instant::now();
+        let mut iters: u64 = 1;
+        while started.elapsed() < budget {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.batches.push((iters, dt));
+            if dt < Duration::from_millis(50) {
+                iters = iters.saturating_mul(2);
+            }
+        }
+    }
+
+    fn per_iter(&self) -> Option<Duration> {
+        let mut per: Vec<f64> = self
+            .batches
+            .iter()
+            .filter(|(n, _)| *n > 0)
+            .map(|(n, d)| d.as_secs_f64() / *n as f64)
+            .collect();
+        if per.is_empty() {
+            return None;
+        }
+        per.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(Duration::from_secs_f64(per[per.len() / 2]))
+    }
+}
+
+fn render(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            batches: Vec::new(),
+        };
+        f(&mut b);
+        match b.per_iter() {
+            Some(t) => println!("bench: {}/{id} ... {}/iter", self.name, render(t)),
+            None => println!("bench: {}/{id} ... no samples", self.name),
+        }
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        self.run(id.to_string(), f);
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    /// End the group (prints nothing; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}

@@ -1,0 +1,295 @@
+//! Offline shim for the subset of the `proptest` 1.x API used by this
+//! workspace.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This shim keeps the same *test-facing*
+//! surface — `proptest!`, `prop_assert*`, `prop_oneof!`, `Just`,
+//! `any`, range and tuple strategies, `collection::{vec, btree_set}`,
+//! `Strategy::{prop_map, prop_flat_map}` and
+//! `ProptestConfig::with_cases` — backed by a plain seeded-random case
+//! runner:
+//!
+//! * **Deterministic**: the RNG seed is a hash of the test's module
+//!   path and name, so every run explores the same cases. Set
+//!   `PROPTEST_CASES` to change the case count without recompiling.
+//! * **No shrinking**: a failing case reports its index and seed
+//!   instead of minimizing. That trades debugging convenience for
+//!   zero dependencies.
+
+pub mod strategy;
+
+pub mod arbitrary {
+    //! `any::<T>()` — standalone generation for primitive types.
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_set`.
+
+    use crate::strategy::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `size.sample()` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `size`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates are re-drawn; bail out if the element domain is
+            // too small to ever reach the minimum size.
+            let mut tries = 0usize;
+            let max_tries = 1000 + target * 100;
+            while out.len() < target && tries < max_tries {
+                out.insert(self.element.generate(rng));
+                tries += 1;
+            }
+            assert!(
+                out.len() >= self.size.min(),
+                "btree_set: element domain too small for requested size"
+            );
+            out
+        }
+    }
+
+    /// A set of roughly `size.sample()` distinct elements from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case runner: configuration, seeding, and the RNG.
+
+    pub use crate::strategy::TestRng;
+
+    /// Subset of proptest's run configuration: just the case count.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+
+        /// Case count after applying the `PROPTEST_CASES` env override.
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v
+                    .parse()
+                    .expect("PROPTEST_CASES must be a non-negative integer"),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    /// Failure raised by a test case. The shim's `prop_assert!` macros
+    /// panic instead of returning this, so it exists purely so helper
+    /// functions can keep proptest's `Result<_, TestCaseError>`
+    /// signatures.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    /// Result alias mirroring `proptest::test_runner::TestCaseResult`.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic 64-bit seed from a test's fully qualified name
+    /// (FNV-1a).
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Prints the failing case on panic so failures are reproducible
+    /// even without shrinking.
+    pub struct CaseGuard {
+        /// Case index within the run.
+        pub case: u32,
+        /// The run's RNG seed.
+        pub seed: u64,
+        /// Fully qualified test name.
+        pub name: &'static str,
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest shim: {} failed at case {} (seed {:#018x}); \
+                     re-run reproduces it deterministically",
+                    self.name, self.case, self.seed
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property test (panics like `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Define property tests. Each `pat in strategy` binding is drawn
+/// freshly for every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __name = concat!(module_path!(), "::", stringify!($name));
+                let __seed = $crate::test_runner::seed_for(__name);
+                let mut __rng = $crate::test_runner::TestRng::new(__seed);
+                let __strats = ($($strat,)+);
+                for __case in 0..__config.resolved_cases() {
+                    let __guard = $crate::test_runner::CaseGuard {
+                        case: __case,
+                        seed: __seed,
+                        name: __name,
+                    };
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                    $body
+                    drop(__guard);
+                }
+            }
+        )*
+    };
+}
