@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks of the online inter-Coflow replay event
+//! loop — the engine behind Figures 8–10 and the hybrid experiment.
+//!
+//! The replay was made incremental (per-Coflow PRT index, unsettled-
+//! reservation queue, memoized priority ranks, tail-walking truncation);
+//! these benches track the hot loop across the in-flight circuit
+//! policies and the truncation fast path against its naive twin, so a
+//! regression back toward rescan-everything cost shows up long before a
+//! 4-minute fig10 run would.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocs_model::{Bandwidth, Coflow, Dur, Fabric, FlowRef, Time};
+use ocs_sim::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig};
+use sunflow_core::{Prt, ResvKind, ShortestFirst};
+
+fn fabric() -> Fabric {
+    Fabric::new(16, Bandwidth::GBPS, Dur::from_millis(10))
+}
+
+/// xorshift64* — deterministic workload without depending on `rand`'s
+/// distribution stability.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// A contended trace: `n` Coflows, 1–5 flows each, arrivals spread so the
+/// replay maintains a deep active set with long reservation history.
+fn workload(n: u64) -> Vec<Coflow> {
+    let mut s = 0x00D1_CE5E_ED00_0001u64 | n;
+    (0..n)
+        .map(|id| {
+            let mut b = Coflow::builder(id).arrival(Time::from_millis(xorshift(&mut s) % 4_000));
+            for _ in 0..(1 + xorshift(&mut s) % 5) as usize {
+                b = b.flow(
+                    (xorshift(&mut s) % 16) as usize,
+                    (xorshift(&mut s) % 16) as usize,
+                    (1 + xorshift(&mut s) % 16) * 1_000_000,
+                );
+            }
+            b.build()
+        })
+        .collect()
+}
+
+fn replay_policies(c: &mut Criterion) {
+    let coflows = workload(120);
+    let f = fabric();
+    let mut group = c.benchmark_group("online_replay_120");
+    for (name, policy) in [
+        ("yield", ActiveCircuitPolicy::Yield),
+        ("keep", ActiveCircuitPolicy::Keep),
+        ("preempt", ActiveCircuitPolicy::Preempt),
+    ] {
+        let cfg = OnlineConfig::default().active_policy(policy);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(simulate_circuit(
+                    std::hint::black_box(&coflows),
+                    &f,
+                    &cfg,
+                    &ShortestFirst,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// `truncate_future` fast path vs its collect-every-key naive twin, on a
+/// table with a long settled history and a short planned future — the
+/// exact shape every replay event sees.
+fn truncation(c: &mut Criterion) {
+    let build = || {
+        let mut prt = Prt::new(4);
+        // 2,000 back-to-back settled reservations per port pair (the
+        // history), then 8 future ones (the plan to drop).
+        for i in 0..2_008u64 {
+            for src in 0..4usize {
+                let start = Time::from_millis(i * 20);
+                let end = Time::from_millis(i * 20 + 15);
+                prt.reserve(
+                    src,
+                    src,
+                    start,
+                    end,
+                    ResvKind::Flow(FlowRef {
+                        coflow: src as u64,
+                        flow_idx: i as usize,
+                    }),
+                );
+            }
+        }
+        prt
+    };
+    let now = Time::from_millis(2_000 * 20);
+    let table = build();
+    // The clone cost is identical in both entries, so the delta between
+    // them is the truncation cost itself.
+    let mut group = c.benchmark_group("truncate_future_tail");
+    group.bench_function("fast", |b| {
+        b.iter(|| {
+            let mut prt = table.clone();
+            std::hint::black_box(prt.truncate_future(now, true))
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut prt = table.clone();
+            std::hint::black_box(prt.naive_truncate_future(now, true))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, replay_policies, truncation);
+criterion_main!(benches);

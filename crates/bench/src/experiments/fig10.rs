@@ -6,7 +6,7 @@
 //! 0.65 / 0.98; 100 µs → 0.61 / 0.98; 10 µs → 0.61 / 0.98. As for the
 //! intra case, optimizing switching hardware below δ ≈ 1 ms buys little.
 
-use crate::inter_eval::{eval_inter, InterEngine, InterRow};
+use crate::inter_eval::{eval_inter_measured, InterEngine, InterRow};
 use crate::workloads::{fabric_gbps, workload, DELTA_SWEEP};
 use ocs_metrics::{mean, percentile, Report, SweepTiming};
 
@@ -24,12 +24,12 @@ pub fn run_measured() -> (Report, SweepTiming) {
     let coflows = workload();
 
     let mut sweep = crate::sweep::<Vec<InterRow>>();
-    sweep.add("baseline delta=10ms", move || {
-        eval_inter(coflows, &fabric_gbps(1), InterEngine::Sunflow)
+    sweep.add_measured("baseline delta=10ms", move || {
+        eval_inter_measured(coflows, &fabric_gbps(1), InterEngine::Sunflow)
     });
     for (label, delta) in DELTA_SWEEP {
-        sweep.add(format!("delta={label}"), move || {
-            eval_inter(
+        sweep.add_measured(format!("delta={label}"), move || {
+            eval_inter_measured(
                 coflows,
                 &fabric_gbps(1).with_delta(delta),
                 InterEngine::Sunflow,

@@ -10,7 +10,7 @@
 //! Aalo; only in heavily underutilized networks (81 %, 98 %) does the
 //! circuit-switching penalty dominate (up to 3.27x of Varys at 98 %).
 
-use crate::inter_eval::{avg_cct_secs, eval_inter, InterEngine, InterRow};
+use crate::inter_eval::{avg_cct_secs, eval_inter_measured, InterEngine, InterRow};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_metrics::{Report, SweepTiming};
 use ocs_model::Coflow;
@@ -56,8 +56,8 @@ pub fn run_settings_measured() -> (Vec<Setting>, SweepTiming) {
     for (label, gbps, coflows) in &cases {
         for engine in ENGINES {
             let gbps = *gbps;
-            sweep.add(format!("{label}/{}", engine.name()), move || {
-                eval_inter(coflows, &fabric_gbps(gbps), engine)
+            sweep.add_measured(format!("{label}/{}", engine.name()), move || {
+                eval_inter_measured(coflows, &fabric_gbps(gbps), engine)
             });
         }
     }

@@ -9,7 +9,7 @@
 //! 2.16x / 1.96x of Varys / Aalo; long 1.07x / 0.90x; overall 1.87x /
 //! 1.69x.
 
-use crate::inter_eval::{eval_inter, InterEngine, InterRow};
+use crate::inter_eval::{eval_inter_measured, InterEngine, InterRow};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_metrics::{mean, Report, SweepTiming};
 
@@ -27,8 +27,8 @@ pub fn run_measured() -> (Report, SweepTiming) {
     let coflows = workload();
     let mut sweep = crate::sweep::<Vec<InterRow>>();
     for engine in [InterEngine::Sunflow, InterEngine::Varys, InterEngine::Aalo] {
-        sweep.add(engine.name(), move || {
-            eval_inter(coflows, &fabric_gbps(1), engine)
+        sweep.add_measured(engine.name(), move || {
+            eval_inter_measured(coflows, &fabric_gbps(1), engine)
         });
     }
     let result = sweep.run();

@@ -23,7 +23,8 @@ fn avg_cct(finishes: Vec<f64>) -> f64 {
 
 fn add_jobs<'a>(sweep: &mut ocs_sim::Sweep<'a, Run>, fabric: &'a Fabric, label: &str) {
     let coflows = workload();
-    sweep.add(format!("[{label}] pure"), move || {
+    let compute = |micros: u64| std::time::Duration::from_micros(micros);
+    sweep.add_measured(format!("[{label}] pure"), move || {
         let pure = simulate_circuit(coflows, fabric, &OnlineConfig::default(), &ShortestFirst);
         let avg = avg_cct(
             pure.outcomes
@@ -32,10 +33,10 @@ fn add_jobs<'a>(sweep: &mut ocs_sim::Sweep<'a, Run>, fabric: &'a Fabric, label: 
                 .map(|(o, c)| o.cct(c.arrival()).as_secs_f64())
                 .collect(),
         );
-        (avg, 0, 0)
+        ((avg, 0, 0), compute(pure.stats.reschedule_micros))
     });
     for threshold_mb in [2u64, 8, 32] {
-        sweep.add(format!("[{label}] offload<{threshold_mb}MB"), move || {
+        sweep.add_measured(format!("[{label}] offload<{threshold_mb}MB"), move || {
             let cfg = HybridConfig {
                 small_flow_threshold: threshold_mb * MB,
                 packet_bandwidth_fraction: 0.1,
@@ -49,7 +50,10 @@ fn add_jobs<'a>(sweep: &mut ocs_sim::Sweep<'a, Run>, fabric: &'a Fabric, label: 
                     .map(|(o, c)| o.cct(c.arrival()).as_secs_f64())
                     .collect(),
             );
-            (avg, h.circuit_flows, h.packet_flows)
+            (
+                (avg, h.circuit_flows, h.packet_flows),
+                compute(h.stats.reschedule_micros),
+            )
         });
     }
 }

@@ -5,6 +5,7 @@
 use ocs_model::{packet_lower_bound, Coflow, Dur, Fabric};
 use ocs_packet::{simulate_packet, Aalo, Varys};
 use ocs_sim::{simulate_circuit, OnlineConfig};
+use std::time::{Duration, Instant};
 use sunflow_core::ShortestFirst;
 
 /// Which end-to-end scheduler to replay the trace under.
@@ -47,14 +48,38 @@ pub struct InterRow {
 
 /// Replay `coflows` under `engine`; returns rows in workload order.
 pub fn eval_inter(coflows: &[Coflow], fabric: &Fabric, engine: InterEngine) -> Vec<InterRow> {
-    let outcomes = match engine {
+    eval_inter_measured(coflows, fabric, engine).0
+}
+
+/// [`eval_inter`] plus the scheduler-compute duration of the replay, for
+/// [`ocs_sim::Sweep::add_measured`] (the `compute_s` field of the
+/// `BENCH_<id>.json` records). For Sunflow this is the replay engine's
+/// own rescheduling time from [`ocs_sim::ReplayStats`] — workload
+/// generation and row bookkeeping excluded; the packet-switched
+/// baselines have no comparable internal split, so their whole
+/// simulation is timed.
+pub fn eval_inter_measured(
+    coflows: &[Coflow],
+    fabric: &Fabric,
+    engine: InterEngine,
+) -> (Vec<InterRow>, Duration) {
+    let (outcomes, compute) = match engine {
         InterEngine::Sunflow => {
-            simulate_circuit(coflows, fabric, &OnlineConfig::default(), &ShortestFirst).outcomes
+            let r = simulate_circuit(coflows, fabric, &OnlineConfig::default(), &ShortestFirst);
+            (r.outcomes, Duration::from_micros(r.stats.reschedule_micros))
         }
-        InterEngine::Varys => simulate_packet(coflows, fabric, &mut Varys),
-        InterEngine::Aalo => simulate_packet(coflows, fabric, &mut Aalo::default()),
+        InterEngine::Varys => {
+            let t0 = Instant::now();
+            let outcomes = simulate_packet(coflows, fabric, &mut Varys);
+            (outcomes, t0.elapsed())
+        }
+        InterEngine::Aalo => {
+            let t0 = Instant::now();
+            let outcomes = simulate_packet(coflows, fabric, &mut Aalo::default());
+            (outcomes, t0.elapsed())
+        }
     };
-    coflows
+    let rows = coflows
         .iter()
         .zip(outcomes)
         .enumerate()
@@ -64,7 +89,8 @@ pub fn eval_inter(coflows: &[Coflow], fabric: &Fabric, engine: InterEngine) -> V
             tpl: packet_lower_bound(c, fabric),
             long: ocs_model::is_long(c, fabric),
         })
-        .collect()
+        .collect();
+    (rows, compute)
 }
 
 /// Average CCT in seconds over rows.

@@ -22,8 +22,8 @@
 //!   not-yet-started reservations when priorities change on a Coflow
 //!   arrival or completion.
 
-use ocs_model::{Dur, FlowRef, InPort, OutPort, Reservation, Time};
-use std::collections::BTreeMap;
+use ocs_model::{CoflowId, Dur, FlowRef, InPort, OutPort, Reservation, Time};
+use std::collections::{BTreeMap, HashMap};
 
 /// What a reservation serves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +96,62 @@ pub struct Prt {
     in_tail: Vec<Option<(Time, Time)>>,
     /// Same cache for output ports.
     out_tail: Vec<Option<(Time, Time)>>,
+    /// Per-Coflow reservation index, maintained incrementally by
+    /// `reserve` / `truncate_future` / `cut_reservation`. The online
+    /// replay's per-event queries (`reservations_of`, `last_end_of`)
+    /// touch only the owning Coflow's entries instead of rescanning the
+    /// whole table, whose history grows without bound over a replay.
+    /// Guard windows serve no single Coflow and are not indexed.
+    by_coflow: HashMap<CoflowId, CoflowIndex>,
+}
+
+/// Index entries of one Coflow's reservations.
+#[derive(Clone, Debug, Default)]
+struct CoflowIndex {
+    /// `(start, src)` → `(dst, end, flow_idx)`. `(start, src)` is unique:
+    /// a port holds at most one reservation starting at a given instant.
+    resvs: BTreeMap<(Time, InPort), (OutPort, Time, usize)>,
+    /// Multiset of this Coflow's reservation end times, so
+    /// [`Prt::last_end_of`] is O(1) even after cuts re-key ends.
+    ends: BTreeMap<Time, u32>,
+}
+
+impl CoflowIndex {
+    fn insert(&mut self, src: InPort, dst: OutPort, start: Time, end: Time, flow_idx: usize) {
+        self.resvs.insert((start, src), (dst, end, flow_idx));
+        *self.ends.entry(end).or_insert(0) += 1;
+    }
+
+    fn drop_end(&mut self, end: Time) {
+        let c = self
+            .ends
+            .get_mut(&end)
+            .expect("coflow end multiset out of sync");
+        *c -= 1;
+        if *c == 0 {
+            self.ends.remove(&end);
+        }
+    }
+
+    fn remove(&mut self, src: InPort, start: Time) {
+        let (_, end, _) = self
+            .resvs
+            .remove(&(start, src))
+            .expect("coflow index out of sync: missing reservation");
+        self.drop_end(end);
+    }
+
+    /// Re-key a reservation's end to `now` (a cut in-flight circuit).
+    fn cut(&mut self, src: InPort, start: Time, now: Time) {
+        let entry = self
+            .resvs
+            .get_mut(&(start, src))
+            .expect("coflow index out of sync: missing cut target");
+        let old_end = entry.1;
+        entry.1 = now;
+        self.drop_end(old_end);
+        *self.ends.entry(now).or_insert(0) += 1;
+    }
 }
 
 impl Prt {
@@ -111,6 +167,7 @@ impl Prt {
             releases: BTreeMap::new(),
             in_tail: vec![None; n],
             out_tail: vec![None; n],
+            by_coflow: HashMap::new(),
         }
     }
 
@@ -285,6 +342,15 @@ impl Prt {
             self.out_tail[dst] = Some((start, end));
         }
         *self.releases.entry(end).or_insert(0) += 1;
+        if let ResvKind::Flow(flow) = kind {
+            self.by_coflow.entry(flow.coflow).or_default().insert(
+                src,
+                dst,
+                start,
+                end,
+                flow.flow_idx,
+            );
+        }
     }
 
     /// Reference implementation of [`Prt::reserve`] that always runs both
@@ -332,26 +398,90 @@ impl Prt {
             },
         );
         *self.releases.entry(end).or_insert(0) += 1;
+        if let ResvKind::Flow(flow) = kind {
+            self.by_coflow.entry(flow.coflow).or_default().insert(
+                src,
+                dst,
+                start,
+                end,
+                flow.flow_idx,
+            );
+        }
     }
 
-    /// All flow reservations currently in the table, in no particular
-    /// order. Guard windows are excluded (they serve no single flow).
+    /// All flow reservations currently in the table, ordered by
+    /// `(src, start)`. Guard windows are excluded (they serve no single
+    /// flow).
     pub fn flow_reservations(&self) -> Vec<Reservation> {
-        let mut out = Vec::new();
-        for (src, map) in self.ins.iter().enumerate() {
-            for (&start, e) in map {
-                if let ResvKind::Flow(flow) = e.kind {
-                    out.push(Reservation {
+        self.iter_reservations().collect()
+    }
+
+    /// Non-allocating iterator over all flow reservations, ordered by
+    /// `(src, start)`. Guard windows are excluded.
+    pub fn iter_reservations(&self) -> impl Iterator<Item = Reservation> + '_ {
+        self.ins.iter().enumerate().flat_map(|(src, map)| {
+            map.iter().filter_map(move |(&start, e)| match e.kind {
+                ResvKind::Flow(flow) => Some(Reservation {
+                    src,
+                    dst: e.peer,
+                    start,
+                    end: e.end,
+                    flow,
+                }),
+                ResvKind::Guard => None,
+            })
+        })
+    }
+
+    /// Iterator over the reservations serving `coflow`, ordered by
+    /// `(start, src)`, answered from the per-Coflow index — O(own
+    /// reservations), independent of the rest of the table.
+    pub fn reservations_of(&self, coflow: CoflowId) -> impl Iterator<Item = Reservation> + '_ {
+        self.by_coflow
+            .get(&coflow)
+            .into_iter()
+            .flat_map(move |idx| {
+                idx.resvs
+                    .iter()
+                    .map(move |(&(start, src), &(dst, end, flow_idx))| Reservation {
                         src,
-                        dst: e.peer,
+                        dst,
                         start,
-                        end: e.end,
-                        flow,
-                    });
-                }
-            }
-        }
+                        end,
+                        flow: FlowRef { coflow, flow_idx },
+                    })
+            })
+    }
+
+    /// The latest reservation end among `coflow`'s reservations, or
+    /// `None` if it has none. O(1) from the per-Coflow index; the online
+    /// replay derives each active Coflow's planned completion from it.
+    pub fn last_end_of(&self, coflow: CoflowId) -> Option<Time> {
+        self.by_coflow
+            .get(&coflow)
+            .and_then(|idx| idx.ends.keys().next_back().copied())
+    }
+
+    /// Reference implementation of [`Prt::reservations_of`] via the full
+    /// table scan (see [`Prt::naive_in_free_at`] for the twin pattern).
+    #[doc(hidden)]
+    pub fn naive_reservations_of(&self, coflow: CoflowId) -> Vec<Reservation> {
+        let mut out: Vec<Reservation> = self
+            .iter_reservations()
+            .filter(|r| r.flow.coflow == coflow)
+            .collect();
+        out.sort_by_key(|r| (r.start, r.src));
         out
+    }
+
+    /// Reference implementation of [`Prt::last_end_of`] via the full
+    /// table scan.
+    #[doc(hidden)]
+    pub fn naive_last_end_of(&self, coflow: CoflowId) -> Option<Time> {
+        self.iter_reservations()
+            .filter(|r| r.flow.coflow == coflow)
+            .map(|r| r.end)
+            .max()
     }
 
     /// All reservations (including guard windows) as
@@ -388,8 +518,94 @@ impl Prt {
     ///
     /// Returns the removed reservations and, for each shortened one, its
     /// original extent (with `end` still the *original* end; the new end is
-    /// `now`).
+    /// `now`), ordered by `(src, start)`.
+    ///
+    /// Cost is O(removed + ports): each input port's map is walked
+    /// *backwards from its tail* and the walk stops at the first
+    /// reservation with `start < now` — of which at most one (the
+    /// straddling one) can need a cut, since reservations on a port never
+    /// overlap. The table's past is never visited, so truncating a
+    /// long-running replay's table does not pay for its history.
     pub fn truncate_future(&mut self, now: Time, keep_active: bool) -> Vec<RemovedResv> {
+        let mut removed = Vec::new();
+        let n = self.ports();
+        // Out ports whose tail cache must be refreshed; in tails are
+        // refreshed inline per source port.
+        let mut out_touched = vec![false; n];
+        for src in 0..n {
+            let mut touched = false;
+            while let Some((&start, e)) = self.ins[src].iter().next_back() {
+                let e = *e;
+                if start >= now {
+                    // Entirely in the future: drop.
+                    self.ins[src].remove(&start);
+                    self.outs[e.peer].remove(&start);
+                    self.release_removed(e.end);
+                    self.unindex(e.kind, src, start);
+                    touched = true;
+                    out_touched[e.peer] = true;
+                    removed.push(RemovedResv {
+                        src,
+                        dst: e.peer,
+                        start,
+                        end: e.end,
+                        kind: e.kind,
+                    });
+                } else {
+                    if e.end > now && !keep_active && e.kind != ResvKind::Guard {
+                        // Straddles `now` and preemption is allowed: cut.
+                        // Guard windows are never cut — the starvation
+                        // guard's whole point is immunity to scheduling
+                        // churn.
+                        self.release_removed(e.end);
+                        *self.releases.entry(now).or_insert(0) += 1;
+                        self.ins[src].get_mut(&start).expect("entry exists").end = now;
+                        self.outs[e.peer]
+                            .get_mut(&start)
+                            .expect("peer entry exists")
+                            .end = now;
+                        if let ResvKind::Flow(flow) = e.kind {
+                            self.by_coflow
+                                .get_mut(&flow.coflow)
+                                .expect("coflow index out of sync")
+                                .cut(src, start, now);
+                        }
+                        touched = true;
+                        out_touched[e.peer] = true;
+                        removed.push(RemovedResv {
+                            src,
+                            dst: e.peer,
+                            start,
+                            end: e.end,
+                            kind: e.kind,
+                        });
+                    }
+                    // First reservation starting before `now`: everything
+                    // earlier on this port is strictly in the past.
+                    break;
+                }
+            }
+            if touched {
+                self.in_tail[src] = Self::tail_of(&self.ins[src]);
+            }
+        }
+        for (p, touched) in out_touched.into_iter().enumerate() {
+            if touched {
+                self.out_tail[p] = Self::tail_of(&self.outs[p]);
+            }
+        }
+        // The backward walks discovered entries in descending-start order;
+        // report them in the canonical (src, start) order.
+        removed.sort_by_key(|r| (r.src, r.start));
+        removed
+    }
+
+    /// Reference implementation of [`Prt::truncate_future`]: the original
+    /// collect-every-key full scan. Kept (per the `naive_*` twin pattern,
+    /// see [`Prt::naive_in_free_at`]) for the equivalence property tests
+    /// and micro-benchmarks.
+    #[doc(hidden)]
+    pub fn naive_truncate_future(&mut self, now: Time, keep_active: bool) -> Vec<RemovedResv> {
         let mut removed = Vec::new();
         let n = self.ports();
         let mut touched = false;
@@ -398,10 +614,10 @@ impl Prt {
             for start in starts {
                 let e = self.ins[src][&start];
                 if start >= now {
-                    // Entirely in the future: drop.
                     self.ins[src].remove(&start);
                     self.outs[e.peer].remove(&start);
                     self.release_removed(e.end);
+                    self.unindex(e.kind, src, start);
                     touched = true;
                     removed.push(RemovedResv {
                         src,
@@ -411,9 +627,6 @@ impl Prt {
                         kind: e.kind,
                     });
                 } else if e.end > now && !keep_active && e.kind != ResvKind::Guard {
-                    // Straddles `now` and preemption is allowed: cut.
-                    // Guard windows are never cut — the starvation guard's
-                    // whole point is immunity to scheduling churn.
                     self.release_removed(e.end);
                     *self.releases.entry(now).or_insert(0) += 1;
                     self.ins[src].get_mut(&start).expect("entry exists").end = now;
@@ -421,6 +634,12 @@ impl Prt {
                         .get_mut(&start)
                         .expect("peer entry exists")
                         .end = now;
+                    if let ResvKind::Flow(flow) = e.kind {
+                        self.by_coflow
+                            .get_mut(&flow.coflow)
+                            .expect("coflow index out of sync")
+                            .cut(src, start, now);
+                    }
                     touched = true;
                     removed.push(RemovedResv {
                         src,
@@ -433,15 +652,26 @@ impl Prt {
             }
         }
         if touched {
-            // Truncation already walked every port; rebuilding the tail
-            // caches from the maps is cheaper than tracking which ports
-            // lost their latest reservation.
             for p in 0..n {
                 self.in_tail[p] = Self::tail_of(&self.ins[p]);
                 self.out_tail[p] = Self::tail_of(&self.outs[p]);
             }
         }
         removed
+    }
+
+    /// Drop a removed reservation from the per-Coflow index.
+    fn unindex(&mut self, kind: ResvKind, src: InPort, start: Time) {
+        if let ResvKind::Flow(flow) = kind {
+            let idx = self
+                .by_coflow
+                .get_mut(&flow.coflow)
+                .expect("coflow index out of sync");
+            idx.remove(src, start);
+            if idx.resvs.is_empty() {
+                self.by_coflow.remove(&flow.coflow);
+            }
+        }
     }
 
     fn tail_of(map: &BTreeMap<Time, Entry>) -> Option<(Time, Time)> {
@@ -474,6 +704,12 @@ impl Prt {
         }
         if self.out_tail[e.peer].is_some_and(|(s, _)| s == start) {
             self.out_tail[e.peer] = Some((start, now));
+        }
+        if let ResvKind::Flow(flow) = e.kind {
+            self.by_coflow
+                .get_mut(&flow.coflow)
+                .expect("coflow index out of sync")
+                .cut(src, start, now);
         }
     }
 
@@ -655,6 +891,87 @@ mod tests {
         let mut prt = Prt::new(2);
         prt.reserve(0, 1, t(50), t(100), flow(0));
         prt.cut_reservation(0, t(50), t(40));
+    }
+
+    fn flow_of(cf: u64, idx: usize) -> ResvKind {
+        ResvKind::Flow(FlowRef {
+            coflow: cf,
+            flow_idx: idx,
+        })
+    }
+
+    #[test]
+    fn coflow_index_tracks_reservations() {
+        let mut prt = Prt::new(4);
+        prt.reserve(0, 0, t(0), t(10), flow_of(1, 0));
+        prt.reserve(1, 1, t(5), t(30), flow_of(2, 0));
+        prt.reserve(2, 2, t(0), t(20), flow_of(1, 1));
+        prt.reserve(3, 3, t(0), t(5), ResvKind::Guard);
+
+        let of1: Vec<_> = prt.reservations_of(1).collect();
+        assert_eq!(of1.len(), 2);
+        // (start, src) order.
+        assert_eq!((of1[0].src, of1[0].start), (0, t(0)));
+        assert_eq!((of1[1].src, of1[1].start), (2, t(0)));
+        assert_eq!(prt.last_end_of(1), Some(t(20)));
+        assert_eq!(prt.last_end_of(2), Some(t(30)));
+        assert_eq!(prt.last_end_of(99), None);
+        // Guard windows are not indexed under any coflow.
+        assert_eq!(prt.iter_reservations().count(), 3);
+        assert_eq!(prt.naive_reservations_of(1), of1);
+        assert_eq!(prt.naive_last_end_of(1), Some(t(20)));
+    }
+
+    #[test]
+    fn coflow_index_follows_truncation_and_cuts() {
+        let mut prt = Prt::new(4);
+        prt.reserve(0, 0, t(0), t(40), flow_of(1, 0)); // in flight at 20
+        prt.reserve(1, 1, t(25), t(60), flow_of(1, 1)); // future at 20
+        prt.reserve(2, 2, t(30), t(50), flow_of(2, 0)); // future at 20
+
+        prt.truncate_future(t(20), true);
+        assert_eq!(prt.last_end_of(1), Some(t(40)));
+        assert_eq!(prt.last_end_of(2), None, "fully-future coflow unindexed");
+        assert_eq!(prt.reservations_of(2).count(), 0);
+
+        prt.cut_reservation(0, t(0), t(20));
+        assert_eq!(prt.last_end_of(1), Some(t(20)));
+        let rs: Vec<_> = prt.reservations_of(1).collect();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].end, t(20));
+        assert_eq!(prt.naive_last_end_of(1), Some(t(20)));
+    }
+
+    #[test]
+    fn truncate_cut_rekeys_coflow_end() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 0, t(0), t(100), flow_of(7, 0));
+        let removed = prt.truncate_future(t(30), false);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].end, t(100));
+        assert_eq!(prt.last_end_of(7), Some(t(30)));
+    }
+
+    #[test]
+    fn fast_and_naive_truncation_agree() {
+        let build = || {
+            let mut prt = Prt::new(4);
+            prt.reserve(0, 0, t(0), t(10), flow_of(1, 0)); // past
+            prt.reserve(0, 1, t(12), t(40), flow_of(1, 1)); // straddles 20
+            prt.reserve(1, 2, t(20), t(30), flow_of(2, 0)); // future
+            prt.reserve(1, 3, t(35), t(45), flow_of(2, 1)); // future
+            prt.reserve(2, 2, t(50), t(60), ResvKind::Guard); // future guard
+            prt
+        };
+        for keep in [true, false] {
+            let mut fast = build();
+            let mut naive = build();
+            let rf = fast.truncate_future(t(20), keep);
+            let rn = naive.naive_truncate_future(t(20), keep);
+            assert_eq!(rf, rn, "removed lists diverge (keep_active={keep})");
+            assert_eq!(fast.flow_reservations(), naive.flow_reservations());
+            assert_eq!(fast.all_reservations(), naive.all_reservations());
+        }
     }
 
     #[test]

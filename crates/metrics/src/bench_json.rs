@@ -164,12 +164,13 @@ pub fn bench_json(id: &str, report: &Report, timing: &SweepTiming, truncated: bo
     for (i, c) in claims.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"what\": \"{}\", \"paper\": {}, \"measured\": {}, \
-             \"tolerance\": {}, \"holds\": {}}}{}\n",
+             \"tolerance\": {}, \"holds\": {}, \"known_gap\": {}}}{}\n",
             esc(&c.what),
             num(c.paper),
             num(c.measured),
             num(c.tolerance),
             c.holds(),
+            c.known_gap,
             if i + 1 < claims.len() { "," } else { "" },
         ));
     }
@@ -233,11 +234,14 @@ mod tests {
         let mut r = Report::new("T \"x\"");
         r.claim("c1", 1.0, 1.1, 0.2);
         r.claim("nan", f64::NAN, f64::NAN, 0.2);
+        r.claim_known_gap("gap", 13.12, 5.89, 0.35);
         let s = bench_json("fig0", &r, &timing(), false);
         assert!(s.contains("\"id\": \"fig0\""));
         assert!(s.contains("\\\"quoted\\\""));
         assert!(s.contains("\"speedup\": 2.000000"));
         assert!(s.contains("\"paper\": null"));
+        assert!(s.contains("\"known_gap\": true"));
+        assert!(s.contains("\"known_gap\": false"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());

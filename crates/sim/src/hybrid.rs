@@ -15,7 +15,7 @@
 //! Sunflow-scheduled circuit network at full bandwidth. A Coflow
 //! completes when *both* of its parts have: the CCT combines them.
 
-use crate::online::{simulate_circuit, OnlineConfig};
+use crate::online::{simulate_circuit, OnlineConfig, ReplayStats};
 use ocs_model::{Bandwidth, Coflow, Fabric, ScheduleOutcome, Time};
 use ocs_packet::{simulate_packet, FairSharing};
 use sunflow_core::PriorityPolicy;
@@ -52,6 +52,9 @@ pub struct HybridResult {
     pub circuit_flows: usize,
     /// Flows carried by the packet network.
     pub packet_flows: usize,
+    /// Replay counters of the circuit side (default when every flow went
+    /// to the packet network).
+    pub stats: ReplayStats,
 }
 
 /// Simulate `coflows` over the hybrid fabric.
@@ -100,10 +103,11 @@ pub fn simulate_hybrid(
 
     // Circuit side: full-rate fabric under Sunflow.
     let circuit_coflows: Vec<Coflow> = circuit_part.iter().flatten().cloned().collect();
-    let circuit_outcomes = if circuit_coflows.is_empty() {
-        Vec::new()
+    let (circuit_outcomes, stats) = if circuit_coflows.is_empty() {
+        (Vec::new(), ReplayStats::default())
     } else {
-        simulate_circuit(&circuit_coflows, fabric, &config.online, policy).outcomes
+        let r = simulate_circuit(&circuit_coflows, fabric, &config.online, policy);
+        (r.outcomes, r.stats)
     };
     let mut circuit_by_id = std::collections::HashMap::new();
     for o in circuit_outcomes {
@@ -165,6 +169,7 @@ pub fn simulate_hybrid(
         outcomes,
         circuit_flows,
         packet_flows,
+        stats,
     }
 }
 

@@ -31,5 +31,5 @@ pub mod sweep;
 pub use aggregate::simulate_circuit_aggregated;
 pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult};
 pub use intra_driver::{run_intra, IntraEngine};
-pub use online::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult};
+pub use online::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult, ReplayStats};
 pub use sweep::{Sweep, SweepBuilder, SweepResult, SweepRun};

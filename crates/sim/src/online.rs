@@ -22,9 +22,12 @@
 //! window's circuits receives an equal share of its transmit time, and
 //! each guard-window end is an additional rescheduling point.
 
-use ocs_model::{Coflow, Dur, Fabric, FlowRef, InPort, ScheduleOutcome, Time};
-use std::collections::{HashMap, HashSet};
-use sunflow_core::{Demand, GuardConfig, PriorityPolicy, Prt, StarvationGuard, SunflowConfig};
+use ocs_model::{Coflow, Dur, Fabric, FlowRef, InPort, OutPort, ScheduleOutcome, Time};
+use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
+use sunflow_core::{
+    Demand, GuardConfig, PriorityPolicy, Prt, RemovedResv, ResvKind, StarvationGuard, SunflowConfig,
+};
 
 /// What happens to circuits that are mid-transmission when priorities
 /// change at a rescheduling event.
@@ -117,6 +120,52 @@ pub struct ReplayResult {
     /// Number of starvation-guard windows that elapsed during the replay
     /// (zero when the guard is disabled).
     pub guard_windows: u64,
+    /// Observability counters of the replay engine.
+    pub stats: ReplayStats,
+}
+
+/// Observability counters of one online replay: how much event-loop work
+/// the trace cost. Purely informational — identical traces produce
+/// identical counters except for `reschedule_micros`, which is wall-clock
+/// and feeds the `compute_s` field of the `BENCH_<id>.json` records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ReplayStats {
+    /// Rescheduling events processed (Coflow arrivals, completions and
+    /// guard-window ends that triggered a re-plan).
+    pub events: u64,
+    /// Planning rounds run under [`ActiveCircuitPolicy::Yield`] (at least
+    /// one per event; one extra per displacement round).
+    pub yield_rounds: u64,
+    /// In-flight circuits displaced by the Yield policy.
+    pub cuts: u64,
+    /// Reservations created by the intra-Coflow scheduler.
+    pub reservations_made: u64,
+    /// Flow reservations dropped or shortened by future-truncation at
+    /// rescheduling events.
+    pub reservations_truncated: u64,
+    /// Wall-clock microseconds spent rescheduling (truncation, priority
+    /// sorting, intra-Coflow planning, displacement analysis).
+    pub reschedule_micros: u64,
+}
+
+/// A not-yet-settled flow reservation, mirrored out of the PRT so the
+/// event loop can settle, credit and displace circuits without rescanning
+/// the table's ever-growing history. Ordered by `(end, src)` — the settle
+/// order — which is unique because a port's reservations never overlap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Pending {
+    end: Time,
+    src: InPort,
+    start: Time,
+    dst: OutPort,
+    flow: FlowRef,
+}
+
+impl Pending {
+    fn transmit_time(&self, delta: Dur) -> Dur {
+        self.end.since(self.start).saturating_sub(delta)
+    }
 }
 
 struct CoflowState {
@@ -178,7 +227,13 @@ pub fn simulate_circuit(
         .collect();
     assert_eq!(id_to_idx.len(), coflows.len(), "coflow ids must be unique");
 
-    let mut settled: HashSet<(InPort, Time)> = HashSet::new();
+    // Every not-yet-settled flow reservation, mirrored out of the PRT.
+    // Kept in settle order `(end, src)`; maintained by the same calls that
+    // mutate the PRT, so settling / planning / displacing cost is
+    // proportional to the *current* plan, never to the replay's history.
+    let mut unsettled: BTreeSet<Pending> = BTreeSet::new();
+    let mut stats = ReplayStats::default();
+    let mut resched_wall = std::time::Duration::ZERO;
     let mut next_guard_window: u64 = 0; // next unsettled guard interval
     let mut guard_windows_elapsed: u64 = 0;
     let mut next_arrival = 0usize;
@@ -187,20 +242,33 @@ pub fn simulate_circuit(
     let total_flows: usize = coflows.iter().map(|c| c.num_flows()).sum();
     let mut fuel: u64 = 10_000 + 1_000 * (total_flows as u64 + coflows.len() as u64);
 
-    // Settle every flow reservation with `end <= t` exactly once.
-    let settle = |prt: &Prt,
-                  t: Time,
-                  settled: &mut HashSet<(InPort, Time)>,
+    // Inter-Coflow priority is a property of the Coflow alone (`T_pL` for
+    // ShortestFirst, arrival time for FCFS) — `PriorityPolicy::sort` sees
+    // neither clock nor PRT — so the total order over all Coflows can be
+    // derived once and each event's active subset sorted by memoized rank,
+    // instead of re-deriving `packet_lower_bound` per comparison per event.
+    // (`replay_regression.rs` checks this subset-consistency property.)
+    let rank_of: Vec<usize> = {
+        let mut all: Vec<&Coflow> = coflows.iter().collect();
+        policy.sort(&mut all, fabric);
+        let mut rank = vec![0usize; coflows.len()];
+        for (r, c) in all.iter().enumerate() {
+            rank[id_to_idx[&c.id()]] = r;
+        }
+        rank
+    };
+
+    // Settle every flow reservation with `end <= t` exactly once: pop the
+    // unsettled queue front while it has ended.
+    let settle = |t: Time,
+                  unsettled: &mut BTreeSet<Pending>,
                   states: &mut [Option<CoflowState>],
                   id_to_idx: &HashMap<u64, usize>| {
-        let mut ended: Vec<_> = prt
-            .flow_reservations()
-            .into_iter()
-            .filter(|r| r.end <= t && !settled.contains(&(r.src, r.start)))
-            .collect();
-        ended.sort_by_key(|r| (r.end, r.src));
-        for r in ended {
-            settled.insert((r.src, r.start));
+        while let Some(&r) = unsettled.first() {
+            if r.end > t {
+                break;
+            }
+            unsettled.pop_first();
             let idx = id_to_idx[&r.flow.coflow];
             let st = states[idx].as_mut().expect("reservation for unseen coflow");
             st.setups += 1;
@@ -210,6 +278,32 @@ pub fn simulate_circuit(
                 st.finish[r.flow.flow_idx] = Some(r.end);
             }
         }
+    };
+
+    // Mirror a `truncate_future` removal list into the unsettled queue:
+    // dropped reservations leave it, shortened ones re-key to end (and so
+    // settle) at `now`. Returns the number of flow reservations affected.
+    let untrack = |removed: &[RemovedResv], unsettled: &mut BTreeSet<Pending>, now: Time| -> u64 {
+        let mut flows = 0u64;
+        for r in removed {
+            let ResvKind::Flow(flow) = r.kind else {
+                continue;
+            };
+            flows += 1;
+            let p = Pending {
+                end: r.end,
+                src: r.src,
+                start: r.start,
+                dst: r.dst,
+                flow,
+            };
+            let was_pending = unsettled.remove(&p);
+            debug_assert!(was_pending, "truncated reservation missing from queue");
+            if r.start < now {
+                unsettled.insert(Pending { end: now, ..p });
+            }
+        }
+        flows
     };
 
     // Settle guard windows whose end has passed: equal share of the
@@ -260,7 +354,7 @@ pub fn simulate_circuit(
 
     loop {
         // ---- Settle everything that ended by `now`. ----
-        settle(&prt, now, &mut settled, &mut states, &id_to_idx);
+        settle(now, &mut unsettled, &mut states, &id_to_idx);
         if let Some(g) = &guard {
             settle_guard(
                 g,
@@ -310,22 +404,30 @@ pub fn simulate_circuit(
         if active.is_empty() && next_arrival == order.len() {
             break;
         }
+        stats.events += 1;
+        let resched_t0 = Instant::now();
 
         // ---- Reschedule: drop future plans, re-derive in priority order. ----
         // Priority order over the *active* coflows (also drives Yield's
-        // who-may-displace-whom decisions).
-        let mut prio: Vec<&Coflow> = active.iter().map(|&i| &coflows[i]).collect();
-        policy.sort(&mut prio, fabric);
-        let rank: HashMap<u64, usize> = prio.iter().enumerate().map(|(r, c)| (c.id(), r)).collect();
+        // who-may-displace-whom decisions): sort by the memoized global
+        // rank — comparison-free — instead of re-running the policy.
+        let mut prio: Vec<usize> = active.clone();
+        prio.sort_unstable_by_key(|&i| rank_of[i]);
+        let rank: HashMap<u64, usize> = prio
+            .iter()
+            .map(|&i| (coflows[i].id(), rank_of[i]))
+            .collect();
 
         // Under Preempt every in-flight circuit is torn down immediately;
         // under Keep and Yield they initially continue (Yield may cut
         // specific ones below once the new plan shows who they block).
-        prt.truncate_future(now, config.active_policy != ActiveCircuitPolicy::Preempt);
+        let removed =
+            prt.truncate_future(now, config.active_policy != ActiveCircuitPolicy::Preempt);
+        stats.reservations_truncated += untrack(&removed, &mut unsettled, now);
         if config.active_policy == ActiveCircuitPolicy::Preempt {
             // A cut reservation now ends at `now`: settle it so its
             // partial service is credited before re-planning.
-            settle(&prt, now, &mut settled, &mut states, &id_to_idx);
+            settle(now, &mut unsettled, &mut states, &id_to_idx);
         }
 
         // Plan (and under Yield, re-plan after displacing in-flight
@@ -355,17 +457,21 @@ pub fn simulate_circuit(
                 g.seed_prt(&mut prt, now, horizon);
             }
 
-            // Pending service from in-flight reservations (credited at
-            // their end; don't schedule that demand twice).
-            let mut pending: HashMap<FlowRef, Dur> = HashMap::new();
-            for r in prt.flow_reservations() {
-                if r.end > now && !settled.contains(&(r.src, r.start)) {
-                    *pending.entry(r.flow).or_insert(Dur::ZERO) += r.transmit_time(delta);
-                }
+            if config.active_policy == ActiveCircuitPolicy::Yield {
+                stats.yield_rounds += 1;
             }
 
-            for c in &prio {
-                let idx = id_to_idx[&c.id()];
+            // Pending service from in-flight reservations (credited at
+            // their end; don't schedule that demand twice). Everything in
+            // the queue has `end > now` here: the ended prefix was settled
+            // at `now` and the planned future was truncated.
+            let mut pending: HashMap<FlowRef, Dur> = HashMap::new();
+            for r in unsettled.iter() {
+                *pending.entry(r.flow).or_insert(Dur::ZERO) += r.transmit_time(delta);
+            }
+
+            for &idx in &prio {
+                let c = &coflows[idx];
                 let st = states[idx].as_ref().expect("active implies state");
                 let demands: Vec<Demand> = c
                     .flows()
@@ -387,7 +493,7 @@ pub fn simulate_circuit(
                     })
                     .collect();
                 if !demands.is_empty() {
-                    sunflow_core::schedule_demands(
+                    let made = sunflow_core::schedule_demands(
                         &mut prt,
                         c.id(),
                         &demands,
@@ -395,6 +501,16 @@ pub fn simulate_circuit(
                         delta,
                         config.sunflow,
                     );
+                    stats.reservations_made += made.len() as u64;
+                    for r in made {
+                        unsettled.insert(Pending {
+                            end: r.end,
+                            src: r.src,
+                            start: r.start,
+                            dst: r.dst,
+                            flow: r.flow,
+                        });
+                    }
                 }
             }
 
@@ -403,23 +519,24 @@ pub fn simulate_circuit(
             }
 
             // Index the in-flight circuits by the ports they hold and
-            // when they release them.
-            let resvs = prt.flow_reservations();
-            let mut holds: HashMap<(bool, usize, Time), (usize, InPort, Time)> = HashMap::new();
-            for r in resvs.iter().filter(|r| r.start < now && r.end > now) {
+            // when they release them. The queue holds exactly the
+            // in-flight circuits (`start < now`) plus this round's plan
+            // (`start >= now`) — no history to skip over.
+            let mut holds: HashMap<(bool, usize, Time), (usize, Pending)> = HashMap::new();
+            for r in unsettled.iter().filter(|r| r.start < now) {
                 if let Some(&owner_rank) = rank.get(&r.flow.coflow) {
-                    holds.insert((true, r.src, r.end), (owner_rank, r.src, r.start));
-                    holds.insert((false, r.dst, r.end), (owner_rank, r.src, r.start));
+                    holds.insert((true, r.src, r.end), (owner_rank, *r));
+                    holds.insert((false, r.dst, r.end), (owner_rank, *r));
                 }
             }
-            let mut cuts: Vec<(InPort, Time)> = Vec::new();
+            let mut cuts: Vec<Pending> = Vec::new();
             if !holds.is_empty() {
-                for r in resvs.iter().filter(|r| r.start >= now) {
+                for r in unsettled.iter().filter(|r| r.start >= now) {
                     let waiter_rank = rank[&r.flow.coflow];
                     for key in [(true, r.src, r.start), (false, r.dst, r.start)] {
-                        if let Some(&(owner_rank, src, start)) = holds.get(&key) {
+                        if let Some(&(owner_rank, p)) = holds.get(&key) {
                             if waiter_rank < owner_rank {
-                                cuts.push((src, start));
+                                cuts.push(p);
                             }
                         }
                     }
@@ -430,14 +547,19 @@ pub fn simulate_circuit(
             if cuts.is_empty() {
                 break;
             }
-            for &(src, start) in &cuts {
-                prt.cut_reservation(src, start, now);
+            stats.cuts += cuts.len() as u64;
+            for p in &cuts {
+                prt.cut_reservation(p.src, p.start, now);
+                unsettled.remove(p);
+                unsettled.insert(Pending { end: now, ..*p });
             }
             // Credit the partial service of the displaced circuits, then
             // drop the tentative plan and re-plan around the freed ports.
-            settle(&prt, now, &mut settled, &mut states, &id_to_idx);
-            prt.truncate_future(now, true);
+            settle(now, &mut unsettled, &mut states, &id_to_idx);
+            let removed = prt.truncate_future(now, true);
+            stats.reservations_truncated += untrack(&removed, &mut unsettled, now);
         }
+        resched_wall += resched_t0.elapsed();
 
         // ---- Next event. ----
         let t_arrival = order.get(next_arrival).map(|&i| coflows[i].arrival());
@@ -445,13 +567,13 @@ pub fn simulate_circuit(
             .iter()
             .map(|&idx| {
                 // A coflow completes when its last planned reservation
-                // ends (plans always cover all remaining demand).
-                prt.flow_reservations()
-                    .into_iter()
-                    .filter(|r| r.flow.coflow == coflows[idx].id() && r.end > now)
-                    .map(|r| r.end)
-                    .max()
-                    .unwrap_or_else(|| {
+                // ends (plans always cover all remaining demand). The
+                // per-Coflow index answers in O(log): if the Coflow has
+                // any reservation ending after `now`, its global latest
+                // end *is* that maximum.
+                match prt.last_end_of(coflows[idx].id()) {
+                    Some(end) if end > now => end,
+                    _ => {
                         // No planned reservations: all residual demand is
                         // pending in kept reservations or will be served
                         // by guard windows; fall back to the guard end.
@@ -459,7 +581,8 @@ pub fn simulate_circuit(
                             .as_ref()
                             .map(|g| g.next_window_end_after(now))
                             .unwrap_or(Time::MAX)
-                    })
+                    }
+                }
             })
             .min();
         let t_guard = guard
@@ -484,12 +607,14 @@ pub fn simulate_circuit(
         now = t_next;
     }
 
+    stats.reschedule_micros = resched_wall.as_micros() as u64;
     ReplayResult {
         outcomes: outcomes
             .into_iter()
             .map(|o| o.expect("every coflow completes"))
             .collect(),
         guard_windows: guard_windows_elapsed,
+        stats,
     }
 }
 

@@ -84,6 +84,6 @@ pub mod prelude {
     // Simulation drivers and the parallel sweep engine.
     pub use ocs_sim::{
         run_intra, simulate_circuit, ActiveCircuitPolicy, IntraEngine, OnlineConfig, ReplayResult,
-        Sweep, SweepBuilder,
+        ReplayStats, Sweep, SweepBuilder,
     };
 }
