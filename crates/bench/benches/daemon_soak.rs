@@ -1,0 +1,11 @@
+//! Bench target soaking the online scheduling daemon against the
+//! offline replay. Run with `cargo bench -p ocs-bench --bench daemon_soak`.
+
+fn main() {
+    let (report, timing) = ocs_bench::experiments::daemon_soak::run_measured();
+    let ok = ocs_bench::emit_timed("daemon", &report, &timing);
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+        std::process::exit(1);
+    }
+}

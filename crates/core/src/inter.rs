@@ -47,6 +47,20 @@ impl PriorityPolicy for ShortestFirst {
     }
 }
 
+/// Longest-Coflow-first: the reverse of [`ShortestFirst`] over `T_pL`.
+/// Not a policy the paper advocates — it exists as the adversarial end of
+/// the policy spectrum for sensitivity studies (how much does Sunflow's
+/// non-preemptive core lose under the *worst* reasonable ordering?) and
+/// to exercise the pluggable-policy plumbing end to end.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LongestFirst;
+
+impl PriorityPolicy for LongestFirst {
+    fn compare(&self, a: &Coflow, b: &Coflow, fabric: &Fabric) -> Ordering {
+        packet_lower_bound(b, fabric).cmp(&packet_lower_bound(a, fabric))
+    }
+}
+
 /// First-come-first-served: order by arrival time.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FirstComeFirstServed;
@@ -271,6 +285,21 @@ mod tests {
         let mut order: Vec<&Coflow> = vec![&a, &b];
         policy.sort(&mut order, &f);
         assert_eq!(order[0].id(), 20);
+    }
+
+    #[test]
+    fn longest_first_reverses_shortest_first() {
+        let f = fabric();
+        let small = Coflow::builder(1).flow(0, 0, mb(1)).build();
+        let big = Coflow::builder(0).flow(0, 0, mb(100)).build();
+        let mut order: Vec<&Coflow> = vec![&small, &big];
+        LongestFirst.sort(&mut order, &f);
+        assert_eq!(order[0].id(), 0, "bigger T_pL first");
+        // Equal T_pL falls back to (arrival, id) just like every policy.
+        let twin = Coflow::builder(2).flow(1, 1, mb(1)).build();
+        let mut tie: Vec<&Coflow> = vec![&twin, &small];
+        LongestFirst.sort(&mut tie, &f);
+        assert_eq!(tie[0].id(), 1);
     }
 
     #[test]

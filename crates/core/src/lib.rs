@@ -34,11 +34,11 @@ pub mod prt;
 pub mod starvation;
 
 pub use inter::{
-    ClassThenShortest, ExplicitOrder, FirstComeFirstServed, InterScheduler, PriorityPolicy,
-    ShortestFirst,
+    ClassThenShortest, ExplicitOrder, FirstComeFirstServed, InterScheduler, LongestFirst,
+    PriorityPolicy, ShortestFirst,
 };
 pub use intra::{
     schedule_demands, CoflowSchedule, Demand, FlowOrder, IntraScheduler, SunflowConfig,
 };
-pub use prt::{Prt, RemovedResv, ResvKind};
+pub use prt::{Prt, PrtSnapshot, RemovedResv, ResvKind};
 pub use starvation::{GuardConfig, GuardWindow, StarvationGuard};

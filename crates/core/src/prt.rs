@@ -57,6 +57,45 @@ pub struct RemovedResv {
     pub kind: ResvKind,
 }
 
+/// A point-in-time capture of a whole [`Prt`], produced by
+/// [`Prt::snapshot`] and consumed by [`Prt::from_snapshot`]. Plain data:
+/// the port count and every reservation (guard windows included), so a
+/// checkpointing service can serialize it in any format it likes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrtSnapshot {
+    ports: usize,
+    resvs: Vec<RemovedResv>,
+}
+
+impl PrtSnapshot {
+    /// Number of ports on each side of the snapshotted switch.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The captured reservations, ordered by `(src, start)`.
+    pub fn reservations(&self) -> &[RemovedResv] {
+        &self.resvs
+    }
+
+    /// Number of captured reservations.
+    pub fn len(&self) -> usize {
+        self.resvs.len()
+    }
+
+    /// True if the snapshotted table held no reservations.
+    pub fn is_empty(&self) -> bool {
+        self.resvs.is_empty()
+    }
+
+    /// Assemble a snapshot from parts (e.g. parsed back from a
+    /// checkpoint file). Consistency is checked by
+    /// [`Prt::from_snapshot`], not here.
+    pub fn from_parts(ports: usize, resvs: Vec<RemovedResv>) -> PrtSnapshot {
+        PrtSnapshot { ports, resvs }
+    }
+}
+
 /// The Port Reservation Table. One instance is shared by all Coflows being
 /// scheduled (global `PRT[.]` in Algorithm 1).
 ///
@@ -260,7 +299,10 @@ impl Prt {
 
     /// Reference implementation of [`Prt::in_free_at`] that always walks
     /// the `BTreeMap`, bypassing the tail cache. Kept for the
-    /// equivalence property tests and the fast-path micro-benchmarks.
+    /// equivalence property tests and the fast-path micro-benchmarks;
+    /// compiled only under the `naive-twins` feature (or `cfg(test)`) so
+    /// release consumers carry no dead reference code.
+    #[cfg(any(test, feature = "naive-twins"))]
     #[doc(hidden)]
     pub fn naive_in_free_at(&self, i: InPort, t: Time) -> bool {
         Self::free_at(&self.ins[i], t)
@@ -268,6 +310,7 @@ impl Prt {
 
     /// Reference implementation of [`Prt::out_free_at`] (see
     /// [`Prt::naive_in_free_at`]).
+    #[cfg(any(test, feature = "naive-twins"))]
     #[doc(hidden)]
     pub fn naive_out_free_at(&self, j: OutPort, t: Time) -> bool {
         Self::free_at(&self.outs[j], t)
@@ -275,6 +318,7 @@ impl Prt {
 
     /// Reference implementation of [`Prt::in_next_start_after`] (see
     /// [`Prt::naive_in_free_at`]).
+    #[cfg(any(test, feature = "naive-twins"))]
     #[doc(hidden)]
     pub fn naive_in_next_start_after(&self, i: InPort, t: Time) -> Time {
         Self::next_start_after(&self.ins[i], t)
@@ -282,6 +326,7 @@ impl Prt {
 
     /// Reference implementation of [`Prt::out_next_start_after`] (see
     /// [`Prt::naive_in_free_at`]).
+    #[cfg(any(test, feature = "naive-twins"))]
     #[doc(hidden)]
     pub fn naive_out_next_start_after(&self, j: OutPort, t: Time) -> Time {
         Self::next_start_after(&self.outs[j], t)
@@ -357,6 +402,7 @@ impl Prt {
     /// overlap scans and skips the tail-cache bookkeeping. Kept for the
     /// fast-path micro-benchmarks; a table built through it must only be
     /// queried through the `naive_*` accessors.
+    #[cfg(any(test, feature = "naive-twins"))]
     #[doc(hidden)]
     pub fn naive_reserve(
         &mut self,
@@ -464,6 +510,7 @@ impl Prt {
 
     /// Reference implementation of [`Prt::reservations_of`] via the full
     /// table scan (see [`Prt::naive_in_free_at`] for the twin pattern).
+    #[cfg(any(test, feature = "naive-twins"))]
     #[doc(hidden)]
     pub fn naive_reservations_of(&self, coflow: CoflowId) -> Vec<Reservation> {
         let mut out: Vec<Reservation> = self
@@ -476,6 +523,7 @@ impl Prt {
 
     /// Reference implementation of [`Prt::last_end_of`] via the full
     /// table scan.
+    #[cfg(any(test, feature = "naive-twins"))]
     #[doc(hidden)]
     pub fn naive_last_end_of(&self, coflow: CoflowId) -> Option<Time> {
         self.iter_reservations()
@@ -505,6 +553,77 @@ impl Prt {
     /// The latest reservation end in the table, or `None` if empty.
     pub fn horizon(&self) -> Option<Time> {
         self.releases.keys().next_back().copied()
+    }
+
+    /// Capture the full reservation state as a flat, order-independent
+    /// value. A snapshot is plain data (port count + reservation list),
+    /// so it can be serialized by callers that checkpoint a long-running
+    /// scheduler and fed back through [`Prt::from_snapshot`].
+    pub fn snapshot(&self) -> PrtSnapshot {
+        PrtSnapshot {
+            ports: self.ports(),
+            resvs: self.all_reservations(),
+        }
+    }
+
+    /// Rebuild a table from a [`PrtSnapshot`]. The result answers every
+    /// query identically to the snapshotted table: reservations are
+    /// replayed through [`Prt::reserve`] in ascending start order, so the
+    /// tail caches, release multiset, and per-Coflow index all come out
+    /// in their canonical states.
+    ///
+    /// # Panics
+    /// Panics if the snapshot is inconsistent (empty intervals or
+    /// overlapping reservations on a port) — snapshots taken from a live
+    /// table are always consistent.
+    pub fn from_snapshot(snap: &PrtSnapshot) -> Prt {
+        let mut prt = Prt::new(snap.ports);
+        let mut resvs: Vec<&RemovedResv> = snap.resvs.iter().collect();
+        resvs.sort_by_key(|r| (r.start, r.src));
+        for r in resvs {
+            prt.reserve(r.src, r.dst, r.start, r.end, r.kind);
+        }
+        prt
+    }
+
+    /// Drop every reservation that ended at or before `cutoff`, returning
+    /// how many were forgotten. A long-lived online scheduler calls this
+    /// periodically so the table's memory stays proportional to its
+    /// *future*, not its history.
+    ///
+    /// Only strictly-past state is touched: queries at any `t >= cutoff`
+    /// (port freeness, next starts, releases, per-Coflow last ends) are
+    /// unaffected. History-dependent accessors ([`Prt::in_busy_time`],
+    /// [`Prt::reservations_of`]) lose the forgotten intervals — callers
+    /// must account for served demand before pruning.
+    pub fn forget_before(&mut self, cutoff: Time) -> usize {
+        let mut dropped = 0;
+        for src in 0..self.ins.len() {
+            // Reservations on a port never overlap, so ascending starts
+            // imply ascending ends: pop from the front while dead.
+            while let Some((&start, e)) = self.ins[src].iter().next() {
+                if e.end > cutoff {
+                    break;
+                }
+                let e = *e;
+                self.ins[src].remove(&start);
+                self.outs[e.peer].remove(&start);
+                self.release_removed(e.end);
+                self.unindex(e.kind, src, start);
+                dropped += 1;
+            }
+            // The tail is the latest-starting (hence latest-ending)
+            // reservation; it was dropped only if the port emptied.
+            if self.ins[src].is_empty() {
+                self.in_tail[src] = None;
+            }
+        }
+        for (p, map) in self.outs.iter().enumerate() {
+            if map.is_empty() {
+                self.out_tail[p] = None;
+            }
+        }
+        dropped
     }
 
     /// Remove reservations scheduled for the future so the table can be
@@ -604,6 +723,7 @@ impl Prt {
     /// collect-every-key full scan. Kept (per the `naive_*` twin pattern,
     /// see [`Prt::naive_in_free_at`]) for the equivalence property tests
     /// and micro-benchmarks.
+    #[cfg(any(test, feature = "naive-twins"))]
     #[doc(hidden)]
     pub fn naive_truncate_future(&mut self, now: Time, keep_active: bool) -> Vec<RemovedResv> {
         let mut removed = Vec::new();
@@ -981,5 +1101,104 @@ mod tests {
         prt.reserve(0, 0, t(0), t(10), flow(0));
         prt.reserve(1, 1, t(0), t(50), flow(1));
         assert_eq!(prt.horizon(), Some(t(50)));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_queries_and_index() {
+        let mut prt = Prt::new(4);
+        prt.reserve(0, 0, t(0), t(10), flow_of(1, 0));
+        prt.reserve(0, 1, t(12), t(40), flow_of(1, 1));
+        prt.reserve(1, 2, t(20), t(30), flow_of(2, 0));
+        prt.reserve(2, 2, t(50), t(60), ResvKind::Guard);
+        prt.cut_reservation(0, t(12), t(25));
+
+        let snap = prt.snapshot();
+        assert_eq!(snap.ports(), 4);
+        assert_eq!(snap.len(), 4);
+        let back = Prt::from_snapshot(&snap);
+
+        assert_eq!(back.all_reservations(), prt.all_reservations());
+        assert_eq!(back.flow_reservations(), prt.flow_reservations());
+        assert_eq!(back.horizon(), prt.horizon());
+        assert_eq!(back.last_end_of(1), prt.last_end_of(1));
+        assert_eq!(back.last_end_of(2), prt.last_end_of(2));
+        for p in 0..4 {
+            for ms in [0u64, 5, 12, 24, 25, 30, 55, 60] {
+                assert_eq!(back.in_free_at(p, t(ms)), prt.in_free_at(p, t(ms)));
+                assert_eq!(back.out_free_at(p, t(ms)), prt.out_free_at(p, t(ms)));
+                assert_eq!(
+                    back.in_next_start_after(p, t(ms)),
+                    prt.in_next_start_after(p, t(ms))
+                );
+            }
+        }
+        let mut releases = Vec::new();
+        let mut cursor = Time::ZERO;
+        while let Some(r) = back.next_release_after(cursor) {
+            releases.push(r);
+            cursor = r;
+        }
+        let mut expect = Vec::new();
+        cursor = Time::ZERO;
+        while let Some(r) = prt.next_release_after(cursor) {
+            expect.push(r);
+            cursor = r;
+        }
+        assert_eq!(releases, expect);
+    }
+
+    #[test]
+    fn restored_table_accepts_new_reservations() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 0, t(0), t(10), flow_of(1, 0));
+        let mut back = Prt::from_snapshot(&prt.snapshot());
+        // Tail caches must be live: appending after the horizon works,
+        // overlapping the restored reservation still panics elsewhere.
+        back.reserve(0, 1, t(10), t(20), flow_of(2, 0));
+        assert_eq!(back.last_end_of(2), Some(t(20)));
+    }
+
+    #[test]
+    fn snapshot_from_parts_roundtrips() {
+        let mut prt = Prt::new(3);
+        prt.reserve(2, 1, t(5), t(15), flow_of(3, 0));
+        let snap = prt.snapshot();
+        let rebuilt = PrtSnapshot::from_parts(snap.ports(), snap.reservations().to_vec());
+        assert_eq!(rebuilt, snap);
+        assert!(!rebuilt.is_empty());
+    }
+
+    #[test]
+    fn forget_before_prunes_only_the_past() {
+        let mut prt = Prt::new(3);
+        prt.reserve(0, 0, t(0), t(10), flow_of(1, 0)); // dead at 20
+        prt.reserve(0, 1, t(12), t(20), flow_of(1, 1)); // ends exactly at 20: dead
+        prt.reserve(1, 1, t(25), t(40), flow_of(2, 0)); // future
+        prt.reserve(2, 2, t(15), t(30), ResvKind::Guard); // straddles 20: kept
+
+        assert_eq!(prt.forget_before(t(20)), 2);
+        assert_eq!(prt.all_reservations().len(), 2);
+        // Future queries unaffected.
+        assert!(!prt.in_free_at(1, t(30)));
+        assert_eq!(prt.next_release_after(t(20)), Some(t(30)));
+        assert_eq!(prt.last_end_of(2), Some(t(40)));
+        // Forgotten coflow's index entries are gone.
+        assert_eq!(prt.last_end_of(1), None);
+        assert_eq!(prt.reservations_of(1).count(), 0);
+        // Pruning is idempotent.
+        assert_eq!(prt.forget_before(t(20)), 0);
+    }
+
+    #[test]
+    fn forget_before_clears_emptied_tails() {
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 1, t(0), t(10), flow_of(1, 0));
+        assert_eq!(prt.forget_before(t(10)), 1);
+        assert!(prt.is_empty());
+        // Tail caches were reset: the port is free and reusable.
+        assert!(prt.in_free_at(0, t(0)));
+        assert!(prt.out_free_at(1, t(0)));
+        prt.reserve(0, 1, t(5), t(8), flow_of(2, 0));
+        assert_eq!(prt.horizon(), Some(t(8)));
     }
 }

@@ -1,0 +1,330 @@
+//! `ocs-daemond` — the online Sunflow scheduling daemon.
+//!
+//! ```text
+//! ocs-daemond run [OPTIONS]     replay/serve a JSONL arrival stream
+//! ocs-daemond gen [OPTIONS]     emit a synthetic JSONL trace to stdout
+//! ```
+//!
+//! `run` reads arrivals from `--input FILE` (`-` = stdin, the default)
+//! or accepts one TCP connection with `--listen ADDR`, schedules them
+//! on a virtual-clock fabric, drains gracefully at EOF, and dumps
+//! telemetry via `--status-json PATH` and/or `--prom PATH` (`-` =
+//! stdout). Seeded fault injection is enabled with the `--fault-*`
+//! flags. `gen` turns `ocs-workload`'s Poisson/Table-4 generator into a
+//! trace file `run` can consume.
+
+use ocs_daemon::{
+    run_to_completion, serve_tcp, ArrivalSpec, Daemon, DaemonConfig, PolicyKind, ServeReport,
+};
+use ocs_model::time::PS_PER_MS;
+use ocs_model::{Bandwidth, Dur, Fabric};
+use ocs_sim::ActiveCircuitPolicy;
+use ocs_workload::SynthConfig;
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+use sunflow_core::GuardConfig;
+
+const USAGE: &str = "\
+ocs-daemond — online Sunflow scheduling service
+
+USAGE:
+  ocs-daemond run [OPTIONS]   serve/replay a JSONL arrival stream
+  ocs-daemond gen [OPTIONS]   emit a synthetic JSONL trace to stdout
+
+run OPTIONS:
+  --input PATH            arrival JSONL file, '-' for stdin (default '-')
+  --listen ADDR           serve one TCP connection instead of --input
+  --ports N               fabric ports (default 150)
+  --bandwidth-gbps N      link rate (default 1)
+  --delta-us N            reconfiguration delay δ in µs (default 1000)
+  --policy NAME           shortest | longest | fcfs (default shortest)
+  --active NAME           yield | keep | preempt (default yield)
+  --guard T_MS,TAU_MS     starvation guard period and shared window
+  --max-queue N           admission queue depth cap (default 4096)
+  --max-outstanding-secs F  outstanding transmit-demand cap
+  --fault-seed N          fault stream seed (default 0)
+  --fault-setup-pm N      circuit setup failures, per mille
+  --fault-flap-pm N       port flaps, per mille
+  --fault-inflate-pm N    inflated-δ events, per mille
+  --status-json PATH      write final JSON status ('-' = stdout)
+  --prom PATH             write final Prometheus text ('-' = stdout)
+  --acks                  echo per-line acks on stdout (file/stdin mode)
+  --quiet                 suppress the stderr summary
+
+gen OPTIONS:
+  --coflows N             number of Coflows (default 526)
+  --ports N               fabric ports (default 150)
+  --seed N                workload seed (default 0x50f10)
+  --horizon-secs F        arrival horizon (default 3600)
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("ocs-daemond: {msg}");
+    eprintln!("run `ocs-daemond --help` for usage");
+    ExitCode::from(2)
+}
+
+/// Pull the value of `--flag VALUE`, parsed; `Err` carries the message.
+struct Args {
+    argv: Vec<String>,
+    pos: usize,
+}
+
+impl Args {
+    fn next(&mut self) -> Option<String> {
+        let a = self.argv.get(self.pos).cloned();
+        if a.is_some() {
+            self.pos += 1;
+        }
+        a
+    }
+
+    fn value(&mut self, flag: &str) -> Result<String, String> {
+        self.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self.value(flag)?;
+        raw.parse()
+            .map_err(|e| format!("{flag}: cannot parse {raw:?}: {e}"))
+    }
+}
+
+fn parse_guard(raw: &str) -> Result<GuardConfig, String> {
+    let (t, tau) = raw
+        .split_once(',')
+        .ok_or_else(|| format!("--guard expects T_MS,TAU_MS, got {raw:?}"))?;
+    let period: u64 = t
+        .trim()
+        .parse()
+        .map_err(|e| format!("--guard period: {e}"))?;
+    let tau: u64 = tau
+        .trim()
+        .parse()
+        .map_err(|e| format!("--guard tau: {e}"))?;
+    Ok(GuardConfig::new(
+        Dur::from_millis(period),
+        Dur::from_millis(tau),
+    ))
+}
+
+fn parse_active(raw: &str) -> Result<ActiveCircuitPolicy, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "yield" => Ok(ActiveCircuitPolicy::Yield),
+        "keep" => Ok(ActiveCircuitPolicy::Keep),
+        "preempt" => Ok(ActiveCircuitPolicy::Preempt),
+        other => Err(format!(
+            "unknown active-circuit policy {other:?}; expected yield, keep or preempt"
+        )),
+    }
+}
+
+struct RunOpts {
+    input: String,
+    listen: Option<String>,
+    config: DaemonConfig,
+    status_json: Option<String>,
+    prom: Option<String>,
+    acks: bool,
+    quiet: bool,
+}
+
+fn parse_run(args: &mut Args) -> Result<RunOpts, String> {
+    let mut opts = RunOpts {
+        input: "-".to_string(),
+        listen: None,
+        config: DaemonConfig::default(),
+        status_json: None,
+        prom: None,
+        acks: false,
+        quiet: false,
+    };
+    let mut ports = opts.config.fabric.ports();
+    let mut gbps = 1u64;
+    let mut delta_us = 1_000u64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--input" => opts.input = args.value("--input")?,
+            "--listen" => opts.listen = Some(args.value("--listen")?),
+            "--ports" => ports = args.parsed("--ports")?,
+            "--bandwidth-gbps" => gbps = args.parsed("--bandwidth-gbps")?,
+            "--delta-us" => delta_us = args.parsed("--delta-us")?,
+            "--policy" => opts.config.policy = args.value("--policy")?.parse::<PolicyKind>()?,
+            "--active" => {
+                opts.config.online.active_policy = parse_active(&args.value("--active")?)?
+            }
+            "--guard" => opts.config.online.guard = Some(parse_guard(&args.value("--guard")?)?),
+            "--max-queue" => opts.config.admission.max_queue_depth = args.parsed("--max-queue")?,
+            "--max-outstanding-secs" => {
+                let secs: f64 = args.parsed("--max-outstanding-secs")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!(
+                        "--max-outstanding-secs must be positive, got {secs}"
+                    ));
+                }
+                opts.config.admission.max_outstanding = Dur::from_secs_f64(secs);
+            }
+            "--fault-seed" => opts.config.faults.seed = args.parsed("--fault-seed")?,
+            "--fault-setup-pm" => {
+                opts.config.faults.setup_failure_per_mille = args.parsed("--fault-setup-pm")?
+            }
+            "--fault-flap-pm" => {
+                opts.config.faults.port_flap_per_mille = args.parsed("--fault-flap-pm")?
+            }
+            "--fault-inflate-pm" => {
+                opts.config.faults.delta_inflation_per_mille = args.parsed("--fault-inflate-pm")?
+            }
+            "--status-json" => opts.status_json = Some(args.value("--status-json")?),
+            "--prom" => opts.prom = Some(args.value("--prom")?),
+            "--acks" => opts.acks = true,
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown flag {other:?} for run")),
+        }
+    }
+    if opts.config.faults.total_per_mille() > 1000 {
+        return Err("fault probabilities sum to more than 1000 per mille".to_string());
+    }
+    opts.config.fabric = Fabric::new(
+        ports,
+        Bandwidth::from_gbps(gbps),
+        Dur::from_micros(delta_us),
+    );
+    Ok(opts)
+}
+
+/// Write `text` to `path`, with `-` meaning stdout.
+fn emit(path: &str, text: &str) -> std::io::Result<()> {
+    if path == "-" {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        out.write_all(text.as_bytes())?;
+        if !text.ends_with('\n') {
+            out.write_all(b"\n")?;
+        }
+        out.flush()
+    } else {
+        std::fs::write(path, text)
+    }
+}
+
+fn cmd_run(args: &mut Args) -> Result<ExitCode, String> {
+    let opts = parse_run(args)?;
+    let mut daemon = Daemon::new(&opts.config);
+
+    let report: ServeReport = if let Some(addr) = &opts.listen {
+        if !opts.quiet {
+            eprintln!("ocs-daemond: listening on {addr} (one connection)");
+        }
+        serve_tcp(&mut daemon, addr.as_str()).map_err(|e| format!("serve {addr}: {e}"))?
+    } else {
+        let mut stdout;
+        let mut ack: Option<&mut dyn Write> = if opts.acks {
+            stdout = std::io::stdout();
+            Some(&mut stdout)
+        } else {
+            None
+        };
+        if opts.input == "-" {
+            let stdin = std::io::stdin();
+            run_to_completion(&mut daemon, stdin.lock(), ack.take())
+        } else {
+            let f = File::open(&opts.input).map_err(|e| format!("open {}: {e}", opts.input))?;
+            run_to_completion(&mut daemon, BufReader::new(f), ack.take())
+        }
+        .map_err(|e| format!("ingest: {e}"))?
+    };
+
+    if let Some(path) = &opts.status_json {
+        emit(path, &daemon.status_json()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.prom {
+        emit(path, &daemon.prometheus()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if !opts.quiet {
+        let t = daemon.telemetry();
+        let f = daemon.fault_stats();
+        eprintln!(
+            "ocs-daemond: {} lines, {} admitted, {} rejected, {} parse errors; \
+             {} completed, drained at {}; {} faults, {} retries",
+            report.lines,
+            report.accepted,
+            report.rejected,
+            report.parse_errors,
+            t.completed,
+            daemon.now(),
+            f.setup_failures + f.port_flaps + f.delta_inflations,
+            f.retries,
+        );
+    }
+    let clean = daemon.is_idle() && report.parse_errors == 0;
+    Ok(if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_gen(args: &mut Args) -> Result<ExitCode, String> {
+    let mut cfg = SynthConfig::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--coflows" => cfg.coflows = args.parsed("--coflows")?,
+            "--ports" => cfg.ports = args.parsed("--ports")?,
+            "--seed" => cfg.seed = args.parsed("--seed")?,
+            "--horizon-secs" => {
+                cfg.horizon_secs = args.parsed("--horizon-secs")?;
+                if !cfg.horizon_secs.is_finite() || cfg.horizon_secs <= 0.0 {
+                    return Err("--horizon-secs must be positive".to_string());
+                }
+            }
+            other => return Err(format!("unknown flag {other:?} for gen")),
+        }
+    }
+    let coflows = ocs_workload::generate(&cfg);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for c in &coflows {
+        let spec = ArrivalSpec {
+            id: c.id(),
+            arrival_ms: Some(c.arrival().as_ps() / PS_PER_MS),
+            flows: c.flows().iter().map(|f| (f.src, f.dst, f.bytes)).collect(),
+        };
+        writeln!(out, "{}", spec.render()).map_err(|e| format!("stdout: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("stdout: {e}"))?;
+    eprintln!(
+        "ocs-daemond: generated {} coflows on {} ports (seed {:#x})",
+        coflows.len(),
+        cfg.ports,
+        cfg.seed
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        print!("{USAGE}");
+        return if argv.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let mut args = Args { argv, pos: 0 };
+    let cmd = args.next().unwrap();
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&mut args),
+        "gen" => cmd_gen(&mut args),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => fail(&msg),
+    }
+}

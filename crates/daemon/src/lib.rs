@@ -1,0 +1,41 @@
+//! `ocs-daemon`: a real-time online Sunflow scheduling service.
+//!
+//! Where `ocs-sim` replays a fixed workload to completion, this crate
+//! runs the same scheduler as a *service*: Coflow arrivals stream in as
+//! JSONL (stdin, file, or TCP), admission control applies back-pressure
+//! with explicit reject reasons, a deterministic fault injector
+//! exercises the retry/backoff path, and telemetry — CCT and
+//! queue-latency histograms, utilization, fault counters — streams out
+//! as a JSON status dump or Prometheus text. The whole service state
+//! checkpoints and restores through [`DaemonCheckpoint`].
+//!
+//! Layers, bottom up:
+//!
+//! - [`jsonl`] — the wire format: one [`ArrivalSpec`] per line, parsed
+//!   with a dependency-free recursive-descent JSON reader.
+//! - [`faults`] — [`FaultInjector`], a seeded, hash-deterministic
+//!   [`ocs_sim::SettleHook`] modelling circuit setup failures, port
+//!   flaps and inflated reconfiguration delays, with exponential
+//!   retry backoff.
+//! - [`service`] — [`Daemon`]: admission control over an
+//!   [`ocs_sim::OnlineStepper`], telemetry, checkpoint/restore, JSON
+//!   and Prometheus rendering.
+//! - [`server`] — [`run_to_completion`] / [`serve_tcp`]: the ingestion
+//!   loop with per-line acks and graceful drain.
+//!
+//! The `ocs-daemond` binary fronts all of it from the command line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod jsonl;
+pub mod server;
+pub mod service;
+
+pub use faults::{FaultConfig, FaultInjector, FaultStats};
+pub use jsonl::{parse_line, ArrivalSpec, ParseError};
+pub use server::{run_to_completion, serve_tcp, ServeReport};
+pub use service::{
+    AdmissionConfig, Daemon, DaemonCheckpoint, DaemonConfig, PolicyKind, RejectReason, Telemetry,
+};

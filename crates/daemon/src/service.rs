@@ -1,0 +1,822 @@
+//! The daemon core: admission control, the scheduling stepper, fault
+//! injection and telemetry, behind one [`Daemon`] value.
+//!
+//! The daemon owns an [`OnlineStepper`] and advances it along a virtual
+//! clock: callers [`Daemon::submit`] Coflows, [`Daemon::advance_to`] a
+//! deadline (settling circuits, replanning, retrying faulted flows), and
+//! read results through [`Daemon::completions`], [`Daemon::status_json`]
+//! and [`Daemon::prometheus`]. Admission is bounded — a queue-depth cap
+//! and an outstanding-transmit-demand cap — and every rejection carries
+//! a [`RejectReason`] so clients can distinguish back-pressure from bad
+//! input. [`Daemon::checkpoint`] / [`Daemon::restore`] capture the whole
+//! service (stepper, fault streaks, histograms) for resume.
+
+use crate::faults::{FaultConfig, FaultInjector, FaultStats};
+use crate::jsonl::ArrivalSpec;
+use ocs_metrics::{Histogram, PromRenderer};
+use ocs_model::{Coflow, Dur, Fabric, Time};
+use ocs_sim::{Completion, OnlineConfig, OnlineStepper, ReplayStats, StepperSnapshot, SubmitError};
+use std::fmt;
+use std::str::FromStr;
+use sunflow_core::{FirstComeFirstServed, LongestFirst, PriorityPolicy, ShortestFirst};
+
+/// Which inter-Coflow priority policy the daemon schedules with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Shortest-remaining-bottleneck first (the paper's default).
+    #[default]
+    ShortestFirst,
+    /// Longest-bottleneck first (worst-case foil).
+    LongestFirst,
+    /// Arrival order.
+    FirstComeFirstServed,
+}
+
+impl PolicyKind {
+    /// All kinds, for help text.
+    pub const ALL: [PolicyKind; 3] = [
+        PolicyKind::ShortestFirst,
+        PolicyKind::LongestFirst,
+        PolicyKind::FirstComeFirstServed,
+    ];
+
+    /// The canonical CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::ShortestFirst => "shortest",
+            PolicyKind::LongestFirst => "longest",
+            PolicyKind::FirstComeFirstServed => "fcfs",
+        }
+    }
+
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn PriorityPolicy> {
+        match self {
+            PolicyKind::ShortestFirst => Box::new(ShortestFirst),
+            PolicyKind::LongestFirst => Box::new(LongestFirst),
+            PolicyKind::FirstComeFirstServed => Box::new(FirstComeFirstServed),
+        }
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<PolicyKind, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "shortest" | "shortest-first" | "sjf" => Ok(PolicyKind::ShortestFirst),
+            "longest" | "longest-first" => Ok(PolicyKind::LongestFirst),
+            "fcfs" | "first-come-first-served" | "fifo" => Ok(PolicyKind::FirstComeFirstServed),
+            other => Err(format!(
+                "unknown policy {other:?}; expected one of shortest, longest, fcfs"
+            )),
+        }
+    }
+}
+
+/// Why the daemon refused a submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The admission queue (queued + in-service Coflows) is at its cap.
+    QueueFull,
+    /// Admitting would push outstanding transmit demand past its cap.
+    DemandCap,
+    /// A Coflow with this id was already submitted.
+    DuplicateId,
+    /// The arrival time is earlier than the daemon clock.
+    ArrivalInPast,
+    /// A flow references a port outside the fabric.
+    ExceedsFabric,
+}
+
+impl RejectReason {
+    /// All reasons, in counter order.
+    pub const ALL: [RejectReason; 5] = [
+        RejectReason::QueueFull,
+        RejectReason::DemandCap,
+        RejectReason::DuplicateId,
+        RejectReason::ArrivalInPast,
+        RejectReason::ExceedsFabric,
+    ];
+
+    /// Stable snake_case label (used in JSON and Prometheus output).
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::DemandCap => "demand_cap",
+            RejectReason::DuplicateId => "duplicate_id",
+            RejectReason::ArrivalInPast => "arrival_in_past",
+            RejectReason::ExceedsFabric => "exceeds_fabric",
+        }
+    }
+
+    fn index(self) -> usize {
+        RejectReason::ALL.iter().position(|r| *r == self).unwrap()
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Back-pressure limits for [`Daemon::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum Coflows queued or in service at once.
+    pub max_queue_depth: usize,
+    /// Maximum total unserved transmit demand (sum of per-flow
+    /// processing times) across admitted Coflows.
+    pub max_outstanding: Dur,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_queue_depth: 4_096,
+            max_outstanding: Dur::MAX,
+        }
+    }
+}
+
+/// Everything needed to build a [`Daemon`].
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// The optical fabric served.
+    pub fabric: Fabric,
+    /// Stepper settings: active-circuit policy, starvation guard.
+    pub online: OnlineConfig,
+    /// Inter-Coflow priority policy.
+    pub policy: PolicyKind,
+    /// Admission limits.
+    pub admission: AdmissionConfig,
+    /// Fault-injection settings (all-zero = fault-free).
+    pub faults: FaultConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            fabric: Fabric::paper_default(),
+            online: OnlineConfig::default(),
+            policy: PolicyKind::default(),
+            admission: AdmissionConfig::default(),
+            faults: FaultConfig::default(),
+        }
+    }
+}
+
+/// Service counters and latency histograms (sample unit: picoseconds).
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Coflow completion time (finish − arrival) samples.
+    pub cct: Histogram,
+    /// Queue latency (first circuit transmit − arrival) samples.
+    pub queue_latency: Histogram,
+    /// Coflows admitted.
+    pub admitted: u64,
+    /// Coflows completed.
+    pub completed: u64,
+    /// Rejections, indexed like [`RejectReason::ALL`].
+    pub rejected: [u64; 5],
+    /// Total bytes across admitted Coflows.
+    pub bytes_admitted: u64,
+    /// Total transmit demand admitted (sum of per-flow processing times).
+    pub demand_admitted: Dur,
+    /// Circuit establishments across completed Coflows.
+    pub circuit_setups: u64,
+}
+
+impl Telemetry {
+    /// Rejections summed over every reason.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.iter().sum()
+    }
+}
+
+/// A full service capture for checkpoint/resume; see
+/// [`Daemon::checkpoint`].
+#[derive(Clone, Debug)]
+pub struct DaemonCheckpoint {
+    policy: PolicyKind,
+    admission: AdmissionConfig,
+    fabric: Fabric,
+    stepper: StepperSnapshot,
+    injector: FaultInjector,
+    telemetry: Telemetry,
+    completions: Vec<Completion>,
+}
+
+/// The online Sunflow scheduling service.
+pub struct Daemon {
+    policy_kind: PolicyKind,
+    policy: Box<dyn PriorityPolicy>,
+    admission: AdmissionConfig,
+    fabric: Fabric,
+    stepper: OnlineStepper,
+    injector: FaultInjector,
+    telemetry: Telemetry,
+    /// Every completion since construction, in completion order.
+    completions: Vec<Completion>,
+}
+
+impl Daemon {
+    /// Build an idle daemon at `t = 0`.
+    pub fn new(config: &DaemonConfig) -> Daemon {
+        Daemon {
+            policy_kind: config.policy,
+            policy: config.policy.build(),
+            admission: config.admission,
+            fabric: config.fabric,
+            stepper: OnlineStepper::new(&config.fabric, &config.online),
+            injector: FaultInjector::new(config.faults, config.fabric.delta()),
+            telemetry: Telemetry::default(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// The daemon's virtual clock.
+    pub fn now(&self) -> Time {
+        self.stepper.now()
+    }
+
+    /// True when no admitted Coflow has unserved demand.
+    pub fn is_idle(&self) -> bool {
+        self.stepper.is_idle()
+    }
+
+    /// Service counters and histograms.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Fault-injection counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+
+    /// Scheduler-side replay counters.
+    pub fn stats(&self) -> ReplayStats {
+        self.stepper.stats()
+    }
+
+    /// Every completion so far, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// The configured priority policy.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy_kind
+    }
+
+    /// Total transmit demand of `coflow` on this fabric.
+    fn coflow_demand(&self, coflow: &Coflow) -> Dur {
+        coflow
+            .flows()
+            .iter()
+            .map(|f| self.fabric.processing_time(f.bytes))
+            .sum()
+    }
+
+    fn reject(&mut self, reason: RejectReason) -> Result<(), RejectReason> {
+        self.telemetry.rejected[reason.index()] += 1;
+        Err(reason)
+    }
+
+    /// Admit `coflow` or reject it with a reason. Admission checks run
+    /// before the stepper sees the Coflow, so a rejected submission
+    /// leaves the schedule untouched.
+    pub fn submit(&mut self, coflow: Coflow) -> Result<(), RejectReason> {
+        let depth = self.stepper.active_coflows() + self.stepper.queued_arrivals();
+        if depth >= self.admission.max_queue_depth {
+            return self.reject(RejectReason::QueueFull);
+        }
+        let demand = self.coflow_demand(&coflow);
+        if self
+            .stepper
+            .outstanding_demand()
+            .as_ps()
+            .checked_add(demand.as_ps())
+            .is_none_or(|total| total > self.admission.max_outstanding.as_ps())
+        {
+            return self.reject(RejectReason::DemandCap);
+        }
+        let bytes = coflow.total_bytes();
+        match self.stepper.submit(coflow, self.policy.as_ref()) {
+            Ok(()) => {
+                self.telemetry.admitted += 1;
+                self.telemetry.bytes_admitted += bytes;
+                self.telemetry.demand_admitted += demand;
+                Ok(())
+            }
+            Err(SubmitError::DuplicateId(_)) => self.reject(RejectReason::DuplicateId),
+            Err(SubmitError::ArrivalInPast { .. }) => self.reject(RejectReason::ArrivalInPast),
+            Err(SubmitError::ExceedsFabric { .. }) => self.reject(RejectReason::ExceedsFabric),
+        }
+    }
+
+    /// Admit a wire-format arrival. A spec without `arrival_ms` arrives
+    /// at the daemon's current clock.
+    pub fn submit_spec(&mut self, spec: &ArrivalSpec) -> Result<(), RejectReason> {
+        self.submit(spec.to_coflow(self.now()))
+    }
+
+    fn absorb_completions(&mut self) {
+        for c in self.stepper.drain_completions() {
+            self.telemetry.completed += 1;
+            self.telemetry.circuit_setups += c.outcome.circuit_setups;
+            self.telemetry
+                .cct
+                .record(c.outcome.finish.since(c.outcome.start).as_ps());
+            if let Some(first) = c.first_service {
+                self.telemetry
+                    .queue_latency
+                    .record(first.since(c.outcome.start).as_ps());
+            }
+            self.completions.push(c);
+        }
+    }
+
+    /// Advance the virtual clock to `deadline`, settling circuits,
+    /// replanning and retrying faulted flows along the way. Returns the
+    /// number of scheduling events processed.
+    pub fn advance_to(&mut self, deadline: Time) -> u64 {
+        let processed =
+            self.stepper
+                .run_until_with(deadline, self.policy.as_ref(), &mut self.injector);
+        self.absorb_completions();
+        processed
+    }
+
+    /// Graceful drain: run until every admitted Coflow has completed.
+    pub fn drain(&mut self) -> u64 {
+        let processed = self
+            .stepper
+            .run_to_idle_with(self.policy.as_ref(), &mut self.injector);
+        self.absorb_completions();
+        debug_assert!(self.stepper.is_idle());
+        processed
+    }
+
+    /// Forget schedule history before the current clock; returns freed
+    /// reservation-record count. Call periodically on long runs.
+    pub fn compact(&mut self) -> usize {
+        self.stepper.compact_history()
+    }
+
+    /// Fraction of total port-time spent transmitting admitted demand,
+    /// `served / (ports × elapsed)`. Zero before the clock first moves.
+    pub fn utilization(&self) -> f64 {
+        let elapsed = self.now().as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        let served = self
+            .telemetry
+            .demand_admitted
+            .saturating_sub(self.stepper.outstanding_demand());
+        served.as_secs_f64() / (self.fabric.ports() as f64 * elapsed)
+    }
+
+    /// Capture the full service state. The checkpoint is plain data:
+    /// clone it, keep it, and [`Daemon::restore`] later — the resumed
+    /// daemon continues exactly as this one would have.
+    pub fn checkpoint(&self) -> DaemonCheckpoint {
+        DaemonCheckpoint {
+            policy: self.policy_kind,
+            admission: self.admission,
+            fabric: self.fabric,
+            stepper: self.stepper.snapshot(),
+            injector: self.injector.clone(),
+            telemetry: self.telemetry.clone(),
+            completions: self.completions.clone(),
+        }
+    }
+
+    /// Rebuild a daemon from a [`DaemonCheckpoint`].
+    pub fn restore(ckpt: &DaemonCheckpoint) -> Daemon {
+        Daemon {
+            policy_kind: ckpt.policy,
+            policy: ckpt.policy.build(),
+            admission: ckpt.admission,
+            fabric: ckpt.fabric,
+            stepper: OnlineStepper::restore(&ckpt.stepper),
+            injector: ckpt.injector.clone(),
+            telemetry: ckpt.telemetry.clone(),
+            completions: ckpt.completions.clone(),
+        }
+    }
+
+    /// One-line JSON status dump (counters, gauges, latency summaries).
+    pub fn status_json(&self) -> String {
+        let t = &self.telemetry;
+        let f = self.fault_stats();
+        let s = self.stats();
+        let mut rejected = String::from("{");
+        for (i, reason) in RejectReason::ALL.iter().enumerate() {
+            if i > 0 {
+                rejected.push_str(", ");
+            }
+            rejected.push_str(&format!("\"{}\": {}", reason.label(), t.rejected[i]));
+        }
+        rejected.push('}');
+        format!(
+            concat!(
+                "{{\"now_secs\": {:.6}, \"policy\": \"{}\", \"idle\": {}, ",
+                "\"active_coflows\": {}, \"queued_arrivals\": {}, \"deferred_flows\": {}, ",
+                "\"admitted\": {}, \"completed\": {}, \"rejected\": {}, ",
+                "\"bytes_admitted\": {}, \"outstanding_demand_secs\": {:.6}, ",
+                "\"utilization\": {:.6}, \"circuit_setups\": {}, \"guard_windows\": {}, ",
+                "\"resched_events\": {}, \"reservations_made\": {}, ",
+                "\"faults\": {{\"setup_failures\": {}, \"port_flaps\": {}, ",
+                "\"delta_inflations\": {}, \"retries\": {}, \"recoveries\": {}, ",
+                "\"max_attempts\": {}, \"backoff_total_secs\": {:.6}, \"flows_in_backoff\": {}}}, ",
+                "\"cct_ps\": {}, \"queue_latency_ps\": {}}}"
+            ),
+            self.now().as_secs_f64(),
+            self.policy_kind.name(),
+            self.is_idle(),
+            self.stepper.active_coflows(),
+            self.stepper.queued_arrivals(),
+            self.stepper.deferred_flows(),
+            t.admitted,
+            t.completed,
+            rejected,
+            t.bytes_admitted,
+            self.stepper.outstanding_demand().as_secs_f64(),
+            self.utilization(),
+            t.circuit_setups,
+            self.stepper.guard_windows(),
+            s.events,
+            s.reservations_made,
+            f.setup_failures,
+            f.port_flaps,
+            f.delta_inflations,
+            f.retries,
+            f.recoveries,
+            f.max_attempts,
+            f.backoff_total.as_secs_f64(),
+            self.injector.flows_in_backoff(),
+            t.cct.to_json(),
+            t.queue_latency.to_json(),
+        )
+    }
+
+    /// Prometheus text exposition (format 0.0.4) of the same state.
+    pub fn prometheus(&self) -> String {
+        const PS: f64 = 1e-12;
+        let t = &self.telemetry;
+        let f = self.fault_stats();
+        let s = self.stats();
+        let mut p = PromRenderer::new();
+        p.counter(
+            "ocs_daemon_admitted_total",
+            "Coflows admitted by the daemon",
+            &[],
+            t.admitted,
+        );
+        p.counter(
+            "ocs_daemon_completed_total",
+            "Coflows fully served",
+            &[],
+            t.completed,
+        );
+        for (i, reason) in RejectReason::ALL.iter().enumerate() {
+            p.counter(
+                "ocs_daemon_rejected_total",
+                "Submissions refused, by reason",
+                &[("reason", reason.label())],
+                t.rejected[i],
+            );
+        }
+        p.gauge(
+            "ocs_daemon_active_coflows",
+            "Coflows currently in service",
+            &[],
+            self.stepper.active_coflows() as f64,
+        );
+        p.gauge(
+            "ocs_daemon_queued_arrivals",
+            "Admitted Coflows not yet arrived on the virtual clock",
+            &[],
+            self.stepper.queued_arrivals() as f64,
+        );
+        p.gauge(
+            "ocs_daemon_deferred_flows",
+            "Flows waiting out a fault-retry backoff",
+            &[],
+            self.stepper.deferred_flows() as f64,
+        );
+        p.gauge(
+            "ocs_daemon_outstanding_demand_seconds",
+            "Unserved transmit demand across admitted Coflows",
+            &[],
+            self.stepper.outstanding_demand().as_secs_f64(),
+        );
+        p.gauge(
+            "ocs_daemon_circuit_utilization",
+            "Served transmit time over total port-time",
+            &[],
+            self.utilization(),
+        );
+        p.counter(
+            "ocs_daemon_circuit_setups_total",
+            "Circuit establishments across completed Coflows",
+            &[],
+            t.circuit_setups,
+        );
+        p.counter(
+            "ocs_daemon_guard_windows_total",
+            "Starvation-guard shared windows elapsed",
+            &[],
+            self.stepper.guard_windows(),
+        );
+        p.counter(
+            "ocs_daemon_resched_events_total",
+            "Rescheduling events processed",
+            &[],
+            s.events,
+        );
+        p.counter(
+            "ocs_daemon_reservations_total",
+            "Reservations created by the intra-Coflow scheduler",
+            &[],
+            s.reservations_made,
+        );
+        for (kind, v) in [
+            ("setup_failure", f.setup_failures),
+            ("port_flap", f.port_flaps),
+            ("delta_inflation", f.delta_inflations),
+        ] {
+            p.counter(
+                "ocs_daemon_faults_total",
+                "Injected circuit faults, by kind",
+                &[("kind", kind)],
+                v,
+            );
+        }
+        p.counter(
+            "ocs_daemon_fault_retries_total",
+            "Retries scheduled after faults",
+            &[],
+            f.retries,
+        );
+        p.counter(
+            "ocs_daemon_fault_recoveries_total",
+            "Flows that settled fault-free after at least one fault",
+            &[],
+            f.recoveries,
+        );
+        p.gauge(
+            "ocs_daemon_fault_backoff_seconds",
+            "Total backoff imposed across retries",
+            &[],
+            f.backoff_total.as_secs_f64(),
+        );
+        p.histogram(
+            "ocs_daemon_cct_seconds",
+            "Coflow completion time (finish minus arrival)",
+            &[],
+            &t.cct,
+            PS,
+        );
+        p.histogram(
+            "ocs_daemon_queue_latency_seconds",
+            "Arrival to first circuit transmit",
+            &[],
+            &t.queue_latency,
+            PS,
+        );
+        p.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_model::Bandwidth;
+    use ocs_sim::simulate_circuit;
+
+    fn small_fabric() -> Fabric {
+        Fabric::new(4, Bandwidth::GBPS, Dur::from_micros(20))
+    }
+
+    fn workload(n: u64) -> Vec<Coflow> {
+        (0..n)
+            .map(|id| {
+                Coflow::builder(id)
+                    .arrival(Time::from_millis(id * 7))
+                    .flow(
+                        (id % 4) as usize,
+                        ((id + 1) % 4) as usize,
+                        500_000 + id * 40_000,
+                    )
+                    .flow(((id + 2) % 4) as usize, ((id + 3) % 4) as usize, 250_000)
+                    .build()
+            })
+            .collect()
+    }
+
+    fn config() -> DaemonConfig {
+        DaemonConfig {
+            fabric: small_fabric(),
+            ..DaemonConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_daemon_matches_offline_simulation() {
+        let cfg = config();
+        let coflows = workload(24);
+        let offline = simulate_circuit(
+            &coflows,
+            &cfg.fabric,
+            &cfg.online,
+            cfg.policy.build().as_ref(),
+        );
+
+        let mut daemon = Daemon::new(&cfg);
+        // Feed arrivals just in time, advancing in 5 ms slices.
+        let mut pending: Vec<Coflow> = coflows.clone();
+        pending.sort_by_key(|c| (c.arrival(), c.id()));
+        let mut next = 0;
+        let mut t = Time::ZERO;
+        while next < pending.len() {
+            while next < pending.len() && pending[next].arrival() <= t {
+                daemon.submit(pending[next].clone()).unwrap();
+                next += 1;
+            }
+            daemon.advance_to(t);
+            t += Dur::from_millis(5);
+        }
+        daemon.drain();
+
+        let mut got: Vec<_> = daemon
+            .completions()
+            .iter()
+            .map(|c| c.outcome.clone())
+            .collect();
+        got.sort_by_key(|o| o.coflow);
+        let mut want = offline.outcomes.clone();
+        want.sort_by_key(|o| o.coflow);
+        assert_eq!(got, want, "daemon CCTs must match offline simulate_circuit");
+        assert_eq!(daemon.telemetry().completed, 24);
+        assert_eq!(daemon.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn faulted_daemon_completes_all_admitted_coflows() {
+        let mut cfg = config();
+        cfg.faults = FaultConfig {
+            seed: 42,
+            setup_failure_per_mille: 150,
+            port_flap_per_mille: 100,
+            delta_inflation_per_mille: 50,
+            ..FaultConfig::default()
+        };
+        let coflows = workload(24);
+        let mut daemon = Daemon::new(&cfg);
+        for c in &coflows {
+            daemon.submit(c.clone()).unwrap();
+        }
+        daemon.drain();
+
+        assert!(daemon.is_idle(), "graceful drain leaves no demand behind");
+        assert_eq!(daemon.telemetry().completed, 24, "no lost Coflows");
+        let f = daemon.fault_stats();
+        assert!(f.retries > 0, "fault rates this high must trigger retries");
+        assert!(f.backoff_total > Dur::ZERO, "retries impose backoff");
+        assert!(
+            f.setup_failures + f.port_flaps + f.delta_inflations > 0,
+            "at least one concrete fault kind fired"
+        );
+
+        // Faults only delay: every per-Coflow finish is >= its fault-free
+        // counterpart.
+        let clean = simulate_circuit(
+            &coflows,
+            &cfg.fabric,
+            &cfg.online,
+            cfg.policy.build().as_ref(),
+        );
+        let mut faulted: Vec<_> = daemon.completions().to_vec();
+        faulted.sort_by_key(|c| c.outcome.coflow);
+        let mut total_delay = Dur::ZERO;
+        for (f, c) in faulted.iter().zip(clean.outcomes.iter()) {
+            assert_eq!(f.outcome.coflow, c.coflow);
+            assert!(f.outcome.finish >= c.start, "sanity");
+            total_delay += f.outcome.finish.saturating_since(c.finish);
+        }
+        assert!(total_delay > Dur::ZERO, "faults must cost some time");
+    }
+
+    #[test]
+    fn admission_rejects_with_reasons() {
+        let mut cfg = config();
+        cfg.admission = AdmissionConfig {
+            max_queue_depth: 2,
+            max_outstanding: Dur::from_millis(100),
+        };
+        let mut daemon = Daemon::new(&cfg);
+        let c = |id: u64, mb: u64| {
+            Coflow::builder(id)
+                .arrival(Time::ZERO)
+                .flow(0, 1, mb * 1_000_000)
+                .build()
+        };
+        // 1 MB at 1 Gbps is 8 ms of demand; 100 ms cap fits 12.
+        daemon.submit(c(0, 1)).unwrap();
+        assert_eq!(daemon.submit(c(0, 1)), Err(RejectReason::DuplicateId));
+        assert_eq!(daemon.submit(c(1, 13)), Err(RejectReason::DemandCap));
+        let oob = Coflow::builder(9).arrival(Time::ZERO).flow(0, 7, 1).build();
+        assert_eq!(daemon.submit(oob), Err(RejectReason::ExceedsFabric));
+        daemon.submit(c(2, 1)).unwrap();
+        assert_eq!(daemon.submit(c(3, 1)), Err(RejectReason::QueueFull));
+        daemon.advance_to(Time::from_millis(50));
+        let late = Coflow::builder(10)
+            .arrival(Time::from_millis(1))
+            .flow(0, 1, 1)
+            .build();
+        assert_eq!(daemon.submit(late), Err(RejectReason::ArrivalInPast));
+
+        let t = daemon.telemetry();
+        assert_eq!(t.admitted, 2);
+        assert_eq!(t.rejected_total(), 5);
+        for reason in [
+            RejectReason::DuplicateId,
+            RejectReason::DemandCap,
+            RejectReason::QueueFull,
+            RejectReason::ArrivalInPast,
+            RejectReason::ExceedsFabric,
+        ] {
+            assert_eq!(t.rejected[reason.index()], 1, "{reason}");
+        }
+        // Rejected Coflows leave no trace: the admitted pair still drains.
+        daemon.drain();
+        assert_eq!(daemon.telemetry().completed, 2);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let mut cfg = config();
+        cfg.faults = FaultConfig {
+            seed: 7,
+            setup_failure_per_mille: 200,
+            ..FaultConfig::default()
+        };
+        let coflows = workload(12);
+
+        let mut whole = Daemon::new(&cfg);
+        for c in &coflows {
+            whole.submit(c.clone()).unwrap();
+        }
+        whole.drain();
+
+        let mut first = Daemon::new(&cfg);
+        for c in &coflows {
+            first.submit(c.clone()).unwrap();
+        }
+        first.advance_to(Time::from_millis(40));
+        let ckpt = first.checkpoint();
+        drop(first);
+        let mut resumed = Daemon::restore(&ckpt);
+        resumed.drain();
+
+        let key = |d: &Daemon| {
+            d.completions()
+                .iter()
+                .map(|c| (c.outcome.coflow, c.outcome.finish, c.outcome.circuit_setups))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&whole), key(&resumed));
+        assert_eq!(whole.fault_stats(), resumed.fault_stats());
+        assert_eq!(whole.telemetry().cct.sum(), resumed.telemetry().cct.sum());
+    }
+
+    #[test]
+    fn status_and_prometheus_render() {
+        let cfg = config();
+        let mut daemon = Daemon::new(&cfg);
+        for c in workload(6) {
+            daemon.submit(c).unwrap();
+        }
+        daemon.drain();
+
+        let json = daemon.status_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"admitted\": 6"));
+        assert!(json.contains("\"completed\": 6"));
+        assert!(json.contains("\"cct_ps\""));
+        assert!(json.contains("\"queue_full\": 0"));
+
+        let prom = daemon.prometheus();
+        assert!(prom.contains("# TYPE ocs_daemon_admitted_total counter"));
+        assert!(prom.contains("ocs_daemon_admitted_total 6"));
+        assert!(prom.contains("ocs_daemon_rejected_total{reason=\"queue_full\"} 0"));
+        assert!(prom.contains("ocs_daemon_cct_seconds_bucket"));
+        assert!(prom.contains("ocs_daemon_cct_seconds_count 6"));
+        assert!(prom.contains("le=\"+Inf\""));
+        assert!(daemon.utilization() > 0.0 && daemon.utilization() <= 1.0);
+    }
+}

@@ -9,6 +9,8 @@
 //!   view), for examples and debugging.
 //! * [`bench_json`] — machine-readable `BENCH_<id>.json` records with
 //!   per-run timings and parallel-sweep speedups.
+//! * [`telemetry`] — log-bucketed histograms and Prometheus text-format
+//!   rendering for the long-running `ocs-daemond` service.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,9 +20,11 @@ pub mod gantt;
 pub mod report;
 pub mod stats;
 pub mod table;
+pub mod telemetry;
 
 pub use bench_json::{bench_json as render_bench_json, write_bench_json, RunTiming, SweepTiming};
 pub use gantt::{render_gantt, GanttConfig};
 pub use report::{Claim, Report};
 pub use stats::{cdf, cdf_at, mean, pearson, percentile, spearman};
 pub use table::{pct, ratio, Table};
+pub use telemetry::{Histogram, PromRenderer};

@@ -1,0 +1,408 @@
+//! Service telemetry primitives for the online scheduling daemon:
+//! log-bucketed histograms and Prometheus text-format rendering.
+//!
+//! A long-running `ocs-daemond` cannot hold every CCT sample the way the
+//! offline benches do, so distributions are folded into power-of-two
+//! bucket histograms: O(1) per sample, 65 counters total, quantiles
+//! accurate to the bucket's factor-of-two resolution (plenty for "p99
+//! CCT grew from ~100 ms to ~1.6 s"-class observations). The same
+//! histogram renders to both the JSON status dump and the
+//! [Prometheus text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/)
+//! via [`PromRenderer`].
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket `0` holds the value `0`; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`. Recording is O(1) and allocation-free.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    fn upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Histogram::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) by nearest rank, reported as the
+    /// inclusive upper bound of the bucket holding that rank — an
+    /// overestimate by at most 2x. `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Histogram::upper_bound(i));
+            }
+        }
+        unreachable!("cumulative bucket counts reach self.count");
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, cumulative count)`,
+    /// in increasing bound order — the shape both render targets consume.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                cum += n;
+                out.push((Histogram::upper_bound(i), cum));
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON object: `{"count": .., "sum": .., "mean": ..,
+    /// "p50": .., "p99": .., "buckets": [[le, cum], ..]}`. Values are raw
+    /// sample units (the caller documents what a sample is).
+    pub fn to_json(&self) -> String {
+        let q = |q: f64| {
+            self.quantile(q)
+                .map_or("null".to_string(), |v| v.to_string())
+        };
+        let buckets: Vec<String> = self
+            .cumulative()
+            .iter()
+            .map(|(le, cum)| format!("[{le}, {cum}]"))
+            .collect();
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \
+             \"p99\": {}, \"buckets\": [{}]}}",
+            self.count,
+            self.sum,
+            self.mean().map_or("null".into(), |m| format!("{m:.3}")),
+            q(0.50),
+            q(0.90),
+            q(0.99),
+            buckets.join(", "),
+        )
+    }
+}
+
+/// Incremental renderer of the Prometheus text exposition format
+/// (version 0.0.4): counters, gauges and histograms with `# HELP` /
+/// `# TYPE` headers and label escaping.
+///
+/// ```
+/// use ocs_metrics::{Histogram, PromRenderer};
+///
+/// let mut h = Histogram::new();
+/// h.record(3);
+/// let mut p = PromRenderer::new();
+/// p.counter("ocs_coflows_completed_total", "Completed coflows", &[], 7);
+/// p.histogram("ocs_cct_seconds", "Coflow completion times", &[], &h, 1e-3);
+/// let text = p.finish();
+/// assert!(text.contains("ocs_coflows_completed_total 7"));
+/// assert!(text.contains("ocs_cct_seconds_bucket{le=\"+Inf\"} 1"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PromRenderer {
+    out: String,
+    seen: Vec<String>,
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_str(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Format a float the Prometheus way (no exponent needed for our ranges;
+/// `+Inf`/`NaN` spelled as Prometheus expects).
+fn fnum(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".into()
+    } else if x.is_infinite() {
+        if x > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x}")
+    } else {
+        let s = format!("{x:.9}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+impl PromRenderer {
+    /// An empty renderer.
+    pub fn new() -> PromRenderer {
+        PromRenderer::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.seen.iter().any(|s| s == name) {
+            return; // same metric, another label set: one header only
+        }
+        self.seen.push(name.to_string());
+        self.out
+            .push_str(&format!("# HELP {name} {}\n", help.replace('\n', " ")));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// Emit a monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "counter");
+        self.out
+            .push_str(&format!("{name}{} {value}\n", label_str(labels)));
+    }
+
+    /// Emit a gauge (a value that can go up and down).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, help, "gauge");
+        self.out
+            .push_str(&format!("{name}{} {}\n", label_str(labels), fnum(value)));
+    }
+
+    /// Emit a [`Histogram`] as a Prometheus histogram. `scale` converts
+    /// raw sample units to the exported unit (e.g. `1e-12` for samples in
+    /// picoseconds exported as seconds); bucket bounds, `_sum` and
+    /// implicit `+Inf` follow the exposition format's cumulative rules.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        h: &Histogram,
+        scale: f64,
+    ) {
+        self.header(name, help, "histogram");
+        let mut with_le = |le: &str, cum: u64| {
+            let mut l: Vec<(&str, &str)> = labels.to_vec();
+            l.push(("le", le));
+            self.out
+                .push_str(&format!("{name}_bucket{} {cum}\n", label_str(&l)));
+        };
+        for (le, cum) in h.cumulative() {
+            if le == u64::MAX {
+                continue; // folded into +Inf below
+            }
+            with_le(&fnum(le as f64 * scale), cum);
+        }
+        with_le("+Inf", h.count());
+        self.out.push_str(&format!(
+            "{name}_sum{} {}\n",
+            label_str(labels),
+            fnum(h.sum() as f64 * scale)
+        ));
+        self.out.push_str(&format!(
+            "{name}_count{} {}\n",
+            label_str(labels),
+            h.count()
+        ));
+    }
+
+    /// The rendered exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_at_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::upper_bound(0), 0);
+        assert_eq!(Histogram::upper_bound(2), 3);
+        assert_eq!(Histogram::upper_bound(64), u64::MAX);
+        // Every bucket's upper bound lands back in that bucket.
+        for i in 0..=64usize {
+            assert_eq!(Histogram::bucket_of(Histogram::upper_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn count_sum_mean_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert!((h.mean().unwrap() - 1106.0 / 6.0).abs() < 1e-9);
+        // Quantiles are bucket upper bounds: overestimates within 2x.
+        assert_eq!(h.quantile(0.0), Some(0));
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((3..=3).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((1000..2048).contains(&p99), "p99 = {p99}");
+        // Monotone in q.
+        let qs: Vec<u64> = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q).unwrap())
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn merge_is_sample_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..50u64 {
+            if v % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn cumulative_is_nondecreasing_and_complete() {
+        let mut h = Histogram::new();
+        for v in [5u64, 5, 9, 200, 3_000_000] {
+            h.record(v);
+        }
+        let c = h.cumulative();
+        assert!(c.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(c.last().unwrap().1, h.count());
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Histogram::new();
+        h.record(7);
+        let j = h.to_json();
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"sum\": 7"));
+        assert!(j.contains("\"buckets\": [[7, 1]]"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let mut h = Histogram::new();
+        for v in [1u64, 3, 900] {
+            h.record(v);
+        }
+        let mut p = PromRenderer::new();
+        p.counter("jobs_total", "Jobs", &[("kind", "a\"b")], 3);
+        p.counter("jobs_total", "Jobs", &[("kind", "c")], 4);
+        p.gauge("queue_depth", "Depth", &[], 2.5);
+        p.histogram("lat_seconds", "Latency", &[], &h, 1e-3);
+        let t = p.finish();
+        // One header per metric even with two label sets.
+        assert_eq!(t.matches("# TYPE jobs_total counter").count(), 1);
+        assert!(t.contains("jobs_total{kind=\"a\\\"b\"} 3"));
+        assert!(t.contains("jobs_total{kind=\"c\"} 4"));
+        assert!(t.contains("# TYPE queue_depth gauge"));
+        assert!(t.contains("queue_depth 2.5"));
+        // 1 -> le 0.001, 3 -> le 0.003, 900 -> le 1.023 (2^10 - 1 ms).
+        assert!(t.contains("lat_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(t.contains("lat_seconds_bucket{le=\"0.003\"} 2"));
+        assert!(t.contains("lat_seconds_bucket{le=\"1.023\"} 3"));
+        assert!(t.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(t.contains("lat_seconds_sum 0.904"));
+        assert!(t.contains("lat_seconds_count 3"));
+        // Every line is a comment or `name{labels} value`.
+        for line in t.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "{line}"
+            );
+        }
+    }
+}

@@ -7,6 +7,10 @@
 //!   arrival times, rescheduling on Coflow arrivals and completions,
 //!   configurable in-flight-circuit policy and the optional §4.2
 //!   starvation guard.
+//! * [`stepper`] — the same replay as a resumable state machine: feed
+//!   arrivals one at a time, advance to a deadline, drain completions,
+//!   inject settlement faults, snapshot/restore. The substrate of the
+//!   `ocs-daemon` online scheduling service.
 //! * [`hybrid`] — the §6 REACToR-style hybrid: small flows offloaded to a
 //!   slim packet network, heavy flows on Sunflow-scheduled circuits.
 //! * [`aggregate`] — the §3.2 straw man, measured: Solstice/TMS/Edmond
@@ -26,10 +30,14 @@ pub mod aggregate;
 pub mod hybrid;
 pub mod intra_driver;
 pub mod online;
+pub mod stepper;
 pub mod sweep;
 
 pub use aggregate::simulate_circuit_aggregated;
 pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult};
 pub use intra_driver::{run_intra, IntraEngine};
 pub use online::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult, ReplayStats};
+pub use stepper::{
+    Completion, FullService, OnlineStepper, SettleHook, SettleVerdict, StepperSnapshot, SubmitError,
+};
 pub use sweep::{Sweep, SweepBuilder, SweepResult, SweepRun};

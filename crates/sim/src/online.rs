@@ -22,12 +22,10 @@
 //! window's circuits receives an equal share of its transmit time, and
 //! each guard-window end is an additional rescheduling point.
 
-use ocs_model::{Coflow, Dur, Fabric, FlowRef, InPort, OutPort, ScheduleOutcome, Time};
-use std::collections::{BTreeSet, HashMap};
-use std::time::Instant;
-use sunflow_core::{
-    Demand, GuardConfig, PriorityPolicy, Prt, RemovedResv, ResvKind, StarvationGuard, SunflowConfig,
-};
+use crate::stepper::OnlineStepper;
+use ocs_model::{Coflow, Fabric, ScheduleOutcome};
+use std::collections::HashMap;
+use sunflow_core::{GuardConfig, PriorityPolicy, SunflowConfig};
 
 /// What happens to circuits that are mid-transmission when priorities
 /// change at a rescheduling event.
@@ -149,51 +147,14 @@ pub struct ReplayStats {
     pub reschedule_micros: u64,
 }
 
-/// A not-yet-settled flow reservation, mirrored out of the PRT so the
-/// event loop can settle, credit and displace circuits without rescanning
-/// the table's ever-growing history. Ordered by `(end, src)` — the settle
-/// order — which is unique because a port's reservations never overlap.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct Pending {
-    end: Time,
-    src: InPort,
-    start: Time,
-    dst: OutPort,
-    flow: FlowRef,
-}
-
-impl Pending {
-    fn transmit_time(&self, delta: Dur) -> Dur {
-        self.end.since(self.start).saturating_sub(delta)
-    }
-}
-
-struct CoflowState {
-    /// Remaining processing time per flow.
-    remaining: Vec<Dur>,
-    /// Finish time per flow.
-    finish: Vec<Option<Time>>,
-    /// Executed circuit establishments.
-    setups: u64,
-}
-
-impl CoflowState {
-    fn done(&self) -> bool {
-        self.remaining.iter().all(|r| r.is_zero())
-    }
-
-    fn completion(&self) -> Time {
-        self.finish
-            .iter()
-            .map(|f| f.expect("completion of unfinished coflow"))
-            .max()
-            .expect("coflows are non-empty")
-    }
-}
-
 /// Simulate `coflows` on the circuit-switched `fabric` under Sunflow with
 /// the given inter-Coflow `policy`. Returns per-Coflow outcomes in input
 /// order.
+///
+/// This is the batch entry point: it submits every Coflow to an
+/// [`OnlineStepper`] up front and runs the stepper to idle. Feeding the
+/// same trace incrementally through a stepper produces byte-identical
+/// results (pinned by the golden fingerprints in `replay_regression.rs`).
 pub fn simulate_circuit(
     coflows: &[Coflow],
     fabric: &Fabric,
@@ -203,425 +164,35 @@ pub fn simulate_circuit(
     for c in coflows {
         assert!(fabric.fits(c), "coflow {} exceeds fabric ports", c.id());
     }
-    if let Some(g) = config.guard {
-        g.validate(fabric.delta());
+    let mut stepper = OnlineStepper::new(fabric, config);
+    for c in coflows {
+        if let Err(e) = stepper.submit(c.clone(), policy) {
+            // Keep the historical panic message for duplicate ids; the
+            // other variants cannot occur (fits was checked, clock is 0).
+            panic!("coflow ids must be unique: {e}");
+        }
     }
-    let guard = config
-        .guard
-        .map(|g| StarvationGuard::new(fabric.ports(), g));
+    stepper.run_to_idle(policy);
 
-    // Arrival order.
-    let mut order: Vec<usize> = (0..coflows.len()).collect();
-    order.sort_by_key(|&i| (coflows[i].arrival(), coflows[i].id()));
-
-    let mut prt = Prt::new(fabric.ports());
-    let delta = fabric.delta();
-
-    let mut states: Vec<Option<CoflowState>> = (0..coflows.len()).map(|_| None).collect();
-    let mut active: Vec<usize> = Vec::new(); // indices into `coflows`
-    let mut outcomes: Vec<Option<ScheduleOutcome>> = vec![None; coflows.len()];
-    let id_to_idx: HashMap<u64, usize> = coflows
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (c.id(), i))
+    let mut by_id: HashMap<u64, ScheduleOutcome> = stepper
+        .drain_completions()
+        .into_iter()
+        .map(|c| (c.outcome.coflow, c.outcome))
         .collect();
-    assert_eq!(id_to_idx.len(), coflows.len(), "coflow ids must be unique");
-
-    // Every not-yet-settled flow reservation, mirrored out of the PRT.
-    // Kept in settle order `(end, src)`; maintained by the same calls that
-    // mutate the PRT, so settling / planning / displacing cost is
-    // proportional to the *current* plan, never to the replay's history.
-    let mut unsettled: BTreeSet<Pending> = BTreeSet::new();
-    let mut stats = ReplayStats::default();
-    let mut resched_wall = std::time::Duration::ZERO;
-    let mut next_guard_window: u64 = 0; // next unsettled guard interval
-    let mut guard_windows_elapsed: u64 = 0;
-    let mut next_arrival = 0usize;
-    let mut now = Time::ZERO;
-
-    let total_flows: usize = coflows.iter().map(|c| c.num_flows()).sum();
-    let mut fuel: u64 = 10_000 + 1_000 * (total_flows as u64 + coflows.len() as u64);
-
-    // Inter-Coflow priority is a property of the Coflow alone (`T_pL` for
-    // ShortestFirst, arrival time for FCFS) — `PriorityPolicy::sort` sees
-    // neither clock nor PRT — so the total order over all Coflows can be
-    // derived once and each event's active subset sorted by memoized rank,
-    // instead of re-deriving `packet_lower_bound` per comparison per event.
-    // (`replay_regression.rs` checks this subset-consistency property.)
-    let rank_of: Vec<usize> = {
-        let mut all: Vec<&Coflow> = coflows.iter().collect();
-        policy.sort(&mut all, fabric);
-        let mut rank = vec![0usize; coflows.len()];
-        for (r, c) in all.iter().enumerate() {
-            rank[id_to_idx[&c.id()]] = r;
-        }
-        rank
-    };
-
-    // Settle every flow reservation with `end <= t` exactly once: pop the
-    // unsettled queue front while it has ended.
-    let settle = |t: Time,
-                  unsettled: &mut BTreeSet<Pending>,
-                  states: &mut [Option<CoflowState>],
-                  id_to_idx: &HashMap<u64, usize>| {
-        while let Some(&r) = unsettled.first() {
-            if r.end > t {
-                break;
-            }
-            unsettled.pop_first();
-            let idx = id_to_idx[&r.flow.coflow];
-            let st = states[idx].as_mut().expect("reservation for unseen coflow");
-            st.setups += 1;
-            let served = r.transmit_time(delta).min(st.remaining[r.flow.flow_idx]);
-            st.remaining[r.flow.flow_idx] -= served;
-            if st.remaining[r.flow.flow_idx].is_zero() && st.finish[r.flow.flow_idx].is_none() {
-                st.finish[r.flow.flow_idx] = Some(r.end);
-            }
-        }
-    };
-
-    // Mirror a `truncate_future` removal list into the unsettled queue:
-    // dropped reservations leave it, shortened ones re-key to end (and so
-    // settle) at `now`. Returns the number of flow reservations affected.
-    let untrack = |removed: &[RemovedResv], unsettled: &mut BTreeSet<Pending>, now: Time| -> u64 {
-        let mut flows = 0u64;
-        for r in removed {
-            let ResvKind::Flow(flow) = r.kind else {
-                continue;
-            };
-            flows += 1;
-            let p = Pending {
-                end: r.end,
-                src: r.src,
-                start: r.start,
-                dst: r.dst,
-                flow,
-            };
-            let was_pending = unsettled.remove(&p);
-            debug_assert!(was_pending, "truncated reservation missing from queue");
-            if r.start < now {
-                unsettled.insert(Pending { end: now, ..p });
-            }
-        }
-        flows
-    };
-
-    // Settle guard windows whose end has passed: equal share of the
-    // window's transmit time among active flows on each circuit.
-    let settle_guard = |g: &StarvationGuard,
-                        t: Time,
-                        next_w: &mut u64,
-                        elapsed: &mut u64,
-                        states: &mut [Option<CoflowState>],
-                        active: &[usize]| {
-        loop {
-            let w = g.window(*next_w);
-            if w.end > t {
-                break;
-            }
-            *next_w += 1;
-            *elapsed += 1;
-            let tx = w.transmit_time(delta);
-            if tx.is_zero() {
-                continue;
-            }
-            for &(i, j) in w.assignment.pairs() {
-                // Flows of active coflows with remaining demand on (i, j).
-                let mut takers: Vec<(usize, usize)> = Vec::new();
-                for &idx in active {
-                    let st = states[idx].as_ref().expect("active implies state");
-                    for (fi, f) in coflows[idx].flows().iter().enumerate() {
-                        if f.src == i && f.dst == j && !st.remaining[fi].is_zero() {
-                            takers.push((idx, fi));
-                        }
-                    }
-                }
-                if takers.is_empty() {
-                    continue;
-                }
-                let share = tx / takers.len() as u64;
-                for (idx, fi) in takers {
-                    let st = states[idx].as_mut().expect("active implies state");
-                    let served = share.min(st.remaining[fi]);
-                    st.remaining[fi] -= served;
-                    if st.remaining[fi].is_zero() && st.finish[fi].is_none() {
-                        st.finish[fi] = Some(w.end);
-                    }
-                }
-            }
-        }
-    };
-
-    loop {
-        // ---- Settle everything that ended by `now`. ----
-        settle(now, &mut unsettled, &mut states, &id_to_idx);
-        if let Some(g) = &guard {
-            settle_guard(
-                g,
-                now,
-                &mut next_guard_window,
-                &mut guard_windows_elapsed,
-                &mut states,
-                &active,
-            );
-        }
-
-        // ---- Arrivals at `now`. ----
-        while next_arrival < order.len() && coflows[order[next_arrival]].arrival() <= now {
-            let i = order[next_arrival];
-            let c = &coflows[i];
-            states[i] = Some(CoflowState {
-                remaining: c
-                    .flows()
-                    .iter()
-                    .map(|f| fabric.processing_time(f.bytes))
-                    .collect(),
-                finish: vec![None; c.num_flows()],
-                setups: 0,
-            });
-            active.push(i);
-            next_arrival += 1;
-        }
-
-        // ---- Completions. ----
-        active.retain(|&idx| {
-            let st = states[idx].as_ref().expect("active implies state");
-            if st.done() {
-                let finish = st.completion();
-                outcomes[idx] = Some(ScheduleOutcome {
-                    coflow: coflows[idx].id(),
-                    start: coflows[idx].arrival(),
-                    finish,
-                    flow_finish: st.finish.iter().map(|f| f.expect("done")).collect(),
-                    circuit_setups: st.setups,
-                });
-                false
-            } else {
-                true
-            }
-        });
-
-        if active.is_empty() && next_arrival == order.len() {
-            break;
-        }
-        stats.events += 1;
-        let resched_t0 = Instant::now();
-
-        // ---- Reschedule: drop future plans, re-derive in priority order. ----
-        // Priority order over the *active* coflows (also drives Yield's
-        // who-may-displace-whom decisions): sort by the memoized global
-        // rank — comparison-free — instead of re-running the policy.
-        let mut prio: Vec<usize> = active.clone();
-        prio.sort_unstable_by_key(|&i| rank_of[i]);
-        let rank: HashMap<u64, usize> = prio
-            .iter()
-            .map(|&i| (coflows[i].id(), rank_of[i]))
-            .collect();
-
-        // Under Preempt every in-flight circuit is torn down immediately;
-        // under Keep and Yield they initially continue (Yield may cut
-        // specific ones below once the new plan shows who they block).
-        let removed =
-            prt.truncate_future(now, config.active_policy != ActiveCircuitPolicy::Preempt);
-        stats.reservations_truncated += untrack(&removed, &mut unsettled, now);
-        if config.active_policy == ActiveCircuitPolicy::Preempt {
-            // A cut reservation now ends at `now`: settle it so its
-            // partial service is credited before re-planning.
-            settle(now, &mut unsettled, &mut states, &id_to_idx);
-        }
-
-        // Plan (and under Yield, re-plan after displacing in-flight
-        // circuits that directly block higher-priority Coflows). Each
-        // round: derive demands net of in-flight commitments, schedule in
-        // priority order, then look for a planned reservation of a
-        // higher-priority Coflow starting exactly where a lower-priority
-        // in-flight circuit releases its port — the signature of
-        // head-of-line blocking. Cut the blockers and re-plan; rounds are
-        // bounded because each round cuts at least one in-flight circuit.
-        loop {
-            // Seed guard windows far enough out to cover any plan (they
-            // were dropped with the rest of the future by truncation).
-            if let Some(g) = &guard {
-                let mut span = Dur::ZERO;
-                for &idx in &active {
-                    let st = states[idx].as_ref().expect("active implies state");
-                    for r in &st.remaining {
-                        if !r.is_zero() {
-                            span += *r + delta + delta;
-                        }
-                    }
-                }
-                // Guard windows dilute the timeline by (T+τ)/T <= 2;
-                // triple the span for slack.
-                let horizon = now + span * 3 + g.interval_len() * 3 + Dur::from_millis(1);
-                g.seed_prt(&mut prt, now, horizon);
-            }
-
-            if config.active_policy == ActiveCircuitPolicy::Yield {
-                stats.yield_rounds += 1;
-            }
-
-            // Pending service from in-flight reservations (credited at
-            // their end; don't schedule that demand twice). Everything in
-            // the queue has `end > now` here: the ended prefix was settled
-            // at `now` and the planned future was truncated.
-            let mut pending: HashMap<FlowRef, Dur> = HashMap::new();
-            for r in unsettled.iter() {
-                *pending.entry(r.flow).or_insert(Dur::ZERO) += r.transmit_time(delta);
-            }
-
-            for &idx in &prio {
-                let c = &coflows[idx];
-                let st = states[idx].as_ref().expect("active implies state");
-                let demands: Vec<Demand> = c
-                    .flows()
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(fi, f)| {
-                        let fref = FlowRef {
-                            coflow: c.id(),
-                            flow_idx: fi,
-                        };
-                        let committed = pending.get(&fref).copied().unwrap_or(Dur::ZERO);
-                        let rem = st.remaining[fi].saturating_sub(committed);
-                        (!rem.is_zero()).then_some(Demand {
-                            flow_idx: fi,
-                            src: f.src,
-                            dst: f.dst,
-                            remaining: rem,
-                        })
-                    })
-                    .collect();
-                if !demands.is_empty() {
-                    let made = sunflow_core::schedule_demands(
-                        &mut prt,
-                        c.id(),
-                        &demands,
-                        now,
-                        delta,
-                        config.sunflow,
-                    );
-                    stats.reservations_made += made.len() as u64;
-                    for r in made {
-                        unsettled.insert(Pending {
-                            end: r.end,
-                            src: r.src,
-                            start: r.start,
-                            dst: r.dst,
-                            flow: r.flow,
-                        });
-                    }
-                }
-            }
-
-            if config.active_policy != ActiveCircuitPolicy::Yield {
-                break;
-            }
-
-            // Index the in-flight circuits by the ports they hold and
-            // when they release them. The queue holds exactly the
-            // in-flight circuits (`start < now`) plus this round's plan
-            // (`start >= now`) — no history to skip over.
-            let mut holds: HashMap<(bool, usize, Time), (usize, Pending)> = HashMap::new();
-            for r in unsettled.iter().filter(|r| r.start < now) {
-                if let Some(&owner_rank) = rank.get(&r.flow.coflow) {
-                    holds.insert((true, r.src, r.end), (owner_rank, *r));
-                    holds.insert((false, r.dst, r.end), (owner_rank, *r));
-                }
-            }
-            let mut cuts: Vec<Pending> = Vec::new();
-            if !holds.is_empty() {
-                for r in unsettled.iter().filter(|r| r.start >= now) {
-                    let waiter_rank = rank[&r.flow.coflow];
-                    for key in [(true, r.src, r.start), (false, r.dst, r.start)] {
-                        if let Some(&(owner_rank, p)) = holds.get(&key) {
-                            if waiter_rank < owner_rank {
-                                cuts.push(p);
-                            }
-                        }
-                    }
-                }
-            }
-            cuts.sort_unstable();
-            cuts.dedup();
-            if cuts.is_empty() {
-                break;
-            }
-            stats.cuts += cuts.len() as u64;
-            for p in &cuts {
-                prt.cut_reservation(p.src, p.start, now);
-                unsettled.remove(p);
-                unsettled.insert(Pending { end: now, ..*p });
-            }
-            // Credit the partial service of the displaced circuits, then
-            // drop the tentative plan and re-plan around the freed ports.
-            settle(now, &mut unsettled, &mut states, &id_to_idx);
-            let removed = prt.truncate_future(now, true);
-            stats.reservations_truncated += untrack(&removed, &mut unsettled, now);
-        }
-        resched_wall += resched_t0.elapsed();
-
-        // ---- Next event. ----
-        let t_arrival = order.get(next_arrival).map(|&i| coflows[i].arrival());
-        let t_completion = active
-            .iter()
-            .map(|&idx| {
-                // A coflow completes when its last planned reservation
-                // ends (plans always cover all remaining demand). The
-                // per-Coflow index answers in O(log): if the Coflow has
-                // any reservation ending after `now`, its global latest
-                // end *is* that maximum.
-                match prt.last_end_of(coflows[idx].id()) {
-                    Some(end) if end > now => end,
-                    _ => {
-                        // No planned reservations: all residual demand is
-                        // pending in kept reservations or will be served
-                        // by guard windows; fall back to the guard end.
-                        guard
-                            .as_ref()
-                            .map(|g| g.next_window_end_after(now))
-                            .unwrap_or(Time::MAX)
-                    }
-                }
-            })
-            .min();
-        let t_guard = guard
-            .as_ref()
-            .filter(|_| !active.is_empty())
-            .map(|g| g.next_window_end_after(now));
-
-        let t_next = [t_arrival, t_completion, t_guard]
-            .into_iter()
-            .flatten()
-            .min()
-            .expect("events must exist while work remains");
-        assert!(
-            t_next > now,
-            "online replay failed to make progress at {now}"
-        );
-        assert!(t_next != Time::MAX, "no progress possible: deadlock");
-
-        fuel = fuel
-            .checked_sub(1)
-            .expect("online replay event-count fuel exhausted");
-        now = t_next;
-    }
-
-    stats.reschedule_micros = resched_wall.as_micros() as u64;
     ReplayResult {
-        outcomes: outcomes
-            .into_iter()
-            .map(|o| o.expect("every coflow completes"))
+        outcomes: coflows
+            .iter()
+            .map(|c| by_id.remove(&c.id()).expect("every coflow completes"))
             .collect(),
-        guard_windows: guard_windows_elapsed,
-        stats,
+        guard_windows: stepper.guard_windows(),
+        stats: stepper.stats(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ocs_model::{circuit_lower_bound, Bandwidth};
+    use ocs_model::{circuit_lower_bound, Bandwidth, Dur, Time};
     use sunflow_core::ShortestFirst;
 
     fn fabric() -> Fabric {

@@ -1,0 +1,1138 @@
+//! A resumable, event-at-a-time driver for the online Sunflow replay.
+//!
+//! [`crate::online::simulate_circuit`] consumes a fully known arrival
+//! list and returns after the fact. A long-running scheduling service
+//! needs the same unsettled-reservation event loop *opened up*: feed
+//! Coflow arrivals as they are admitted, advance the virtual clock to a
+//! deadline, collect completions as they happen, checkpoint and resume.
+//! [`OnlineStepper`] is that shape; `simulate_circuit` is now a thin
+//! batch wrapper over it, and the golden fingerprint tests in
+//! `replay_regression.rs` pin the two to byte-identical results.
+//!
+//! Two additions beyond the batch loop:
+//!
+//! * a [`SettleHook`] observes every circuit settlement and may withhold
+//!   part (or all) of the service it would have delivered — the seam a
+//!   fault injector plugs into. A shorted flow is *deferred* (excluded
+//!   from planning) until the hook's `retry_after` backoff elapses, at
+//!   which point a retry event re-plans it; no demand is ever lost.
+//! * [`OnlineStepper::snapshot`] / [`OnlineStepper::restore`] capture
+//!   and rebuild the entire replay state (PRT included, via
+//!   [`Prt::snapshot`]) so a service can checkpoint mid-run.
+
+use crate::online::{ActiveCircuitPolicy, OnlineConfig, ReplayStats};
+use ocs_model::{
+    Coflow, Dur, Fabric, FlowRef, InPort, OutPort, Reservation, ScheduleOutcome, Time,
+};
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+use sunflow_core::{
+    Demand, PriorityPolicy, Prt, PrtSnapshot, RemovedResv, ResvKind, StarvationGuard,
+};
+
+/// A not-yet-settled flow reservation, mirrored out of the PRT so the
+/// event loop can settle, credit and displace circuits without rescanning
+/// the table's ever-growing history. Ordered by `(end, src)` — the settle
+/// order — which is unique because a port's reservations never overlap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Pending {
+    end: Time,
+    src: InPort,
+    start: Time,
+    dst: OutPort,
+    flow: FlowRef,
+}
+
+impl Pending {
+    fn transmit_time(&self, delta: Dur) -> Dur {
+        self.end.since(self.start).saturating_sub(delta)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CoflowState {
+    /// Remaining processing time per flow.
+    remaining: Vec<Dur>,
+    /// Finish time per flow.
+    finish: Vec<Option<Time>>,
+    /// Executed circuit establishments.
+    setups: u64,
+    /// Instant the Coflow first received service (circuit transmit
+    /// begin, i.e. reservation start + δ), for queue-latency telemetry.
+    first_service: Option<Time>,
+}
+
+impl CoflowState {
+    fn done(&self) -> bool {
+        self.remaining.iter().all(|r| r.is_zero())
+    }
+
+    fn completion(&self) -> Time {
+        self.finish
+            .iter()
+            .map(|f| f.expect("completion of unfinished coflow"))
+            .max()
+            .expect("coflows are non-empty")
+    }
+}
+
+/// What a [`SettleHook`] decided about one settling circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SettleVerdict {
+    /// Service actually delivered; clamped to the offered `available`.
+    pub served: Dur,
+    /// If the circuit under-delivered, how long to back off before the
+    /// shorted flow may be re-planned. `None` (or zero) retries at the
+    /// next representable instant.
+    pub retry_after: Option<Dur>,
+}
+
+impl SettleVerdict {
+    /// The circuit delivered everything it was reserved for.
+    pub fn full(available: Dur) -> SettleVerdict {
+        SettleVerdict {
+            served: available,
+            retry_after: None,
+        }
+    }
+
+    /// The circuit delivered `served < available`; retry after `backoff`.
+    pub fn shorted(served: Dur, backoff: Dur) -> SettleVerdict {
+        SettleVerdict {
+            served,
+            retry_after: Some(backoff),
+        }
+    }
+}
+
+/// Observer of circuit settlements, consulted once per settling flow
+/// reservation with the service the circuit would deliver (`available` =
+/// transmit time capped by the flow's remaining demand).
+///
+/// Returning [`SettleVerdict::full`] reproduces the fault-free replay
+/// byte-for-byte. Returning less models a misbehaving switch (setup
+/// failure, port flap, inflated δ): the shortfall stays on the flow's
+/// remaining demand and is re-planned after `retry_after`.
+///
+/// Starvation-guard windows are *not* routed through the hook — the
+/// guard is the §4.2 liveness floor and stays immune to injected faults.
+pub trait SettleHook {
+    /// Judge one settling circuit. `now` is the event time doing the
+    /// settling (`resv.end <= now`).
+    fn on_settle(&mut self, resv: &Reservation, available: Dur, now: Time) -> SettleVerdict;
+}
+
+/// The default [`SettleHook`]: every circuit delivers in full.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullService;
+
+impl SettleHook for FullService {
+    fn on_settle(&mut self, _resv: &Reservation, available: Dur, _now: Time) -> SettleVerdict {
+        SettleVerdict::full(available)
+    }
+}
+
+/// Why [`OnlineStepper::submit`] refused a Coflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// A Coflow with this id was already submitted.
+    DuplicateId(u64),
+    /// The Coflow's arrival precedes the stepper's clock — the event
+    /// would have to be processed in the past.
+    ArrivalInPast {
+        /// The rejected arrival time.
+        arrival: Time,
+        /// The stepper's current clock.
+        now: Time,
+    },
+    /// The Coflow references a port outside the fabric.
+    ExceedsFabric {
+        /// Id of the rejected Coflow.
+        id: u64,
+        /// Ports on the fabric it was submitted to.
+        ports: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::DuplicateId(id) => write!(f, "coflow ids must be unique (id {id})"),
+            SubmitError::ArrivalInPast { arrival, now } => {
+                write!(f, "arrival {arrival} precedes the stepper clock {now}")
+            }
+            SubmitError::ExceedsFabric { id, ports } => {
+                write!(f, "coflow {id} exceeds fabric ports ({ports})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One finished Coflow, drained via [`OnlineStepper::drain_completions`].
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The Coflow's schedule outcome (`start` is its arrival time).
+    pub outcome: ScheduleOutcome,
+    /// When the Coflow first received service (first circuit transmit
+    /// begin), for queue-latency histograms. `None` only for degenerate
+    /// zero-demand Coflows.
+    pub first_service: Option<Time>,
+}
+
+/// A point-in-time capture of a whole [`OnlineStepper`], produced by
+/// [`OnlineStepper::snapshot`] and consumed by [`OnlineStepper::restore`].
+/// Opaque plain data (the PRT is captured through [`Prt::snapshot`]);
+/// restoring and continuing yields the same event sequence as never
+/// having stopped — `stepper_snapshot.rs` property-tests this across all
+/// priority policies.
+#[derive(Clone, Debug)]
+pub struct StepperSnapshot {
+    fabric: Fabric,
+    config: OnlineConfig,
+    prt: PrtSnapshot,
+    coflows: Vec<Coflow>,
+    states: Vec<Option<CoflowState>>,
+    active: Vec<usize>,
+    priority_order: Vec<usize>,
+    pending_arrivals: BTreeSet<(Time, u64, usize)>,
+    unsettled: Vec<Pending>,
+    deferred: HashMap<FlowRef, Time>,
+    completions: Vec<Completion>,
+    now: Time,
+    dirty: bool,
+    stats: ReplayStats,
+    next_guard_window: u64,
+    guard_windows_elapsed: u64,
+    fuel: u64,
+}
+
+/// The online replay's event loop as a resumable state machine.
+///
+/// ```
+/// use ocs_sim::{OnlineConfig, OnlineStepper};
+/// use ocs_model::{Bandwidth, Coflow, Dur, Fabric, Time};
+/// use sunflow_core::ShortestFirst;
+///
+/// let fabric = Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(10));
+/// let mut s = OnlineStepper::new(&fabric, &OnlineConfig::default());
+/// s.submit(Coflow::builder(0).flow(0, 1, 1_000_000).build(), &ShortestFirst)
+///     .unwrap();
+/// s.run_until(Time::from_millis(500), &ShortestFirst);
+/// let done = s.drain_completions();
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].outcome.finish, Time::from_millis(18));
+/// ```
+///
+/// The same `policy` must be passed to every call that takes one — the
+/// stepper memoizes the policy's total order incrementally (a property
+/// of the Coflow alone; see `replay_regression.rs`), so switching
+/// policies mid-run would scramble the memo.
+pub struct OnlineStepper {
+    fabric: Fabric,
+    config: OnlineConfig,
+    guard: Option<StarvationGuard>,
+    prt: Prt,
+    /// Every Coflow ever submitted, by internal index.
+    coflows: Vec<Coflow>,
+    states: Vec<Option<CoflowState>>,
+    id_to_idx: HashMap<u64, usize>,
+    /// Indices of arrived, not-yet-completed Coflows (admission order).
+    active: Vec<usize>,
+    /// `is_active[idx]` ⇔ `idx ∈ active`.
+    is_active: Vec<bool>,
+    /// Non-completed Coflow indices in the policy's total order,
+    /// maintained by binary insertion at submit time so each event sorts
+    /// its active subset by memoized position instead of re-deriving
+    /// priority keys per comparison.
+    priority_order: Vec<usize>,
+    /// `(arrival, id, idx)` of submitted, not-yet-arrived Coflows.
+    pending_arrivals: BTreeSet<(Time, u64, usize)>,
+    /// Every not-yet-settled flow reservation, mirrored out of the PRT.
+    unsettled: BTreeSet<Pending>,
+    /// Flows shorted by the [`SettleHook`], excluded from planning until
+    /// their backoff expires (values are strictly in the future).
+    deferred: HashMap<FlowRef, Time>,
+    completions: Vec<Completion>,
+    now: Time,
+    /// True when state changed at (or before) `now` without an event
+    /// being processed there — set at construction and by same-instant
+    /// submissions, cleared by `process_event`.
+    dirty: bool,
+    stats: ReplayStats,
+    resched_wall: Duration,
+    next_guard_window: u64,
+    guard_windows_elapsed: u64,
+    fuel: u64,
+}
+
+impl OnlineStepper {
+    /// A stepper at `t = 0` with no Coflows.
+    ///
+    /// # Panics
+    /// Panics if `config.guard` violates `T ≫ τ > δ` for this fabric.
+    pub fn new(fabric: &Fabric, config: &OnlineConfig) -> OnlineStepper {
+        if let Some(g) = config.guard {
+            g.validate(fabric.delta());
+        }
+        OnlineStepper {
+            fabric: *fabric,
+            config: *config,
+            guard: config
+                .guard
+                .map(|g| StarvationGuard::new(fabric.ports(), g)),
+            prt: Prt::new(fabric.ports()),
+            coflows: Vec::new(),
+            states: Vec::new(),
+            id_to_idx: HashMap::new(),
+            active: Vec::new(),
+            is_active: Vec::new(),
+            priority_order: Vec::new(),
+            pending_arrivals: BTreeSet::new(),
+            unsettled: BTreeSet::new(),
+            deferred: HashMap::new(),
+            completions: Vec::new(),
+            now: Time::ZERO,
+            // Process an event at t=0 on the first run even if the first
+            // arrival is later: the batch loop's first iteration seeds
+            // guard windows from the origin, and byte-identity with it
+            // depends on replicating that.
+            dirty: true,
+            stats: ReplayStats::default(),
+            resched_wall: Duration::ZERO,
+            next_guard_window: 0,
+            guard_windows_elapsed: 0,
+            fuel: 10_000,
+        }
+    }
+
+    /// The stepper's virtual clock: all events up to here are processed.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Event-loop counters so far (`reschedule_micros` included).
+    pub fn stats(&self) -> ReplayStats {
+        let mut s = self.stats;
+        s.reschedule_micros = self.resched_wall.as_micros() as u64;
+        s
+    }
+
+    /// Starvation-guard windows elapsed so far.
+    pub fn guard_windows(&self) -> u64 {
+        self.guard_windows_elapsed
+    }
+
+    /// Arrived, not-yet-completed Coflows.
+    pub fn active_coflows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Submitted Coflows whose arrival is still in the future.
+    pub fn queued_arrivals(&self) -> usize {
+        self.pending_arrivals.len()
+    }
+
+    /// Flows currently in fault backoff.
+    pub fn deferred_flows(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// True when no work remains: every submitted Coflow has completed.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.pending_arrivals.is_empty()
+    }
+
+    /// Total unserved processing time across active Coflows — the
+    /// admission-control "outstanding demand" gauge.
+    pub fn outstanding_demand(&self) -> Dur {
+        let mut total = Dur::ZERO;
+        for &idx in &self.active {
+            let st = self.states[idx].as_ref().expect("active implies state");
+            for r in &st.remaining {
+                total += *r;
+            }
+        }
+        total
+    }
+
+    /// The shared Port Reservation Table (read-only).
+    pub fn prt(&self) -> &Prt {
+        &self.prt
+    }
+
+    /// Drop PRT history that ended at or before `now`, returning how many
+    /// reservations were forgotten. Safe at any point between runs: only
+    /// settled reservations can have ended by `now`.
+    pub fn compact_history(&mut self) -> usize {
+        self.prt.forget_before(self.now)
+    }
+
+    /// Submit one Coflow for scheduling. Its arrival must not precede
+    /// the stepper's clock; it becomes an arrival event at that time.
+    /// Pass the same `policy` as every other call.
+    pub fn submit(
+        &mut self,
+        coflow: Coflow,
+        policy: &dyn PriorityPolicy,
+    ) -> Result<(), SubmitError> {
+        if !self.fabric.fits(&coflow) {
+            return Err(SubmitError::ExceedsFabric {
+                id: coflow.id(),
+                ports: self.fabric.ports(),
+            });
+        }
+        if self.id_to_idx.contains_key(&coflow.id()) {
+            return Err(SubmitError::DuplicateId(coflow.id()));
+        }
+        if coflow.arrival() < self.now {
+            return Err(SubmitError::ArrivalInPast {
+                arrival: coflow.arrival(),
+                now: self.now,
+            });
+        }
+        let idx = self.coflows.len();
+        let (arrival, id) = (coflow.arrival(), coflow.id());
+        self.id_to_idx.insert(id, idx);
+        self.fuel += 1_000 * (1 + coflow.num_flows() as u64);
+        self.coflows.push(coflow);
+        self.states.push(None);
+        self.is_active.push(false);
+        // Binary-insert into the policy's total order (ties broken by
+        // arrival then id, exactly like `PriorityPolicy::sort`).
+        let coflows = &self.coflows;
+        let fabric = &self.fabric;
+        let new = &coflows[idx];
+        let pos = self.priority_order.partition_point(|&i| {
+            let c = &coflows[i];
+            policy
+                .compare(c, new, fabric)
+                .then_with(|| c.arrival().cmp(&new.arrival()))
+                .then_with(|| c.id().cmp(&new.id()))
+                == Ordering::Less
+        });
+        self.priority_order.insert(pos, idx);
+        self.pending_arrivals.insert((arrival, id, idx));
+        if arrival <= self.now {
+            self.dirty = true;
+        }
+        Ok(())
+    }
+
+    /// When the next event is due, or `None` when idle. Events are
+    /// Coflow arrivals, planned completions, guard-window ends and fault
+    /// retries; a pending same-instant submission reports `now`.
+    pub fn next_event_time(&self) -> Option<Time> {
+        if self.dirty {
+            return Some(self.now);
+        }
+        let t_arrival = self.pending_arrivals.iter().next().map(|&(t, _, _)| t);
+        let t_completion = self
+            .active
+            .iter()
+            .map(|&idx| {
+                // A coflow completes when its last planned reservation
+                // ends (plans always cover all remaining demand). If it
+                // has none, all residual demand is pending in kept
+                // reservations or will be served by guard windows; fall
+                // back to the guard end.
+                match self.prt.last_end_of(self.coflows[idx].id()) {
+                    Some(end) if end > self.now => end,
+                    _ => self
+                        .guard
+                        .as_ref()
+                        .map(|g| g.next_window_end_after(self.now))
+                        .unwrap_or(Time::MAX),
+                }
+            })
+            .min();
+        let t_guard = self
+            .guard
+            .as_ref()
+            .filter(|_| !self.active.is_empty())
+            .map(|g| g.next_window_end_after(self.now));
+        let t_retry = self.deferred.values().copied().min();
+        [t_arrival, t_completion, t_guard, t_retry]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Process every event up to and including `deadline` under the
+    /// default fault-free [`FullService`] hook, then advance the clock to
+    /// `deadline`. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: Time, policy: &dyn PriorityPolicy) -> u64 {
+        self.run_until_with(deadline, policy, &mut FullService)
+    }
+
+    /// Like [`OnlineStepper::run_until`] with an explicit [`SettleHook`].
+    pub fn run_until_with(
+        &mut self,
+        deadline: Time,
+        policy: &dyn PriorityPolicy,
+        hook: &mut dyn SettleHook,
+    ) -> u64 {
+        let mut processed = 0u64;
+        while let Some(t) = self.next_event_time() {
+            if t > deadline {
+                break;
+            }
+            assert!(t != Time::MAX, "no progress possible: deadlock");
+            self.process_event(t, policy, hook);
+            processed += 1;
+        }
+        if deadline > self.now && deadline != Time::MAX {
+            // Nothing happens strictly between events; float the clock
+            // up so later submissions cannot rewrite this span.
+            self.now = deadline;
+        }
+        processed
+    }
+
+    /// Run until every submitted Coflow has completed.
+    pub fn run_to_idle(&mut self, policy: &dyn PriorityPolicy) -> u64 {
+        self.run_until(Time::MAX, policy)
+    }
+
+    /// Like [`OnlineStepper::run_to_idle`] with an explicit hook.
+    pub fn run_to_idle_with(
+        &mut self,
+        policy: &dyn PriorityPolicy,
+        hook: &mut dyn SettleHook,
+    ) -> u64 {
+        self.run_until_with(Time::MAX, policy, hook)
+    }
+
+    /// Take every Coflow completion recorded since the last drain, in
+    /// completion order.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Capture the entire replay state (including undrained completions).
+    pub fn snapshot(&self) -> StepperSnapshot {
+        StepperSnapshot {
+            fabric: self.fabric,
+            config: self.config,
+            prt: self.prt.snapshot(),
+            coflows: self.coflows.clone(),
+            states: self.states.clone(),
+            active: self.active.clone(),
+            priority_order: self.priority_order.clone(),
+            pending_arrivals: self.pending_arrivals.clone(),
+            unsettled: self.unsettled.iter().copied().collect(),
+            deferred: self.deferred.clone(),
+            completions: self.completions.clone(),
+            now: self.now,
+            dirty: self.dirty,
+            stats: self.stats(),
+            next_guard_window: self.next_guard_window,
+            guard_windows_elapsed: self.guard_windows_elapsed,
+            fuel: self.fuel,
+        }
+    }
+
+    /// Rebuild a stepper from a snapshot. Continuing from the restored
+    /// stepper produces the same event sequence as never having stopped.
+    pub fn restore(snap: &StepperSnapshot) -> OnlineStepper {
+        let id_to_idx = snap
+            .coflows
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id(), i))
+            .collect();
+        let mut is_active = vec![false; snap.coflows.len()];
+        for &i in &snap.active {
+            is_active[i] = true;
+        }
+        OnlineStepper {
+            fabric: snap.fabric,
+            config: snap.config,
+            guard: snap
+                .config
+                .guard
+                .map(|g| StarvationGuard::new(snap.fabric.ports(), g)),
+            prt: Prt::from_snapshot(&snap.prt),
+            coflows: snap.coflows.clone(),
+            states: snap.states.clone(),
+            id_to_idx,
+            active: snap.active.clone(),
+            is_active,
+            priority_order: snap.priority_order.clone(),
+            pending_arrivals: snap.pending_arrivals.clone(),
+            unsettled: snap.unsettled.iter().copied().collect(),
+            deferred: snap.deferred.clone(),
+            completions: snap.completions.clone(),
+            now: snap.now,
+            dirty: snap.dirty,
+            stats: ReplayStats {
+                reschedule_micros: 0,
+                ..snap.stats
+            },
+            resched_wall: Duration::from_micros(snap.stats.reschedule_micros),
+            next_guard_window: snap.next_guard_window,
+            guard_windows_elapsed: snap.guard_windows_elapsed,
+            fuel: snap.fuel,
+        }
+    }
+
+    /// The full event body: settle, admit, complete, re-plan.
+    fn process_event(&mut self, t: Time, policy: &dyn PriorityPolicy, hook: &mut dyn SettleHook) {
+        assert!(t >= self.now, "events must be processed in time order");
+        self.now = t;
+        self.dirty = false;
+        self.deferred.retain(|_, until| *until > t);
+
+        // ---- Settle everything that ended by `t`. ----
+        self.settle_flows(t, hook);
+        self.settle_guard(t);
+
+        // ---- Arrivals at `t`. ----
+        while let Some(&(arrival, _, idx)) = self.pending_arrivals.iter().next() {
+            if arrival > t {
+                break;
+            }
+            self.pending_arrivals.pop_first();
+            let c = &self.coflows[idx];
+            self.states[idx] = Some(CoflowState {
+                remaining: c
+                    .flows()
+                    .iter()
+                    .map(|f| self.fabric.processing_time(f.bytes))
+                    .collect(),
+                finish: vec![None; c.num_flows()],
+                setups: 0,
+                first_service: None,
+            });
+            self.active.push(idx);
+            self.is_active[idx] = true;
+        }
+
+        // ---- Completions. ----
+        let mut any_done = false;
+        let mut active = std::mem::take(&mut self.active);
+        active.retain(|&idx| {
+            let st = self.states[idx].as_ref().expect("active implies state");
+            if st.done() {
+                let finish = st.completion();
+                self.completions.push(Completion {
+                    outcome: ScheduleOutcome {
+                        coflow: self.coflows[idx].id(),
+                        start: self.coflows[idx].arrival(),
+                        finish,
+                        flow_finish: st.finish.iter().map(|f| f.expect("done")).collect(),
+                        circuit_setups: st.setups,
+                    },
+                    first_service: st.first_service,
+                });
+                self.is_active[idx] = false;
+                any_done = true;
+                false
+            } else {
+                true
+            }
+        });
+        self.active = active;
+        if any_done {
+            let (states, is_active) = (&self.states, &self.is_active);
+            // Keep not-yet-arrived (no state) and still-active entries.
+            self.priority_order
+                .retain(|&i| states[i].is_none() || is_active[i]);
+        }
+
+        if self.active.is_empty() && self.pending_arrivals.is_empty() {
+            return; // idle: nothing to plan
+        }
+        self.stats.events += 1;
+        let t0 = Instant::now();
+        self.replan(policy, hook);
+        self.resched_wall += t0.elapsed();
+        self.fuel = self
+            .fuel
+            .checked_sub(1)
+            .expect("online replay event-count fuel exhausted");
+    }
+
+    /// Settle every flow reservation with `end <= t` exactly once,
+    /// routing each through the hook.
+    fn settle_flows(&mut self, t: Time, hook: &mut dyn SettleHook) {
+        let delta = self.fabric.delta();
+        while let Some(&r) = self.unsettled.first() {
+            if r.end > t {
+                break;
+            }
+            self.unsettled.pop_first();
+            let idx = self.id_to_idx[&r.flow.coflow];
+            let st = self.states[idx]
+                .as_mut()
+                .expect("reservation for unseen coflow");
+            st.setups += 1;
+            let available = r.transmit_time(delta).min(st.remaining[r.flow.flow_idx]);
+            let resv = Reservation {
+                src: r.src,
+                dst: r.dst,
+                start: r.start,
+                end: r.end,
+                flow: r.flow,
+            };
+            let served = hook.on_settle(&resv, available, t);
+            let credited = served.served.min(available);
+            st.remaining[r.flow.flow_idx] -= credited;
+            if !credited.is_zero() {
+                let svc = r.start + delta;
+                if st.first_service.is_none_or(|f| svc < f) {
+                    st.first_service = Some(svc);
+                }
+            }
+            if st.remaining[r.flow.flow_idx].is_zero() && st.finish[r.flow.flow_idx].is_none() {
+                st.finish[r.flow.flow_idx] = Some(r.end);
+            }
+            if credited < available {
+                // Shortfall: hold the flow out of planning until the
+                // hook's backoff elapses, then a retry event re-plans it.
+                let mut until = t + served.retry_after.unwrap_or(Dur::ZERO);
+                if until <= t {
+                    until = t + Dur::from_ps(1);
+                }
+                self.deferred.insert(r.flow, until);
+            }
+        }
+    }
+
+    /// Settle guard windows whose end has passed: equal share of the
+    /// window's transmit time among active flows on each circuit.
+    fn settle_guard(&mut self, t: Time) {
+        let Some(g) = self.guard else { return };
+        let delta = self.fabric.delta();
+        loop {
+            let w = g.window(self.next_guard_window);
+            if w.end > t {
+                break;
+            }
+            self.next_guard_window += 1;
+            self.guard_windows_elapsed += 1;
+            let tx = w.transmit_time(delta);
+            if tx.is_zero() {
+                continue;
+            }
+            for &(i, j) in w.assignment.pairs() {
+                // Flows of active coflows with remaining demand on (i, j).
+                let mut takers: Vec<(usize, usize)> = Vec::new();
+                for &idx in &self.active {
+                    let st = self.states[idx].as_ref().expect("active implies state");
+                    for (fi, f) in self.coflows[idx].flows().iter().enumerate() {
+                        if f.src == i && f.dst == j && !st.remaining[fi].is_zero() {
+                            takers.push((idx, fi));
+                        }
+                    }
+                }
+                if takers.is_empty() {
+                    continue;
+                }
+                let share = tx / takers.len() as u64;
+                let svc = w.start + delta;
+                for (idx, fi) in takers {
+                    let st = self.states[idx].as_mut().expect("active implies state");
+                    let served = share.min(st.remaining[fi]);
+                    st.remaining[fi] -= served;
+                    if !served.is_zero() && st.first_service.is_none_or(|f| svc < f) {
+                        st.first_service = Some(svc);
+                    }
+                    if st.remaining[fi].is_zero() && st.finish[fi].is_none() {
+                        st.finish[fi] = Some(w.end);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop future plans and re-derive them in priority order (with
+    /// Yield displacement rounds), exactly as the batch loop did.
+    fn replan(&mut self, _policy: &dyn PriorityPolicy, hook: &mut dyn SettleHook) {
+        let delta = self.fabric.delta();
+        let now = self.now;
+
+        // Priority order over the *active* coflows (also drives Yield's
+        // who-may-displace-whom decisions): filter the memoized total
+        // order — comparison-free — instead of re-running the policy.
+        let prio: Vec<usize> = self
+            .priority_order
+            .iter()
+            .copied()
+            .filter(|&i| self.is_active[i])
+            .collect();
+        let rank: HashMap<u64, usize> = self
+            .priority_order
+            .iter()
+            .enumerate()
+            .filter(|&(_, &i)| self.is_active[i])
+            .map(|(pos, &i)| (self.coflows[i].id(), pos))
+            .collect();
+
+        // Under Preempt every in-flight circuit is torn down immediately;
+        // under Keep and Yield they initially continue (Yield may cut
+        // specific ones below once the new plan shows who they block).
+        let removed = self.prt.truncate_future(
+            now,
+            self.config.active_policy != ActiveCircuitPolicy::Preempt,
+        );
+        self.stats.reservations_truncated += untrack(&mut self.unsettled, &removed, now);
+        if self.config.active_policy == ActiveCircuitPolicy::Preempt {
+            // A cut reservation now ends at `now`: settle it so its
+            // partial service is credited before re-planning.
+            self.settle_flows(now, hook);
+        }
+
+        // Plan (and under Yield, re-plan after displacing in-flight
+        // circuits that directly block higher-priority Coflows). Rounds
+        // are bounded because each round cuts at least one circuit.
+        loop {
+            // Seed guard windows far enough out to cover any plan (they
+            // were dropped with the rest of the future by truncation).
+            if let Some(g) = self.guard {
+                let mut span = Dur::ZERO;
+                for &idx in &prio {
+                    let st = self.states[idx].as_ref().expect("active implies state");
+                    for r in &st.remaining {
+                        if !r.is_zero() {
+                            span += *r + delta + delta;
+                        }
+                    }
+                }
+                // Guard windows dilute the timeline by (T+τ)/T <= 2;
+                // triple the span for slack.
+                let horizon = now + span * 3 + g.interval_len() * 3 + Dur::from_millis(1);
+                g.seed_prt(&mut self.prt, now, horizon);
+            }
+
+            if self.config.active_policy == ActiveCircuitPolicy::Yield {
+                self.stats.yield_rounds += 1;
+            }
+
+            // Pending service from in-flight reservations (credited at
+            // their end; don't schedule that demand twice). Everything in
+            // the queue has `end > now` here: the ended prefix was
+            // settled at `now` and the planned future was truncated.
+            let mut pending: HashMap<FlowRef, Dur> = HashMap::new();
+            for r in self.unsettled.iter() {
+                *pending.entry(r.flow).or_insert(Dur::ZERO) += r.transmit_time(delta);
+            }
+
+            for &idx in &prio {
+                let c = &self.coflows[idx];
+                let st = self.states[idx].as_ref().expect("active implies state");
+                let deferred = &self.deferred;
+                let demands: Vec<Demand> = c
+                    .flows()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(fi, f)| {
+                        let fref = FlowRef {
+                            coflow: c.id(),
+                            flow_idx: fi,
+                        };
+                        if deferred.contains_key(&fref) {
+                            return None; // in fault backoff
+                        }
+                        let committed = pending.get(&fref).copied().unwrap_or(Dur::ZERO);
+                        let rem = st.remaining[fi].saturating_sub(committed);
+                        (!rem.is_zero()).then_some(Demand {
+                            flow_idx: fi,
+                            src: f.src,
+                            dst: f.dst,
+                            remaining: rem,
+                        })
+                    })
+                    .collect();
+                if !demands.is_empty() {
+                    let made = sunflow_core::schedule_demands(
+                        &mut self.prt,
+                        c.id(),
+                        &demands,
+                        now,
+                        delta,
+                        self.config.sunflow,
+                    );
+                    self.stats.reservations_made += made.len() as u64;
+                    for r in made {
+                        self.unsettled.insert(Pending {
+                            end: r.end,
+                            src: r.src,
+                            start: r.start,
+                            dst: r.dst,
+                            flow: r.flow,
+                        });
+                    }
+                }
+            }
+
+            if self.config.active_policy != ActiveCircuitPolicy::Yield {
+                break;
+            }
+
+            // Index the in-flight circuits by the ports they hold and
+            // when they release them. The queue holds exactly the
+            // in-flight circuits (`start < now`) plus this round's plan
+            // (`start >= now`) — no history to skip over.
+            let mut holds: HashMap<(bool, usize, Time), (usize, Pending)> = HashMap::new();
+            for r in self.unsettled.iter().filter(|r| r.start < now) {
+                if let Some(&owner_rank) = rank.get(&r.flow.coflow) {
+                    holds.insert((true, r.src, r.end), (owner_rank, *r));
+                    holds.insert((false, r.dst, r.end), (owner_rank, *r));
+                }
+            }
+            let mut cuts: Vec<Pending> = Vec::new();
+            if !holds.is_empty() {
+                for r in self.unsettled.iter().filter(|r| r.start >= now) {
+                    let waiter_rank = rank[&r.flow.coflow];
+                    for key in [(true, r.src, r.start), (false, r.dst, r.start)] {
+                        if let Some(&(owner_rank, p)) = holds.get(&key) {
+                            if waiter_rank < owner_rank {
+                                cuts.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+            cuts.sort_unstable();
+            cuts.dedup();
+            if cuts.is_empty() {
+                break;
+            }
+            self.stats.cuts += cuts.len() as u64;
+            for p in &cuts {
+                self.prt.cut_reservation(p.src, p.start, now);
+                self.unsettled.remove(p);
+                self.unsettled.insert(Pending { end: now, ..*p });
+            }
+            // Credit the partial service of the displaced circuits, then
+            // drop the tentative plan and re-plan around the freed ports.
+            self.settle_flows(now, hook);
+            let removed = self.prt.truncate_future(now, true);
+            self.stats.reservations_truncated += untrack(&mut self.unsettled, &removed, now);
+        }
+    }
+}
+
+/// Mirror a `truncate_future` removal list into the unsettled queue:
+/// dropped reservations leave it, shortened ones re-key to end (and so
+/// settle) at `now`. Returns the number of flow reservations affected.
+fn untrack(unsettled: &mut BTreeSet<Pending>, removed: &[RemovedResv], now: Time) -> u64 {
+    let mut flows = 0u64;
+    for r in removed {
+        let ResvKind::Flow(flow) = r.kind else {
+            continue;
+        };
+        flows += 1;
+        let p = Pending {
+            end: r.end,
+            src: r.src,
+            start: r.start,
+            dst: r.dst,
+            flow,
+        };
+        let was_pending = unsettled.remove(&p);
+        debug_assert!(was_pending, "truncated reservation missing from queue");
+        if r.start < now {
+            unsettled.insert(Pending { end: now, ..p });
+        }
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_model::Bandwidth;
+    use sunflow_core::ShortestFirst;
+
+    fn fabric() -> Fabric {
+        Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(10))
+    }
+
+    fn mb(m: u64) -> u64 {
+        m * 1_000_000
+    }
+
+    #[test]
+    fn incremental_submission_matches_batch() {
+        let f = fabric();
+        let coflows: Vec<Coflow> = (0..6)
+            .map(|i| {
+                Coflow::builder(i)
+                    .arrival(Time::from_millis(i * 40))
+                    .flow((i as usize) % 4, (i as usize * 3 + 1) % 4, mb(1 + i % 3))
+                    .build()
+            })
+            .collect();
+        let batch =
+            crate::online::simulate_circuit(&coflows, &f, &OnlineConfig::default(), &ShortestFirst);
+
+        let mut s = OnlineStepper::new(&f, &OnlineConfig::default());
+        // Feed arrivals just-in-time, advancing in 50 ms slices.
+        let mut fed = 0usize;
+        for slice in 0..20u64 {
+            let deadline = Time::from_millis(slice * 50);
+            while fed < coflows.len() && coflows[fed].arrival() <= deadline {
+                s.submit(coflows[fed].clone(), &ShortestFirst).unwrap();
+                fed += 1;
+            }
+            s.run_until(deadline, &ShortestFirst);
+        }
+        assert_eq!(fed, coflows.len());
+        s.run_to_idle(&ShortestFirst);
+        assert!(s.is_idle());
+
+        let mut done = s.drain_completions();
+        done.sort_by_key(|c| c.outcome.coflow);
+        assert_eq!(done.len(), batch.outcomes.len());
+        for (c, b) in done.iter().zip(batch.outcomes.iter()) {
+            assert_eq!(c.outcome.coflow, b.coflow);
+            assert_eq!(c.outcome.finish, b.finish);
+            assert_eq!(c.outcome.circuit_setups, b.circuit_setups);
+            assert_eq!(c.outcome.flow_finish, b.flow_finish);
+        }
+    }
+
+    #[test]
+    fn submit_rejections() {
+        let f = fabric();
+        let mut s = OnlineStepper::new(&f, &OnlineConfig::default());
+        s.submit(Coflow::builder(1).flow(0, 0, mb(1)).build(), &ShortestFirst)
+            .unwrap();
+        assert_eq!(
+            s.submit(Coflow::builder(1).flow(1, 1, mb(1)).build(), &ShortestFirst),
+            Err(SubmitError::DuplicateId(1))
+        );
+        assert!(matches!(
+            s.submit(Coflow::builder(2).flow(0, 9, mb(1)).build(), &ShortestFirst),
+            Err(SubmitError::ExceedsFabric { id: 2, .. })
+        ));
+        s.run_until(Time::from_millis(500), &ShortestFirst);
+        assert!(matches!(
+            s.submit(
+                Coflow::builder(3)
+                    .arrival(Time::from_millis(100))
+                    .flow(0, 0, mb(1))
+                    .build(),
+                &ShortestFirst
+            ),
+            Err(SubmitError::ArrivalInPast { .. })
+        ));
+    }
+
+    #[test]
+    fn completions_report_queue_latency() {
+        let f = fabric();
+        let mut s = OnlineStepper::new(&f, &OnlineConfig::default());
+        // Two coflows contending for in.0: the second waits for the first.
+        s.submit(
+            Coflow::builder(0).flow(0, 0, mb(10)).build(),
+            &ShortestFirst,
+        )
+        .unwrap();
+        s.submit(
+            Coflow::builder(1).flow(0, 1, mb(20)).build(),
+            &ShortestFirst,
+        )
+        .unwrap();
+        s.run_to_idle(&ShortestFirst);
+        let mut done = s.drain_completions();
+        done.sort_by_key(|c| c.outcome.coflow);
+        let d = f.delta();
+        // The shorter coflow is served first: service at arrival + δ.
+        assert_eq!(done[0].first_service, Some(Time::ZERO + d));
+        // The longer one waits for the first circuit to release in.0.
+        assert!(done[1].first_service.unwrap() > done[0].first_service.unwrap());
+    }
+
+    /// A hook that shorts the very first settlement to nothing (with a
+    /// backoff) must not lose demand: the flow is re-planned and the
+    /// coflow still completes, later than fault-free.
+    #[test]
+    fn shorted_settlement_is_replanned() {
+        struct FailFirst {
+            failed: u64,
+        }
+        impl SettleHook for FailFirst {
+            fn on_settle(&mut self, _r: &Reservation, available: Dur, _now: Time) -> SettleVerdict {
+                if self.failed == 0 {
+                    self.failed += 1;
+                    SettleVerdict::shorted(Dur::ZERO, Dur::from_millis(5))
+                } else {
+                    SettleVerdict::full(available)
+                }
+            }
+        }
+        let f = fabric();
+        let c = Coflow::builder(0).flow(0, 0, mb(1)).build();
+
+        let mut clean = OnlineStepper::new(&f, &OnlineConfig::default());
+        clean.submit(c.clone(), &ShortestFirst).unwrap();
+        clean.run_to_idle(&ShortestFirst);
+        let clean_finish = clean.drain_completions()[0].outcome.finish;
+
+        let mut faulty = OnlineStepper::new(&f, &OnlineConfig::default());
+        faulty.submit(c, &ShortestFirst).unwrap();
+        let mut hook = FailFirst { failed: 0 };
+        faulty.run_to_idle_with(&ShortestFirst, &mut hook);
+        let done = faulty.drain_completions();
+        assert_eq!(done.len(), 1, "coflow must still complete");
+        let o = &done[0].outcome;
+        assert!(o.finish > clean_finish, "retry must cost time");
+        assert!(o.circuit_setups >= 2, "retry pays a fresh setup");
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let f = fabric();
+        let coflows: Vec<Coflow> = (0..8)
+            .map(|i| {
+                Coflow::builder(i)
+                    .arrival(Time::from_millis((i * 13) % 60))
+                    .flow((i as usize) % 4, (i as usize * 3 + 1) % 4, mb(1 + i % 4))
+                    .build()
+            })
+            .collect();
+        let mut a = OnlineStepper::new(&f, &OnlineConfig::default());
+        for c in &coflows {
+            a.submit(c.clone(), &ShortestFirst).unwrap();
+        }
+        a.run_until(Time::from_millis(40), &ShortestFirst);
+        let snap = a.snapshot();
+        let mut b = OnlineStepper::restore(&snap);
+        a.run_to_idle(&ShortestFirst);
+        b.run_to_idle(&ShortestFirst);
+        let key = |mut v: Vec<Completion>| {
+            v.sort_by_key(|c| c.outcome.coflow);
+            v.into_iter()
+                .map(|c| (c.outcome.coflow, c.outcome.finish, c.outcome.circuit_setups))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(a.drain_completions()), key(b.drain_completions()));
+        assert_eq!(a.guard_windows(), b.guard_windows());
+    }
+
+    #[test]
+    fn compact_history_preserves_future() {
+        let f = fabric();
+        let mut s = OnlineStepper::new(&f, &OnlineConfig::default());
+        for i in 0..4u64 {
+            s.submit(
+                Coflow::builder(i)
+                    .arrival(Time::from_millis(i * 100))
+                    .flow((i as usize) % 4, (i as usize + 1) % 4, mb(2))
+                    .build(),
+                &ShortestFirst,
+            )
+            .unwrap();
+        }
+        s.run_until(Time::from_millis(150), &ShortestFirst);
+        let dropped = s.compact_history();
+        assert!(dropped > 0, "some circuits must have ended by 150 ms");
+        s.run_to_idle(&ShortestFirst);
+        assert_eq!(s.drain_completions().len(), 4);
+    }
+}

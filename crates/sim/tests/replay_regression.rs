@@ -9,7 +9,7 @@
 //! single finish timestamp or setup count fails these tests.
 
 use ocs_model::{Bandwidth, Coflow, Dur, Fabric, Time};
-use ocs_sim::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult};
+use ocs_sim::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, OnlineStepper, ReplayResult};
 use sunflow_core::{FirstComeFirstServed, GuardConfig, PriorityPolicy, ShortestFirst};
 
 fn fabric() -> Fabric {
@@ -106,6 +106,82 @@ fn fcfs_policy_matches_golden() {
     let cfg = OnlineConfig::default();
     let r = simulate_circuit(&workload(), &fabric(), &cfg, &FirstComeFirstServed);
     assert_eq!(fingerprint(&r), GOLDEN_FCFS);
+}
+
+/// Drive an [`OnlineStepper`] the way a live service would — Coflows
+/// submitted just before they arrive, the clock advanced in fixed
+/// slices — and reassemble a [`ReplayResult`] from the drained
+/// completions.
+fn run_stepper_chunked(
+    policy: ActiveCircuitPolicy,
+    guard: Option<GuardConfig>,
+    prio: &dyn PriorityPolicy,
+) -> ReplayResult {
+    let coflows = {
+        let mut c = workload();
+        c.sort_by_key(|c| (c.arrival(), c.id()));
+        c
+    };
+    let cfg = OnlineConfig::default().active_policy(policy).guard(guard);
+    let mut stepper = OnlineStepper::new(&fabric(), &cfg);
+    let mut fed = 0usize;
+    let mut completions = Vec::new();
+    for slice in 1..=25u64 {
+        let deadline = Time::from_millis(slice * 100);
+        while fed < coflows.len() && coflows[fed].arrival() <= deadline {
+            stepper.submit(coflows[fed].clone(), prio).expect("submit");
+            fed += 1;
+        }
+        stepper.run_until(deadline, prio);
+        completions.extend(stepper.drain_completions());
+    }
+    assert_eq!(fed, coflows.len(), "all arrivals fall within 2.5 s");
+    stepper.run_to_idle(prio);
+    completions.extend(stepper.drain_completions());
+
+    // Outcomes in the batch API's input order (workload order).
+    let mut outcomes: Vec<_> = completions.into_iter().map(|c| c.outcome).collect();
+    let input_pos: std::collections::HashMap<u64, usize> = workload()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.id(), i))
+        .collect();
+    outcomes.sort_by_key(|o| input_pos[&o.coflow]);
+    ReplayResult {
+        outcomes,
+        guard_windows: stepper.guard_windows(),
+        stats: stepper.stats(),
+    }
+}
+
+/// The resumable stepper, fed incrementally and advanced in wall-clock
+/// slices, must reproduce the exact golden fingerprints of the batch
+/// replay — the refactor that extracted it is behavior-preserving.
+#[test]
+fn chunked_stepper_matches_all_goldens() {
+    let guard = GuardConfig::new(Dur::from_millis(200), Dur::from_millis(40));
+    let cases: [(&str, ActiveCircuitPolicy, Option<GuardConfig>, u64); 4] = [
+        ("yield", ActiveCircuitPolicy::Yield, None, GOLDEN_YIELD),
+        ("keep", ActiveCircuitPolicy::Keep, None, GOLDEN_KEEP),
+        (
+            "preempt",
+            ActiveCircuitPolicy::Preempt,
+            None,
+            GOLDEN_PREEMPT,
+        ),
+        (
+            "guarded",
+            ActiveCircuitPolicy::Yield,
+            Some(guard),
+            GOLDEN_GUARDED,
+        ),
+    ];
+    for (name, policy, guard, golden) in cases {
+        let r = run_stepper_chunked(policy, guard, &ShortestFirst);
+        assert_eq!(fingerprint(&r), golden, "stepper diverged on {name}");
+    }
+    let fcfs = run_stepper_chunked(ActiveCircuitPolicy::Yield, None, &FirstComeFirstServed);
+    assert_eq!(fingerprint(&fcfs), GOLDEN_FCFS, "stepper diverged on fcfs");
 }
 
 /// Sorting the active set by a rank precomputed over *all* Coflows must
