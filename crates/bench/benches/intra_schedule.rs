@@ -1,0 +1,88 @@
+//! Criterion micro-benchmark of Algorithm 1 itself: the dirty-port
+//! indexed `schedule_demands` against the scan-everything
+//! `naive_schedule_demands` reference, planning a large many-to-many
+//! Coflow onto an already crowded Port Reservation Table — the shape the
+//! online replay hits on every re-plan, where the indexed release
+//! queries pay off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocs_model::{Bandwidth, Coflow, Dur, Fabric, Time};
+use sunflow_core::{schedule_demands, Demand, IntraScheduler, Prt, SunflowConfig};
+
+const PORTS: usize = 64;
+
+/// A table crowded by several earlier Coflows' schedules, the obstacles
+/// a re-planned Coflow has to thread through.
+fn crowded_prt(fabric: &Fabric) -> Prt {
+    let intra = IntraScheduler::new(fabric, SunflowConfig::default());
+    let mut prt = Prt::new(fabric.ports());
+    for i in 0..6u64 {
+        let mut b = Coflow::builder(100 + i);
+        for s in 0..16usize {
+            for d in 0..16usize {
+                let src = (s + 16 * (i as usize % 4)) % PORTS;
+                let dst = (d + 16 * ((i as usize + 1) % 4)) % PORTS;
+                b = b.flow(src, dst, (1 + ((s * 31 + d * 17) % 16)) as u64 * 1_000_000);
+            }
+        }
+        intra.schedule_on(&mut prt, &b.build(), Time::from_millis(5 * i));
+    }
+    prt
+}
+
+/// An n-by-n many-to-many demand set with varied remaining volumes.
+fn m2m_demands(n: usize) -> Vec<Demand> {
+    let mut demands = Vec::with_capacity(n * n);
+    for s in 0..n {
+        for d in 0..n {
+            demands.push(Demand {
+                flow_idx: s * n + d,
+                src: s % PORTS,
+                dst: d % PORTS,
+                remaining: Dur::from_millis(1 + ((s * 7 + d * 13) % 40) as u64),
+            });
+        }
+    }
+    demands
+}
+
+fn intra_schedule(c: &mut Criterion) {
+    let fabric = Fabric::new(PORTS, Bandwidth::GBPS, Dur::from_millis(10));
+    let base = crowded_prt(&fabric);
+    let config = SunflowConfig::default();
+    let start = Time::from_millis(3);
+    let delta = fabric.delta();
+
+    let mut group = c.benchmark_group("intra_schedule_crowded");
+    for &n in &[16usize, 32] {
+        let demands = m2m_demands(n);
+        group.bench_with_input(
+            BenchmarkId::new("indexed", demands.len()),
+            &demands,
+            |b, demands| {
+                b.iter(|| {
+                    let mut prt = base.clone();
+                    std::hint::black_box(schedule_demands(
+                        &mut prt, 0, demands, start, delta, config,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", demands.len()),
+            &demands,
+            |b, demands| {
+                b.iter(|| {
+                    let mut prt = base.clone();
+                    std::hint::black_box(sunflow_core::intra::naive_schedule_demands(
+                        &mut prt, 0, demands, start, delta, config,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, intra_schedule);
+criterion_main!(benches);

@@ -6,9 +6,10 @@
 //! 0.65 / 0.98; 100 µs → 0.61 / 0.98; 10 µs → 0.61 / 0.98. As for the
 //! intra case, optimizing switching hardware below δ ≈ 1 ms buys little.
 
-use crate::inter_eval::{eval_inter_measured, InterEngine, InterRow};
+use crate::inter_eval::{eval_inter_with_stats, replay_counters, InterEngine, InterRow};
 use crate::workloads::{fabric_gbps, workload, DELTA_SWEEP};
 use ocs_metrics::{mean, percentile, Report, SweepTiming};
+use ocs_sim::ReplayStats;
 
 /// Paper values: (delta label, avg, p95) normalized to the 10 ms baseline.
 const PAPER: [(&str, f64, f64); 5] = [
@@ -23,13 +24,13 @@ const PAPER: [(&str, f64, f64); 5] = [
 pub fn run_measured() -> (Report, SweepTiming) {
     let coflows = workload();
 
-    let mut sweep = crate::sweep::<Vec<InterRow>>();
+    let mut sweep = crate::sweep::<(Vec<InterRow>, Option<ReplayStats>)>();
     sweep.add_measured("baseline delta=10ms", move || {
-        eval_inter_measured(coflows, &fabric_gbps(1), InterEngine::Sunflow)
+        eval_inter_with_stats(coflows, &fabric_gbps(1), InterEngine::Sunflow)
     });
     for (label, delta) in DELTA_SWEEP {
         sweep.add_measured(format!("delta={label}"), move || {
-            eval_inter_measured(
+            eval_inter_with_stats(
                 coflows,
                 &fabric_gbps(1).with_delta(delta),
                 InterEngine::Sunflow,
@@ -37,14 +38,19 @@ pub fn run_measured() -> (Report, SweepTiming) {
         });
     }
     let result = sweep.run();
-    let timing = crate::timing_of(&result);
-    let base = &result.runs[0].value;
+    let mut timing = crate::timing_of(&result);
+    for (t, run) in timing.runs.iter_mut().zip(&result.runs) {
+        if let Some(stats) = &run.value.1 {
+            t.counters = replay_counters(stats);
+        }
+    }
+    let base = &result.runs[0].value.0;
 
     let mut report = Report::new("Figure 10 — inter-Coflow sensitivity to delta (Sunflow, B=1G)");
     for (i, ((label, _), (plabel, p_avg, p_p95))) in DELTA_SWEEP.into_iter().zip(PAPER).enumerate()
     {
         debug_assert_eq!(label, plabel);
-        let rows = &result.runs[i + 1].value;
+        let rows = &result.runs[i + 1].value.0;
         let normalized: Vec<f64> = rows
             .iter()
             .zip(base)

@@ -12,7 +12,7 @@
 //! Sunflow's ratio is always below 2 (Lemma 1), while Solstice degrades
 //! as `B` grows because processing times shrink relative to `δ`.
 
-use crate::intra_eval::{eval_intra, mean_of, p95_of, IntraRow};
+use crate::intra_eval::{eval_intra_measured, mean_of, p95_of, IntraRow};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_baselines::CircuitScheduler;
 use ocs_metrics::{Report, SweepTiming};
@@ -40,8 +40,8 @@ pub fn run_measured() -> (Report, SweepTiming) {
                 IntraEngine::Baseline(CircuitScheduler::Solstice),
             ),
         ] {
-            sweep.add(format!("B={gbps}G/{name}"), move || {
-                eval_intra(coflows, &fabric_gbps(gbps), engine)
+            sweep.add_measured(format!("B={gbps}G/{name}"), move || {
+                eval_intra_measured(coflows, &fabric_gbps(gbps), engine)
             });
         }
     }

@@ -5,7 +5,7 @@
 //! Solstice is 2.81 avg / 7.70 p95. All Sunflow `CCT/T_pL` < 4.5
 //! (the Lemma 2 bound with the trace's 1 MB flow floor).
 
-use crate::intra_eval::{eval_intra, mean_of, p95_of, IntraRow};
+use crate::intra_eval::{eval_intra_measured, mean_of, p95_of, IntraRow};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_baselines::CircuitScheduler;
 use ocs_metrics::{cdf_at, Report, SweepTiming};
@@ -22,19 +22,21 @@ pub fn run_measured() -> (Report, SweepTiming) {
             .collect()
     };
     let mut sweep = crate::sweep::<Vec<IntraRow>>();
-    sweep.add("sunflow", move || {
-        m2m(eval_intra(
+    sweep.add_measured("sunflow", move || {
+        let (rows, compute) = eval_intra_measured(
             workload(),
             &fabric_gbps(1),
             IntraEngine::Sunflow(SunflowConfig::default()),
-        ))
+        );
+        (m2m(rows), compute)
     });
-    sweep.add("solstice", move || {
-        m2m(eval_intra(
+    sweep.add_measured("solstice", move || {
+        let (rows, compute) = eval_intra_measured(
             workload(),
             &fabric_gbps(1),
             IntraEngine::Baseline(CircuitScheduler::Solstice),
-        ))
+        );
+        (m2m(rows), compute)
     });
     let result = sweep.run();
     let timing = crate::timing_of(&result);

@@ -6,7 +6,7 @@
 //! its normalized count correlates with `|C|` (linear correlation
 //! coefficient 0.84) and reaches beyond 10.
 
-use crate::intra_eval::{eval_intra, mean_of, IntraRow};
+use crate::intra_eval::{eval_intra_measured, mean_of, IntraRow};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_baselines::CircuitScheduler;
 use ocs_metrics::{cdf_at, pearson, Report, SweepTiming};
@@ -23,19 +23,21 @@ pub fn run_measured() -> (Report, SweepTiming) {
             .collect()
     };
     let mut sweep = crate::sweep::<Vec<IntraRow>>();
-    sweep.add("sunflow", move || {
-        m2m(eval_intra(
+    sweep.add_measured("sunflow", move || {
+        let (rows, compute) = eval_intra_measured(
             workload(),
             &fabric_gbps(1),
             IntraEngine::Sunflow(SunflowConfig::default()),
-        ))
+        );
+        (m2m(rows), compute)
     });
-    sweep.add("solstice", move || {
-        m2m(eval_intra(
+    sweep.add_measured("solstice", move || {
+        let (rows, compute) = eval_intra_measured(
             workload(),
             &fabric_gbps(1),
             IntraEngine::Baseline(CircuitScheduler::Solstice),
-        ))
+        );
+        (m2m(rows), compute)
     });
     let result = sweep.run();
     let timing = crate::timing_of(&result);

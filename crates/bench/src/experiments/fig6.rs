@@ -7,7 +7,7 @@
 //! 10 µs → 0.61 / 0.99. Beyond δ = 1 ms the marginal benefit of faster
 //! switching is very small.
 
-use crate::intra_eval::{eval_intra, IntraRow};
+use crate::intra_eval::{eval_intra_measured, IntraRow};
 use crate::workloads::{fabric_gbps, workload, DELTA_SWEEP};
 use ocs_metrics::{mean, percentile, Report, SweepTiming};
 use ocs_sim::IntraEngine;
@@ -28,12 +28,12 @@ pub fn run_measured() -> (Report, SweepTiming) {
     let engine = IntraEngine::Sunflow(SunflowConfig::default());
 
     let mut sweep = crate::sweep::<Vec<IntraRow>>();
-    sweep.add("baseline delta=10ms", move || {
-        eval_intra(coflows, &fabric_gbps(1), engine)
+    sweep.add_measured("baseline delta=10ms", move || {
+        eval_intra_measured(coflows, &fabric_gbps(1), engine)
     });
     for (label, delta) in DELTA_SWEEP {
-        sweep.add(format!("delta={label}"), move || {
-            eval_intra(coflows, &fabric_gbps(1).with_delta(delta), engine)
+        sweep.add_measured(format!("delta={label}"), move || {
+            eval_intra_measured(coflows, &fabric_gbps(1).with_delta(delta), engine)
         });
     }
     let result = sweep.run();

@@ -6,7 +6,7 @@
 //! 1.86 avg / 2.31 p95; everything under the 4.5 theoretical cap; rank
 //! correlation between `p_avg` and `CCT/T_pL` is −0.96.
 
-use crate::intra_eval::{eval_intra, mean_of, p95_of, IntraRow};
+use crate::intra_eval::{eval_intra_measured, mean_of, p95_of, IntraRow};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_metrics::{spearman, Report, SweepTiming};
 use ocs_sim::IntraEngine;
@@ -16,8 +16,8 @@ use sunflow_core::SunflowConfig;
 /// produce the report plus its timing.
 pub fn run_measured() -> (Report, SweepTiming) {
     let mut sweep = crate::sweep::<Vec<IntraRow>>();
-    sweep.add("sunflow B=1G", move || {
-        eval_intra(
+    sweep.add_measured("sunflow B=1G", move || {
+        eval_intra_measured(
             workload(),
             &fabric_gbps(1),
             IntraEngine::Sunflow(SunflowConfig::default()),

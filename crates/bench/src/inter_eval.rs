@@ -4,7 +4,7 @@
 
 use ocs_model::{packet_lower_bound, Coflow, Dur, Fabric};
 use ocs_packet::{simulate_packet, Aalo, Varys};
-use ocs_sim::{simulate_circuit, OnlineConfig};
+use ocs_sim::{simulate_circuit, OnlineConfig, ReplayStats};
 use std::time::{Duration, Instant};
 use sunflow_core::ShortestFirst;
 
@@ -63,20 +63,34 @@ pub fn eval_inter_measured(
     fabric: &Fabric,
     engine: InterEngine,
 ) -> (Vec<InterRow>, Duration) {
-    let (outcomes, compute) = match engine {
+    let ((rows, _), compute) = eval_inter_with_stats(coflows, fabric, engine);
+    (rows, compute)
+}
+
+/// [`eval_inter_measured`] plus the replay's [`ReplayStats`] (Sunflow
+/// only — the packet-switched baselines have no replay loop, so they
+/// yield `None`). The stats feed the `counters` object of the
+/// `BENCH_<id>.json` run records via [`replay_counters`].
+pub fn eval_inter_with_stats(
+    coflows: &[Coflow],
+    fabric: &Fabric,
+    engine: InterEngine,
+) -> ((Vec<InterRow>, Option<ReplayStats>), Duration) {
+    let (outcomes, stats, compute) = match engine {
         InterEngine::Sunflow => {
             let r = simulate_circuit(coflows, fabric, &OnlineConfig::default(), &ShortestFirst);
-            (r.outcomes, Duration::from_micros(r.stats.reschedule_micros))
+            let compute = Duration::from_micros(r.stats.reschedule_micros);
+            (r.outcomes, Some(r.stats), compute)
         }
         InterEngine::Varys => {
             let t0 = Instant::now();
             let outcomes = simulate_packet(coflows, fabric, &mut Varys);
-            (outcomes, t0.elapsed())
+            (outcomes, None, t0.elapsed())
         }
         InterEngine::Aalo => {
             let t0 = Instant::now();
             let outcomes = simulate_packet(coflows, fabric, &mut Aalo::default());
-            (outcomes, t0.elapsed())
+            (outcomes, None, t0.elapsed())
         }
     };
     let rows = coflows
@@ -90,7 +104,26 @@ pub fn eval_inter_measured(
             long: ocs_model::is_long(c, fabric),
         })
         .collect();
-    (rows, compute)
+    ((rows, stats), compute)
+}
+
+/// Flatten a replay's work counters into the named-counter list of a
+/// `BENCH_<id>.json` run record.
+pub fn replay_counters(stats: &ReplayStats) -> Vec<(String, u64)> {
+    vec![
+        ("events".into(), stats.events),
+        ("releases_visited".into(), stats.releases_visited),
+        ("demands_scanned".into(), stats.demands_scanned),
+        ("coflows_rescheduled".into(), stats.coflows_rescheduled),
+        ("coflows_skipped".into(), stats.coflows_skipped),
+        ("reservations_made".into(), stats.reservations_made),
+        (
+            "reservations_truncated".into(),
+            stats.reservations_truncated,
+        ),
+        ("cuts".into(), stats.cuts),
+        ("yield_rounds".into(), stats.yield_rounds),
+    ]
 }
 
 /// Average CCT in seconds over rows.

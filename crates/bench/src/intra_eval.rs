@@ -52,11 +52,26 @@ impl IntraRow {
 
 /// Evaluate every Coflow in isolation under `engine` on `fabric`.
 pub fn eval_intra(coflows: &[Coflow], fabric: &Fabric, engine: IntraEngine) -> Vec<IntraRow> {
-    coflows
+    eval_intra_measured(coflows, fabric, engine).0
+}
+
+/// [`eval_intra`] plus the scheduler-compute duration — the summed time
+/// of the `engine.service` calls alone, bounds and row bookkeeping
+/// excluded — for [`ocs_sim::Sweep::add_measured`] (the `compute_s`
+/// field of the `BENCH_<id>.json` records).
+pub fn eval_intra_measured(
+    coflows: &[Coflow],
+    fabric: &Fabric,
+    engine: IntraEngine,
+) -> (Vec<IntraRow>, std::time::Duration) {
+    let mut compute = std::time::Duration::ZERO;
+    let rows = coflows
         .iter()
         .enumerate()
         .map(|(idx, c)| {
+            let t0 = std::time::Instant::now();
             let o = engine.service(c, fabric);
+            compute += t0.elapsed();
             IntraRow {
                 idx,
                 cct: o.cct(Time::ZERO),
@@ -69,7 +84,8 @@ pub fn eval_intra(coflows: &[Coflow], fabric: &Fabric, engine: IntraEngine) -> V
                 long: is_long(c, fabric),
             }
         })
-        .collect()
+        .collect();
+    (rows, compute)
 }
 
 /// Mean of a derived quantity over rows.

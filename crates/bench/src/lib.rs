@@ -88,6 +88,7 @@ pub fn timing_of<T>(result: &SweepResult<T>) -> SweepTiming {
                 label: r.label.clone(),
                 wall_s: r.wall.as_secs_f64(),
                 compute_s: r.compute.map(|d| d.as_secs_f64()),
+                counters: Vec::new(),
             })
             .collect(),
         wall_s: result.wall.as_secs_f64(),

@@ -18,6 +18,8 @@ use ocs_model::{
     circuit_lower_bound, packet_lower_bound, Coflow, Dur, Fabric, FlowRef, InPort, OutPort,
     Reservation, Time,
 };
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// The order in which Algorithm 1 considers the demand entries of a
 /// Coflow. Lemma 1 holds for every ordering; §5.3.1 of the paper measures
@@ -135,6 +137,36 @@ fn order_demands(demands: &mut [Demand], order: FlowOrder) {
     }
 }
 
+/// Counters describing the work one [`schedule_demands_counted`] call
+/// performed — the evidence the port-scoped rewrite actually prunes the
+/// Algorithm 1 inner loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleCounters {
+    /// Release instants `t` was advanced through (Algorithm 1 line 10).
+    pub releases_visited: u64,
+    /// Demand entries examined across all passes (line 15 loop body).
+    pub demands_scanned: u64,
+}
+
+impl ScheduleCounters {
+    /// Accumulate another call's counters into this one.
+    pub fn absorb(&mut self, other: ScheduleCounters) {
+        self.releases_visited += other.releases_visited;
+        self.demands_scanned += other.demands_scanned;
+    }
+}
+
+/// The message scheduling dies with when a pending demand faces no future
+/// circuit release — unreachable through the safe API (every blocked
+/// demand's blocker ends at a release on its own port), kept structured so
+/// a corrupted-PRT bug report carries enough context to localize.
+fn no_release_message(coflow_id: u64, t: Time, pending: usize) -> String {
+    format!(
+        "coflow {coflow_id}: scheduling cannot progress at t={t}: \
+         {pending} pending demand(s) but no future circuit release"
+    )
+}
+
 /// Run Algorithm 1 (`IntraCoflow`) for one Coflow against the shared PRT.
 ///
 /// `demands` lists the Coflow's remaining per-flow processing times (only
@@ -151,6 +183,166 @@ fn order_demands(demands: &mut [Demand], order: FlowOrder) {
 /// # Panics
 /// Panics if a demand references a port outside the PRT.
 pub fn schedule_demands(
+    prt: &mut Prt,
+    coflow_id: u64,
+    demands: &[Demand],
+    start: Time,
+    delta: Dur,
+    config: SunflowConfig,
+) -> Vec<Reservation> {
+    schedule_demands_counted(prt, coflow_id, demands, start, delta, config).0
+}
+
+/// [`schedule_demands`] with its work counters — the port-scoped engine.
+///
+/// The loop is driven by per-demand *wake subscriptions* over the PRT's
+/// per-port release queues: each unsatisfied demand, when examined,
+/// subscribes to the single port release that can next change its state —
+/// its blocked port's blocker end, the binding (earliest-next-start) port
+/// of a gap shorter than `δ`, or its own truncated reservation's end —
+/// and `t` advances straight to the earliest subscription. Each pass
+/// then re-examines only the demands waking exactly at the new `t`.
+/// Releases the naive loop would have visited in between are provably
+/// no-ops — mid-call the table only *gains* reservations of this Coflow,
+/// so a demand's state cannot improve before its subscribed instant —
+/// and same-instant wakes are scanned in pending order, so the
+/// reservations produced are byte-identical to the naive
+/// rescan-everything loop's (same order, same starts, same ends), at
+/// O(wakes × log) instead of O(global releases × pending demands).
+pub fn schedule_demands_counted(
+    prt: &mut Prt,
+    coflow_id: u64,
+    demands: &[Demand],
+    start: Time,
+    delta: Dur,
+    config: SunflowConfig,
+) -> (Vec<Reservation>, ScheduleCounters) {
+    let mut pending: Vec<Demand> = demands
+        .iter()
+        .copied()
+        .filter(|d| d.remaining > Dur::ZERO)
+        .map(|d| Demand {
+            remaining: config.quantize(d.remaining),
+            ..d
+        })
+        .collect();
+    order_demands(&mut pending, config.order);
+
+    let mut counters = ScheduleCounters::default();
+    let mut made = Vec::new();
+    let mut t = start;
+    let mut live = pending.len();
+
+    // Every live demand is either in the current candidate pass or holds
+    // exactly one wake subscription `(instant, index)`.
+    let mut wake: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+    // The first pass examines every demand, in the configured order.
+    let mut candidates: Vec<usize> = (0..pending.len()).collect();
+
+    while live > 0 {
+        for &i in &candidates {
+            let (src, dst) = (pending[i].src, pending[i].dst);
+            counters.demands_scanned += 1;
+            // A blocked demand cannot start before its blocking port
+            // frees — the blocker's end, that port's next release.
+            if !prt.in_free_at(src, t) {
+                let w = prt
+                    .in_next_release_after(src, t)
+                    .unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, live)));
+                wake.push(Reverse((w, i)));
+                continue;
+            }
+            if !prt.out_free_at(dst, t) {
+                let w = prt
+                    .out_next_release_after(dst, t)
+                    .unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, live)));
+                wake.push(Reverse((w, i)));
+                continue;
+            }
+            // Earliest next reservation on either port bounds the length
+            // (needed by inter-Coflow scheduling, Algorithm 1 line 16).
+            let tm_src = prt.in_next_start_after(src, t);
+            let tm_dst = prt.out_next_start_after(dst, t);
+            let tm = tm_src.min(tm_dst);
+            let lm = if tm == Time::MAX {
+                Dur::MAX
+            } else {
+                tm.since(t)
+            };
+            let ld = delta + pending[i].remaining; // desired length
+            let l = if lm < delta { Dur::ZERO } else { lm.min(ld) };
+            if l.is_zero() {
+                // Gap-limited: the free window before the binding port's
+                // next reservation is shorter than δ, and only shrinks as
+                // t approaches it. State can change only once that
+                // reservation releases.
+                let w = if tm_src <= tm_dst {
+                    prt.in_next_release_after(src, t)
+                } else {
+                    prt.out_next_release_after(dst, t)
+                };
+                let w = w.unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, live)));
+                wake.push(Reverse((w, i)));
+                continue;
+            }
+            let flow = FlowRef {
+                coflow: coflow_id,
+                flow_idx: pending[i].flow_idx,
+            };
+            prt.reserve(src, dst, t, t + l, ResvKind::Flow(flow));
+            made.push(Reservation {
+                src,
+                dst,
+                start: t,
+                end: t + l,
+                flow,
+            });
+            // Remaining demand after this reservation (line 22). A
+            // truncated demand resumes no earlier than its own circuit's
+            // release.
+            pending[i].remaining = ld - l;
+            if pending[i].remaining.is_zero() {
+                live -= 1;
+            } else {
+                wake.push(Reverse((t + l, i)));
+            }
+        }
+        if live == 0 {
+            break;
+        }
+        // Advance t to the earliest subscribed release (line 10, scoped).
+        // One always exists while demand is pending: every unsatisfied
+        // examined demand re-subscribed above.
+        let Reverse((w, first)) = wake
+            .pop()
+            .unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, live)));
+        t = w;
+        counters.releases_visited += 1;
+        // Collect every demand waking at this instant; ascending index
+        // order matches the naive loop's scan order.
+        candidates.clear();
+        candidates.push(first);
+        while let Some(&Reverse((w2, j))) = wake.peek() {
+            if w2 != t {
+                break;
+            }
+            candidates.push(j);
+            wake.pop();
+        }
+        candidates.sort_unstable();
+    }
+    (made, counters)
+}
+
+/// Reference implementation of [`schedule_demands`]: the original
+/// rescan-everything loop, advancing `t` through *global* releases and
+/// re-examining every pending demand at each one. Kept (per the
+/// `naive_*` twin pattern) for the equivalence property tests and the
+/// `intra_schedule` micro-benchmark; compiled only under the
+/// `naive-twins` feature (or `cfg(test)`).
+#[cfg(any(test, feature = "naive-twins"))]
+#[doc(hidden)]
+pub fn naive_schedule_demands(
     prt: &mut Prt,
     coflow_id: u64,
     demands: &[Demand],
@@ -177,8 +369,6 @@ pub fn schedule_demands(
             if !(prt.in_free_at(d.src, t) && prt.out_free_at(d.dst, t)) {
                 continue;
             }
-            // Earliest next reservation on either port bounds the length
-            // (needed by inter-Coflow scheduling, Algorithm 1 line 16).
             let tm = prt
                 .in_next_start_after(d.src, t)
                 .min(prt.out_next_start_after(d.dst, t));
@@ -187,7 +377,7 @@ pub fn schedule_demands(
             } else {
                 tm.since(t)
             };
-            let ld = delta + d.remaining; // desired length
+            let ld = delta + d.remaining;
             let l = if lm < delta { Dur::ZERO } else { lm.min(ld) };
             if l > Dur::ZERO {
                 let flow = FlowRef {
@@ -202,7 +392,6 @@ pub fn schedule_demands(
                     end: t + l,
                     flow,
                 });
-                // Remaining demand after this reservation (line 22).
                 d.remaining = ld - l;
             }
         }
@@ -210,12 +399,9 @@ pub fn schedule_demands(
         if pending.is_empty() {
             break;
         }
-        // Advance t to the next circuit release time (line 10). One always
-        // exists while demand is pending: every blocked entry is blocked
-        // by a reservation whose end lies beyond t.
         t = prt
             .next_release_after(t)
-            .expect("pending demand with no future release: scheduling cannot progress");
+            .unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, pending.len())));
     }
     made
 }
@@ -676,5 +862,79 @@ mod tests {
         let f = fabric(2);
         let c = Coflow::builder(0).flow(5, 0, 1).build();
         let _ = schedule(&c, &f);
+    }
+
+    /// The cannot-progress panic names the Coflow, the stuck instant and
+    /// the number of stranded demands — the context a corrupted-PRT bug
+    /// report needs. The condition itself is unreachable through the safe
+    /// API, so the message path is tested directly.
+    #[test]
+    fn no_release_message_carries_context() {
+        let msg = no_release_message(42, Time::from_millis(17), 3);
+        assert!(msg.contains("coflow 42"), "{msg}");
+        assert!(msg.contains(&format!("{}", Time::from_millis(17))), "{msg}");
+        assert!(msg.contains("3 pending demand(s)"), "{msg}");
+        assert!(msg.contains("no future circuit release"), "{msg}");
+    }
+
+    /// The port-scoped loop must reproduce the naive loop byte for byte —
+    /// same reservations, same creation order — on a contended table
+    /// under every demand ordering. (The exhaustive randomized version
+    /// lives in the `port_scoped_equivalence` proptest suite.)
+    #[test]
+    fn indexed_and_naive_schedules_are_byte_identical() {
+        let delta = Dur::from_millis(10);
+        let build_prt = || {
+            let mut prt = Prt::new(6);
+            // Higher-priority obstacles on a few ports, including gaps
+            // shorter than delta and releases on irrelevant ports.
+            let hp = |i| {
+                ResvKind::Flow(FlowRef {
+                    coflow: 99,
+                    flow_idx: i,
+                })
+            };
+            prt.reserve(0, 1, Time::from_millis(5), Time::from_millis(35), hp(0));
+            prt.reserve(1, 0, Time::from_millis(20), Time::from_millis(26), hp(1));
+            prt.reserve(2, 2, Time::from_millis(0), Time::from_millis(90), hp(2));
+            prt.reserve(5, 5, Time::from_millis(3), Time::from_millis(7), hp(3));
+            prt
+        };
+        let demands: Vec<Demand> = [
+            (0usize, 1usize, 40u64),
+            (0, 2, 15),
+            (1, 0, 25),
+            (2, 1, 10),
+            (3, 3, 30),
+            (1, 1, 5),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(flow_idx, &(src, dst, ms))| Demand {
+            flow_idx,
+            src,
+            dst,
+            remaining: Dur::from_millis(ms),
+        })
+        .collect();
+        for order in [
+            FlowOrder::OrderedPort,
+            FlowOrder::SortedDemand,
+            FlowOrder::Random { seed: 11 },
+        ] {
+            let cfg = SunflowConfig::default().order(order);
+            let mut fast_prt = build_prt();
+            let mut naive_prt = build_prt();
+            let (fast, counters) =
+                schedule_demands_counted(&mut fast_prt, 7, &demands, Time::ZERO, delta, cfg);
+            let naive = naive_schedule_demands(&mut naive_prt, 7, &demands, Time::ZERO, delta, cfg);
+            assert_eq!(fast, naive, "reservations diverge under {order:?}");
+            assert_eq!(
+                fast_prt.all_reservations(),
+                naive_prt.all_reservations(),
+                "tables diverge under {order:?}"
+            );
+            assert!(counters.demands_scanned > 0 && counters.releases_visited > 0);
+        }
     }
 }

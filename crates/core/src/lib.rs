@@ -30,6 +30,7 @@
 
 pub mod inter;
 pub mod intra;
+pub mod portset;
 pub mod prt;
 pub mod starvation;
 
@@ -38,7 +39,9 @@ pub use inter::{
     PriorityPolicy, ShortestFirst,
 };
 pub use intra::{
-    schedule_demands, CoflowSchedule, Demand, FlowOrder, IntraScheduler, SunflowConfig,
+    schedule_demands, schedule_demands_counted, CoflowSchedule, Demand, FlowOrder, IntraScheduler,
+    ScheduleCounters, SunflowConfig,
 };
+pub use portset::PortSet;
 pub use prt::{Prt, PrtSnapshot, RemovedResv, ResvKind};
 pub use starvation::{GuardConfig, GuardWindow, StarvationGuard};

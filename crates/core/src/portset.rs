@@ -1,0 +1,252 @@
+//! Fixed-size port-set bitmask — the currency of port-scoped scheduling.
+//!
+//! An optical circuit occupies one input port and one output port, so the
+//! "footprint" of a Coflow (or of a scheduling pass) is a subset of the
+//! fabric's `N` input ports plus a subset of its `N` output ports. A
+//! [`PortSet`] packs both sides into one bitmask of `2N` bits: input port
+//! `p` is bit `p`, output port `p` is bit `N + p`. Whole-footprint
+//! operations (union, intersection test) are then a handful of word ops,
+//! which is what makes affected-set rescheduling in the online replay
+//! cheap enough to run on every event.
+
+use ocs_model::{InPort, OutPort};
+
+/// A set of switch ports, input and output sides tracked independently,
+/// over a fabric with a fixed number of ports per side.
+///
+/// ```
+/// use sunflow_core::PortSet;
+///
+/// let mut a = PortSet::new(8);
+/// a.insert_in(2);
+/// a.insert_out(2); // distinct from input port 2
+/// assert!(a.contains_in(2) && a.contains_out(2) && !a.contains_in(3));
+///
+/// let mut b = PortSet::new(8);
+/// b.insert_out(2);
+/// assert!(a.intersects(&b));
+/// b.clear();
+/// b.insert_in(5);
+/// assert!(!a.intersects(&b));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortSet {
+    ports: usize,
+    words: Vec<u64>,
+}
+
+impl PortSet {
+    /// The empty set over an `n`-port fabric (`n` ports per side).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> PortSet {
+        assert!(n > 0, "port set needs at least one port");
+        PortSet {
+            ports: n,
+            words: vec![0; (2 * n).div_ceil(64)],
+        }
+    }
+
+    /// Number of ports per side this set ranges over.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    #[inline]
+    fn bit_in(&self, p: InPort) -> usize {
+        assert!(p < self.ports, "input port {p} out of range");
+        p
+    }
+
+    #[inline]
+    fn bit_out(&self, p: OutPort) -> usize {
+        assert!(p < self.ports, "output port {p} out of range");
+        self.ports + p
+    }
+
+    #[inline]
+    fn set(&mut self, bit: usize) {
+        self.words[bit / 64] |= 1 << (bit % 64);
+    }
+
+    #[inline]
+    fn unset(&mut self, bit: usize) {
+        self.words[bit / 64] &= !(1 << (bit % 64));
+    }
+
+    #[inline]
+    fn get(&self, bit: usize) -> bool {
+        self.words[bit / 64] & (1 << (bit % 64)) != 0
+    }
+
+    /// Add input port `p`.
+    pub fn insert_in(&mut self, p: InPort) {
+        let b = self.bit_in(p);
+        self.set(b);
+    }
+
+    /// Add output port `p`.
+    pub fn insert_out(&mut self, p: OutPort) {
+        let b = self.bit_out(p);
+        self.set(b);
+    }
+
+    /// Remove input port `p`.
+    pub fn remove_in(&mut self, p: InPort) {
+        let b = self.bit_in(p);
+        self.unset(b);
+    }
+
+    /// Remove output port `p`.
+    pub fn remove_out(&mut self, p: OutPort) {
+        let b = self.bit_out(p);
+        self.unset(b);
+    }
+
+    /// Does the set contain input port `p`?
+    pub fn contains_in(&self, p: InPort) -> bool {
+        self.get(self.bit_in(p))
+    }
+
+    /// Does the set contain output port `p`?
+    pub fn contains_out(&self, p: OutPort) -> bool {
+        self.get(self.bit_out(p))
+    }
+
+    /// True if no port (either side) is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of ports in the set, both sides combined.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Remove every port.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Add every port of `other` to `self`.
+    ///
+    /// # Panics
+    /// Panics if the two sets range over different fabrics.
+    pub fn union_with(&mut self, other: &PortSet) {
+        assert_eq!(self.ports, other.ports, "port sets of different fabrics");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Do the two sets share any port (on the same side)?
+    ///
+    /// # Panics
+    /// Panics if the two sets range over different fabrics.
+    pub fn intersects(&self, other: &PortSet) -> bool {
+        assert_eq!(self.ports, other.ports, "port sets of different fabrics");
+        self.words.iter().zip(&other.words).any(|(w, o)| w & o != 0)
+    }
+
+    /// Iterate set bits in ascending order.
+    fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &bits)| {
+            std::iter::successors(
+                Some(bits),
+                |&b| if b == 0 { None } else { Some(b & (b - 1)) },
+            )
+            .take_while(|&b| b != 0)
+            .map(move |b| wi * 64 + b.trailing_zeros() as usize)
+        })
+    }
+
+    /// The input ports in the set, ascending.
+    pub fn ins(&self) -> impl Iterator<Item = InPort> + '_ {
+        let n = self.ports;
+        self.ones().take_while(move |&b| b < n)
+    }
+
+    /// The output ports in the set, ascending.
+    pub fn outs(&self) -> impl Iterator<Item = OutPort> + '_ {
+        let n = self.ports;
+        self.ones().filter(move |&b| b >= n).map(move |b| b - n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = PortSet::new(100); // spans multiple words
+        assert!(s.is_empty());
+        s.insert_in(0);
+        s.insert_in(63);
+        s.insert_in(64);
+        s.insert_out(0);
+        s.insert_out(99);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains_in(63) && s.contains_in(64));
+        assert!(s.contains_out(0) && !s.contains_in(1));
+        s.remove_in(63);
+        assert!(!s.contains_in(63));
+        assert_eq!(s.len(), 4);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn in_and_out_sides_are_distinct() {
+        let mut s = PortSet::new(4);
+        s.insert_in(2);
+        assert!(s.contains_in(2));
+        assert!(!s.contains_out(2));
+        s.remove_out(2); // no-op on the input bit
+        assert!(s.contains_in(2));
+    }
+
+    #[test]
+    fn iteration_orders_ascending_per_side() {
+        let mut s = PortSet::new(70);
+        for p in [69, 3, 65] {
+            s.insert_in(p);
+        }
+        for p in [68, 0] {
+            s.insert_out(p);
+        }
+        assert_eq!(s.ins().collect::<Vec<_>>(), vec![3, 65, 69]);
+        assert_eq!(s.outs().collect::<Vec<_>>(), vec![0, 68]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = PortSet::new(8);
+        a.insert_in(1);
+        a.insert_out(7);
+        let mut b = PortSet::new(8);
+        b.insert_in(2);
+        assert!(!a.intersects(&b));
+        b.insert_out(7);
+        assert!(a.intersects(&b));
+        a.union_with(&b);
+        assert!(a.contains_in(1) && a.contains_in(2) && a.contains_out(7));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_port_panics() {
+        let mut s = PortSet::new(4);
+        s.insert_in(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different fabrics")]
+    fn mismatched_fabrics_panic() {
+        let a = PortSet::new(4);
+        let b = PortSet::new(8);
+        let _ = a.intersects(&b);
+    }
+}

@@ -22,6 +22,7 @@
 //!   not-yet-started reservations when priorities change on a Coflow
 //!   arrival or completion.
 
+use crate::portset::PortSet;
 use ocs_model::{CoflowId, Dur, FlowRef, InPort, OutPort, Reservation, Time};
 use std::collections::{BTreeMap, HashMap};
 
@@ -124,6 +125,14 @@ pub struct Prt {
     /// Multiset of reservation end times (each circuit contributes one),
     /// maintained incrementally by reserve/truncate/cut — never rescanned.
     releases: BTreeMap<Time, u32>,
+    /// Per-input-port release queues: the end times of that port's
+    /// reservations, one multiset per port. The port-scoped Algorithm 1
+    /// advances `t` only through releases on ports its Coflow still
+    /// needs, so these queues — not the global [`Prt::releases`] — are
+    /// its line-10 data structure.
+    in_releases: Vec<BTreeMap<Time, u32>>,
+    /// Same queues for output ports.
+    out_releases: Vec<BTreeMap<Time, u32>>,
     /// Fast-path cache: per input port, the `(start, end)` of its
     /// *latest-starting* reservation. Reservations on a port never
     /// overlap, so this entry also carries the port's horizon: the port
@@ -153,12 +162,20 @@ struct CoflowIndex {
     /// Multiset of this Coflow's reservation end times, so
     /// [`Prt::last_end_of`] is O(1) even after cuts re-key ends.
     ends: BTreeMap<Time, u32>,
+    /// Multiset of input ports this Coflow holds reservations on — its
+    /// port footprint, kept as counts so removals know when a port
+    /// leaves the footprint.
+    in_ports: BTreeMap<InPort, u32>,
+    /// Same multiset for output ports.
+    out_ports: BTreeMap<OutPort, u32>,
 }
 
 impl CoflowIndex {
     fn insert(&mut self, src: InPort, dst: OutPort, start: Time, end: Time, flow_idx: usize) {
         self.resvs.insert((start, src), (dst, end, flow_idx));
         *self.ends.entry(end).or_insert(0) += 1;
+        *self.in_ports.entry(src).or_insert(0) += 1;
+        *self.out_ports.entry(dst).or_insert(0) += 1;
     }
 
     fn drop_end(&mut self, end: Time) {
@@ -173,11 +190,27 @@ impl CoflowIndex {
     }
 
     fn remove(&mut self, src: InPort, start: Time) {
-        let (_, end, _) = self
+        let (dst, end, _) = self
             .resvs
             .remove(&(start, src))
             .expect("coflow index out of sync: missing reservation");
         self.drop_end(end);
+        let c = self
+            .in_ports
+            .get_mut(&src)
+            .expect("coflow in-port multiset out of sync");
+        *c -= 1;
+        if *c == 0 {
+            self.in_ports.remove(&src);
+        }
+        let c = self
+            .out_ports
+            .get_mut(&dst)
+            .expect("coflow out-port multiset out of sync");
+        *c -= 1;
+        if *c == 0 {
+            self.out_ports.remove(&dst);
+        }
     }
 
     /// Re-key a reservation's end to `now` (a cut in-flight circuit).
@@ -204,6 +237,8 @@ impl Prt {
             ins: vec![BTreeMap::new(); n],
             outs: vec![BTreeMap::new(); n],
             releases: BTreeMap::new(),
+            in_releases: vec![BTreeMap::new(); n],
+            out_releases: vec![BTreeMap::new(); n],
             in_tail: vec![None; n],
             out_tail: vec![None; n],
             by_coflow: HashMap::new(),
@@ -341,6 +376,105 @@ impl Prt {
             .map(|(&e, _)| e)
     }
 
+    /// The earliest circuit release strictly after `t` on input port `i`,
+    /// answered from that port's release queue.
+    pub fn in_next_release_after(&self, i: InPort, t: Time) -> Option<Time> {
+        self.in_releases[i]
+            .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(&e, _)| e)
+    }
+
+    /// The earliest circuit release strictly after `t` on output port `j`.
+    pub fn out_next_release_after(&self, j: OutPort, t: Time) -> Option<Time> {
+        self.out_releases[j]
+            .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(&e, _)| e)
+    }
+
+    /// The earliest circuit release strictly after `t` on *any* port of
+    /// `ports` — the port-scoped Algorithm 1 line 10: a Coflow advancing
+    /// `t` only cares about releases on ports it still has demand on.
+    pub fn next_release_on(&self, ports: &PortSet, t: Time) -> Option<Time> {
+        let mut best: Option<Time> = None;
+        for i in ports.ins() {
+            if let Some(r) = self.in_next_release_after(i, t) {
+                best = Some(best.map_or(r, |b| b.min(r)));
+            }
+        }
+        for j in ports.outs() {
+            if let Some(r) = self.out_next_release_after(j, t) {
+                best = Some(best.map_or(r, |b| b.min(r)));
+            }
+        }
+        best
+    }
+
+    /// The set of ports `coflow` currently holds reservations on — its
+    /// port footprint, answered from the per-Coflow index. The empty set
+    /// (over this table's port count) if it holds none.
+    pub fn footprint_of(&self, coflow: CoflowId) -> PortSet {
+        let mut set = PortSet::new(self.ports());
+        if let Some(idx) = self.by_coflow.get(&coflow) {
+            for &p in idx.in_ports.keys() {
+                set.insert_in(p);
+            }
+            for &p in idx.out_ports.keys() {
+                set.insert_out(p);
+            }
+        }
+        set
+    }
+
+    /// Reference implementation of [`Prt::in_next_release_after`] via a
+    /// full scan of the port's entries (see [`Prt::naive_in_free_at`] for
+    /// the twin pattern).
+    #[cfg(any(test, feature = "naive-twins"))]
+    #[doc(hidden)]
+    pub fn naive_in_next_release_after(&self, i: InPort, t: Time) -> Option<Time> {
+        self.ins[i].values().map(|e| e.end).filter(|&e| e > t).min()
+    }
+
+    /// Reference implementation of [`Prt::out_next_release_after`].
+    #[cfg(any(test, feature = "naive-twins"))]
+    #[doc(hidden)]
+    pub fn naive_out_next_release_after(&self, j: OutPort, t: Time) -> Option<Time> {
+        self.outs[j]
+            .values()
+            .map(|e| e.end)
+            .filter(|&e| e > t)
+            .min()
+    }
+
+    /// Reference implementation of [`Prt::next_release_on`].
+    #[cfg(any(test, feature = "naive-twins"))]
+    #[doc(hidden)]
+    pub fn naive_next_release_on(&self, ports: &PortSet, t: Time) -> Option<Time> {
+        let ins = ports
+            .ins()
+            .filter_map(|i| self.naive_in_next_release_after(i, t));
+        let outs = ports
+            .outs()
+            .filter_map(|j| self.naive_out_next_release_after(j, t));
+        ins.chain(outs).min()
+    }
+
+    /// Reference implementation of [`Prt::footprint_of`] via the full
+    /// table scan.
+    #[cfg(any(test, feature = "naive-twins"))]
+    #[doc(hidden)]
+    pub fn naive_footprint_of(&self, coflow: CoflowId) -> PortSet {
+        let mut set = PortSet::new(self.ports());
+        for r in self.iter_reservations() {
+            if r.flow.coflow == coflow {
+                set.insert_in(r.src);
+                set.insert_out(r.dst);
+            }
+        }
+        set
+    }
+
     /// Reserve the circuit `[in.src, out.dst]` during `[start, end)`.
     ///
     /// # Panics
@@ -387,6 +521,8 @@ impl Prt {
             self.out_tail[dst] = Some((start, end));
         }
         *self.releases.entry(end).or_insert(0) += 1;
+        Self::bump(&mut self.in_releases[src], end);
+        Self::bump(&mut self.out_releases[dst], end);
         if let ResvKind::Flow(flow) = kind {
             self.by_coflow.entry(flow.coflow).or_default().insert(
                 src,
@@ -444,6 +580,8 @@ impl Prt {
             },
         );
         *self.releases.entry(end).or_insert(0) += 1;
+        Self::bump(&mut self.in_releases[src], end);
+        Self::bump(&mut self.out_releases[dst], end);
         if let ResvKind::Flow(flow) = kind {
             self.by_coflow.entry(flow.coflow).or_default().insert(
                 src,
@@ -609,6 +747,8 @@ impl Prt {
                 self.ins[src].remove(&start);
                 self.outs[e.peer].remove(&start);
                 self.release_removed(e.end);
+                Self::drop_one(&mut self.in_releases[src], e.end);
+                Self::drop_one(&mut self.out_releases[e.peer], e.end);
                 self.unindex(e.kind, src, start);
                 dropped += 1;
             }
@@ -660,6 +800,8 @@ impl Prt {
                     self.ins[src].remove(&start);
                     self.outs[e.peer].remove(&start);
                     self.release_removed(e.end);
+                    Self::drop_one(&mut self.in_releases[src], e.end);
+                    Self::drop_one(&mut self.out_releases[e.peer], e.end);
                     self.unindex(e.kind, src, start);
                     touched = true;
                     out_touched[e.peer] = true;
@@ -678,6 +820,10 @@ impl Prt {
                         // churn.
                         self.release_removed(e.end);
                         *self.releases.entry(now).or_insert(0) += 1;
+                        Self::drop_one(&mut self.in_releases[src], e.end);
+                        Self::bump(&mut self.in_releases[src], now);
+                        Self::drop_one(&mut self.out_releases[e.peer], e.end);
+                        Self::bump(&mut self.out_releases[e.peer], now);
                         self.ins[src].get_mut(&start).expect("entry exists").end = now;
                         self.outs[e.peer]
                             .get_mut(&start)
@@ -737,6 +883,8 @@ impl Prt {
                     self.ins[src].remove(&start);
                     self.outs[e.peer].remove(&start);
                     self.release_removed(e.end);
+                    Self::drop_one(&mut self.in_releases[src], e.end);
+                    Self::drop_one(&mut self.out_releases[e.peer], e.end);
                     self.unindex(e.kind, src, start);
                     touched = true;
                     removed.push(RemovedResv {
@@ -749,6 +897,10 @@ impl Prt {
                 } else if e.end > now && !keep_active && e.kind != ResvKind::Guard {
                     self.release_removed(e.end);
                     *self.releases.entry(now).or_insert(0) += 1;
+                    Self::drop_one(&mut self.in_releases[src], e.end);
+                    Self::bump(&mut self.in_releases[src], now);
+                    Self::drop_one(&mut self.out_releases[e.peer], e.end);
+                    Self::bump(&mut self.out_releases[e.peer], now);
                     self.ins[src].get_mut(&start).expect("entry exists").end = now;
                     self.outs[e.peer]
                         .get_mut(&start)
@@ -777,6 +929,46 @@ impl Prt {
                 self.out_tail[p] = Self::tail_of(&self.outs[p]);
             }
         }
+        removed
+    }
+
+    /// Remove only `coflow`'s reservations with `start >= now`
+    /// (keep-active semantics: a straddling circuit keeps transmitting).
+    /// The affected-set replanner uses this to truncate exactly the
+    /// Coflows it is about to reschedule, leaving every other Coflow's
+    /// plan — and its tail caches on untouched ports — alone.
+    ///
+    /// Returns the removed reservations ordered by `(src, start)`, like
+    /// [`Prt::truncate_future`].
+    pub fn truncate_future_of(&mut self, coflow: CoflowId, now: Time) -> Vec<RemovedResv> {
+        let entries: Vec<(Time, InPort, OutPort, Time, usize)> = match self.by_coflow.get(&coflow) {
+            None => return Vec::new(),
+            Some(idx) => idx
+                .resvs
+                .range((now, 0)..)
+                .map(|(&(start, src), &(dst, end, flow_idx))| (start, src, dst, end, flow_idx))
+                .collect(),
+        };
+        let mut removed = Vec::with_capacity(entries.len());
+        for (start, src, dst, end, flow_idx) in entries {
+            self.ins[src].remove(&start).expect("entry exists");
+            self.outs[dst].remove(&start).expect("peer entry exists");
+            self.release_removed(end);
+            Self::drop_one(&mut self.in_releases[src], end);
+            Self::drop_one(&mut self.out_releases[dst], end);
+            let kind = ResvKind::Flow(FlowRef { coflow, flow_idx });
+            self.unindex(kind, src, start);
+            self.in_tail[src] = Self::tail_of(&self.ins[src]);
+            self.out_tail[dst] = Self::tail_of(&self.outs[dst]);
+            removed.push(RemovedResv {
+                src,
+                dst,
+                start,
+                end,
+                kind,
+            });
+        }
+        removed.sort_by_key(|r| (r.src, r.start));
         removed
     }
 
@@ -817,6 +1009,10 @@ impl Prt {
         );
         self.release_removed(e.end);
         *self.releases.entry(now).or_insert(0) += 1;
+        Self::drop_one(&mut self.in_releases[src], e.end);
+        Self::bump(&mut self.in_releases[src], now);
+        Self::drop_one(&mut self.out_releases[e.peer], e.end);
+        Self::bump(&mut self.out_releases[e.peer], now);
         self.ins[src].get_mut(&start).expect("checked").end = now;
         self.outs[e.peer].get_mut(&start).expect("peer entry").end = now;
         if self.in_tail[src].is_some_and(|(s, _)| s == start) {
@@ -841,6 +1037,23 @@ impl Prt {
         *c -= 1;
         if *c == 0 {
             self.releases.remove(&end);
+        }
+    }
+
+    /// Add one occurrence of `t` to a time multiset (a per-port release
+    /// queue).
+    fn bump(map: &mut BTreeMap<Time, u32>, t: Time) {
+        *map.entry(t).or_insert(0) += 1;
+    }
+
+    /// Remove one occurrence of `t` from a time multiset.
+    fn drop_one(map: &mut BTreeMap<Time, u32>, t: Time) {
+        let c = map
+            .get_mut(&t)
+            .expect("per-port release multiset out of sync");
+        *c -= 1;
+        if *c == 0 {
+            map.remove(&t);
         }
     }
 
@@ -1187,6 +1400,122 @@ mod tests {
         assert_eq!(prt.reservations_of(1).count(), 0);
         // Pruning is idempotent.
         assert_eq!(prt.forget_before(t(20)), 0);
+    }
+
+    #[test]
+    fn per_port_release_queues_answer_scoped_queries() {
+        let mut prt = Prt::new(4);
+        prt.reserve(0, 1, t(0), t(10), flow_of(1, 0));
+        prt.reserve(0, 2, t(15), t(30), flow_of(1, 1));
+        prt.reserve(3, 1, t(10), t(20), flow_of(2, 0));
+
+        assert_eq!(prt.in_next_release_after(0, Time::ZERO), Some(t(10)));
+        assert_eq!(prt.in_next_release_after(0, t(10)), Some(t(30)));
+        assert_eq!(prt.in_next_release_after(0, t(30)), None);
+        assert_eq!(prt.out_next_release_after(1, Time::ZERO), Some(t(10)));
+        assert_eq!(prt.out_next_release_after(1, t(10)), Some(t(20)));
+        assert_eq!(prt.in_next_release_after(2, Time::ZERO), None);
+
+        // A scoped query sees only releases on its ports.
+        let mut ports = PortSet::new(4);
+        ports.insert_in(3);
+        assert_eq!(prt.next_release_on(&ports, Time::ZERO), Some(t(20)));
+        ports.insert_out(2);
+        assert_eq!(prt.next_release_on(&ports, Time::ZERO), Some(t(20)));
+        assert_eq!(prt.next_release_on(&ports, t(20)), Some(t(30)));
+        assert_eq!(prt.next_release_on(&ports, t(30)), None);
+        assert_eq!(
+            prt.next_release_on(&PortSet::new(4), Time::ZERO),
+            None,
+            "empty scope sees nothing"
+        );
+
+        // Twins agree.
+        for p in 0..4 {
+            for ms in [0u64, 5, 10, 15, 20, 30] {
+                assert_eq!(
+                    prt.in_next_release_after(p, t(ms)),
+                    prt.naive_in_next_release_after(p, t(ms))
+                );
+                assert_eq!(
+                    prt.out_next_release_after(p, t(ms)),
+                    prt.naive_out_next_release_after(p, t(ms))
+                );
+            }
+        }
+        assert_eq!(
+            prt.next_release_on(&ports, Time::ZERO),
+            prt.naive_next_release_on(&ports, Time::ZERO)
+        );
+    }
+
+    #[test]
+    fn release_queues_follow_cuts_and_truncation() {
+        let mut prt = Prt::new(3);
+        prt.reserve(0, 1, t(0), t(100), flow_of(1, 0));
+        prt.reserve(2, 2, t(0), t(50), flow_of(2, 0));
+        prt.cut_reservation(0, t(0), t(40));
+        assert_eq!(prt.in_next_release_after(0, Time::ZERO), Some(t(40)));
+        assert_eq!(prt.out_next_release_after(1, t(40)), None);
+
+        let mut prt = Prt::new(2);
+        prt.reserve(0, 0, t(0), t(100), flow_of(1, 0)); // straddles 30
+        prt.reserve(1, 1, t(40), t(60), flow_of(2, 0)); // future
+        prt.truncate_future(t(30), false);
+        assert_eq!(prt.in_next_release_after(0, Time::ZERO), Some(t(30)));
+        assert_eq!(prt.in_next_release_after(1, Time::ZERO), None);
+        assert_eq!(prt.out_next_release_after(1, Time::ZERO), None);
+    }
+
+    #[test]
+    fn footprint_tracks_reservations() {
+        let mut prt = Prt::new(4);
+        prt.reserve(0, 1, t(0), t(10), flow_of(1, 0));
+        prt.reserve(2, 1, t(10), t(20), flow_of(1, 1));
+        prt.reserve(3, 3, t(0), t(5), flow_of(2, 0));
+
+        let fp = prt.footprint_of(1);
+        assert_eq!(fp.ins().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(fp.outs().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(fp, prt.naive_footprint_of(1));
+        assert!(prt.footprint_of(99).is_empty());
+
+        // Truncating away one reservation shrinks the footprint; the
+        // shared out port survives while the other reservation holds it.
+        prt.truncate_future_of(1, t(0));
+        assert!(prt.footprint_of(1).is_empty());
+        assert_eq!(prt.footprint_of(2), prt.naive_footprint_of(2));
+    }
+
+    #[test]
+    fn truncate_future_of_is_scoped_to_one_coflow() {
+        let build = || {
+            let mut prt = Prt::new(4);
+            prt.reserve(0, 0, t(0), t(40), flow_of(1, 0)); // in flight at 20: kept
+            prt.reserve(1, 1, t(25), t(60), flow_of(1, 1)); // future: dropped
+            prt.reserve(1, 2, t(70), t(90), flow_of(1, 2)); // future: dropped
+            prt.reserve(2, 3, t(30), t(50), flow_of(2, 0)); // other coflow: kept
+            prt
+        };
+        let mut scoped = build();
+        let removed = scoped.truncate_future_of(1, t(20));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(
+            removed.iter().map(|r| (r.src, r.start)).collect::<Vec<_>>(),
+            vec![(1, t(25)), (1, t(70))]
+        );
+        // Equivalent to a global keep-active truncation restricted to
+        // coflow 1, given coflow 2's future survives.
+        assert_eq!(scoped.last_end_of(1), Some(t(40)));
+        assert_eq!(scoped.last_end_of(2), Some(t(50)));
+        assert!(scoped.in_free_at(1, t(25)));
+        assert!(!scoped.in_free_at(2, t(35)));
+        assert_eq!(scoped.in_next_release_after(1, Time::ZERO), None);
+        // Tail caches refreshed: port 1 accepts a fresh reservation.
+        scoped.reserve(1, 1, t(25), t(35), flow_of(3, 0));
+        assert_eq!(scoped.last_end_of(3), Some(t(35)));
+        // No-op on unknown coflows.
+        assert!(build().truncate_future_of(99, t(20)).is_empty());
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct RunTiming {
     /// Scheduler-compute seconds reported by the run itself, if it
     /// measured any.
     pub compute_s: Option<f64>,
+    /// Named work counters reported by the run itself (e.g. the replay's
+    /// `ReplayStats` fields), emitted as a `"counters"` object in the
+    /// JSON record when non-empty. Order is preserved.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Timing of a whole experiment sweep, decoupled from the sweep engine
@@ -150,11 +154,22 @@ pub fn bench_json(id: &str, report: &Report, timing: &SweepTiming, truncated: bo
     out.push_str(&format!("  \"speedup\": {},\n", num(timing.speedup())));
     out.push_str("  \"runs\": [\n");
     for (i, r) in timing.runs.iter().enumerate() {
+        let counters = if r.counters.is_empty() {
+            String::new()
+        } else {
+            let body: Vec<String> = r
+                .counters
+                .iter()
+                .map(|(name, v)| format!("\"{}\": {}", esc(name), v))
+                .collect();
+            format!(", \"counters\": {{{}}}", body.join(", "))
+        };
         out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"wall_s\": {}, \"compute_s\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"wall_s\": {}, \"compute_s\": {}{}}}{}\n",
             esc(&r.label),
             num(r.wall_s),
             r.compute_s.map_or("null".into(), num),
+            counters,
             if i + 1 < timing.runs.len() { "," } else { "" },
         ));
     }
@@ -205,11 +220,13 @@ mod tests {
                     label: "a \"quoted\"".into(),
                     wall_s: 1.5,
                     compute_s: Some(0.5),
+                    counters: vec![("events".into(), 42), ("cuts".into(), 0)],
                 },
                 RunTiming {
                     label: "b".into(),
                     wall_s: 0.5,
                     compute_s: None,
+                    counters: Vec::new(),
                 },
             ],
             wall_s: 1.0,
@@ -242,6 +259,9 @@ mod tests {
         assert!(s.contains("\"paper\": null"));
         assert!(s.contains("\"known_gap\": true"));
         assert!(s.contains("\"known_gap\": false"));
+        assert!(s.contains("\"counters\": {\"events\": 42, \"cuts\": 0}"));
+        // A run without counters must not emit the key at all.
+        assert!(s.contains("\"label\": \"b\", \"wall_s\": 0.500000, \"compute_s\": null}"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());

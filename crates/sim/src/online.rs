@@ -78,6 +78,14 @@ pub struct OnlineConfig {
     pub active_policy: ActiveCircuitPolicy,
     /// Optional starvation guard (§4.2).
     pub guard: Option<GuardConfig>,
+    /// Disable affected-set rescheduling: re-plan every active Coflow at
+    /// every event, as the original replay did. The scoped fast path
+    /// engages automatically only in configurations where it is
+    /// outcome-identical (`Keep`/`Yield` policy, `OrderedPort` demand
+    /// order, no quantum, no guard); this switch forces the full re-plan
+    /// even then — an escape hatch and the reference arm of the
+    /// equivalence tests.
+    pub full_replan: bool,
 }
 
 impl Default for OnlineConfig {
@@ -86,6 +94,7 @@ impl Default for OnlineConfig {
             sunflow: SunflowConfig::default(),
             active_policy: ActiveCircuitPolicy::Yield,
             guard: None,
+            full_replan: false,
         }
     }
 }
@@ -108,6 +117,13 @@ impl OnlineConfig {
         self.guard = guard.into();
         self
     }
+
+    /// Force (or, with `false`, re-allow skipping) the full re-plan of
+    /// every active Coflow at every event.
+    pub fn full_replan(mut self, full: bool) -> OnlineConfig {
+        self.full_replan = full;
+        self
+    }
 }
 
 /// Result of an online replay.
@@ -123,9 +139,13 @@ pub struct ReplayResult {
 }
 
 /// Observability counters of one online replay: how much event-loop work
-/// the trace cost. Purely informational — identical traces produce
-/// identical counters except for `reschedule_micros`, which is wall-clock
-/// and feeds the `compute_s` field of the `BENCH_<id>.json` records.
+/// the trace cost. Purely informational — identical traces under the
+/// same configuration produce identical counters except for
+/// `reschedule_micros`, which is wall-clock and feeds the `compute_s`
+/// field of the `BENCH_<id>.json` records. (Toggling
+/// [`OnlineConfig::full_replan`] changes the *work* counters — skipped
+/// Coflows plan and truncate nothing — while leaving every outcome
+/// byte-identical.)
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct ReplayStats {
@@ -145,6 +165,22 @@ pub struct ReplayStats {
     /// Wall-clock microseconds spent rescheduling (truncation, priority
     /// sorting, intra-Coflow planning, displacement analysis).
     pub reschedule_micros: u64,
+    /// Circuit-release instants the intra-Coflow scheduler advanced its
+    /// clock through (Algorithm 1 line 10), summed over all planning
+    /// calls — the port-scoped engine visits only releases on ports the
+    /// planned Coflow still needs.
+    pub releases_visited: u64,
+    /// Demand entries the intra-Coflow scheduler examined across all
+    /// planning passes — the port-scoped engine re-examines only demands
+    /// touching a just-released port.
+    pub demands_scanned: u64,
+    /// Coflows actually re-planned at rescheduling events.
+    pub coflows_rescheduled: u64,
+    /// Coflows skipped by affected-set rescheduling: their port
+    /// footprint was disjoint from the event's transitively-dirtied port
+    /// set, so their existing plans were provably identical to what a
+    /// re-plan would produce.
+    pub coflows_skipped: u64,
 }
 
 /// Simulate `coflows` on the circuit-switched `fabric` under Sunflow with

@@ -28,7 +28,8 @@ use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 use sunflow_core::{
-    Demand, PriorityPolicy, Prt, PrtSnapshot, RemovedResv, ResvKind, StarvationGuard,
+    Demand, FlowOrder, PortSet, PriorityPolicy, Prt, PrtSnapshot, RemovedResv, ResvKind,
+    StarvationGuard,
 };
 
 /// A not-yet-settled flow reservation, mirrored out of the PRT so the
@@ -207,6 +208,7 @@ pub struct StepperSnapshot {
     next_guard_window: u64,
     guard_windows_elapsed: u64,
     fuel: u64,
+    last_replan_at: Time,
 }
 
 /// The online replay's event loop as a resumable state machine.
@@ -266,6 +268,21 @@ pub struct OnlineStepper {
     next_guard_window: u64,
     guard_windows_elapsed: u64,
     fuel: u64,
+    /// True when the configuration admits affected-set rescheduling
+    /// (`replan_scoped`): no guard, no preemption, `OrderedPort` demand
+    /// order, exact demands, and `full_replan` not forced.
+    scoped: bool,
+    /// Per-Coflow port footprint (every `(src, dst)` any of its flows
+    /// touches), indexed like `coflows`. Static once submitted.
+    footprints: Vec<PortSet>,
+    /// Coflow indices whose *state* changed at the event being processed
+    /// (arrivals, settle shortfalls, deferral expiries) — the seeds of
+    /// the affected set. Populated only in scoped mode and always
+    /// drained by `replan_scoped` within the same event.
+    event_dirty: Vec<usize>,
+    /// Clock value of the most recent re-plan; reservations whose start
+    /// crossed it since are newly in flight and dirty their ports.
+    last_replan_at: Time,
 }
 
 impl OnlineStepper {
@@ -305,6 +322,10 @@ impl OnlineStepper {
             next_guard_window: 0,
             guard_windows_elapsed: 0,
             fuel: 10_000,
+            scoped: scoped_mode(config),
+            footprints: Vec::new(),
+            event_dirty: Vec::new(),
+            last_replan_at: Time::ZERO,
         }
     }
 
@@ -397,6 +418,7 @@ impl OnlineStepper {
         let (arrival, id) = (coflow.arrival(), coflow.id());
         self.id_to_idx.insert(id, idx);
         self.fuel += 1_000 * (1 + coflow.num_flows() as u64);
+        self.footprints.push(footprint_of(&coflow, &self.fabric));
         self.coflows.push(coflow);
         self.states.push(None);
         self.is_active.push(false);
@@ -531,6 +553,7 @@ impl OnlineStepper {
             next_guard_window: self.next_guard_window,
             guard_windows_elapsed: self.guard_windows_elapsed,
             fuel: self.fuel,
+            last_replan_at: self.last_replan_at,
         }
     }
 
@@ -575,6 +598,14 @@ impl OnlineStepper {
             next_guard_window: snap.next_guard_window,
             guard_windows_elapsed: snap.guard_windows_elapsed,
             fuel: snap.fuel,
+            scoped: scoped_mode(&snap.config),
+            footprints: snap
+                .coflows
+                .iter()
+                .map(|c| footprint_of(c, &snap.fabric))
+                .collect(),
+            event_dirty: Vec::new(),
+            last_replan_at: snap.last_replan_at,
         }
     }
 
@@ -583,6 +614,15 @@ impl OnlineStepper {
         assert!(t >= self.now, "events must be processed in time order");
         self.now = t;
         self.dirty = false;
+        if self.scoped && !self.deferred.is_empty() {
+            // A flow leaving fault backoff becomes plannable again; its
+            // Coflow seeds the affected set.
+            for (fref, &until) in self.deferred.iter() {
+                if until <= t {
+                    self.event_dirty.push(self.id_to_idx[&fref.coflow]);
+                }
+            }
+        }
         self.deferred.retain(|_, until| *until > t);
 
         // ---- Settle everything that ended by `t`. ----
@@ -608,6 +648,9 @@ impl OnlineStepper {
             });
             self.active.push(idx);
             self.is_active[idx] = true;
+            if self.scoped {
+                self.event_dirty.push(idx);
+            }
         }
 
         // ---- Completions. ----
@@ -697,6 +740,12 @@ impl OnlineStepper {
                     until = t + Dur::from_ps(1);
                 }
                 self.deferred.insert(r.flow, until);
+                if self.scoped {
+                    // The shortfall stays on the flow's remaining demand;
+                    // its Coflow must re-plan once the backoff elapses —
+                    // and right now, to stop planning the deferred flow.
+                    self.event_dirty.push(idx);
+                }
             }
         }
     }
@@ -748,9 +797,21 @@ impl OnlineStepper {
         }
     }
 
+    /// Re-derive plans at the current event, then remember when we did:
+    /// scoped (affected-set) when the configuration admits it, otherwise
+    /// the full re-plan of every active Coflow.
+    fn replan(&mut self, _policy: &dyn PriorityPolicy, hook: &mut dyn SettleHook) {
+        if self.scoped {
+            self.replan_scoped(hook);
+        } else {
+            self.replan_full(hook);
+        }
+        self.last_replan_at = self.now;
+    }
+
     /// Drop future plans and re-derive them in priority order (with
     /// Yield displacement rounds), exactly as the batch loop did.
-    fn replan(&mut self, _policy: &dyn PriorityPolicy, hook: &mut dyn SettleHook) {
+    fn replan_full(&mut self, hook: &mut dyn SettleHook) {
         let delta = self.fabric.delta();
         let now = self.now;
 
@@ -810,6 +871,7 @@ impl OnlineStepper {
             if self.config.active_policy == ActiveCircuitPolicy::Yield {
                 self.stats.yield_rounds += 1;
             }
+            self.stats.coflows_rescheduled += prio.len() as u64;
 
             // Pending service from in-flight reservations (credited at
             // their end; don't schedule that demand twice). Everything in
@@ -847,7 +909,7 @@ impl OnlineStepper {
                     })
                     .collect();
                 if !demands.is_empty() {
-                    let made = sunflow_core::schedule_demands(
+                    let (made, counters) = sunflow_core::schedule_demands_counted(
                         &mut self.prt,
                         c.id(),
                         &demands,
@@ -855,6 +917,8 @@ impl OnlineStepper {
                         delta,
                         self.config.sunflow,
                     );
+                    self.stats.releases_visited += counters.releases_visited;
+                    self.stats.demands_scanned += counters.demands_scanned;
                     self.stats.reservations_made += made.len() as u64;
                     for r in made {
                         self.unsettled.insert(Pending {
@@ -914,6 +978,266 @@ impl OnlineStepper {
             self.stats.reservations_truncated += untrack(&mut self.unsettled, &removed, now);
         }
     }
+
+    /// Affected-set rescheduling: re-plan only the Coflows the event can
+    /// have touched, keep everyone else's plans in place.
+    ///
+    /// The affected set starts from the Coflows whose state changed at
+    /// this event (`event_dirty`: arrivals, settle shortfalls, deferral
+    /// expiries) plus the ports of every reservation that went in flight
+    /// since the last re-plan (a kept plan predates those circuits
+    /// becoming unremovable obstacles). It is then closed downward over
+    /// the priority order: a re-planned Coflow may move reservations on
+    /// any port of its footprint, which can displace any lower-priority
+    /// Coflow sharing one, transitively. A Coflow outside the closure
+    /// has a footprint disjoint from every port that changed, so its
+    /// kept plan is byte-identical to what `replan_full` would re-derive
+    /// (see DESIGN §4) — under the gating configuration (`OrderedPort`
+    /// order, exact demands, no guard, no preemption) only.
+    fn replan_scoped(&mut self, hook: &mut dyn SettleHook) {
+        let delta = self.fabric.delta();
+        let now = self.now;
+
+        let prio: Vec<usize> = self
+            .priority_order
+            .iter()
+            .copied()
+            .filter(|&i| self.is_active[i])
+            .collect();
+        let rank: HashMap<u64, usize> = self
+            .priority_order
+            .iter()
+            .enumerate()
+            .filter(|&(_, &i)| self.is_active[i])
+            .map(|(pos, &i)| (self.coflows[i].id(), pos))
+            .collect();
+
+        let mut seed = vec![false; self.coflows.len()];
+        for idx in std::mem::take(&mut self.event_dirty) {
+            if self.is_active[idx] {
+                seed[idx] = true;
+            }
+        }
+        // Reservations that went in flight since the last re-plan, tagged
+        // with their owner's rank. Such a circuit is news only to Coflows
+        // *outranking* the owner: they planned before the owner created
+        // it (a full re-plan truncates lower-ranked futures before they
+        // plan), while everyone at or below the owner already planned
+        // around it. Sorted by rank; the walk below visits Coflows in
+        // increasing rank, so it sheds each crossing from a counted port
+        // set as it passes the owner.
+        let mut crossings: Vec<(usize, InPort, OutPort)> = Vec::new();
+        for r in self.unsettled.iter() {
+            if r.start >= self.last_replan_at && r.start < now {
+                crossings.push((rank[&r.flow.coflow], r.src, r.dst));
+            }
+        }
+        crossings.sort_unstable_by_key(|&(rk, _, _)| rk);
+        let ports = self.fabric.ports();
+        let mut cross_in = vec![0u32; ports];
+        let mut cross_out = vec![0u32; ports];
+        let mut cross_ports = PortSet::new(ports);
+        for &(_, src, dst) in &crossings {
+            if cross_in[src] == 0 {
+                cross_ports.insert_in(src);
+            }
+            cross_in[src] += 1;
+            if cross_out[dst] == 0 {
+                cross_ports.insert_out(dst);
+            }
+            cross_out[dst] += 1;
+        }
+        let mut next_cross = 0usize;
+
+        let mut dirty_ports = PortSet::new(self.fabric.ports());
+        loop {
+            // Close the affected set down the priority order.
+            let mut dirty: Vec<usize> = Vec::new();
+            for &idx in &prio {
+                let my_rank = rank[&self.coflows[idx].id()];
+                // Crossings owned at or above this rank are no longer
+                // news from here down.
+                while next_cross < crossings.len() && crossings[next_cross].0 <= my_rank {
+                    let (_, src, dst) = crossings[next_cross];
+                    cross_in[src] -= 1;
+                    if cross_in[src] == 0 {
+                        cross_ports.remove_in(src);
+                    }
+                    cross_out[dst] -= 1;
+                    if cross_out[dst] == 0 {
+                        cross_ports.remove_out(dst);
+                    }
+                    next_cross += 1;
+                }
+                if seed[idx]
+                    || self.footprints[idx].intersects(&dirty_ports)
+                    || self.footprints[idx].intersects(&cross_ports)
+                {
+                    dirty_ports.union_with(&self.footprints[idx]);
+                    dirty.push(idx);
+                }
+            }
+            self.stats.coflows_rescheduled += dirty.len() as u64;
+            self.stats.coflows_skipped += (prio.len() - dirty.len()) as u64;
+
+            // Drop every affected Coflow's future plan (keeping circuits
+            // in flight) before planning *any* of them, so each re-plan
+            // sees exactly the table a full re-plan would.
+            for &idx in &dirty {
+                let removed = self.prt.truncate_future_of(self.coflows[idx].id(), now);
+                self.stats.reservations_truncated += untrack(&mut self.unsettled, &removed, now);
+            }
+
+            if self.config.active_policy == ActiveCircuitPolicy::Yield {
+                self.stats.yield_rounds += 1;
+            }
+
+            // Pending in-flight service, credited at circuit end — don't
+            // schedule that demand twice. (Affected Coflows have no
+            // future entries left; other Coflows aren't planned, so
+            // their future entries inflating `pending` is harmless.)
+            let mut pending: HashMap<FlowRef, Dur> = HashMap::new();
+            for r in self.unsettled.iter() {
+                *pending.entry(r.flow).or_insert(Dur::ZERO) += r.transmit_time(delta);
+            }
+
+            for &idx in &dirty {
+                let c = &self.coflows[idx];
+                let st = self.states[idx].as_ref().expect("active implies state");
+                let deferred = &self.deferred;
+                let demands: Vec<Demand> = c
+                    .flows()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(fi, f)| {
+                        let fref = FlowRef {
+                            coflow: c.id(),
+                            flow_idx: fi,
+                        };
+                        if deferred.contains_key(&fref) {
+                            return None; // in fault backoff
+                        }
+                        let committed = pending.get(&fref).copied().unwrap_or(Dur::ZERO);
+                        let rem = st.remaining[fi].saturating_sub(committed);
+                        (!rem.is_zero()).then_some(Demand {
+                            flow_idx: fi,
+                            src: f.src,
+                            dst: f.dst,
+                            remaining: rem,
+                        })
+                    })
+                    .collect();
+                if !demands.is_empty() {
+                    let (made, counters) = sunflow_core::schedule_demands_counted(
+                        &mut self.prt,
+                        c.id(),
+                        &demands,
+                        now,
+                        delta,
+                        self.config.sunflow,
+                    );
+                    self.stats.releases_visited += counters.releases_visited;
+                    self.stats.demands_scanned += counters.demands_scanned;
+                    self.stats.reservations_made += made.len() as u64;
+                    for r in made {
+                        self.unsettled.insert(Pending {
+                            end: r.end,
+                            src: r.src,
+                            start: r.start,
+                            dst: r.dst,
+                            flow: r.flow,
+                        });
+                    }
+                }
+            }
+
+            if self.config.active_policy != ActiveCircuitPolicy::Yield {
+                break;
+            }
+
+            // Yield displacement — same analysis as the full re-plan,
+            // over the whole queue: in-flight circuits (`start < now`)
+            // against kept plans and this round's plans (`start >= now`).
+            let mut holds: HashMap<(bool, usize, Time), (usize, Pending)> = HashMap::new();
+            for r in self.unsettled.iter().filter(|r| r.start < now) {
+                if let Some(&owner_rank) = rank.get(&r.flow.coflow) {
+                    holds.insert((true, r.src, r.end), (owner_rank, *r));
+                    holds.insert((false, r.dst, r.end), (owner_rank, *r));
+                }
+            }
+            let mut cuts: Vec<Pending> = Vec::new();
+            if !holds.is_empty() {
+                for r in self.unsettled.iter().filter(|r| r.start >= now) {
+                    let waiter_rank = rank[&r.flow.coflow];
+                    for key in [(true, r.src, r.start), (false, r.dst, r.start)] {
+                        if let Some(&(owner_rank, p)) = holds.get(&key) {
+                            if waiter_rank < owner_rank {
+                                cuts.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+            cuts.sort_unstable();
+            cuts.dedup();
+            if cuts.is_empty() {
+                break;
+            }
+            self.stats.cuts += cuts.len() as u64;
+            // Next round's affected set: the displaced owners must
+            // re-plan their unserved remainder, and the freed port time
+            // may pull any Coflow sharing a cut port earlier. The
+            // crossings were consumed by round one — its plans absorbed
+            // them.
+            crossings.clear();
+            cross_in.fill(0);
+            cross_out.fill(0);
+            cross_ports.clear();
+            next_cross = 0;
+            seed = vec![false; self.coflows.len()];
+            dirty_ports.clear();
+            for p in &cuts {
+                self.prt.cut_reservation(p.src, p.start, now);
+                self.unsettled.remove(p);
+                self.unsettled.insert(Pending { end: now, ..*p });
+                seed[self.id_to_idx[&p.flow.coflow]] = true;
+                dirty_ports.insert_in(p.src);
+                dirty_ports.insert_out(p.dst);
+            }
+            // Credit the partial service of the displaced circuits; a
+            // shortfall verdict here seeds its Coflow for next round.
+            self.settle_flows(now, hook);
+            for idx in std::mem::take(&mut self.event_dirty) {
+                if self.is_active[idx] {
+                    seed[idx] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Does this configuration admit affected-set rescheduling with results
+/// byte-identical to the full re-plan? Requires `OrderedPort` demand
+/// order and exact demands (so a kept plan's tail re-derives from flow
+/// remainders), no starvation guard (guard windows perturb every port),
+/// and no preemption (Preempt tears down the in-flight circuits the
+/// scoped path keeps).
+fn scoped_mode(config: &OnlineConfig) -> bool {
+    !config.full_replan
+        && config.guard.is_none()
+        && config.active_policy != ActiveCircuitPolicy::Preempt
+        && config.sunflow.order == FlowOrder::OrderedPort
+        && config.sunflow.quantum.is_none()
+}
+
+/// The set of ports any of the Coflow's flows touches.
+fn footprint_of(coflow: &Coflow, fabric: &Fabric) -> PortSet {
+    let mut fp = PortSet::new(fabric.ports());
+    for f in coflow.flows() {
+        fp.insert_in(f.src);
+        fp.insert_out(f.dst);
+    }
+    fp
 }
 
 /// Mirror a `truncate_future` removal list into the unsettled queue:

@@ -1,0 +1,194 @@
+//! Affected-set rescheduling must be invisible in every outcome: for any
+//! workload, the default (scoped) replay and the same replay with
+//! `full_replan(true)` forced must produce byte-identical completions,
+//! finish times, setup counts and displacement decisions — while the
+//! scoped run demonstrably skips re-planning work.
+
+use ocs_model::{Bandwidth, Coflow, Dur, Fabric, Reservation, Time};
+use ocs_sim::{
+    simulate_circuit, ActiveCircuitPolicy, OnlineConfig, OnlineStepper, ReplayResult, SettleHook,
+    SettleVerdict,
+};
+use sunflow_core::ShortestFirst;
+
+fn fabric(ports: usize) -> Fabric {
+    Fabric::new(ports, Bandwidth::GBPS, Dur::from_millis(10))
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// A random workload on `ports` ports: `n` Coflows, 1–4 flows each,
+/// arrivals spread over `window_ms`.
+fn workload(seed: u64, n: u64, ports: u64, window_ms: u64) -> Vec<Coflow> {
+    let mut s = seed | 1;
+    let mut coflows = Vec::new();
+    for id in 0..n {
+        let arrival = Time::from_millis(xorshift(&mut s) % window_ms);
+        let mut b = Coflow::builder(id).arrival(arrival);
+        for _ in 0..1 + (xorshift(&mut s) % 4) as usize {
+            let src = (xorshift(&mut s) % ports) as usize;
+            let dst = (xorshift(&mut s) % ports) as usize;
+            let bytes = (1 + xorshift(&mut s) % 24) * 1_000_000;
+            b = b.flow(src, dst, bytes);
+        }
+        coflows.push(b.build());
+    }
+    coflows
+}
+
+fn assert_same_outcomes(scoped: &ReplayResult, full: &ReplayResult, label: &str) {
+    assert_eq!(
+        scoped.outcomes.len(),
+        full.outcomes.len(),
+        "{label}: completion counts diverged"
+    );
+    for (s, f) in scoped.outcomes.iter().zip(full.outcomes.iter()) {
+        assert_eq!(s.coflow, f.coflow, "{label}: outcome order diverged");
+        assert_eq!(s.finish, f.finish, "{label}: coflow {} finish", s.coflow);
+        assert_eq!(
+            s.flow_finish, f.flow_finish,
+            "{label}: coflow {} flow finishes",
+            s.coflow
+        );
+        assert_eq!(
+            s.circuit_setups, f.circuit_setups,
+            "{label}: coflow {} setups",
+            s.coflow
+        );
+    }
+    // The event structure must agree too: same events, same displacement
+    // rounds, same cuts — only the amount of re-planning work differs.
+    assert_eq!(scoped.stats.events, full.stats.events, "{label}: events");
+    assert_eq!(
+        scoped.stats.yield_rounds, full.stats.yield_rounds,
+        "{label}: yield rounds"
+    );
+    assert_eq!(scoped.stats.cuts, full.stats.cuts, "{label}: cuts");
+}
+
+#[test]
+fn scoped_and_full_replay_are_byte_identical() {
+    for seed in [3, 0x5eed, 0xdead_beef, 0x1234_5678_9abc] {
+        for policy in [ActiveCircuitPolicy::Yield, ActiveCircuitPolicy::Keep] {
+            for ports in [4u64, 8, 16] {
+                let coflows = workload(seed, 30, ports, 2_000);
+                let scoped_cfg = OnlineConfig::default().active_policy(policy);
+                let full_cfg = scoped_cfg.full_replan(true);
+                let f = fabric(ports as usize);
+                let scoped = simulate_circuit(&coflows, &f, &scoped_cfg, &ShortestFirst);
+                let full = simulate_circuit(&coflows, &f, &full_cfg, &ShortestFirst);
+                let label = format!("seed {seed:#x}, {policy:?}, {ports} ports");
+                assert_same_outcomes(&scoped, &full, &label);
+                assert_eq!(
+                    full.stats.coflows_skipped, 0,
+                    "{label}: forced full replay must skip nothing"
+                );
+                assert!(
+                    scoped.stats.coflows_rescheduled < full.stats.coflows_rescheduled,
+                    "{label}: scoped replay re-planned as much as the full one"
+                );
+            }
+        }
+    }
+}
+
+/// Wide fabrics under moderate load have many port-disjoint Coflows, so
+/// the skip ratio must be substantial there — the point of the whole
+/// exercise.
+#[test]
+fn scoped_replay_skips_most_coflows_on_wide_fabrics() {
+    let coflows = workload(0xfeed, 60, 24, 8_000);
+    let f = fabric(24);
+    let r = simulate_circuit(&coflows, &f, &OnlineConfig::default(), &ShortestFirst);
+    let visited = r.stats.coflows_rescheduled + r.stats.coflows_skipped;
+    assert!(
+        r.stats.coflows_skipped * 2 > visited,
+        "expected most planning visits skipped, got {}/{}",
+        r.stats.coflows_skipped,
+        visited
+    );
+}
+
+/// A hook that shorts every third settlement (deferral + retry events)
+/// exercises the shortfall and backoff-expiry seeds of the affected set;
+/// scoped and full runs must still agree on everything.
+#[test]
+fn scoped_and_full_agree_under_injected_faults() {
+    struct ShortEveryThird {
+        n: u64,
+    }
+    impl SettleHook for ShortEveryThird {
+        fn on_settle(&mut self, _r: &Reservation, available: Dur, _now: Time) -> SettleVerdict {
+            self.n += 1;
+            if self.n.is_multiple_of(3) {
+                SettleVerdict::shorted(available / 2, Dur::from_millis(7))
+            } else {
+                SettleVerdict::full(available)
+            }
+        }
+    }
+
+    let run = |full_replan: bool| {
+        let coflows = workload(0xabcd, 25, 8, 2_000);
+        let cfg = OnlineConfig::default().full_replan(full_replan);
+        let f = fabric(8);
+        let mut stepper = OnlineStepper::new(&f, &cfg);
+        for c in coflows {
+            stepper.submit(c, &ShortestFirst).expect("submit");
+        }
+        let mut hook = ShortEveryThird { n: 0 };
+        stepper.run_to_idle_with(&ShortestFirst, &mut hook);
+        let mut done = stepper.drain_completions();
+        done.sort_by_key(|c| c.outcome.coflow);
+        (done, stepper.stats())
+    };
+
+    let (scoped, scoped_stats) = run(false);
+    let (full, full_stats) = run(true);
+    assert_eq!(scoped.len(), full.len());
+    for (s, f) in scoped.iter().zip(full.iter()) {
+        assert_eq!(s.outcome.coflow, f.outcome.coflow);
+        assert_eq!(s.outcome.finish, f.outcome.finish);
+        assert_eq!(s.outcome.flow_finish, f.outcome.flow_finish);
+        assert_eq!(s.outcome.circuit_setups, f.outcome.circuit_setups);
+        assert_eq!(s.first_service, f.first_service);
+    }
+    assert_eq!(scoped_stats.events, full_stats.events);
+    assert_eq!(scoped_stats.cuts, full_stats.cuts);
+    assert!(
+        scoped_stats.coflows_skipped > 0,
+        "faulty run must still skip"
+    );
+}
+
+/// Snapshot/restore mid-run must preserve the affected-set bookkeeping
+/// (footprints, last re-plan clock): the restored scoped stepper finishes
+/// exactly like the uninterrupted one.
+#[test]
+fn scoped_snapshot_restore_continues_identically() {
+    let coflows = workload(0x77, 20, 8, 2_000);
+    let f = fabric(8);
+    let mut a = OnlineStepper::new(&f, &OnlineConfig::default());
+    for c in &coflows {
+        a.submit(c.clone(), &ShortestFirst).expect("submit");
+    }
+    a.run_until(Time::from_millis(700), &ShortestFirst);
+    let snap = a.snapshot();
+    let mut b = OnlineStepper::restore(&snap);
+    a.run_to_idle(&ShortestFirst);
+    b.run_to_idle(&ShortestFirst);
+    let key = |mut v: Vec<ocs_sim::Completion>| {
+        v.sort_by_key(|c| c.outcome.coflow);
+        v.into_iter()
+            .map(|c| (c.outcome.coflow, c.outcome.finish, c.outcome.circuit_setups))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(a.drain_completions()), key(b.drain_completions()));
+}
