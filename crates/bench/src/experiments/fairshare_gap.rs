@@ -11,7 +11,8 @@
 use crate::inter_eval::{avg_cct_secs, eval_inter, InterEngine};
 use crate::workloads::{fabric_gbps, workload};
 use ocs_metrics::{Report, SweepTiming};
-use ocs_packet::{simulate_packet, FairSharing};
+use ocs_packet::FairSharing;
+use ocs_sim::{simulate_packet, BackendKind};
 
 /// Run fair sharing and every Coflow-aware engine in parallel; produce
 /// the report plus its timing.
@@ -19,7 +20,7 @@ pub fn run_measured() -> (Report, SweepTiming) {
     let coflows = workload();
 
     let mut sweep = crate::sweep::<f64>();
-    sweep.add("fair-sharing", move || {
+    sweep.add(BackendKind::FairSharing.name(), move || {
         let fabric = fabric_gbps(1);
         let outcomes = simulate_packet(coflows, &fabric, &mut FairSharing);
         ocs_metrics::mean(
@@ -37,7 +38,11 @@ pub fn run_measured() -> (Report, SweepTiming) {
         });
     }
     let result = sweep.run();
-    let timing = crate::timing_of(&result);
+    let mut timing = crate::timing_of(&result);
+    timing.runs[0].backend = Some(BackendKind::FairSharing.name().to_string());
+    for (t, engine) in timing.runs.iter_mut().skip(1).zip(InterEngine::ALL) {
+        t.backend = Some(engine.name().to_string());
+    }
     let fair = result.runs[0].value;
 
     let mut report = Report::new("Extension — Coflow-agnostic fair sharing vs Coflow schedulers");

@@ -39,6 +39,7 @@ pub fn run_measured() -> (Report, SweepTiming) {
     }
     let result = sweep.run();
     let mut timing = crate::timing_of(&result);
+    crate::tag_backend(&mut timing, InterEngine::Sunflow.name());
     for (t, run) in timing.runs.iter_mut().zip(&result.runs) {
         if let Some(stats) = &run.value.1 {
             t.counters = replay_counters(stats);

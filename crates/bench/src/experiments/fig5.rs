@@ -40,7 +40,14 @@ pub fn run_measured() -> (Report, SweepTiming) {
         (m2m(rows), compute)
     });
     let result = sweep.run();
-    let timing = crate::timing_of(&result);
+    let mut timing = crate::timing_of(&result);
+    let kinds = [
+        ocs_sim::BackendKind::Sunflow,
+        ocs_sim::BackendKind::Solstice,
+    ];
+    for (t, kind) in timing.runs.iter_mut().zip(kinds) {
+        t.backend = Some(kind.name().to_string());
+    }
     let sun = &result.runs[0].value;
     let sol = &result.runs[1].value;
 
@@ -78,7 +85,10 @@ pub fn run_measured() -> (Report, SweepTiming) {
     let corr = pearson(&sol_norm, &sizes).unwrap_or(f64::NAN);
     report.claim("corr(Solstice norm switching, |C|)", 0.84, corr, 0.45);
 
-    for (name, xs) in [("Sunflow", &sun_norm), ("Solstice", &sol_norm)] {
+    for (name, xs) in [
+        (ocs_sim::BackendKind::Sunflow.name(), &sun_norm),
+        (ocs_sim::BackendKind::Solstice.name(), &sol_norm),
+    ] {
         let pts: Vec<String> = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0]
             .iter()
             .map(|&x| format!("F({x})={:.2}", cdf_at(xs, x)))

@@ -37,7 +37,8 @@ pub fn run_measured() -> (Report, SweepTiming) {
         });
     }
     let result = sweep.run();
-    let timing = crate::timing_of(&result);
+    let mut timing = crate::timing_of(&result);
+    crate::tag_backend(&mut timing, ocs_sim::BackendKind::Sunflow.name());
     let base = &result.runs[0].value;
 
     let mut report = Report::new("Figure 6 — intra-Coflow sensitivity to delta (Sunflow, B=1G)");

@@ -62,7 +62,10 @@ pub fn run_settings_measured() -> (Vec<Setting>, SweepTiming) {
         }
     }
     let result = sweep.run();
-    let timing = crate::timing_of(&result);
+    let mut timing = crate::timing_of(&result);
+    for (i, t) in timing.runs.iter_mut().enumerate() {
+        t.backend = Some(ENGINES[i % ENGINES.len()].name().to_string());
+    }
 
     let mut out = Vec::new();
     for (i, (label, gbps, coflows)) in cases.iter().enumerate() {

@@ -32,7 +32,10 @@ pub fn run_measured() -> (Report, SweepTiming) {
         });
     }
     let result = sweep.run();
-    let timing = crate::timing_of(&result);
+    let mut timing = crate::timing_of(&result);
+    for (t, engine) in timing.runs.iter_mut().zip(InterEngine::ALL) {
+        t.backend = Some(engine.name().to_string());
+    }
     let sun = &result.runs[0].value;
     let varys = &result.runs[1].value;
     let aalo = &result.runs[2].value;
@@ -78,7 +81,10 @@ pub fn run_measured() -> (Report, SweepTiming) {
     );
 
     // Delta-CCT sign structure across the T_pL axis.
-    for (name, other) in [("Varys", varys), ("Aalo", aalo)] {
+    for (name, other) in [
+        (ocs_sim::BackendKind::Varys.name(), varys),
+        (ocs_sim::BackendKind::Aalo.name(), aalo),
+    ] {
         let mut buckets: Vec<(f64, usize, usize)> = Vec::new(); // (edge, faster, slower)
         for (s, o) in sun.iter().zip(other.iter()) {
             let tpl = s.tpl.as_secs_f64();

@@ -93,18 +93,26 @@ fn sunflow_time(coflow: &Coflow, fabric: &Fabric) -> f64 {
 pub fn run_measured() -> (Report, SweepTiming) {
     let mut report = Report::new("Table 3 — empirical scheduler compute-time scaling");
 
-    // 1. Dense shuffles.
+    // 1. Dense shuffles. Labels come from the unified engine's canonical
+    // scheduler names (BackendKind::name).
     let sizes = [8usize, 16, 32, 48];
-    const SCHEDULERS: [(&str, Option<CircuitScheduler>); 4] = [
-        ("Sunflow", None),
-        ("Solstice", Some(CircuitScheduler::Solstice)),
-        ("TMS", Some(CircuitScheduler::Tms)),
-        ("Edmond", None), // edmond_default() is not const; resolved below
+    let schedulers: [(&str, Option<CircuitScheduler>); 4] = [
+        (ocs_sim::BackendKind::Sunflow.name(), None),
+        (
+            ocs_sim::BackendKind::Solstice.name(),
+            Some(CircuitScheduler::Solstice),
+        ),
+        (
+            ocs_sim::BackendKind::Tms.name(),
+            Some(CircuitScheduler::Tms),
+        ),
+        // edmond_default() is not const; resolved below.
+        (ocs_sim::BackendKind::Edmond.name(), None),
     ];
     let mut sweep = crate::sweep::<f64>();
     for &n in &sizes {
-        for (name, sched) in SCHEDULERS {
-            let sched = if name == "Edmond" {
+        for (name, sched) in schedulers {
+            let sched = if name == ocs_sim::BackendKind::Edmond.name() {
                 Some(CircuitScheduler::edmond_default())
             } else {
                 sched
@@ -131,9 +139,24 @@ pub fn run_measured() -> (Report, SweepTiming) {
         });
     }
     let result = sweep.run_sequential();
-    let timing = crate::timing_of(&result);
+    let mut timing = crate::timing_of(&result);
 
-    let names = ["Sunflow", "Solstice", "TMS", "Edmond"];
+    let names = [
+        ocs_sim::BackendKind::Sunflow.name(),
+        ocs_sim::BackendKind::Solstice.name(),
+        ocs_sim::BackendKind::Tms.name(),
+        ocs_sim::BackendKind::Edmond.name(),
+    ];
+    // Dense runs cycle through the scheduler set per fabric size; the
+    // trailing fixed-|C| runs are all Sunflow.
+    for (i, t) in timing.runs.iter_mut().enumerate() {
+        let name = if i < sizes.len() * names.len() {
+            names[i % names.len()]
+        } else {
+            names[0]
+        };
+        t.backend = Some(name.to_string());
+    }
     let times: Vec<(String, Vec<f64>)> = names
         .iter()
         .enumerate()

@@ -1,10 +1,13 @@
 //! Shared machinery for the inter-Coflow experiments (Figures 8–10):
 //! run the full trace replay under Sunflow (circuit switched) and under
 //! Varys / Aalo (packet switched), and collect per-Coflow CCTs.
+//!
+//! Every engine is constructed through [`BackendKind`] and replayed by
+//! the one unified event loop ([`ocs_sim::run_trace`]) — there is no
+//! per-family branching here.
 
 use ocs_model::{packet_lower_bound, Coflow, Dur, Fabric};
-use ocs_packet::{simulate_packet, Aalo, Varys};
-use ocs_sim::{simulate_circuit, OnlineConfig, ReplayStats};
+use ocs_sim::{run_trace, BackendKind, OnlineConfig, ReplayStats};
 use std::time::{Duration, Instant};
 use sunflow_core::ShortestFirst;
 
@@ -23,13 +26,19 @@ impl InterEngine {
     /// All three engines of the §5.4 comparison.
     pub const ALL: [InterEngine; 3] = [InterEngine::Sunflow, InterEngine::Varys, InterEngine::Aalo];
 
-    /// Name for reports.
-    pub fn name(&self) -> &'static str {
+    /// The unified-engine backend this evaluation engine runs on.
+    pub fn backend(&self) -> BackendKind {
         match self {
-            InterEngine::Sunflow => "Sunflow",
-            InterEngine::Varys => "Varys",
-            InterEngine::Aalo => "Aalo",
+            InterEngine::Sunflow => BackendKind::Sunflow,
+            InterEngine::Varys => BackendKind::Varys,
+            InterEngine::Aalo => BackendKind::Aalo,
         }
+    }
+
+    /// Canonical scheduler name for reports (routed through
+    /// [`BackendKind::name`], the single naming source).
+    pub fn name(&self) -> &'static str {
+        self.backend().name()
     }
 }
 
@@ -67,31 +76,28 @@ pub fn eval_inter_measured(
     (rows, compute)
 }
 
-/// [`eval_inter_measured`] plus the replay's [`ReplayStats`] (Sunflow
-/// only — the packet-switched baselines have no replay loop, so they
-/// yield `None`). The stats feed the `counters` object of the
+/// [`eval_inter_measured`] plus the replay's [`ReplayStats`] (kept only
+/// by backends with a rescheduling loop — Sunflow; the packet-switched
+/// baselines yield `None`). The stats feed the `counters` object of the
 /// `BENCH_<id>.json` run records via [`replay_counters`].
 pub fn eval_inter_with_stats(
     coflows: &[Coflow],
     fabric: &Fabric,
     engine: InterEngine,
 ) -> ((Vec<InterRow>, Option<ReplayStats>), Duration) {
-    let (outcomes, stats, compute) = match engine {
-        InterEngine::Sunflow => {
-            let r = simulate_circuit(coflows, fabric, &OnlineConfig::default(), &ShortestFirst);
-            let compute = Duration::from_micros(r.stats.reschedule_micros);
-            (r.outcomes, Some(r.stats), compute)
-        }
-        InterEngine::Varys => {
-            let t0 = Instant::now();
-            let outcomes = simulate_packet(coflows, fabric, &mut Varys);
-            (outcomes, None, t0.elapsed())
-        }
-        InterEngine::Aalo => {
-            let t0 = Instant::now();
-            let outcomes = simulate_packet(coflows, fabric, &mut Aalo::default());
-            (outcomes, None, t0.elapsed())
-        }
+    let mut backend =
+        engine
+            .backend()
+            .build(fabric, &OnlineConfig::default(), Box::new(ShortestFirst));
+    let t0 = Instant::now();
+    let outcomes = run_trace(coflows, backend.as_mut());
+    let wall = t0.elapsed();
+    let stats = backend.stats();
+    // Scheduler-compute: backends with work counters report their own
+    // rescheduling time; the rest are timed whole.
+    let compute = match &stats {
+        Some(s) => Duration::from_micros(s.reschedule_micros),
+        None => wall,
     };
     let rows = coflows
         .iter()

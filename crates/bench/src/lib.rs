@@ -88,12 +88,22 @@ pub fn timing_of<T>(result: &SweepResult<T>) -> SweepTiming {
                 label: r.label.clone(),
                 wall_s: r.wall.as_secs_f64(),
                 compute_s: r.compute.map(|d| d.as_secs_f64()),
+                backend: None,
                 counters: Vec::new(),
             })
             .collect(),
         wall_s: result.wall.as_secs_f64(),
         threads: result.threads,
         host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Tag every run of a sweep timing with the canonical scheduler name
+/// behind it (see `ocs_sim::SchedulingBackend::name`); for sweeps whose
+/// runs all replay the same backend, e.g. the δ-sensitivity figures.
+pub fn tag_backend(timing: &mut SweepTiming, name: &str) {
+    for r in &mut timing.runs {
+        r.backend = Some(name.to_string());
     }
 }
 

@@ -35,6 +35,20 @@ pub trait PriorityPolicy {
     }
 }
 
+/// Policies are stateless comparators, so a shared reference is itself a
+/// policy. This lets callers holding a `&dyn PriorityPolicy` hand it to
+/// APIs that want an owned `Box<dyn PriorityPolicy + '_>` (the
+/// `SchedulingBackend` constructors in `ocs-sim`) without cloning.
+impl<P: PriorityPolicy + ?Sized> PriorityPolicy for &P {
+    fn compare(&self, a: &Coflow, b: &Coflow, fabric: &Fabric) -> Ordering {
+        (**self).compare(a, b, fabric)
+    }
+
+    fn sort(&self, coflows: &mut Vec<&Coflow>, fabric: &Fabric) {
+        (**self).sort(coflows, fabric)
+    }
+}
+
 /// Shortest-Coflow-first: order by the packet-switched lower bound
 /// `T_pL` (§4.2 — "the Coflows may be ordered by their T_pL"). This is
 /// the policy used in the paper's comparison against Varys and Aalo.

@@ -1,4 +1,4 @@
-//! `ocs-daemond` — the online Sunflow scheduling daemon.
+//! `ocs-daemond` — the online Coflow scheduling daemon.
 //!
 //! ```text
 //! ocs-daemond run [OPTIONS]     replay/serve a JSONL arrival stream
@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use sunflow_core::GuardConfig;
 
 const USAGE: &str = "\
-ocs-daemond — online Sunflow scheduling service
+ocs-daemond — online Coflow scheduling service (Sunflow and baselines)
 
 USAGE:
   ocs-daemond run [OPTIONS]   serve/replay a JSONL arrival stream
@@ -38,6 +38,8 @@ run OPTIONS:
   --ports N               fabric ports (default 150)
   --bandwidth-gbps N      link rate (default 1)
   --delta-us N            reconfiguration delay δ in µs (default 1000)
+  --backend NAME          sunflow | solstice | tms | edmond | varys |
+                          aalo | fair (default sunflow)
   --policy NAME           shortest | longest | fcfs (default shortest)
   --active NAME           yield | keep | preempt (default yield)
   --guard T_MS,TAU_MS     starvation guard period and shared window
@@ -154,6 +156,7 @@ fn parse_run(args: &mut Args) -> Result<RunOpts, String> {
             "--ports" => ports = args.parsed("--ports")?,
             "--bandwidth-gbps" => gbps = args.parsed("--bandwidth-gbps")?,
             "--delta-us" => delta_us = args.parsed("--delta-us")?,
+            "--backend" => opts.config.backend = args.parsed("--backend")?,
             "--policy" => opts.config.policy = args.value("--policy")?.parse::<PolicyKind>()?,
             "--active" => {
                 opts.config.online.active_policy = parse_active(&args.value("--active")?)?

@@ -1,13 +1,16 @@
-//! `ocs-daemon`: a real-time online Sunflow scheduling service.
+//! `ocs-daemon`: a real-time online Coflow scheduling service.
 //!
 //! Where `ocs-sim` replays a fixed workload to completion, this crate
-//! runs the same scheduler as a *service*: Coflow arrivals stream in as
+//! runs the same schedulers as a *service*: Coflow arrivals stream in as
 //! JSONL (stdin, file, or TCP), admission control applies back-pressure
 //! with explicit reject reasons, a deterministic fault injector
 //! exercises the retry/backoff path, and telemetry — CCT and
 //! queue-latency histograms, utilization, fault counters — streams out
-//! as a JSON status dump or Prometheus text. The whole service state
-//! checkpoints and restores through [`DaemonCheckpoint`].
+//! as a JSON status dump or backend-labeled Prometheus text. Any
+//! [`ocs_sim::BackendKind`] can run the fabric — Sunflow (the default),
+//! the circuit baselines, or the packet-switched fluid schedulers — all
+//! behind the same admission, fault and telemetry surface. The whole
+//! service state checkpoints and restores through [`DaemonCheckpoint`].
 //!
 //! Layers, bottom up:
 //!
@@ -17,9 +20,9 @@
 //!   [`ocs_sim::SettleHook`] modelling circuit setup failures, port
 //!   flaps and inflated reconfiguration delays, with exponential
 //!   retry backoff.
-//! - [`service`] — [`Daemon`]: admission control over an
-//!   [`ocs_sim::OnlineStepper`], telemetry, checkpoint/restore, JSON
-//!   and Prometheus rendering.
+//! - [`service`] — [`Daemon`]: admission control over any
+//!   [`ocs_sim::SchedulingBackend`], telemetry, command-log
+//!   checkpoint/restore, JSON and Prometheus rendering.
 //! - [`server`] — [`run_to_completion`] / [`serve_tcp`]: the ingestion
 //!   loop with per-line acks and graceful drain.
 //!

@@ -1,21 +1,25 @@
-//! The daemon core: admission control, the scheduling stepper, fault
+//! The daemon core: admission control, the scheduling backend, fault
 //! injection and telemetry, behind one [`Daemon`] value.
 //!
-//! The daemon owns an [`OnlineStepper`] and advances it along a virtual
-//! clock: callers [`Daemon::submit`] Coflows, [`Daemon::advance_to`] a
-//! deadline (settling circuits, replanning, retrying faulted flows), and
-//! read results through [`Daemon::completions`], [`Daemon::status_json`]
-//! and [`Daemon::prometheus`]. Admission is bounded — a queue-depth cap
-//! and an outstanding-transmit-demand cap — and every rejection carries
-//! a [`RejectReason`] so clients can distinguish back-pressure from bad
+//! The daemon owns a [`SchedulingBackend`] — Sunflow by default, any
+//! [`BackendKind`] on request — and advances it along a virtual clock:
+//! callers [`Daemon::submit`] Coflows, [`Daemon::advance_to`] a deadline
+//! (settling circuits, replanning, retrying faulted flows), and read
+//! results through [`Daemon::completions`], [`Daemon::status_json`] and
+//! [`Daemon::prometheus`]. Admission is bounded — a queue-depth cap and
+//! an outstanding-transmit-demand cap — and every rejection carries a
+//! [`RejectReason`] so clients can distinguish back-pressure from bad
 //! input. [`Daemon::checkpoint`] / [`Daemon::restore`] capture the whole
-//! service (stepper, fault streaks, histograms) for resume.
+//! service as its construction config plus the command log; replaying
+//! the log against a fresh daemon reproduces the state exactly (every
+//! backend and the fault injector are deterministic), so checkpoints
+//! work for every scheduler without backend-internal snapshots.
 
 use crate::faults::{FaultConfig, FaultInjector, FaultStats};
 use crate::jsonl::ArrivalSpec;
 use ocs_metrics::{Histogram, PromRenderer};
 use ocs_model::{Coflow, Dur, Fabric, Time};
-use ocs_sim::{Completion, OnlineConfig, OnlineStepper, ReplayStats, StepperSnapshot, SubmitError};
+use ocs_sim::{BackendKind, Completion, OnlineConfig, ReplayStats, SchedulingBackend, SubmitError};
 use std::fmt;
 use std::str::FromStr;
 use sunflow_core::{FirstComeFirstServed, LongestFirst, PriorityPolicy, ShortestFirst};
@@ -144,7 +148,11 @@ impl Default for AdmissionConfig {
 pub struct DaemonConfig {
     /// The optical fabric served.
     pub fabric: Fabric,
-    /// Stepper settings: active-circuit policy, starvation guard.
+    /// Which scheduler runs the fabric (Sunflow, a circuit baseline, or
+    /// a packet-switched fluid scheduler).
+    pub backend: BackendKind,
+    /// Engine settings: active-circuit policy, starvation guard (used by
+    /// the Sunflow backend; the others ignore them).
     pub online: OnlineConfig,
     /// Inter-Coflow priority policy.
     pub policy: PolicyKind,
@@ -158,6 +166,7 @@ impl Default for DaemonConfig {
     fn default() -> DaemonConfig {
         DaemonConfig {
             fabric: Fabric::paper_default(),
+            backend: BackendKind::Sunflow,
             online: OnlineConfig::default(),
             policy: PolicyKind::default(),
             admission: AdmissionConfig::default(),
@@ -194,55 +203,71 @@ impl Telemetry {
     }
 }
 
-/// A full service capture for checkpoint/resume; see
-/// [`Daemon::checkpoint`].
+/// One externally-driven daemon command, as recorded in the command log
+/// that [`DaemonCheckpoint`] replays on restore.
 #[derive(Clone, Debug)]
-pub struct DaemonCheckpoint {
-    policy: PolicyKind,
-    admission: AdmissionConfig,
-    fabric: Fabric,
-    stepper: StepperSnapshot,
-    injector: FaultInjector,
-    telemetry: Telemetry,
-    completions: Vec<Completion>,
+enum Command {
+    /// A submission attempt (admission may still reject it — rejections
+    /// replay identically, keeping the telemetry counters exact).
+    Submit(Coflow),
+    /// Clock advance to a deadline.
+    AdvanceTo(Time),
+    /// Graceful drain to idle.
+    Drain,
+    /// Schedule-history compaction.
+    Compact,
 }
 
-/// The online Sunflow scheduling service.
+/// A full service capture for checkpoint/resume; see
+/// [`Daemon::checkpoint`]. Plain data: the construction config plus the
+/// command log — restore rebuilds the daemon and replays the log.
+#[derive(Clone, Debug)]
+pub struct DaemonCheckpoint {
+    config: DaemonConfig,
+    log: Vec<Command>,
+}
+
+/// The online Coflow scheduling service.
 pub struct Daemon {
-    policy_kind: PolicyKind,
-    policy: Box<dyn PriorityPolicy>,
-    admission: AdmissionConfig,
-    fabric: Fabric,
-    stepper: OnlineStepper,
+    config: DaemonConfig,
+    backend: Box<dyn SchedulingBackend>,
     injector: FaultInjector,
     telemetry: Telemetry,
     /// Every completion since construction, in completion order.
     completions: Vec<Completion>,
+    /// Every externally-driven command since construction; the
+    /// checkpoint's replay script.
+    log: Vec<Command>,
 }
 
 impl Daemon {
     /// Build an idle daemon at `t = 0`.
     pub fn new(config: &DaemonConfig) -> Daemon {
         Daemon {
-            policy_kind: config.policy,
-            policy: config.policy.build(),
-            admission: config.admission,
-            fabric: config.fabric,
-            stepper: OnlineStepper::new(&config.fabric, &config.online),
+            backend: config
+                .backend
+                .build(&config.fabric, &config.online, config.policy.build()),
             injector: FaultInjector::new(config.faults, config.fabric.delta()),
             telemetry: Telemetry::default(),
             completions: Vec::new(),
+            log: Vec::new(),
+            config: config.clone(),
         }
     }
 
     /// The daemon's virtual clock.
     pub fn now(&self) -> Time {
-        self.stepper.now()
+        self.backend.now()
     }
 
     /// True when no admitted Coflow has unserved demand.
     pub fn is_idle(&self) -> bool {
-        self.stepper.is_idle()
+        self.backend.is_idle()
+    }
+
+    /// Which scheduling backend this daemon runs.
+    pub fn backend(&self) -> BackendKind {
+        self.config.backend
     }
 
     /// Service counters and histograms.
@@ -255,9 +280,10 @@ impl Daemon {
         self.injector.stats()
     }
 
-    /// Scheduler-side replay counters.
+    /// Scheduler-side replay counters (all zero for backends without a
+    /// rescheduling loop).
     pub fn stats(&self) -> ReplayStats {
-        self.stepper.stats()
+        self.backend.stats().unwrap_or_default()
     }
 
     /// Every completion so far, in completion order.
@@ -267,7 +293,7 @@ impl Daemon {
 
     /// The configured priority policy.
     pub fn policy(&self) -> PolicyKind {
-        self.policy_kind
+        self.config.policy
     }
 
     /// Total transmit demand of `coflow` on this fabric.
@@ -275,7 +301,7 @@ impl Daemon {
         coflow
             .flows()
             .iter()
-            .map(|f| self.fabric.processing_time(f.bytes))
+            .map(|f| self.config.fabric.processing_time(f.bytes))
             .sum()
     }
 
@@ -285,25 +311,30 @@ impl Daemon {
     }
 
     /// Admit `coflow` or reject it with a reason. Admission checks run
-    /// before the stepper sees the Coflow, so a rejected submission
+    /// before the backend sees the Coflow, so a rejected submission
     /// leaves the schedule untouched.
     pub fn submit(&mut self, coflow: Coflow) -> Result<(), RejectReason> {
-        let depth = self.stepper.active_coflows() + self.stepper.queued_arrivals();
-        if depth >= self.admission.max_queue_depth {
+        self.log.push(Command::Submit(coflow.clone()));
+        self.do_submit(coflow)
+    }
+
+    fn do_submit(&mut self, coflow: Coflow) -> Result<(), RejectReason> {
+        let depth = self.backend.active_coflows() + self.backend.queued_arrivals();
+        if depth >= self.config.admission.max_queue_depth {
             return self.reject(RejectReason::QueueFull);
         }
         let demand = self.coflow_demand(&coflow);
         if self
-            .stepper
+            .backend
             .outstanding_demand()
             .as_ps()
             .checked_add(demand.as_ps())
-            .is_none_or(|total| total > self.admission.max_outstanding.as_ps())
+            .is_none_or(|total| total > self.config.admission.max_outstanding.as_ps())
         {
             return self.reject(RejectReason::DemandCap);
         }
         let bytes = coflow.total_bytes();
-        match self.stepper.submit(coflow, self.policy.as_ref()) {
+        match self.backend.submit(coflow) {
             Ok(()) => {
                 self.telemetry.admitted += 1;
                 self.telemetry.bytes_admitted += bytes;
@@ -323,7 +354,7 @@ impl Daemon {
     }
 
     fn absorb_completions(&mut self) {
-        for c in self.stepper.drain_completions() {
+        for c in self.backend.drain_completions() {
             self.telemetry.completed += 1;
             self.telemetry.circuit_setups += c.outcome.circuit_setups;
             self.telemetry
@@ -342,27 +373,34 @@ impl Daemon {
     /// replanning and retrying faulted flows along the way. Returns the
     /// number of scheduling events processed.
     pub fn advance_to(&mut self, deadline: Time) -> u64 {
-        let processed =
-            self.stepper
-                .run_until_with(deadline, self.policy.as_ref(), &mut self.injector);
+        self.log.push(Command::AdvanceTo(deadline));
+        self.do_advance_to(deadline)
+    }
+
+    fn do_advance_to(&mut self, deadline: Time) -> u64 {
+        let processed = self.backend.advance_to(deadline, &mut self.injector);
         self.absorb_completions();
         processed
     }
 
     /// Graceful drain: run until every admitted Coflow has completed.
     pub fn drain(&mut self) -> u64 {
-        let processed = self
-            .stepper
-            .run_to_idle_with(self.policy.as_ref(), &mut self.injector);
+        self.log.push(Command::Drain);
+        self.do_drain()
+    }
+
+    fn do_drain(&mut self) -> u64 {
+        let processed = self.backend.advance_to(Time::MAX, &mut self.injector);
         self.absorb_completions();
-        debug_assert!(self.stepper.is_idle());
+        debug_assert!(self.backend.is_idle());
         processed
     }
 
     /// Forget schedule history before the current clock; returns freed
     /// reservation-record count. Call periodically on long runs.
     pub fn compact(&mut self) -> usize {
-        self.stepper.compact_history()
+        self.log.push(Command::Compact);
+        self.backend.compact_history()
     }
 
     /// Fraction of total port-time spent transmitting admitted demand,
@@ -375,37 +413,46 @@ impl Daemon {
         let served = self
             .telemetry
             .demand_admitted
-            .saturating_sub(self.stepper.outstanding_demand());
-        served.as_secs_f64() / (self.fabric.ports() as f64 * elapsed)
+            .saturating_sub(self.backend.outstanding_demand());
+        served.as_secs_f64() / (self.config.fabric.ports() as f64 * elapsed)
     }
 
-    /// Capture the full service state. The checkpoint is plain data:
-    /// clone it, keep it, and [`Daemon::restore`] later — the resumed
-    /// daemon continues exactly as this one would have.
+    /// Capture the full service state. The checkpoint is plain data —
+    /// the construction config plus the command log: clone it, keep it,
+    /// and [`Daemon::restore`] later — the resumed daemon continues
+    /// exactly as this one would have. Works for every backend; nothing
+    /// scheduler-internal is captured.
     pub fn checkpoint(&self) -> DaemonCheckpoint {
         DaemonCheckpoint {
-            policy: self.policy_kind,
-            admission: self.admission,
-            fabric: self.fabric,
-            stepper: self.stepper.snapshot(),
-            injector: self.injector.clone(),
-            telemetry: self.telemetry.clone(),
-            completions: self.completions.clone(),
+            config: self.config.clone(),
+            log: self.log.clone(),
         }
     }
 
-    /// Rebuild a daemon from a [`DaemonCheckpoint`].
+    /// Rebuild a daemon from a [`DaemonCheckpoint`] by replaying its
+    /// command log against a fresh service. Every backend and the fault
+    /// injector are deterministic, so the replayed daemon's schedule,
+    /// telemetry and fault streaks match the checkpointed one's exactly.
     pub fn restore(ckpt: &DaemonCheckpoint) -> Daemon {
-        Daemon {
-            policy_kind: ckpt.policy,
-            policy: ckpt.policy.build(),
-            admission: ckpt.admission,
-            fabric: ckpt.fabric,
-            stepper: OnlineStepper::restore(&ckpt.stepper),
-            injector: ckpt.injector.clone(),
-            telemetry: ckpt.telemetry.clone(),
-            completions: ckpt.completions.clone(),
+        let mut d = Daemon::new(&ckpt.config);
+        for cmd in &ckpt.log {
+            match cmd {
+                Command::Submit(c) => {
+                    let _ = d.do_submit(c.clone());
+                }
+                Command::AdvanceTo(t) => {
+                    d.do_advance_to(*t);
+                }
+                Command::Drain => {
+                    d.do_drain();
+                }
+                Command::Compact => {
+                    d.backend.compact_history();
+                }
+            }
         }
+        d.log = ckpt.log.clone();
+        d
     }
 
     /// One-line JSON status dump (counters, gauges, latency summaries).
@@ -423,7 +470,8 @@ impl Daemon {
         rejected.push('}');
         format!(
             concat!(
-                "{{\"now_secs\": {:.6}, \"policy\": \"{}\", \"idle\": {}, ",
+                "{{\"now_secs\": {:.6}, \"backend\": \"{}\", \"switch_model\": \"{}\", ",
+                "\"policy\": \"{}\", \"idle\": {}, ",
                 "\"active_coflows\": {}, \"queued_arrivals\": {}, \"deferred_flows\": {}, ",
                 "\"admitted\": {}, \"completed\": {}, \"rejected\": {}, ",
                 "\"bytes_admitted\": {}, \"outstanding_demand_secs\": {:.6}, ",
@@ -435,19 +483,21 @@ impl Daemon {
                 "\"cct_ps\": {}, \"queue_latency_ps\": {}}}"
             ),
             self.now().as_secs_f64(),
-            self.policy_kind.name(),
+            self.backend.name(),
+            self.backend.switch_model(),
+            self.config.policy.name(),
             self.is_idle(),
-            self.stepper.active_coflows(),
-            self.stepper.queued_arrivals(),
-            self.stepper.deferred_flows(),
+            self.backend.active_coflows(),
+            self.backend.queued_arrivals(),
+            self.backend.deferred_flows(),
             t.admitted,
             t.completed,
             rejected,
             t.bytes_admitted,
-            self.stepper.outstanding_demand().as_secs_f64(),
+            self.backend.outstanding_demand().as_secs_f64(),
             self.utilization(),
             t.circuit_setups,
-            self.stepper.guard_windows(),
+            self.backend.guard_windows(),
             s.events,
             s.reservations_made,
             f.setup_failures,
@@ -464,84 +514,89 @@ impl Daemon {
     }
 
     /// Prometheus text exposition (format 0.0.4) of the same state.
+    /// Every series carries a `backend` label with the canonical
+    /// scheduler name, so dashboards can overlay daemons running
+    /// different schedulers.
     pub fn prometheus(&self) -> String {
         const PS: f64 = 1e-12;
         let t = &self.telemetry;
         let f = self.fault_stats();
         let s = self.stats();
+        let b = self.backend.name();
+        let by_backend = [("backend", b)];
         let mut p = PromRenderer::new();
         p.counter(
             "ocs_daemon_admitted_total",
             "Coflows admitted by the daemon",
-            &[],
+            &by_backend,
             t.admitted,
         );
         p.counter(
             "ocs_daemon_completed_total",
             "Coflows fully served",
-            &[],
+            &by_backend,
             t.completed,
         );
         for (i, reason) in RejectReason::ALL.iter().enumerate() {
             p.counter(
                 "ocs_daemon_rejected_total",
                 "Submissions refused, by reason",
-                &[("reason", reason.label())],
+                &[("backend", b), ("reason", reason.label())],
                 t.rejected[i],
             );
         }
         p.gauge(
             "ocs_daemon_active_coflows",
             "Coflows currently in service",
-            &[],
-            self.stepper.active_coflows() as f64,
+            &by_backend,
+            self.backend.active_coflows() as f64,
         );
         p.gauge(
             "ocs_daemon_queued_arrivals",
             "Admitted Coflows not yet arrived on the virtual clock",
-            &[],
-            self.stepper.queued_arrivals() as f64,
+            &by_backend,
+            self.backend.queued_arrivals() as f64,
         );
         p.gauge(
             "ocs_daemon_deferred_flows",
             "Flows waiting out a fault-retry backoff",
-            &[],
-            self.stepper.deferred_flows() as f64,
+            &by_backend,
+            self.backend.deferred_flows() as f64,
         );
         p.gauge(
             "ocs_daemon_outstanding_demand_seconds",
             "Unserved transmit demand across admitted Coflows",
-            &[],
-            self.stepper.outstanding_demand().as_secs_f64(),
+            &by_backend,
+            self.backend.outstanding_demand().as_secs_f64(),
         );
         p.gauge(
             "ocs_daemon_circuit_utilization",
             "Served transmit time over total port-time",
-            &[],
+            &by_backend,
             self.utilization(),
         );
         p.counter(
             "ocs_daemon_circuit_setups_total",
             "Circuit establishments across completed Coflows",
-            &[],
+            &by_backend,
             t.circuit_setups,
         );
         p.counter(
             "ocs_daemon_guard_windows_total",
             "Starvation-guard shared windows elapsed",
-            &[],
-            self.stepper.guard_windows(),
+            &by_backend,
+            self.backend.guard_windows(),
         );
         p.counter(
             "ocs_daemon_resched_events_total",
             "Rescheduling events processed",
-            &[],
+            &by_backend,
             s.events,
         );
         p.counter(
             "ocs_daemon_reservations_total",
             "Reservations created by the intra-Coflow scheduler",
-            &[],
+            &by_backend,
             s.reservations_made,
         );
         for (kind, v) in [
@@ -552,39 +607,39 @@ impl Daemon {
             p.counter(
                 "ocs_daemon_faults_total",
                 "Injected circuit faults, by kind",
-                &[("kind", kind)],
+                &[("backend", b), ("kind", kind)],
                 v,
             );
         }
         p.counter(
             "ocs_daemon_fault_retries_total",
             "Retries scheduled after faults",
-            &[],
+            &by_backend,
             f.retries,
         );
         p.counter(
             "ocs_daemon_fault_recoveries_total",
             "Flows that settled fault-free after at least one fault",
-            &[],
+            &by_backend,
             f.recoveries,
         );
         p.gauge(
             "ocs_daemon_fault_backoff_seconds",
             "Total backoff imposed across retries",
-            &[],
+            &by_backend,
             f.backoff_total.as_secs_f64(),
         );
         p.histogram(
             "ocs_daemon_cct_seconds",
             "Coflow completion time (finish minus arrival)",
-            &[],
+            &by_backend,
             &t.cct,
             PS,
         );
         p.histogram(
             "ocs_daemon_queue_latency_seconds",
             "Arrival to first circuit transmit",
-            &[],
+            &by_backend,
             &t.queue_latency,
             PS,
         );
@@ -805,6 +860,8 @@ mod tests {
 
         let json = daemon.status_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"backend\": \"Sunflow\""));
+        assert!(json.contains("\"switch_model\": \"not-all-stop\""));
         assert!(json.contains("\"admitted\": 6"));
         assert!(json.contains("\"completed\": 6"));
         assert!(json.contains("\"cct_ps\""));
@@ -812,11 +869,77 @@ mod tests {
 
         let prom = daemon.prometheus();
         assert!(prom.contains("# TYPE ocs_daemon_admitted_total counter"));
-        assert!(prom.contains("ocs_daemon_admitted_total 6"));
-        assert!(prom.contains("ocs_daemon_rejected_total{reason=\"queue_full\"} 0"));
+        assert!(prom.contains("ocs_daemon_admitted_total{backend=\"Sunflow\"} 6"));
+        assert!(
+            prom.contains("ocs_daemon_rejected_total{backend=\"Sunflow\",reason=\"queue_full\"} 0")
+        );
         assert!(prom.contains("ocs_daemon_cct_seconds_bucket"));
-        assert!(prom.contains("ocs_daemon_cct_seconds_count 6"));
+        assert!(prom.contains("ocs_daemon_cct_seconds_count{backend=\"Sunflow\"} 6"));
         assert!(prom.contains("le=\"+Inf\""));
         assert!(daemon.utilization() > 0.0 && daemon.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn every_backend_drains_the_trace() {
+        for kind in BackendKind::ALL {
+            let mut cfg = config();
+            cfg.backend = kind;
+            let mut daemon = Daemon::new(&cfg);
+            for c in workload(8) {
+                daemon.submit(c).unwrap();
+            }
+            daemon.drain();
+            assert!(daemon.is_idle(), "{kind} drains to idle");
+            assert_eq!(daemon.telemetry().completed, 8, "{kind} completes all");
+            let json = daemon.status_json();
+            assert!(
+                json.contains(&format!("\"backend\": \"{}\"", kind.name())),
+                "{kind} status names its backend"
+            );
+            let prom = daemon.prometheus();
+            assert!(
+                prom.contains(&format!(
+                    "ocs_daemon_completed_total{{backend=\"{}\"}} 8",
+                    kind.name()
+                )),
+                "{kind} metrics carry the backend label"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_works_for_every_backend() {
+        // The control daemon runs the same command sequence uninterrupted
+        // (circuit baselines re-plan at every advance boundary, so only
+        // identical sequences are comparable across all backends).
+        for kind in BackendKind::ALL {
+            let mut cfg = config();
+            cfg.backend = kind;
+
+            let mut whole = Daemon::new(&cfg);
+            for c in workload(6) {
+                whole.submit(c).unwrap();
+            }
+            whole.advance_to(Time::from_millis(20));
+            whole.drain();
+
+            let mut first = Daemon::new(&cfg);
+            for c in workload(6) {
+                first.submit(c).unwrap();
+            }
+            first.advance_to(Time::from_millis(20));
+            let resumed = Daemon::restore(&first.checkpoint());
+            assert_eq!(resumed.now(), first.now(), "{kind} clock resumes");
+            let mut resumed = resumed;
+            resumed.drain();
+
+            let key = |d: &Daemon| {
+                d.completions()
+                    .iter()
+                    .map(|c| (c.outcome.coflow, c.outcome.finish))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(key(&whole), key(&resumed), "{kind} resumes identically");
+        }
     }
 }

@@ -14,7 +14,8 @@
 //!   "wall_s": 1.93,
 //!   "serial_wall_s": 11.42,
 //!   "speedup": 5.92,
-//!   "runs": [ {"label": "delta=100ms", "wall_s": 2.1, "compute_s": null}, ... ],
+//!   "runs": [ {"label": "delta=100ms", "wall_s": 2.1, "compute_s": null,
+//!              "backend": "Sunflow"}, ... ],
 //!   "claims": [ {"what": "...", "paper": 1.0, "measured": 1.02,
 //!                "tolerance": 0.35, "holds": true}, ... ],
 //!   "all_hold": true,
@@ -41,6 +42,10 @@ pub struct RunTiming {
     /// Scheduler-compute seconds reported by the run itself, if it
     /// measured any.
     pub compute_s: Option<f64>,
+    /// Canonical scheduler name behind this run (the unified engine's
+    /// `SchedulingBackend::name`), emitted as a `"backend"` field when
+    /// present. `None` for runs not tied to one scheduler.
+    pub backend: Option<String>,
     /// Named work counters reported by the run itself (e.g. the replay's
     /// `ReplayStats` fields), emitted as a `"counters"` object in the
     /// JSON record when non-empty. Order is preserved.
@@ -154,6 +159,10 @@ pub fn bench_json(id: &str, report: &Report, timing: &SweepTiming, truncated: bo
     out.push_str(&format!("  \"speedup\": {},\n", num(timing.speedup())));
     out.push_str("  \"runs\": [\n");
     for (i, r) in timing.runs.iter().enumerate() {
+        let backend = match &r.backend {
+            Some(b) => format!(", \"backend\": \"{}\"", esc(b)),
+            None => String::new(),
+        };
         let counters = if r.counters.is_empty() {
             String::new()
         } else {
@@ -165,10 +174,11 @@ pub fn bench_json(id: &str, report: &Report, timing: &SweepTiming, truncated: bo
             format!(", \"counters\": {{{}}}", body.join(", "))
         };
         out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"wall_s\": {}, \"compute_s\": {}{}}}{}\n",
+            "    {{\"label\": \"{}\", \"wall_s\": {}, \"compute_s\": {}{}{}}}{}\n",
             esc(&r.label),
             num(r.wall_s),
             r.compute_s.map_or("null".into(), num),
+            backend,
             counters,
             if i + 1 < timing.runs.len() { "," } else { "" },
         ));
@@ -220,12 +230,14 @@ mod tests {
                     label: "a \"quoted\"".into(),
                     wall_s: 1.5,
                     compute_s: Some(0.5),
+                    backend: Some("Sunflow".into()),
                     counters: vec![("events".into(), 42), ("cuts".into(), 0)],
                 },
                 RunTiming {
                     label: "b".into(),
                     wall_s: 0.5,
                     compute_s: None,
+                    backend: None,
                     counters: Vec::new(),
                 },
             ],
@@ -260,7 +272,9 @@ mod tests {
         assert!(s.contains("\"known_gap\": true"));
         assert!(s.contains("\"known_gap\": false"));
         assert!(s.contains("\"counters\": {\"events\": 42, \"cuts\": 0}"));
-        // A run without counters must not emit the key at all.
+        // The backend tag sits between compute_s and counters.
+        assert!(s.contains("\"backend\": \"Sunflow\", \"counters\""));
+        // A run without backend/counters must not emit either key.
         assert!(s.contains("\"label\": \"b\", \"wall_s\": 0.500000, \"compute_s\": null}"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(s.matches('{').count(), s.matches('}').count());

@@ -227,7 +227,12 @@ impl RateScheduler for Aalo {
                 // it (which would generate picosecond-scale events
                 // forever).
                 let dt = (boundary - c.sent + 1.0) / rate;
-                if dt.is_finite() && dt >= 0.0 {
+                // A vanishing rate can put the crossing beyond the
+                // representable horizon (u64 picoseconds ≈ 213 days);
+                // rates are recomputed at every real event anyway, so
+                // "no event" is correct — not a clock overflow.
+                let ps = dt.max(1e-6) * 1e12;
+                if dt.is_finite() && dt >= 0.0 && ps < (u64::MAX - now.as_ps()) as f64 {
                     let t = now + ocs_model::Dur::from_secs_f64(dt.max(1e-6));
                     next = Some(next.map_or(t, |cur: Time| cur.min(t)));
                 }

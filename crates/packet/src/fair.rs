@@ -181,18 +181,37 @@ mod tests {
         }
     }
 
+    /// Repeated allocate + fluid progress drains every flow: fair
+    /// sharing is work-conserving, so demand cannot get stuck. (The full
+    /// event-driven run lives in `ocs_sim::simulate_packet`'s tests.)
     #[test]
-    fn full_simulation_with_fair_sharing_completes() {
-        use crate::sim::simulate_packet;
+    fn repeated_allocation_drains_all_demand() {
+        let f = fabric();
         let cs: Vec<Coflow> = (0..5)
             .map(|i| {
                 Coflow::builder(i)
-                    .arrival(Time::from_millis(i * 3))
                     .flow((i as usize) % 3, (i as usize + 1) % 3, 4000)
                     .build()
             })
             .collect();
-        let out = simulate_packet(&cs, &fabric(), &mut FairSharing);
-        assert_eq!(out.len(), 5);
+        let mut act: Vec<ActiveCoflow> = cs.iter().map(ActiveCoflow::new).collect();
+        for _ in 0..1_000 {
+            if act.iter().all(|a| a.done()) {
+                break;
+            }
+            FairSharing.allocate(&mut act, &f, Time::ZERO);
+            for a in act.iter_mut() {
+                a.progress(0.1);
+            }
+            for a in act.iter_mut() {
+                for fl in a.flows.iter_mut() {
+                    if !fl.done() && fl.remaining <= 1e-3 {
+                        fl.remaining = 0.0;
+                        fl.finish = Some(Time::ZERO);
+                    }
+                }
+            }
+        }
+        assert!(act.iter().all(|a| a.done()));
     }
 }

@@ -12,8 +12,9 @@
 //!   a Coflow).
 //! * [`fair`] — Coflow-agnostic per-flow max-min fair sharing, the
 //!   no-scheduler reference the Coflow literature measures against.
-//! * [`sim`] — the event-driven fluid simulation loop producing per-Coflow
-//!   [`ocs_model::ScheduleOutcome`]s.
+//! * [`sim`] — the [`RateScheduler`] interface those allocators implement;
+//!   the event-driven fluid loop that drives it lives in the unified
+//!   `ocs_sim` engine (`ocs_sim::simulate_packet`).
 //!
 //! The packet switch pays no reconfiguration delay: it is the `δ = 0`
 //! reference point against which the circuit-switched results are judged.
@@ -30,5 +31,5 @@ pub mod varys;
 pub use aalo::{Aalo, AaloConfig};
 pub use fair::FairSharing;
 pub use fluid::{ActiveCoflow, FlowState, PortCapacity};
-pub use sim::{simulate_packet, RateScheduler};
+pub use sim::RateScheduler;
 pub use varys::Varys;

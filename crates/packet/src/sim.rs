@@ -1,9 +1,12 @@
-//! Event-driven fluid simulation of the packet-switched network.
+//! The packet-switched scheduler interface consumed by the fluid
+//! simulation loop.
 //!
-//! Between scheduling events every flow drains linearly at its allocated
-//! rate, so the next interesting instant (flow completion, Coflow arrival,
-//! scheduler-specific event) is computable in closed form — the simulation
-//! jumps from event to event.
+//! The event-driven loop itself lives in `ocs_sim` (the unified
+//! `SchedulingBackend` engine; see `ocs_sim::simulate_packet`): between
+//! scheduling events every flow drains linearly at its allocated rate, so
+//! the next interesting instant (flow completion, Coflow arrival,
+//! scheduler-specific event) is computable in closed form — the
+//! simulation jumps from event to event.
 //!
 //! Faithful to the systems being modelled (§6 of the Sunflow paper and the
 //! Varys design), **rates are recomputed only on Coflow arrivals and
@@ -13,7 +16,7 @@
 //! leverages in its Figure 9 analysis.
 
 use crate::fluid::ActiveCoflow;
-use ocs_model::{Coflow, Dur, Fabric, ScheduleOutcome, Time};
+use ocs_model::{Fabric, Time};
 
 /// A packet-switched Coflow scheduler: assigns flow rates at scheduling
 /// events and may request extra events of its own.
@@ -37,283 +40,24 @@ pub trait RateScheduler {
     }
 }
 
-/// Bytes below which a fluid flow counts as finished (floating-point
-/// slack; real flows are at least one byte).
-const DONE_EPS: f64 = 1e-3;
-
-/// Simulate `coflows` on the packet-switched `fabric` under `scheduler`.
-/// Returns one outcome per Coflow, in input order.
-///
-/// ```
-/// use ocs_packet::{simulate_packet, Varys};
-/// use ocs_model::{Coflow, Dur, Fabric, Time};
-///
-/// let fabric = Fabric::new(2, Fabric::GBPS, Dur::ZERO);
-/// let c = Coflow::builder(0).flow(0, 1, 1_000_000).build(); // 8 ms at 1 Gbps
-/// let out = simulate_packet(&[c], &fabric, &mut Varys);
-/// // (The fluid clock rounds flow completions up by one picosecond.)
-/// let cct = out[0].cct(Time::ZERO).as_secs_f64();
-/// assert!((cct - 0.008).abs() < 1e-9);
-/// ```
-///
-/// # Panics
-/// Panics if the simulation stalls (active demand but no progress) —
-/// impossible for work-conserving schedulers and indicative of a
-/// scheduler bug otherwise.
-pub fn simulate_packet(
-    coflows: &[Coflow],
-    fabric: &Fabric,
-    scheduler: &mut dyn RateScheduler,
-) -> Vec<ScheduleOutcome> {
-    for c in coflows {
-        assert!(fabric.fits(c), "coflow {} exceeds fabric ports", c.id());
-    }
-    // Arrival order: by time, then id for determinism.
-    let mut order: Vec<usize> = (0..coflows.len()).collect();
-    order.sort_by_key(|&i| (coflows[i].arrival(), coflows[i].id()));
-
-    let mut outcomes: Vec<Option<ScheduleOutcome>> = vec![None; coflows.len()];
-    // Parallel vectors: original index of each active Coflow + its state.
-    let mut origs: Vec<usize> = Vec::new();
-    let mut acts: Vec<ActiveCoflow> = Vec::new();
-    let mut next_arrival = 0usize;
-    let mut now = Time::ZERO;
-
-    let total_flows: usize = coflows.iter().map(|c| c.num_flows()).sum();
-    let mut fuel: u64 = 1_000 * (total_flows as u64 + coflows.len() as u64) + 100_000;
-
-    loop {
-        // Next candidate events.
-        let t_arrival = order
-            .get(next_arrival)
-            .map(|&i| coflows[i].arrival().max(now));
-        let t_finish = acts
-            .iter()
-            .flat_map(|a| a.flows.iter())
-            .filter(|f| !f.done() && f.rate > 1e-3)
-            .map(|f| {
-                // Round the finish instant *up* one picosecond: at high
-                // rates the clock quantum exceeds the byte epsilon, and
-                // rounding down would strand a sliver of the flow.
-                now + Dur::from_secs_f64((f.remaining / f.rate).max(0.0)) + Dur::from_ps(1)
-            })
-            .min();
-        let t_sched = scheduler.next_event(&acts, now).filter(|&t| t > now);
-
-        let t_next = [t_arrival, t_finish, t_sched].into_iter().flatten().min();
-
-        let Some(t_next) = t_next else {
-            assert!(
-                acts.iter().all(|a| a.done()),
-                "packet simulation stalled with unfinished coflows at {now}"
-            );
-            break;
-        };
-
-        fuel = fuel
-            .checked_sub(1)
-            .expect("packet simulation event-count fuel exhausted");
-
-        // Advance fluids to t_next.
-        let dt = t_next.since(now).as_secs_f64();
-        if dt > 0.0 {
-            for a in acts.iter_mut() {
-                a.progress(dt);
-            }
-        }
-        now = t_next;
-
-        // Mark flow completions.
-        for a in acts.iter_mut() {
-            for f in a.flows.iter_mut() {
-                // A flow is done when its residue is below the byte
-                // epsilon or below what its rate moves in a nanosecond
-                // (sub-clock-resolution dust at high bandwidth).
-                if !f.done() && f.remaining <= DONE_EPS.max(f.rate * 1e-9) {
-                    f.remaining = 0.0;
-                    f.finish = Some(now);
-                }
-            }
-        }
-
-        // Coflow completions.
-        let mut topology_changed = false;
-        let mut k = 0;
-        while k < acts.len() {
-            if acts[k].done() {
-                let a = acts.remove(k);
-                let orig = origs.remove(k);
-                outcomes[orig] = Some(ScheduleOutcome {
-                    coflow: a.id,
-                    start: a.arrival,
-                    finish: now,
-                    flow_finish: a.flows.iter().map(|f| f.finish.expect("done")).collect(),
-                    circuit_setups: 0,
-                });
-                topology_changed = true;
-            } else {
-                k += 1;
-            }
-        }
-
-        // Arrivals at (or before) now.
-        while next_arrival < order.len() && coflows[order[next_arrival]].arrival() <= now {
-            let i = order[next_arrival];
-            origs.push(i);
-            acts.push(ActiveCoflow::new(&coflows[i]));
-            next_arrival += 1;
-            topology_changed = true;
-        }
-
-        // Reschedule on arrivals/completions (unless the scheduler is
-        // epoch-coordinated), and on scheduler events.
-        let sched_fired = t_sched == Some(now);
-        let topology_triggers = topology_changed && !scheduler.epoch_only();
-        if (topology_triggers || sched_fired) && !acts.is_empty() {
-            scheduler.allocate(&mut acts, fabric, now);
-        }
-
-        if acts.is_empty() && next_arrival == order.len() {
-            break;
-        }
+/// A unique borrow of a scheduler is itself a scheduler. This lets
+/// callers holding a `&mut dyn RateScheduler` hand it to APIs that want
+/// an owned `Box<dyn RateScheduler + '_>` (the `SchedulingBackend`
+/// constructors in `ocs-sim`) without giving up the original.
+impl<S: RateScheduler + ?Sized> RateScheduler for &mut S {
+    fn name(&self) -> &'static str {
+        (**self).name()
     }
 
-    outcomes
-        .into_iter()
-        .map(|o| o.expect("every coflow completes"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::aalo::Aalo;
-    use crate::varys::Varys;
-    use ocs_model::{packet_lower_bound, Bandwidth};
-
-    fn fabric() -> Fabric {
-        Fabric::new(4, Bandwidth::GBPS, Dur::ZERO)
+    fn allocate(&mut self, active: &mut [ActiveCoflow], fabric: &Fabric, now: Time) {
+        (**self).allocate(active, fabric, now)
     }
 
-    fn mb(m: u64) -> u64 {
-        m * 1_000_000
+    fn next_event(&self, active: &[ActiveCoflow], now: Time) -> Option<Time> {
+        (**self).next_event(active, now)
     }
 
-    #[test]
-    fn lone_coflow_meets_packet_lower_bound() {
-        let f = fabric();
-        let c = Coflow::builder(0)
-            .flow(0, 0, mb(4))
-            .flow(0, 1, mb(4))
-            .flow(1, 1, mb(2))
-            .build();
-        let tpl = packet_lower_bound(&c, &f);
-        for mut s in [
-            Box::new(Varys) as Box<dyn RateScheduler>,
-            Box::new(Aalo::default()),
-        ] {
-            let out = simulate_packet(std::slice::from_ref(&c), &f, s.as_mut());
-            let cct = out[0].cct(Time::ZERO);
-            // MADD achieves T_pL exactly for a lone coflow; Aalo's equal
-            // split may exceed it but never beats it.
-            assert!(cct >= tpl, "{}", s.name());
-            assert!(cct <= tpl * 3, "{} took {} vs bound {}", s.name(), cct, tpl);
-        }
-    }
-
-    #[test]
-    fn varys_alone_achieves_bottleneck_exactly() {
-        let f = fabric();
-        let c = Coflow::builder(0)
-            .flow(0, 0, mb(8))
-            .flow(0, 1, mb(8))
-            .build();
-        let out = simulate_packet(std::slice::from_ref(&c), &f, &mut Varys);
-        let cct = out[0].cct(Time::ZERO);
-        let tpl = packet_lower_bound(&c, &f);
-        let ratio = cct.ratio(tpl);
-        assert!((ratio - 1.0).abs() < 1e-6, "ratio {ratio}");
-        // MADD: both flows finish together at the bottleneck time.
-        assert_eq!(out[0].flow_finish[0], out[0].flow_finish[1]);
-    }
-
-    #[test]
-    fn sequential_arrivals_are_serialized_by_priority() {
-        let f = fabric();
-        // Two identical coflows on the same ports, arriving together:
-        // under Varys the tie-break serves id 0 first entirely.
-        let a = Coflow::builder(0).flow(0, 0, mb(10)).build();
-        let b = Coflow::builder(1).flow(0, 0, mb(10)).build();
-        let out = simulate_packet(&[a.clone(), b], &f, &mut Varys);
-        let t_a = out[0].cct(Time::ZERO);
-        let t_b = out[1].cct(Time::ZERO);
-        // 10 MB at 1 Gbps = 80 ms; the second finishes at ~160 ms.
-        assert!((t_a.as_secs_f64() - 0.08).abs() < 1e-6);
-        assert!((t_b.as_secs_f64() - 0.16).abs() < 1e-6);
-    }
-
-    #[test]
-    fn aalo_demotes_heavy_coflows_over_time() {
-        let f = fabric();
-        // Heavy old coflow vs a light newcomer on the same port. The heavy
-        // one is demoted once it has sent 10 MB, letting the newcomer win.
-        let heavy = Coflow::builder(0).flow(0, 0, mb(100)).build();
-        let light = Coflow::builder(1)
-            .arrival(Time::from_millis(200)) // heavy has sent ~25 MB
-            .flow(0, 0, mb(1))
-            .build();
-        let out = simulate_packet(&[heavy, light.clone()], &f, &mut Aalo::default());
-        let light_cct = out[1].cct(light.arrival());
-        // The light coflow gets the weighted queue-0 share (2/3 of the
-        // link) on arrival: ~12 ms, far below the heavy coflow's span.
-        assert!(
-            (light_cct.as_secs_f64() - 0.012).abs() < 1e-3,
-            "light CCT {light_cct}"
-        );
-    }
-
-    #[test]
-    fn varys_leaves_bandwidth_idle_after_early_flow_finish() {
-        let f = fabric();
-        // Coflow A: two flows, one tiny (finishes early). Coflow B waits
-        // behind A on in.0. B's start is NOT advanced when A's tiny flow
-        // finishes because Varys only reschedules on coflow events.
-        let a = Coflow::builder(0)
-            .flow(0, 0, mb(1))
-            .flow(1, 1, mb(100))
-            .build();
-        let b = Coflow::builder(1).flow(0, 2, mb(100)).build();
-        let out = simulate_packet(&[a, b], &f, &mut Varys);
-        // A's bottleneck is 100 MB on in.1 -> 0.8 s; its in.0 flow runs at
-        // MADD rate 1/100 of the link... B backfills the rest of in.0 and
-        // must still finish within ~0.81 s (it gets most of in.0 at once).
-        assert!(out[1].cct(Time::ZERO).as_secs_f64() < 0.95);
-        // And A finishes at its bottleneck.
-        assert!((out[0].cct(Time::ZERO).as_secs_f64() - 0.8).abs() < 1e-3);
-    }
-
-    #[test]
-    fn empty_input_is_fine() {
-        let out = simulate_packet(&[], &fabric(), &mut Varys);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let f = fabric();
-        let coflows: Vec<Coflow> = (0..6)
-            .map(|i| {
-                Coflow::builder(i)
-                    .arrival(Time::from_millis(i * 7))
-                    .flow((i as usize) % 4, (i as usize + 1) % 4, mb(1 + i % 5))
-                    .flow((i as usize + 2) % 4, (i as usize + 3) % 4, mb(2))
-                    .build()
-            })
-            .collect();
-        let a = simulate_packet(&coflows, &f, &mut Varys);
-        let b = simulate_packet(&coflows, &f, &mut Varys);
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.finish, y.finish);
-        }
+    fn epoch_only(&self) -> bool {
+        (**self).epoch_only()
     }
 }

@@ -1,9 +1,10 @@
-//! Property tests for the packet-switched fluid simulator: byte
-//! conservation, port-capacity feasibility, and scheduler-independent
-//! sanity across Varys and Aalo.
+//! Property tests for the packet-switched rate allocators: port-capacity
+//! feasibility across Varys and Aalo. (End-to-end simulation properties
+//! — byte conservation, determinism — live in `ocs-sim`'s
+//! `packet_properties` suite, next to the unified event loop.)
 
-use ocs_model::{packet_lower_bound, Bandwidth, Coflow, Dur, Fabric, Time};
-use ocs_packet::{simulate_packet, Aalo, ActiveCoflow, RateScheduler, Varys};
+use ocs_model::{Bandwidth, Coflow, Dur, Fabric, Time};
+use ocs_packet::{Aalo, ActiveCoflow, RateScheduler, Varys};
 use proptest::prelude::*;
 
 fn arb_workload() -> impl Strategy<Value = Vec<Coflow>> {
@@ -37,38 +38,6 @@ fn fabric() -> Fabric {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Every coflow completes; flow finishes are ordered sanely; CCT is
-    /// bounded below by T_pL and above by a gross serialization bound.
-    #[test]
-    fn simulation_is_sound(coflows in arb_workload()) {
-        for outcomes in [
-            simulate_packet(&coflows, &fabric(), &mut Varys),
-            simulate_packet(&coflows, &fabric(), &mut Aalo::default()),
-        ] {
-            prop_assert_eq!(outcomes.len(), coflows.len());
-            let total_flows: usize = coflows.iter().map(|c| c.num_flows()).sum();
-            for (c, o) in coflows.iter().zip(&outcomes) {
-                prop_assert_eq!(o.flow_finish.len(), c.num_flows());
-                prop_assert!(o.finish >= c.arrival());
-                for &t in &o.flow_finish {
-                    prop_assert!(t <= o.finish && t >= c.arrival());
-                }
-                let cct = o.cct(c.arrival()).as_secs_f64();
-                let tpl = packet_lower_bound(c, &fabric()).as_secs_f64();
-                prop_assert!(cct >= tpl - 1e-6);
-                // Gross upper bound: the whole workload serialized.
-                let sum_tpl: f64 = coflows
-                    .iter()
-                    .map(|c| packet_lower_bound(c, &fabric()).as_secs_f64())
-                    .sum();
-                prop_assert!(
-                    cct <= sum_tpl * (total_flows as f64 + 2.0) + 1.0,
-                    "cct {cct} implausibly large"
-                );
-            }
-        }
-    }
-
     /// Rate allocations always respect the per-port bandwidth constraints
     /// of §2.1 (checked at the allocation instant).
     #[test]
@@ -91,16 +60,6 @@ proptest! {
                 prop_assert!(in_sum[p] <= cap * (1.0 + 1e-9), "{} in.{p}", scheduler.name());
                 prop_assert!(out_sum[p] <= cap * (1.0 + 1e-9), "{} out.{p}", scheduler.name());
             }
-        }
-    }
-
-    /// Determinism: identical runs produce identical finish times.
-    #[test]
-    fn runs_are_deterministic(coflows in arb_workload()) {
-        let a = simulate_packet(&coflows, &fabric(), &mut Varys);
-        let b = simulate_packet(&coflows, &fabric(), &mut Varys);
-        for (x, y) in a.iter().zip(&b) {
-            prop_assert_eq!(x.finish, y.finish);
         }
     }
 }

@@ -7,102 +7,21 @@
 //! demand and schedule without considering the structure of multiple
 //! Coflows."
 //!
-//! This module does exactly that, so the claim can be *measured* instead
-//! of asserted: on every Coflow arrival, all outstanding demand is summed
-//! into one matrix, the baseline (Solstice / TMS / Edmond) recomputes its
-//! assignment sequence, and the sequence executes on the not-all-stop
-//! switch until the next arrival invalidates it. Service on a circuit is
-//! attributed to the Coflows demanding it in arrival (FIFO) order — the
-//! scheduler itself cannot express any other preference, which is
-//! precisely its limitation.
+//! [`crate::backend::CircuitBackend`] does exactly that, so the claim
+//! can be *measured* instead of asserted: on every Coflow arrival, all
+//! outstanding demand is summed into one matrix, the baseline (Solstice
+//! / TMS / Edmond) recomputes its assignment sequence, and the sequence
+//! executes on the switch until the next arrival invalidates it. Service
+//! on a circuit is attributed to the Coflows demanding it in arrival
+//! (FIFO) order — the scheduler itself cannot express any other
+//! preference, which is precisely its limitation.
+//!
+//! This module is the batch facade: one [`CircuitBackend`] run to idle
+//! through the unified engine.
 
+use crate::backend::CircuitBackend;
 use ocs_baselines::CircuitScheduler;
-use ocs_model::{Coflow, DemandMatrix, Dur, Fabric, ScheduleOutcome, Time};
-use std::collections::{HashMap, VecDeque};
-
-/// A contiguous transmission interval on one circuit.
-#[derive(Clone, Copy, Debug)]
-struct Segment {
-    src: usize,
-    dst: usize,
-    tx_start: Time,
-    tx_end: Time,
-}
-
-/// Execute `plan` against `remaining` from `t`, stopping at `limit` (or
-/// when the demand drains). Updates `remaining` and the physical circuit
-/// configuration `cur`; returns the transmission segments performed and
-/// the instant execution stopped.
-#[allow(clippy::too_many_arguments)]
-fn run_until(
-    plan: &[ocs_baselines::TimedAssignment],
-    remaining: &mut DemandMatrix,
-    cur: &mut [Option<usize>],
-    delta: Dur,
-    early_advance: bool,
-    mut t: Time,
-    limit: Time,
-    segments: &mut Vec<Segment>,
-    setups: &mut u64,
-) -> Time {
-    for ta in plan {
-        if remaining.is_zero() || t >= limit {
-            break;
-        }
-        let pairs = ta.assignment.pairs();
-        let persistent: Vec<bool> = pairs.iter().map(|&(i, j)| cur[i] == Some(j)).collect();
-        let changed_any = persistent.iter().any(|&p| !p)
-            || cur
-                .iter()
-                .enumerate()
-                .any(|(i, c)| c.is_some() && !pairs.iter().any(|&(pi, _)| pi == i));
-        *setups += persistent.iter().filter(|&&p| !p).count() as u64;
-        let stall = if changed_any { delta } else { Dur::ZERO };
-
-        // Effective transmit duration beyond the stall.
-        let t_eff = if early_advance {
-            let mut needed = Dur::ZERO;
-            for (k, &(i, j)) in pairs.iter().enumerate() {
-                let rem = remaining.get(i, j);
-                if rem > Dur::ZERO {
-                    let offset = if persistent[k] { Dur::ZERO } else { stall };
-                    needed = needed.max((offset + rem).saturating_sub(stall));
-                }
-            }
-            needed.min(ta.duration)
-        } else {
-            ta.duration
-        };
-        let window_end = (t + stall + t_eff).min(limit);
-
-        for (k, &(i, j)) in pairs.iter().enumerate() {
-            let tx_start = t + if persistent[k] { Dur::ZERO } else { stall };
-            cur[i] = Some(j);
-            if window_end <= tx_start {
-                continue;
-            }
-            let served = remaining.drain(i, j, window_end.since(tx_start));
-            if served > Dur::ZERO {
-                segments.push(Segment {
-                    src: i,
-                    dst: j,
-                    tx_start,
-                    tx_end: tx_start + served,
-                });
-            }
-        }
-        for (i, c) in cur.iter_mut().enumerate() {
-            if c.is_some() && !pairs.iter().any(|&(pi, _)| pi == i) {
-                *c = None;
-            }
-        }
-        t = window_end;
-        if t >= limit {
-            break;
-        }
-    }
-    t
-}
+use ocs_model::{Coflow, Fabric, ScheduleOutcome};
 
 /// Replay `coflows` under an aggregated-demand baseline scheduler.
 ///
@@ -120,168 +39,14 @@ pub fn simulate_circuit_aggregated(
     fabric: &Fabric,
     scheduler: CircuitScheduler,
 ) -> Vec<ScheduleOutcome> {
-    for c in coflows {
-        assert!(fabric.fits(c), "coflow {} exceeds fabric ports", c.id());
-    }
-    let n = fabric.ports();
-    let delta = fabric.delta();
-    let early_advance = scheduler.exec_config().early_advance;
-
-    let mut order: Vec<usize> = (0..coflows.len()).collect();
-    order.sort_by_key(|&i| (coflows[i].arrival(), coflows[i].id()));
-
-    // FIFO attribution queues per circuit: (workload index, flow index,
-    // remaining processing time).
-    type FifoQueues = HashMap<(usize, usize), VecDeque<(usize, usize, Dur)>>;
-    let mut fifo: FifoQueues = HashMap::new();
-    let mut remaining = DemandMatrix::zero(n);
-    let mut cur: Vec<Option<usize>> = vec![None; n];
-    let mut finish: Vec<Vec<Option<Time>>> =
-        coflows.iter().map(|c| vec![None; c.num_flows()]).collect();
-    let mut setups = 0u64;
-    let mut t = Time::ZERO;
-
-    let apply_segments =
-        |segments: &[Segment], fifo: &mut FifoQueues, finish: &mut [Vec<Option<Time>>]| {
-            let mut segs = segments.to_vec();
-            segs.sort_by_key(|s| (s.tx_start, s.src, s.dst));
-            for s in segs {
-                let queue = fifo
-                    .get_mut(&(s.src, s.dst))
-                    .expect("segment on circuit without demand");
-                let mut cursor = s.tx_start;
-                let mut budget = s.tx_end.since(s.tx_start);
-                while budget > Dur::ZERO {
-                    let (ci, fi, rem) = *queue.front().expect("served beyond queued demand");
-                    let take = rem.min(budget);
-                    budget -= take;
-                    cursor += take;
-                    if take == rem {
-                        queue.pop_front();
-                        finish[ci][fi] = Some(cursor);
-                    } else {
-                        queue.front_mut().expect("checked").2 = rem - take;
-                    }
-                }
-            }
-        };
-
-    let mut k = 0usize;
-    while k < order.len() {
-        // Admit every coflow arriving at this instant.
-        let now = coflows[order[k]].arrival().max(t);
-        t = now;
-        while k < order.len() && coflows[order[k]].arrival() <= t {
-            let idx = order[k];
-            for (fi, f) in coflows[idx].flows().iter().enumerate() {
-                let p = fabric.processing_time(f.bytes);
-                remaining.add(f.src, f.dst, p);
-                fifo.entry((f.src, f.dst))
-                    .or_default()
-                    .push_back((idx, fi, p));
-            }
-            k += 1;
-        }
-        // Re-plan on the aggregate and run until the next arrival.
-        let limit = order
-            .get(k)
-            .map(|&i| coflows[i].arrival())
-            .unwrap_or(Time::MAX);
-        while !remaining.is_zero() && t < limit {
-            // Compact the aggregate to its active ports before planning —
-            // stuffing a mostly-idle 150-port matrix would flood the
-            // fabric with dummy demand (same compaction the per-Coflow
-            // service path applies). Assignments are translated back to
-            // real ports; circuits that exist purely for stuffing padding
-            // carry no real demand and are dropped from execution.
-            let mut srcs: Vec<usize> = Vec::new();
-            let mut dsts: Vec<usize> = Vec::new();
-            for (i, j, _) in remaining.nonzero() {
-                srcs.push(i);
-                dsts.push(j);
-            }
-            srcs.sort_unstable();
-            srcs.dedup();
-            dsts.sort_unstable();
-            dsts.dedup();
-            let kk = srcs.len().max(dsts.len());
-            let src_at = |c: usize| srcs.get(c).copied();
-            let dst_at = |c: usize| dsts.get(c).copied();
-            let mut compact = DemandMatrix::zero(kk);
-            for (ci, &i) in srcs.iter().enumerate() {
-                for (cj, &j) in dsts.iter().enumerate() {
-                    let p = remaining.get(i, j);
-                    if p > Dur::ZERO {
-                        compact.set(ci, cj, p);
-                    }
-                }
-            }
-            let plan: Vec<ocs_baselines::TimedAssignment> = scheduler
-                .schedule(&compact)
-                .into_iter()
-                .map(|ta| ocs_baselines::TimedAssignment {
-                    assignment: ocs_model::Assignment::new(
-                        ta.assignment
-                            .pairs()
-                            .iter()
-                            .filter_map(|&(ci, cj)| Some((src_at(ci)?, dst_at(cj)?)))
-                            .collect(),
-                    ),
-                    duration: ta.duration,
-                })
-                .collect();
-            let mut segments = Vec::new();
-            let stopped = run_until(
-                &plan,
-                &mut remaining,
-                &mut cur,
-                delta,
-                early_advance,
-                t,
-                limit,
-                &mut segments,
-                &mut setups,
-            );
-            apply_segments(&segments, &mut fifo, &mut finish);
-            assert!(
-                stopped > t || remaining.is_zero() || stopped >= limit,
-                "aggregate replay failed to progress at {t}"
-            );
-            t = stopped;
-            if !remaining.is_zero() && t < limit {
-                // Plan exhausted early (all-real-demand drained windows);
-                // loop re-plans immediately.
-                continue;
-            }
-        }
-        if t < limit && limit != Time::MAX {
-            t = limit;
-        }
-    }
-
-    coflows
-        .iter()
-        .zip(finish)
-        .map(|(c, fl)| {
-            let flow_finish: Vec<Time> = fl
-                .into_iter()
-                .map(|f| f.expect("all demand drained"))
-                .collect();
-            ScheduleOutcome {
-                coflow: c.id(),
-                start: c.arrival(),
-                finish: flow_finish.iter().copied().max().expect("non-empty"),
-                flow_finish,
-                circuit_setups: 0,
-            }
-        })
-        .collect()
+    let mut backend = CircuitBackend::new(fabric, scheduler);
+    crate::engine::run_trace(coflows, &mut backend)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ocs_model::{circuit_lower_bound, Bandwidth};
+    use ocs_model::{circuit_lower_bound, Bandwidth, Dur, Time};
 
     fn fabric() -> Fabric {
         Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(10))

@@ -1,0 +1,1188 @@
+//! The unified scheduling engine: one `SchedulingBackend` trait over the
+//! three scheduler families of the paper's evaluation, so every
+//! cross-cutting feature (the daemon, fault injection, telemetry,
+//! checkpointing, golden-fingerprint guards) lands once instead of three
+//! times.
+//!
+//! A backend is a resumable event-driven simulation of one scheduler on
+//! one fabric: it receives arrivals ([`SchedulingBackend::submit`]), is
+//! polled for its next internal event
+//! ([`SchedulingBackend::next_event_time`]), and advances through timed
+//! port occupancies ([`SchedulingBackend::advance_to`]), emitting
+//! [`Completion`]s. Three implementations cover the paper:
+//!
+//! * [`SunflowBackend`] — Sunflow with a pluggable [`PriorityPolicy`],
+//!   wrapping [`OnlineStepper`] (§4–5).
+//! * [`CircuitBackend`] — the §3.2 aggregated-demand straw man over any
+//!   [`CircuitScheduler`] (Solstice / TMS / Edmond), on either switch
+//!   model of the assignment executor.
+//! * [`PacketBackend`] — the event-driven fluid packet simulation over
+//!   any [`RateScheduler`] (Varys / Aalo / fair sharing).
+//!
+//! The batch entry points (`simulate_circuit`,
+//! `simulate_circuit_aggregated`, `simulate_packet`, `simulate_hybrid`)
+//! are thin constructors over these backends plus the event loop in
+//! [`crate::engine`]; their replays are bit-identical to the historical
+//! standalone loops (pinned by the golden fingerprints in
+//! `replay_regression.rs` and `backend_regression.rs`).
+
+use crate::online::{OnlineConfig, ReplayStats};
+use crate::stepper::{Completion, OnlineStepper, SettleHook, SubmitError};
+use ocs_baselines::{CircuitScheduler, ExecConfig, SwitchModel, TimedAssignment};
+use ocs_model::{Coflow, DemandMatrix, Dur, Fabric, FlowRef, Reservation, ScheduleOutcome, Time};
+use ocs_packet::{Aalo, ActiveCoflow, FairSharing, RateScheduler, Varys};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use sunflow_core::PriorityPolicy;
+
+/// A resumable, event-driven simulation of one Coflow scheduler.
+///
+/// All three scheduler families implement this trait, so the layers
+/// above (batch replays, the hybrid composition, `ocs-bench`, the
+/// `ocs-daemon` service) drive a `&mut dyn SchedulingBackend` instead of
+/// branching per family.
+///
+/// The contract mirrors [`OnlineStepper`]: `submit` queues an arrival at
+/// or after the backend clock, `advance_to(deadline, hook)` processes
+/// every internal event up to and including `deadline` (then floats the
+/// clock to `deadline` unless it is [`Time::MAX`]), and completed
+/// Coflows accumulate until [`SchedulingBackend::drain_completions`].
+pub trait SchedulingBackend {
+    /// Canonical scheduler name for reports, labels and metrics
+    /// ("Sunflow", "Solstice", "Varys", ...).
+    fn name(&self) -> &'static str;
+
+    /// The switch model this backend schedules for: `"not-all-stop"`,
+    /// `"all-stop"`, or `"packet"` (δ = 0).
+    fn switch_model(&self) -> &'static str;
+
+    /// The backend's virtual clock: all events up to here are processed.
+    fn now(&self) -> Time;
+
+    /// Submit one Coflow; it becomes an arrival event at its arrival
+    /// time (which must not precede the clock).
+    fn submit(&mut self, coflow: Coflow) -> Result<(), SubmitError>;
+
+    /// When the next internal event is due, or `None` when idle.
+    /// `Some(Time::MAX)` is the unbounded-work sentinel: the backend has
+    /// drainable demand and no internal boundary before it finishes.
+    fn next_event_time(&self) -> Option<Time>;
+
+    /// Process every event up to and including `deadline`, consulting
+    /// `hook` at each circuit settlement (packet backends never settle
+    /// circuits, so their hook is unused). Returns events processed.
+    fn advance_to(&mut self, deadline: Time, hook: &mut dyn SettleHook) -> u64;
+
+    /// Take every Coflow completion recorded since the last drain, in
+    /// completion order.
+    fn drain_completions(&mut self) -> Vec<Completion>;
+
+    /// True when no work remains: every submitted Coflow has completed.
+    fn is_idle(&self) -> bool;
+
+    /// Arrived, not-yet-completed Coflows.
+    fn active_coflows(&self) -> usize;
+
+    /// Submitted Coflows whose arrival is still in the future.
+    fn queued_arrivals(&self) -> usize;
+
+    /// Total unserved processing time across active Coflows — the
+    /// admission-control "outstanding demand" gauge.
+    fn outstanding_demand(&self) -> Dur;
+
+    /// Flows currently in fault backoff (zero for backends without a
+    /// fault seam).
+    fn deferred_flows(&self) -> usize {
+        0
+    }
+
+    /// Starvation-guard windows elapsed (zero without a guard).
+    fn guard_windows(&self) -> u64 {
+        0
+    }
+
+    /// Replay work counters, for backends that keep them.
+    fn stats(&self) -> Option<ReplayStats> {
+        None
+    }
+
+    /// Drop bookkeeping history no longer reachable from the clock;
+    /// returns how many records were forgotten.
+    fn compact_history(&mut self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sunflow
+// ---------------------------------------------------------------------
+
+/// Sunflow as a [`SchedulingBackend`]: an [`OnlineStepper`] paired with
+/// the [`PriorityPolicy`] it is driven under.
+///
+/// The stepper API threads the policy through every call; the backend
+/// owns one (borrowed policies coerce via the blanket
+/// `impl PriorityPolicy for &P`) so the trait object can be driven
+/// without per-call policy plumbing.
+pub struct SunflowBackend<'p> {
+    stepper: OnlineStepper,
+    policy: Box<dyn PriorityPolicy + 'p>,
+}
+
+impl<'p> SunflowBackend<'p> {
+    /// A Sunflow backend on `fabric` under `config` and `policy`.
+    pub fn new(
+        fabric: &Fabric,
+        config: &OnlineConfig,
+        policy: Box<dyn PriorityPolicy + 'p>,
+    ) -> SunflowBackend<'p> {
+        SunflowBackend {
+            stepper: OnlineStepper::new(fabric, config),
+            policy,
+        }
+    }
+
+    /// The wrapped stepper (read-only), e.g. for PRT inspection.
+    pub fn stepper(&self) -> &OnlineStepper {
+        &self.stepper
+    }
+}
+
+impl SchedulingBackend for SunflowBackend<'_> {
+    fn name(&self) -> &'static str {
+        "Sunflow"
+    }
+
+    fn switch_model(&self) -> &'static str {
+        "not-all-stop"
+    }
+
+    fn now(&self) -> Time {
+        self.stepper.now()
+    }
+
+    fn submit(&mut self, coflow: Coflow) -> Result<(), SubmitError> {
+        self.stepper.submit(coflow, self.policy.as_ref())
+    }
+
+    fn next_event_time(&self) -> Option<Time> {
+        self.stepper.next_event_time()
+    }
+
+    fn advance_to(&mut self, deadline: Time, hook: &mut dyn SettleHook) -> u64 {
+        self.stepper
+            .run_until_with(deadline, self.policy.as_ref(), hook)
+    }
+
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        self.stepper.drain_completions()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.stepper.is_idle()
+    }
+
+    fn active_coflows(&self) -> usize {
+        self.stepper.active_coflows()
+    }
+
+    fn queued_arrivals(&self) -> usize {
+        self.stepper.queued_arrivals()
+    }
+
+    fn outstanding_demand(&self) -> Dur {
+        self.stepper.outstanding_demand()
+    }
+
+    fn deferred_flows(&self) -> usize {
+        self.stepper.deferred_flows()
+    }
+
+    fn guard_windows(&self) -> u64 {
+        self.stepper.guard_windows()
+    }
+
+    fn stats(&self) -> Option<ReplayStats> {
+        Some(self.stepper.stats())
+    }
+
+    fn compact_history(&mut self) -> usize {
+        self.stepper.compact_history()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregated circuit baselines
+// ---------------------------------------------------------------------
+
+/// A contiguous transmission interval on one circuit.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    src: usize,
+    dst: usize,
+    tx_start: Time,
+    tx_end: Time,
+}
+
+/// Per-Coflow bookkeeping of the aggregated replay.
+struct Tracked {
+    id: u64,
+    arrival: Time,
+    finish: Vec<Option<Time>>,
+    unfinished: usize,
+    first_service: Option<Time>,
+}
+
+/// One FIFO attribution queue: (tracked slot, flow index, remaining
+/// processing time) per queued flow on a circuit.
+type FifoQueue = VecDeque<(usize, usize, Dur)>;
+
+/// The §3.2 aggregated-demand straw man as a [`SchedulingBackend`]: on
+/// every Coflow arrival all outstanding demand is summed into one
+/// matrix, the baseline ([`CircuitScheduler`]) recomputes its assignment
+/// sequence, and the sequence executes on the switch until the next
+/// arrival (or the advance deadline) invalidates it. Service on a
+/// circuit is attributed to the Coflows demanding it in arrival (FIFO)
+/// order — the scheduler itself cannot express any other preference,
+/// which is precisely its limitation.
+///
+/// `circuit_setups` in emitted outcomes is zero: with aggregation,
+/// reconfigurations cannot be attributed to any single Coflow — exactly
+/// the observability the aggregation destroys.
+pub struct CircuitBackend {
+    scheduler: CircuitScheduler,
+    exec: ExecConfig,
+    fabric: Fabric,
+    now: Time,
+    /// Future arrivals, keyed by (arrival, id) — admission order.
+    pending: BTreeMap<(Time, u64), Coflow>,
+    /// Every id ever submitted (duplicate rejection).
+    ids: HashSet<u64>,
+    tracked: Vec<Tracked>,
+    /// Aggregate outstanding demand across active Coflows.
+    remaining: DemandMatrix,
+    /// FIFO attribution queues per circuit:
+    /// (tracked slot, flow index, remaining processing time).
+    fifo: HashMap<(usize, usize), FifoQueue>,
+    /// Physical circuit configuration.
+    cur: Vec<Option<usize>>,
+    setups: u64,
+    active: usize,
+    completions: Vec<Completion>,
+}
+
+impl CircuitBackend {
+    /// An aggregated-baseline backend for `scheduler` on `fabric`, under
+    /// the scheduler's own execution config (not-all-stop switch).
+    pub fn new(fabric: &Fabric, scheduler: CircuitScheduler) -> CircuitBackend {
+        CircuitBackend::with_exec(fabric, scheduler, scheduler.exec_config())
+    }
+
+    /// Like [`CircuitBackend::new`] with an explicit execution config
+    /// (the all-stop ablation sets `switch: SwitchModel::AllStop`).
+    pub fn with_exec(
+        fabric: &Fabric,
+        scheduler: CircuitScheduler,
+        exec: ExecConfig,
+    ) -> CircuitBackend {
+        let n = fabric.ports();
+        CircuitBackend {
+            scheduler,
+            exec,
+            fabric: *fabric,
+            now: Time::ZERO,
+            pending: BTreeMap::new(),
+            ids: HashSet::new(),
+            tracked: Vec::new(),
+            remaining: DemandMatrix::zero(n),
+            fifo: HashMap::new(),
+            cur: vec![None; n],
+            setups: 0,
+            active: 0,
+            completions: Vec::new(),
+        }
+    }
+
+    /// Circuit establishments executed so far (aggregate; per-Coflow
+    /// attribution does not exist under aggregation).
+    pub fn circuit_setups(&self) -> u64 {
+        self.setups
+    }
+
+    fn next_arrival(&self) -> Option<Time> {
+        self.pending.keys().next().map(|&(a, _)| a)
+    }
+
+    /// Admit every pending Coflow whose arrival is at or before `now`.
+    fn admit_due(&mut self) -> u64 {
+        let mut admitted = 0u64;
+        while let Some(&(arrival, id)) = self.pending.keys().next() {
+            if arrival > self.now {
+                break;
+            }
+            let c = self.pending.remove(&(arrival, id)).expect("peeked");
+            let slot = self.tracked.len();
+            let mut tr = Tracked {
+                id,
+                arrival,
+                finish: vec![None; c.num_flows()],
+                unfinished: 0,
+                first_service: None,
+            };
+            for (fi, f) in c.flows().iter().enumerate() {
+                let p = self.fabric.processing_time(f.bytes);
+                if p.is_zero() {
+                    // A zero-byte flow needs no circuit: done on arrival.
+                    // (The historical loop queued it and deadlocked.)
+                    tr.finish[fi] = Some(self.now);
+                } else {
+                    self.remaining.add(f.src, f.dst, p);
+                    self.fifo
+                        .entry((f.src, f.dst))
+                        .or_default()
+                        .push_back((slot, fi, p));
+                    tr.unfinished += 1;
+                }
+            }
+            self.active += 1;
+            let all_done = tr.unfinished == 0;
+            self.tracked.push(tr);
+            if all_done {
+                self.complete(slot);
+            }
+            admitted += 1;
+        }
+        admitted
+    }
+
+    fn complete(&mut self, slot: usize) {
+        let tr = &self.tracked[slot];
+        let flow_finish: Vec<Time> = tr
+            .finish
+            .iter()
+            .map(|f| f.expect("all demand drained"))
+            .collect();
+        let finish = flow_finish.iter().copied().max().unwrap_or(tr.arrival);
+        self.completions.push(Completion {
+            outcome: ScheduleOutcome {
+                coflow: tr.id,
+                start: tr.arrival,
+                finish,
+                flow_finish,
+                circuit_setups: 0,
+            },
+            first_service: tr.first_service,
+        });
+        self.active -= 1;
+    }
+
+    /// Replay the plan/execute/attribute loop until `limit` or until the
+    /// aggregate drains; returns planning rounds run.
+    fn execute_until(&mut self, limit: Time, hook: &mut dyn SettleHook) -> u64 {
+        let mut rounds = 0u64;
+        while !self.remaining.is_zero() && self.now < limit {
+            // Compact the aggregate to its active ports before planning —
+            // stuffing a mostly-idle 150-port matrix would flood the
+            // fabric with dummy demand (same compaction the per-Coflow
+            // service path applies). Assignments are translated back to
+            // real ports; circuits that exist purely for stuffing padding
+            // carry no real demand and are dropped from execution.
+            let mut srcs: Vec<usize> = Vec::new();
+            let mut dsts: Vec<usize> = Vec::new();
+            for (i, j, _) in self.remaining.nonzero() {
+                srcs.push(i);
+                dsts.push(j);
+            }
+            srcs.sort_unstable();
+            srcs.dedup();
+            dsts.sort_unstable();
+            dsts.dedup();
+            let kk = srcs.len().max(dsts.len());
+            let src_at = |c: usize| srcs.get(c).copied();
+            let dst_at = |c: usize| dsts.get(c).copied();
+            let mut compact = DemandMatrix::zero(kk);
+            for (ci, &i) in srcs.iter().enumerate() {
+                for (cj, &j) in dsts.iter().enumerate() {
+                    let p = self.remaining.get(i, j);
+                    if p > Dur::ZERO {
+                        compact.set(ci, cj, p);
+                    }
+                }
+            }
+            let plan: Vec<TimedAssignment> = self
+                .scheduler
+                .schedule(&compact)
+                .into_iter()
+                .map(|ta| TimedAssignment {
+                    assignment: ocs_model::Assignment::new(
+                        ta.assignment
+                            .pairs()
+                            .iter()
+                            .filter_map(|&(ci, cj)| Some((src_at(ci)?, dst_at(cj)?)))
+                            .collect(),
+                    ),
+                    duration: ta.duration,
+                })
+                .collect();
+            let mut segments = Vec::new();
+            let stopped = run_plan(
+                &plan,
+                &mut self.remaining,
+                &mut self.cur,
+                self.fabric.delta(),
+                self.exec,
+                self.now,
+                limit,
+                &mut segments,
+                &mut self.setups,
+            );
+            self.apply_segments(&segments, hook);
+            assert!(
+                stopped > self.now || self.remaining.is_zero() || stopped >= limit,
+                "aggregate replay failed to progress at {}",
+                self.now
+            );
+            self.now = stopped;
+            rounds += 1;
+        }
+        rounds
+    }
+
+    /// Attribute transmission segments to Coflow flows in FIFO order,
+    /// consulting `hook` once per settled chunk. A shorted chunk keeps
+    /// the shortfall on the flow's queue entry and restores it to the
+    /// aggregate demand, to be re-planned in a later round.
+    fn apply_segments(&mut self, segments: &[Segment], hook: &mut dyn SettleHook) {
+        let mut segs = segments.to_vec();
+        segs.sort_by_key(|s| (s.tx_start, s.src, s.dst));
+        for s in segs {
+            let mut done_slots: Vec<usize> = Vec::new();
+            let queue = self
+                .fifo
+                .get_mut(&(s.src, s.dst))
+                .expect("segment on circuit without demand");
+            let mut cursor = s.tx_start;
+            let mut budget = s.tx_end.since(s.tx_start);
+            let mut shortfall = Dur::ZERO;
+            while budget > Dur::ZERO {
+                let (slot, fi, rem) = *queue.front().expect("served beyond queued demand");
+                let take = rem.min(budget);
+                budget -= take;
+                let chunk_start = cursor;
+                cursor += take;
+                let resv = Reservation {
+                    src: s.src,
+                    dst: s.dst,
+                    start: chunk_start,
+                    end: cursor,
+                    flow: FlowRef {
+                        coflow: self.tracked[slot].id,
+                        flow_idx: fi,
+                    },
+                };
+                let verdict = hook.on_settle(&resv, take, cursor);
+                let credited = verdict.served.min(take);
+                shortfall += take - credited;
+                let tr = &mut self.tracked[slot];
+                if credited > Dur::ZERO && tr.first_service.is_none() {
+                    tr.first_service = Some(chunk_start);
+                }
+                if credited == rem {
+                    queue.pop_front();
+                    tr.finish[fi] = Some(cursor);
+                    tr.unfinished -= 1;
+                    if tr.unfinished == 0 {
+                        done_slots.push(slot);
+                    }
+                } else {
+                    queue.front_mut().expect("checked").2 = rem - credited;
+                }
+            }
+            for slot in done_slots {
+                self.complete(slot);
+            }
+            if shortfall > Dur::ZERO {
+                self.remaining.add(s.src, s.dst, shortfall);
+            }
+        }
+    }
+}
+
+/// Execute `plan` against `remaining` from `t`, stopping at `limit` (or
+/// when the demand drains). Updates `remaining` and the physical circuit
+/// configuration `cur`; returns the transmission segments performed and
+/// the instant execution stopped.
+///
+/// Under [`SwitchModel::NotAllStop`], circuits persisting across a
+/// reconfiguration transmit through the stall; under
+/// [`SwitchModel::AllStop`] every circuit waits out the stall.
+#[allow(clippy::too_many_arguments)]
+fn run_plan(
+    plan: &[TimedAssignment],
+    remaining: &mut DemandMatrix,
+    cur: &mut [Option<usize>],
+    delta: Dur,
+    cfg: ExecConfig,
+    mut t: Time,
+    limit: Time,
+    segments: &mut Vec<Segment>,
+    setups: &mut u64,
+) -> Time {
+    for ta in plan {
+        if remaining.is_zero() || t >= limit {
+            break;
+        }
+        let pairs = ta.assignment.pairs();
+        let persistent: Vec<bool> = pairs.iter().map(|&(i, j)| cur[i] == Some(j)).collect();
+        let changed_any = persistent.iter().any(|&p| !p)
+            || cur
+                .iter()
+                .enumerate()
+                .any(|(i, c)| c.is_some() && !pairs.iter().any(|&(pi, _)| pi == i));
+        *setups += persistent.iter().filter(|&&p| !p).count() as u64;
+        let stall = if changed_any { delta } else { Dur::ZERO };
+        let rides_through = |k: usize| persistent[k] && cfg.switch == SwitchModel::NotAllStop;
+
+        // Effective transmit duration beyond the stall.
+        let t_eff = if cfg.early_advance {
+            let mut needed = Dur::ZERO;
+            for (k, &(i, j)) in pairs.iter().enumerate() {
+                let rem = remaining.get(i, j);
+                if rem > Dur::ZERO {
+                    let offset = if rides_through(k) { Dur::ZERO } else { stall };
+                    needed = needed.max((offset + rem).saturating_sub(stall));
+                }
+            }
+            needed.min(ta.duration)
+        } else {
+            ta.duration
+        };
+        let window_end = (t + stall + t_eff).min(limit);
+
+        for (k, &(i, j)) in pairs.iter().enumerate() {
+            let tx_start = t + if rides_through(k) { Dur::ZERO } else { stall };
+            cur[i] = Some(j);
+            if window_end <= tx_start {
+                continue;
+            }
+            let served = remaining.drain(i, j, window_end.since(tx_start));
+            if served > Dur::ZERO {
+                segments.push(Segment {
+                    src: i,
+                    dst: j,
+                    tx_start,
+                    tx_end: tx_start + served,
+                });
+            }
+        }
+        for (i, c) in cur.iter_mut().enumerate() {
+            if c.is_some() && !pairs.iter().any(|&(pi, _)| pi == i) {
+                *c = None;
+            }
+        }
+        t = window_end;
+        if t >= limit {
+            break;
+        }
+    }
+    t
+}
+
+impl SchedulingBackend for CircuitBackend {
+    fn name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    fn switch_model(&self) -> &'static str {
+        match self.exec.switch {
+            SwitchModel::NotAllStop => "not-all-stop",
+            SwitchModel::AllStop => "all-stop",
+        }
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn submit(&mut self, coflow: Coflow) -> Result<(), SubmitError> {
+        if !self.fabric.fits(&coflow) {
+            return Err(SubmitError::ExceedsFabric {
+                id: coflow.id(),
+                ports: self.fabric.ports(),
+            });
+        }
+        if !self.ids.insert(coflow.id()) {
+            return Err(SubmitError::DuplicateId(coflow.id()));
+        }
+        if coflow.arrival() < self.now {
+            self.ids.remove(&coflow.id());
+            return Err(SubmitError::ArrivalInPast {
+                arrival: coflow.arrival(),
+                now: self.now,
+            });
+        }
+        self.pending.insert((coflow.arrival(), coflow.id()), coflow);
+        Ok(())
+    }
+
+    fn next_event_time(&self) -> Option<Time> {
+        if !self.remaining.is_zero() {
+            // Drainable demand: work proceeds continuously until the
+            // next arrival re-plans it (or forever — the sentinel).
+            Some(self.next_arrival().unwrap_or(Time::MAX))
+        } else {
+            self.next_arrival()
+        }
+    }
+
+    fn advance_to(&mut self, deadline: Time, hook: &mut dyn SettleHook) -> u64 {
+        let mut processed = 0u64;
+        loop {
+            // Run the current plan window: until the next arrival
+            // invalidates the aggregate, or to the deadline.
+            let limit = match self.next_arrival() {
+                Some(a) if a < deadline => a,
+                _ => deadline,
+            };
+            processed += self.execute_until(limit, hook);
+            if self.now < limit && limit != Time::MAX {
+                // Nothing happens strictly between events; float the
+                // clock so later submissions cannot rewrite this span.
+                self.now = limit;
+            }
+            processed += self.admit_due();
+            if limit >= deadline {
+                break;
+            }
+        }
+        processed
+    }
+
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.active == 0 && self.remaining.is_zero()
+    }
+
+    fn active_coflows(&self) -> usize {
+        self.active
+    }
+
+    fn queued_arrivals(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn outstanding_demand(&self) -> Dur {
+        self.remaining.total()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packet-switched fluid simulation
+// ---------------------------------------------------------------------
+
+/// Bytes below which a fluid flow counts as finished (floating-point
+/// slack; real flows are at least one byte).
+const DONE_EPS: f64 = 1e-3;
+
+/// The event-driven fluid packet simulation as a [`SchedulingBackend`]:
+/// between scheduling events every flow drains linearly at its allocated
+/// rate, so the next interesting instant (flow completion, Coflow
+/// arrival, scheduler-specific event) is computable in closed form — the
+/// backend jumps from event to event.
+///
+/// Faithful to the systems being modelled (§6 of the Sunflow paper and
+/// the Varys design), **rates are recomputed only on Coflow arrivals and
+/// completions** (plus Aalo's queue-crossing events) — *not* on
+/// individual flow completions. A flow that finishes early leaves its
+/// bandwidth idle until the next rescheduling event, an inefficiency the
+/// Sunflow paper leverages in its Figure 9 analysis.
+///
+/// The packet switch configures no circuits, so the [`SettleHook`] fault
+/// seam never fires for this backend.
+pub struct PacketBackend<'s> {
+    scheduler: Box<dyn RateScheduler + 's>,
+    fabric: Fabric,
+    now: Time,
+    /// Future arrivals, keyed by (arrival, id) — admission order.
+    pending: BTreeMap<(Time, u64), Coflow>,
+    ids: HashSet<u64>,
+    acts: Vec<ActiveCoflow>,
+    /// Parallel to `acts`: first instant each Coflow held a positive
+    /// aggregate rate, for queue-latency telemetry.
+    first_service: Vec<Option<Time>>,
+    completions: Vec<Completion>,
+    fuel: u64,
+}
+
+impl<'s> PacketBackend<'s> {
+    /// A packet backend on `fabric` under `scheduler` (borrowed
+    /// schedulers coerce via the blanket `impl RateScheduler for &mut S`).
+    pub fn new(fabric: &Fabric, scheduler: Box<dyn RateScheduler + 's>) -> PacketBackend<'s> {
+        PacketBackend {
+            scheduler,
+            fabric: *fabric,
+            now: Time::ZERO,
+            pending: BTreeMap::new(),
+            ids: HashSet::new(),
+            acts: Vec::new(),
+            first_service: Vec::new(),
+            completions: Vec::new(),
+            fuel: 100_000,
+        }
+    }
+
+    /// Next candidate events: (arrival, flow finish, scheduler event).
+    fn candidates(&self) -> (Option<Time>, Option<Time>, Option<Time>) {
+        let t_arrival = self.pending.keys().next().map(|&(a, _)| a.max(self.now));
+        let t_finish = self
+            .acts
+            .iter()
+            .flat_map(|a| a.flows.iter())
+            .filter(|f| !f.done() && f.rate > 1e-3)
+            .filter_map(|f| {
+                // A near-epsilon rate on a large flow can put the finish
+                // beyond the representable horizon (u64 picoseconds
+                // ≈ 213 days); an earlier event always re-rates the flow
+                // first, so the candidate is simply not due — don't
+                // overflow the clock computing it.
+                let dt = (f.remaining / f.rate).max(0.0);
+                ((dt * 1e12) < (u64::MAX - self.now.as_ps()) as f64).then(|| {
+                    // Round the finish instant *up* one picosecond: at
+                    // high rates the clock quantum exceeds the byte
+                    // epsilon, and rounding down would strand a sliver
+                    // of the flow.
+                    self.now + Dur::from_secs_f64(dt) + Dur::from_ps(1)
+                })
+            })
+            .min();
+        let t_sched = self
+            .scheduler
+            .next_event(&self.acts, self.now)
+            .filter(|&t| t > self.now);
+        (t_arrival, t_finish, t_sched)
+    }
+}
+
+impl SchedulingBackend for PacketBackend<'_> {
+    fn name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    fn switch_model(&self) -> &'static str {
+        "packet"
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn submit(&mut self, coflow: Coflow) -> Result<(), SubmitError> {
+        if !self.fabric.fits(&coflow) {
+            return Err(SubmitError::ExceedsFabric {
+                id: coflow.id(),
+                ports: self.fabric.ports(),
+            });
+        }
+        if !self.ids.insert(coflow.id()) {
+            return Err(SubmitError::DuplicateId(coflow.id()));
+        }
+        if coflow.arrival() < self.now {
+            self.ids.remove(&coflow.id());
+            return Err(SubmitError::ArrivalInPast {
+                arrival: coflow.arrival(),
+                now: self.now,
+            });
+        }
+        self.fuel += 1_000 * (1 + coflow.num_flows() as u64);
+        self.pending.insert((coflow.arrival(), coflow.id()), coflow);
+        Ok(())
+    }
+
+    fn next_event_time(&self) -> Option<Time> {
+        let (t_arrival, t_finish, t_sched) = self.candidates();
+        [t_arrival, t_finish, t_sched].into_iter().flatten().min()
+    }
+
+    fn advance_to(&mut self, deadline: Time, _hook: &mut dyn SettleHook) -> u64 {
+        let mut processed = 0u64;
+        loop {
+            let (t_arrival, t_finish, t_sched) = self.candidates();
+            let t_next = [t_arrival, t_finish, t_sched].into_iter().flatten().min();
+
+            let Some(t_next) = t_next else {
+                // No event will ever fire again. In a batch run that is
+                // a stall unless everything finished; online, a future
+                // submission may still create events.
+                if deadline == Time::MAX {
+                    assert!(
+                        self.acts.iter().all(|a| a.done()),
+                        "packet simulation stalled with unfinished coflows at {}",
+                        self.now
+                    );
+                }
+                break;
+            };
+            if t_next > deadline {
+                break;
+            }
+
+            self.fuel = self
+                .fuel
+                .checked_sub(1)
+                .expect("packet simulation event-count fuel exhausted");
+            processed += 1;
+
+            // Advance fluids to t_next.
+            let dt = t_next.since(self.now).as_secs_f64();
+            if dt > 0.0 {
+                for a in self.acts.iter_mut() {
+                    a.progress(dt);
+                }
+            }
+            self.now = t_next;
+
+            // Mark flow completions.
+            for a in self.acts.iter_mut() {
+                for f in a.flows.iter_mut() {
+                    // A flow is done when its residue is below the byte
+                    // epsilon or below what its rate moves in a nanosecond
+                    // (sub-clock-resolution dust at high bandwidth).
+                    if !f.done() && f.remaining <= DONE_EPS.max(f.rate * 1e-9) {
+                        f.remaining = 0.0;
+                        f.finish = Some(self.now);
+                    }
+                }
+            }
+
+            // Coflow completions.
+            let mut topology_changed = false;
+            let mut k = 0;
+            while k < self.acts.len() {
+                if self.acts[k].done() {
+                    let a = self.acts.remove(k);
+                    let first_service = self.first_service.remove(k);
+                    self.completions.push(Completion {
+                        outcome: ScheduleOutcome {
+                            coflow: a.id,
+                            start: a.arrival,
+                            finish: self.now,
+                            flow_finish: a.flows.iter().map(|f| f.finish.expect("done")).collect(),
+                            circuit_setups: 0,
+                        },
+                        first_service,
+                    });
+                    topology_changed = true;
+                } else {
+                    k += 1;
+                }
+            }
+
+            // Arrivals at (or before) now.
+            while let Some(&(arrival, id)) = self.pending.keys().next() {
+                if arrival > self.now {
+                    break;
+                }
+                let c = self.pending.remove(&(arrival, id)).expect("peeked");
+                self.acts.push(ActiveCoflow::new(&c));
+                self.first_service.push(None);
+                topology_changed = true;
+            }
+
+            // Reschedule on arrivals/completions (unless the scheduler is
+            // epoch-coordinated), and on scheduler events.
+            let sched_fired = t_sched == Some(self.now);
+            let topology_triggers = topology_changed && !self.scheduler.epoch_only();
+            if (topology_triggers || sched_fired) && !self.acts.is_empty() {
+                self.scheduler
+                    .allocate(&mut self.acts, &self.fabric, self.now);
+                for (a, fs) in self.acts.iter().zip(self.first_service.iter_mut()) {
+                    if fs.is_none() && a.total_rate() > 0.0 {
+                        *fs = Some(self.now);
+                    }
+                }
+            }
+
+            if self.acts.is_empty() && self.pending.is_empty() {
+                break;
+            }
+        }
+
+        // Nothing *discrete* happens strictly between events, but fluids
+        // still drain: carry them across the floated span, then pin the
+        // clock. (Skipped at Time::MAX so batch runs stay bit-identical
+        // to the historical loop, which never floated.)
+        if deadline != Time::MAX && self.now < deadline {
+            let dt = deadline.since(self.now).as_secs_f64();
+            if dt > 0.0 {
+                for a in self.acts.iter_mut() {
+                    a.progress(dt);
+                }
+            }
+            self.now = deadline;
+        }
+        processed
+    }
+
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.acts.is_empty()
+    }
+
+    fn active_coflows(&self) -> usize {
+        self.acts.len()
+    }
+
+    fn queued_arrivals(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn outstanding_demand(&self) -> Dur {
+        let bytes: f64 = self
+            .acts
+            .iter()
+            .flat_map(|a| a.flows.iter())
+            .map(|f| f.remaining.max(0.0))
+            .sum();
+        self.fabric.processing_time(bytes.ceil() as u64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------
+
+/// A `--backend` value that no [`BackendKind`] answers to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownBackendError {
+    /// The rejected selector.
+    pub input: String,
+}
+
+impl std::fmt::Display for UnknownBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown backend '{}' (expected one of: sunflow, solstice, tms, edmond, varys, aalo, fair)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for UnknownBackendError {}
+
+/// Every scheduler the unified engine can run, by name — the
+/// `--backend` selector of `ocs-daemond` and the constructor used by
+/// `ocs-bench`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Sunflow on the circuit switch ([`SunflowBackend`]).
+    Sunflow,
+    /// Solstice over aggregated demand ([`CircuitBackend`]).
+    Solstice,
+    /// TMS over aggregated demand ([`CircuitBackend`]).
+    Tms,
+    /// Edmond (default slot) over aggregated demand ([`CircuitBackend`]).
+    Edmond,
+    /// Varys on the packet switch ([`PacketBackend`]).
+    Varys,
+    /// Aalo on the packet switch ([`PacketBackend`]).
+    Aalo,
+    /// Coflow-agnostic max-min fair sharing on the packet switch
+    /// ([`PacketBackend`]).
+    FairSharing,
+}
+
+impl BackendKind {
+    /// Every selectable backend.
+    pub const ALL: [BackendKind; 7] = [
+        BackendKind::Sunflow,
+        BackendKind::Solstice,
+        BackendKind::Tms,
+        BackendKind::Edmond,
+        BackendKind::Varys,
+        BackendKind::Aalo,
+        BackendKind::FairSharing,
+    ];
+
+    /// The canonical scheduler name — the single source every report
+    /// label and metric routes through ([`SchedulingBackend::name`]
+    /// returns the same string).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Sunflow => "Sunflow",
+            BackendKind::Solstice => CircuitScheduler::Solstice.name(),
+            BackendKind::Tms => CircuitScheduler::Tms.name(),
+            BackendKind::Edmond => CircuitScheduler::edmond_default().name(),
+            BackendKind::Varys => RateScheduler::name(&Varys),
+            BackendKind::Aalo => RateScheduler::name(&Aalo::default()),
+            BackendKind::FairSharing => RateScheduler::name(&FairSharing),
+        }
+    }
+
+    /// Construct the backend on `fabric`. `online` and `policy` drive
+    /// the Sunflow backend and are ignored by the others (their
+    /// schedulers take no priority policy).
+    pub fn build<'p>(
+        &self,
+        fabric: &Fabric,
+        online: &OnlineConfig,
+        policy: Box<dyn PriorityPolicy + 'p>,
+    ) -> Box<dyn SchedulingBackend + 'p> {
+        match self {
+            BackendKind::Sunflow => Box::new(SunflowBackend::new(fabric, online, policy)),
+            BackendKind::Solstice => {
+                Box::new(CircuitBackend::new(fabric, CircuitScheduler::Solstice))
+            }
+            BackendKind::Tms => Box::new(CircuitBackend::new(fabric, CircuitScheduler::Tms)),
+            BackendKind::Edmond => Box::new(CircuitBackend::new(
+                fabric,
+                CircuitScheduler::edmond_default(),
+            )),
+            BackendKind::Varys => Box::new(PacketBackend::new(fabric, Box::new(Varys))),
+            BackendKind::Aalo => Box::new(PacketBackend::new(fabric, Box::new(Aalo::default()))),
+            BackendKind::FairSharing => Box::new(PacketBackend::new(fabric, Box::new(FairSharing))),
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = UnknownBackendError;
+
+    fn from_str(s: &str) -> Result<BackendKind, UnknownBackendError> {
+        match s.to_ascii_lowercase().as_str() {
+            "sunflow" => Ok(BackendKind::Sunflow),
+            "solstice" => Ok(BackendKind::Solstice),
+            "tms" => Ok(BackendKind::Tms),
+            "edmond" => Ok(BackendKind::Edmond),
+            "varys" => Ok(BackendKind::Varys),
+            "aalo" => Ok(BackendKind::Aalo),
+            "fair" | "fairsharing" => Ok(BackendKind::FairSharing),
+            _ => Err(UnknownBackendError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stepper::FullService;
+    use ocs_model::Bandwidth;
+    use sunflow_core::ShortestFirst;
+
+    fn fabric() -> Fabric {
+        Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(10))
+    }
+
+    #[test]
+    fn backend_kind_parses_and_rejects() {
+        for kind in BackendKind::ALL {
+            let parsed: BackendKind = kind
+                .name()
+                .to_ascii_lowercase()
+                .parse()
+                .expect("canonical name parses");
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("fair".parse::<BackendKind>(), Ok(BackendKind::FairSharing));
+        let err = "warp-drive".parse::<BackendKind>().unwrap_err();
+        assert!(err.to_string().contains("warp-drive"));
+        assert!(err.to_string().contains("solstice"));
+    }
+
+    #[test]
+    fn every_backend_reports_name_and_switch_model() {
+        let f = fabric();
+        let expect = [
+            (BackendKind::Sunflow, "Sunflow", "not-all-stop"),
+            (BackendKind::Solstice, "Solstice", "not-all-stop"),
+            (BackendKind::Tms, "TMS", "not-all-stop"),
+            (BackendKind::Edmond, "Edmond", "not-all-stop"),
+            (BackendKind::Varys, "Varys", "packet"),
+            (BackendKind::Aalo, "Aalo", "packet"),
+            (BackendKind::FairSharing, "FairSharing", "packet"),
+        ];
+        for (kind, name, switch) in expect {
+            let b = kind.build(&f, &OnlineConfig::default(), Box::new(ShortestFirst));
+            assert_eq!(b.name(), name);
+            assert_eq!(kind.name(), name);
+            assert_eq!(b.switch_model(), switch);
+            assert!(b.is_idle());
+            assert_eq!(b.now(), Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn submit_errors_are_typed_for_every_backend() {
+        let f = fabric();
+        for kind in BackendKind::ALL {
+            let mut b = kind.build(&f, &OnlineConfig::default(), Box::new(ShortestFirst));
+            b.submit(Coflow::builder(1).flow(0, 0, 1_000).build())
+                .expect("fits");
+            assert_eq!(
+                b.submit(Coflow::builder(1).flow(1, 1, 1_000).build()),
+                Err(SubmitError::DuplicateId(1)),
+                "{}",
+                kind.name()
+            );
+            assert!(
+                matches!(
+                    b.submit(Coflow::builder(2).flow(7, 0, 1_000).build()),
+                    Err(SubmitError::ExceedsFabric { id: 2, .. })
+                ),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    /// Chunked advancement (many small deadlines) completes the same
+    /// workload as one shot for every backend family.
+    #[test]
+    fn chunked_advance_drains_every_backend() {
+        let f = fabric();
+        for kind in BackendKind::ALL {
+            let mut b = kind.build(&f, &OnlineConfig::default(), Box::new(ShortestFirst));
+            for i in 0..4u64 {
+                b.submit(
+                    Coflow::builder(i)
+                        .arrival(Time::from_millis(i * 20))
+                        .flow((i as usize) % 4, (i as usize + 1) % 4, 2_000_000)
+                        .build(),
+                )
+                .expect("fits");
+            }
+            let mut hook = FullService;
+            let mut t = Time::ZERO;
+            for _ in 0..400 {
+                if b.is_idle() {
+                    break;
+                }
+                t += Dur::from_millis(25);
+                b.advance_to(t, &mut hook);
+            }
+            if !b.is_idle() {
+                b.advance_to(Time::MAX, &mut hook);
+            }
+            assert!(b.is_idle(), "{}", kind.name());
+            let done = b.drain_completions();
+            assert_eq!(done.len(), 4, "{}", kind.name());
+            for c in &done {
+                assert!(c.first_service.is_some(), "{}", kind.name());
+                assert!(c.outcome.finish >= c.outcome.start);
+            }
+        }
+    }
+}

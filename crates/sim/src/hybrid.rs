@@ -14,10 +14,22 @@
 //! traffic is not centrally scheduled), while the rest rides the
 //! Sunflow-scheduled circuit network at full bandwidth. A Coflow
 //! completes when *both* of its parts have: the CCT combines them.
+//!
+//! The two networks are simulated as two [`SchedulingBackend`]s —
+//! [`SunflowBackend`] on the full-rate fabric, [`PacketBackend`] on the
+//! slim one — composed on **one shared event loop and virtual clock**
+//! ([`crate::engine::run_backends_to_idle`]), not as two independent
+//! simulations stitched together afterwards. Each backend is advanced
+//! only at its own event instants, so the composition is provably
+//! identical to running each side alone — while keeping both sides
+//! coherent in time for online drivers.
 
-use crate::online::{simulate_circuit, OnlineConfig, ReplayStats};
+use crate::backend::{PacketBackend, SchedulingBackend, SunflowBackend};
+use crate::engine::run_backends_to_idle;
+use crate::online::{OnlineConfig, ReplayStats};
+use crate::stepper::{FullService, SubmitError};
 use ocs_model::{Bandwidth, Coflow, Fabric, ScheduleOutcome, Time};
-use ocs_packet::{simulate_packet, FairSharing};
+use ocs_packet::FairSharing;
 use sunflow_core::PriorityPolicy;
 
 /// Hybrid network parameters.
@@ -101,34 +113,39 @@ pub fn simulate_hybrid(
         placement.push(map);
     }
 
-    // Circuit side: full-rate fabric under Sunflow.
-    let circuit_coflows: Vec<Coflow> = circuit_part.iter().flatten().cloned().collect();
-    let (circuit_outcomes, stats) = if circuit_coflows.is_empty() {
-        (Vec::new(), ReplayStats::default())
-    } else {
-        let r = simulate_circuit(&circuit_coflows, fabric, &config.online, policy);
-        (r.outcomes, r.stats)
-    };
-    let mut circuit_by_id = std::collections::HashMap::new();
-    for o in circuit_outcomes {
-        circuit_by_id.insert(o.coflow, o);
-    }
-
-    // Packet side: slim fabric, fair sharing (leftover traffic is not
-    // Coflow-scheduled).
+    // Circuit side: full-rate fabric under Sunflow. Packet side: slim
+    // fabric, fair sharing (leftover traffic is not Coflow-scheduled).
     let packet_bw = Bandwidth::from_bps(
         ((fabric.bandwidth().as_bps() as f64) * config.packet_bandwidth_fraction).max(1.0) as u64,
     );
     let packet_fabric = Fabric::new(fabric.ports(), packet_bw, fabric.delta());
-    let packet_coflows: Vec<Coflow> = packet_part.iter().flatten().cloned().collect();
-    let packet_outcomes = if packet_coflows.is_empty() {
-        Vec::new()
-    } else {
-        simulate_packet(&packet_coflows, &packet_fabric, &mut FairSharing)
+    let mut sun = SunflowBackend::new(fabric, &config.online, Box::new(policy));
+    let mut fair = FairSharing;
+    let mut packet = PacketBackend::new(&packet_fabric, Box::new(&mut fair));
+
+    let submit = |backend: &mut dyn SchedulingBackend, c: &Coflow| match backend.submit(c.clone()) {
+        Ok(()) => {}
+        Err(SubmitError::ExceedsFabric { id, .. }) => panic!("coflow {id} exceeds fabric ports"),
+        Err(e) => panic!("coflow ids must be unique: {e}"),
     };
+    for c in circuit_part.iter().flatten() {
+        submit(&mut sun, c);
+    }
+    for c in packet_part.iter().flatten() {
+        submit(&mut packet, c);
+    }
+
+    // One event loop, one clock, two networks.
+    run_backends_to_idle(&mut [&mut sun, &mut packet], &mut FullService);
+
+    let stats = sun.stats().unwrap_or_default();
+    let mut circuit_by_id = std::collections::HashMap::new();
+    for c in sun.drain_completions() {
+        circuit_by_id.insert(c.outcome.coflow, c.outcome);
+    }
     let mut packet_by_id = std::collections::HashMap::new();
-    for o in packet_outcomes {
-        packet_by_id.insert(o.coflow, o);
+    for c in packet.drain_completions() {
+        packet_by_id.insert(c.outcome.coflow, c.outcome);
     }
 
     // Merge the two halves per coflow.
@@ -176,6 +193,7 @@ pub fn simulate_hybrid(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::online::simulate_circuit;
     use ocs_model::Dur;
     use sunflow_core::ShortestFirst;
 

@@ -20,10 +20,12 @@ pub enum IntraEngine {
 }
 
 impl IntraEngine {
-    /// Name for reports.
+    /// Canonical scheduler name for reports (the same string
+    /// [`crate::backend::SchedulingBackend::name`] reports for the
+    /// corresponding online backend).
     pub fn name(&self) -> &'static str {
         match self {
-            IntraEngine::Sunflow(_) => "Sunflow",
+            IntraEngine::Sunflow(_) => crate::backend::BackendKind::Sunflow.name(),
             IntraEngine::Baseline(b) => b.name(),
         }
     }

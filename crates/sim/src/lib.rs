@@ -1,5 +1,13 @@
-//! # ocs-sim — trace-driven simulation drivers for the circuit network
+//! # ocs-sim — the unified scheduling engine and its simulation drivers
 //!
+//! * [`backend`] — the [`SchedulingBackend`] abstraction: Sunflow, the
+//!   aggregated circuit baselines (Solstice/TMS/Edmond) and the
+//!   packet-switched rate schedulers (Varys/Aalo/fair sharing) behind
+//!   one resumable submit / poll / advance interface, selectable by name
+//!   through [`BackendKind`].
+//! * [`engine`] — the canonical event loop over backends: every batch
+//!   `simulate_*` entry point and every online driver runs it; multiple
+//!   backends compose on one shared virtual clock.
 //! * [`intra_driver`] — the paper's intra-Coflow evaluation: each Coflow
 //!   serviced alone on an idle fabric, under Sunflow or any of the
 //!   assignment-based baselines.
@@ -7,12 +15,13 @@
 //!   arrival times, rescheduling on Coflow arrivals and completions,
 //!   configurable in-flight-circuit policy and the optional §4.2
 //!   starvation guard.
-//! * [`stepper`] — the same replay as a resumable state machine: feed
+//! * [`stepper`] — Sunflow's replay as a resumable state machine: feed
 //!   arrivals one at a time, advance to a deadline, drain completions,
-//!   inject settlement faults, snapshot/restore. The substrate of the
-//!   `ocs-daemon` online scheduling service.
+//!   inject settlement faults, snapshot/restore. The substrate of
+//!   [`SunflowBackend`].
 //! * [`hybrid`] — the §6 REACToR-style hybrid: small flows offloaded to a
-//!   slim packet network, heavy flows on Sunflow-scheduled circuits.
+//!   slim packet network, heavy flows on Sunflow-scheduled circuits —
+//!   two backends on one clock.
 //! * [`aggregate`] — the §3.2 straw man, measured: Solstice/TMS/Edmond
 //!   forced to schedule all outstanding Coflows as one aggregated demand
 //!   matrix, with FIFO service attribution.
@@ -20,13 +29,16 @@
 //!   (trace, B, δ, policy) configurations fanned out over scoped worker
 //!   threads with deterministic result ordering and per-run timings.
 //!
-//! The packet-switched counterpart lives in `ocs-packet`; both produce
+//! The rate allocators themselves live in `ocs-packet` and the
+//! assignment algorithms in `ocs-baselines`; every backend produces
 //! [`ocs_model::ScheduleOutcome`]s so results compare directly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod aggregate;
+pub mod backend;
+pub mod engine;
 pub mod hybrid;
 pub mod intra_driver;
 pub mod online;
@@ -34,6 +46,11 @@ pub mod stepper;
 pub mod sweep;
 
 pub use aggregate::simulate_circuit_aggregated;
+pub use backend::{
+    BackendKind, CircuitBackend, PacketBackend, SchedulingBackend, SunflowBackend,
+    UnknownBackendError,
+};
+pub use engine::{run_backends_to_idle, run_trace, simulate_packet};
 pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult};
 pub use intra_driver::{run_intra, IntraEngine};
 pub use online::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult, ReplayStats};

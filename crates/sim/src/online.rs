@@ -22,9 +22,8 @@
 //! window's circuits receives an equal share of its transmit time, and
 //! each guard-window end is an additional rescheduling point.
 
-use crate::stepper::OnlineStepper;
+use crate::backend::{SchedulingBackend, SunflowBackend};
 use ocs_model::{Coflow, Fabric, ScheduleOutcome};
-use std::collections::HashMap;
 use sunflow_core::{GuardConfig, PriorityPolicy, SunflowConfig};
 
 /// What happens to circuits that are mid-transmission when priorities
@@ -187,41 +186,23 @@ pub struct ReplayStats {
 /// the given inter-Coflow `policy`. Returns per-Coflow outcomes in input
 /// order.
 ///
-/// This is the batch entry point: it submits every Coflow to an
-/// [`OnlineStepper`] up front and runs the stepper to idle. Feeding the
-/// same trace incrementally through a stepper produces byte-identical
-/// results (pinned by the golden fingerprints in `replay_regression.rs`).
+/// This is the batch entry point: a thin constructor of a
+/// [`SunflowBackend`] run to idle through the unified engine
+/// ([`crate::engine::run_trace`]). Feeding the same trace incrementally
+/// through a stepper produces byte-identical results (pinned by the
+/// golden fingerprints in `replay_regression.rs`).
 pub fn simulate_circuit(
     coflows: &[Coflow],
     fabric: &Fabric,
     config: &OnlineConfig,
     policy: &dyn PriorityPolicy,
 ) -> ReplayResult {
-    for c in coflows {
-        assert!(fabric.fits(c), "coflow {} exceeds fabric ports", c.id());
-    }
-    let mut stepper = OnlineStepper::new(fabric, config);
-    for c in coflows {
-        if let Err(e) = stepper.submit(c.clone(), policy) {
-            // Keep the historical panic message for duplicate ids; the
-            // other variants cannot occur (fits was checked, clock is 0).
-            panic!("coflow ids must be unique: {e}");
-        }
-    }
-    stepper.run_to_idle(policy);
-
-    let mut by_id: HashMap<u64, ScheduleOutcome> = stepper
-        .drain_completions()
-        .into_iter()
-        .map(|c| (c.outcome.coflow, c.outcome))
-        .collect();
+    let mut backend = SunflowBackend::new(fabric, config, Box::new(policy));
+    let outcomes = crate::engine::run_trace(coflows, &mut backend);
     ReplayResult {
-        outcomes: coflows
-            .iter()
-            .map(|c| by_id.remove(&c.id()).expect("every coflow completes"))
-            .collect(),
-        guard_windows: stepper.guard_windows(),
-        stats: stepper.stats(),
+        outcomes,
+        guard_windows: backend.guard_windows(),
+        stats: backend.stats().unwrap_or_default(),
     }
 }
 

@@ -1,0 +1,145 @@
+//! Bit-identity regression tests for the baseline and packet replays.
+//!
+//! The Sunflow replay has been fingerprint-guarded since PR 2; the
+//! aggregated circuit baselines (`simulate_circuit_aggregated`) and the
+//! fluid packet simulation (`simulate_packet`) had no replay-identity
+//! guard at all. The golden fingerprints below were captured from the
+//! pre-`SchedulingBackend` implementations (the standalone event loops
+//! in `aggregate.rs` and `ocs_packet::sim`) on fixed deterministic
+//! workloads; the unified engine must reproduce them byte for byte.
+
+use ocs_baselines::CircuitScheduler;
+use ocs_model::{Bandwidth, Coflow, Dur, Fabric, ScheduleOutcome, Time};
+use ocs_packet::{Aalo, RateScheduler, Varys};
+use ocs_sim::{simulate_circuit_aggregated, simulate_packet};
+
+fn fabric() -> Fabric {
+    Fabric::new(8, Bandwidth::GBPS, Dur::from_millis(10))
+}
+
+/// xorshift64* so the workload is deterministic without pulling `rand`
+/// into the fixture (same generator as `replay_regression.rs`).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// A dense, overlapping 40-Coflow workload on 8 ports: 1–4 flows each,
+/// 1–24 MB per flow, arrivals spread over ~2 s (identical to the Sunflow
+/// regression workload, so the three engine families are pinned on the
+/// same trace).
+fn workload() -> Vec<Coflow> {
+    let mut s = 0x5af1_0e5e_ed00_0001u64;
+    let mut coflows = Vec::new();
+    for id in 0..40u64 {
+        let arrival = Time::from_millis(xorshift(&mut s) % 2_000);
+        let mut b = Coflow::builder(id).arrival(arrival);
+        let flows = 1 + (xorshift(&mut s) % 4) as usize;
+        for _ in 0..flows {
+            let src = (xorshift(&mut s) % 8) as usize;
+            let dst = (xorshift(&mut s) % 8) as usize;
+            let bytes = (1 + xorshift(&mut s) % 24) * 1_000_000;
+            b = b.flow(src, dst, bytes);
+        }
+        coflows.push(b.build());
+    }
+    coflows
+}
+
+/// FNV-1a over every observable field of the outcomes.
+fn fingerprint(outcomes: &[ScheduleOutcome]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for o in outcomes {
+        eat(o.coflow);
+        eat(o.start.as_ps());
+        eat(o.finish.as_ps());
+        eat(o.circuit_setups);
+        for f in &o.flow_finish {
+            eat(f.as_ps());
+        }
+    }
+    h
+}
+
+fn run_aggregated(scheduler: CircuitScheduler) -> Vec<ScheduleOutcome> {
+    simulate_circuit_aggregated(&workload(), &fabric(), scheduler)
+}
+
+fn run_packet(scheduler: &mut dyn RateScheduler) -> Vec<ScheduleOutcome> {
+    simulate_packet(&workload(), &fabric(), scheduler)
+}
+
+#[test]
+fn solstice_aggregated_matches_golden() {
+    let out = run_aggregated(CircuitScheduler::Solstice);
+    assert_eq!(fingerprint(&out), GOLDEN_SOLSTICE);
+}
+
+#[test]
+fn tms_aggregated_matches_golden() {
+    let out = run_aggregated(CircuitScheduler::Tms);
+    assert_eq!(fingerprint(&out), GOLDEN_TMS);
+}
+
+#[test]
+fn edmond_aggregated_matches_golden() {
+    let out = run_aggregated(CircuitScheduler::edmond_default());
+    assert_eq!(fingerprint(&out), GOLDEN_EDMOND);
+}
+
+#[test]
+fn varys_packet_matches_golden() {
+    let out = run_packet(&mut Varys);
+    assert_eq!(fingerprint(&out), GOLDEN_VARYS);
+}
+
+#[test]
+fn aalo_packet_matches_golden() {
+    let out = run_packet(&mut Aalo::default());
+    assert_eq!(fingerprint(&out), GOLDEN_AALO);
+}
+
+/// Prints the fingerprints so they can be (re)captured from a reference
+/// tree: `cargo test -p ocs-sim --test backend_regression capture -- --ignored --nocapture`.
+#[test]
+#[ignore = "golden capture helper, not a check"]
+fn capture() {
+    println!(
+        "GOLDEN_SOLSTICE: {:#018x}",
+        fingerprint(&run_aggregated(CircuitScheduler::Solstice))
+    );
+    println!(
+        "GOLDEN_TMS: {:#018x}",
+        fingerprint(&run_aggregated(CircuitScheduler::Tms))
+    );
+    println!(
+        "GOLDEN_EDMOND: {:#018x}",
+        fingerprint(&run_aggregated(CircuitScheduler::edmond_default()))
+    );
+    println!(
+        "GOLDEN_VARYS: {:#018x}",
+        fingerprint(&run_packet(&mut Varys))
+    );
+    println!(
+        "GOLDEN_AALO: {:#018x}",
+        fingerprint(&run_packet(&mut Aalo::default()))
+    );
+}
+
+// Golden fingerprints captured from the pre-engine standalone loops
+// (`aggregate.rs` + `ocs_packet::sim`) on the workload above.
+const GOLDEN_SOLSTICE: u64 = 0xda03bc05f023cf6d;
+const GOLDEN_TMS: u64 = 0x4d7549d6d13c5a51;
+const GOLDEN_EDMOND: u64 = 0xdd17132e670c8d5e;
+const GOLDEN_VARYS: u64 = 0x79b3e37b41e521ad;
+const GOLDEN_AALO: u64 = 0x34f70c5c127183e0;

@@ -1,0 +1,83 @@
+//! Property tests for the packet-switched fluid simulation through the
+//! unified engine: byte conservation and determinism across Varys and
+//! Aalo. (Allocation-instant port-capacity feasibility is tested in
+//! `ocs-packet`'s own `fluid_properties` suite, next to the allocators.)
+
+use ocs_model::{packet_lower_bound, Bandwidth, Coflow, Dur, Fabric, Time};
+use ocs_packet::{Aalo, Varys};
+use ocs_sim::simulate_packet;
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = Vec<Coflow>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::btree_set((0usize..4, 0usize..4), 1..=6),
+            proptest::collection::vec(1u64..8_000_000, 6),
+            0u64..200,
+        ),
+        1..=6,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(id, (pairs, sizes, arrive_ms))| {
+                let mut b = Coflow::builder(id as u64).arrival(Time::from_millis(arrive_ms));
+                for (&(s, d), &z) in pairs.iter().zip(&sizes) {
+                    b = b.flow(s, d, z);
+                }
+                b.build()
+            })
+            .collect()
+    })
+}
+
+fn fabric() -> Fabric {
+    Fabric::new(4, Bandwidth::GBPS, Dur::ZERO)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every coflow completes; flow finishes are ordered sanely; CCT is
+    /// bounded below by T_pL and above by a gross serialization bound.
+    #[test]
+    fn simulation_is_sound(coflows in arb_workload()) {
+        for outcomes in [
+            simulate_packet(&coflows, &fabric(), &mut Varys),
+            simulate_packet(&coflows, &fabric(), &mut Aalo::default()),
+        ] {
+            prop_assert_eq!(outcomes.len(), coflows.len());
+            let total_flows: usize = coflows.iter().map(|c| c.num_flows()).sum();
+            for (c, o) in coflows.iter().zip(&outcomes) {
+                prop_assert_eq!(o.flow_finish.len(), c.num_flows());
+                prop_assert!(o.finish >= c.arrival());
+                for &t in &o.flow_finish {
+                    prop_assert!(t <= o.finish && t >= c.arrival());
+                }
+                let cct = o.cct(c.arrival()).as_secs_f64();
+                let tpl = packet_lower_bound(c, &fabric()).as_secs_f64();
+                prop_assert!(cct >= tpl - 1e-6);
+                // Gross upper bound: the whole workload serialized.
+                let sum_tpl: f64 = coflows
+                    .iter()
+                    .map(|c| packet_lower_bound(c, &fabric()).as_secs_f64())
+                    .sum();
+                prop_assert!(
+                    cct <= sum_tpl * (total_flows as f64 + 2.0) + 1.0,
+                    "cct {cct} implausibly large"
+                );
+            }
+        }
+    }
+
+    /// Determinism: identical runs produce identical finish times.
+    #[test]
+    fn runs_are_deterministic(coflows in arb_workload()) {
+        let a = simulate_packet(&coflows, &fabric(), &mut Varys);
+        let b = simulate_packet(&coflows, &fabric(), &mut Varys);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.finish, y.finish);
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! ```
 
 use sunflow::metrics::{mean, Table};
-use sunflow::packet::{simulate_packet, Aalo, Varys};
+use sunflow::packet::{Aalo, Varys};
 use sunflow::prelude::*;
 use sunflow::workload::{generate, network_idleness, perturb_sizes, SynthConfig};
 

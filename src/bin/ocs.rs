@@ -13,8 +13,10 @@
 //!     statistics against the lower bounds.
 //!
 //! ocs replay --trace FILE --scheduler SCHED [--gbps N] [--delta-ms N]
-//!     Full trace replay with arrival times under sunflow (circuit
-//!     switched) or varys / aalo (packet switched); prints average CCT.
+//!     Full trace replay with arrival times under any unified-engine
+//!     backend: sunflow (circuit switched), solstice / tms / edmond
+//!     (aggregated circuit baselines) or varys / aalo / fair (packet
+//!     switched); prints average CCT.
 //!
 //! ocs info --trace FILE [--gbps N]
 //!     Print the Table-4 style taxonomy and idleness of a trace.
@@ -30,9 +32,8 @@ use sunflow::metrics::{mean, percentile, Table};
 use sunflow::model::{
     circuit_lower_bound, packet_lower_bound, Bandwidth, Category, Coflow, Dur, Fabric, Time,
 };
-use sunflow::packet::{simulate_packet, Aalo, Varys};
 use sunflow::scheduler::{ShortestFirst, SunflowConfig};
-use sunflow::sim::{run_intra, simulate_circuit, IntraEngine, OnlineConfig};
+use sunflow::sim::{run_intra, run_trace, BackendKind, IntraEngine, OnlineConfig};
 use sunflow::workload::{generate, network_idleness, parse, perturb_sizes, write, SynthConfig};
 
 fn main() -> ExitCode {
@@ -74,7 +75,7 @@ ocs — Sunflow optical circuit scheduling toolkit
 USAGE:
   ocs generate [--coflows N] [--ports P] [--seed S] [--horizon SECS] [--out FILE]
   ocs intra    --trace FILE [--scheduler sunflow|solstice|tms|edmond] [--gbps N] [--delta-ms N]
-  ocs replay   --trace FILE [--scheduler sunflow|varys|aalo] [--gbps N] [--delta-ms N]
+  ocs replay   --trace FILE [--scheduler sunflow|solstice|tms|edmond|varys|aalo|fair] [--gbps N] [--delta-ms N]
   ocs info     --trace FILE [--gbps N]";
 
 /// Minimal `--key value` option parser.
@@ -188,22 +189,20 @@ fn cmd_intra(opts: &Opts) -> Result<(), String> {
 fn cmd_replay(opts: &Opts) -> Result<(), String> {
     let (ports, coflows) = load_trace(opts)?;
     let fabric = fabric_for(opts, ports)?;
-    let name = opts.get("scheduler").unwrap_or("sunflow");
-    let outcomes = match name {
-        "sunflow" => {
-            simulate_circuit(&coflows, &fabric, &OnlineConfig::default(), &ShortestFirst).outcomes
-        }
-        "varys" => simulate_packet(&coflows, &fabric, &mut Varys),
-        "aalo" => simulate_packet(&coflows, &fabric, &mut Aalo::default()),
-        other => return Err(format!("unknown replay scheduler {other:?}")),
-    };
+    let kind: BackendKind = opts
+        .get("scheduler")
+        .unwrap_or("sunflow")
+        .parse()
+        .map_err(|e: sunflow::sim::UnknownBackendError| e.to_string())?;
+    let mut backend = kind.build(&fabric, &OnlineConfig::default(), Box::new(ShortestFirst));
+    let outcomes = run_trace(&coflows, backend.as_mut());
     let ccts: Vec<f64> = coflows
         .iter()
         .zip(&outcomes)
         .map(|(c, o)| o.cct(c.arrival()).as_secs_f64())
         .collect();
     let mut table = Table::new(["metric", "value"]);
-    table.row(["scheduler", name]);
+    table.row(["scheduler", kind.name()]);
     table.row(["coflows", &coflows.len().to_string()]);
     table.row([
         "avg CCT (s)",

@@ -16,8 +16,9 @@
 //!   not-all-stop switch models.
 //! * [`packet`] — the packet-switched Coflow schedulers Varys and Aalo on a
 //!   fluid-rate fabric.
-//! * [`sim`] — the discrete-event simulation drivers (sequential
-//!   intra-Coflow replay and online trace replay).
+//! * [`sim`] — the unified scheduling engine: every scheduler family
+//!   behind one `SchedulingBackend` abstraction, the canonical event
+//!   loop, and the batch simulation drivers built on it.
 //! * [`workload`] — trace parsing and the calibrated synthetic Facebook-like
 //!   workload generator.
 //! * [`matching`] — bipartite matching algorithms used by the baselines.
@@ -81,9 +82,10 @@ pub mod prelude {
     pub use sunflow_core::{
         FlowOrder, GuardConfig, IntraScheduler, Prt, ShortestFirst, SunflowConfig,
     };
-    // Simulation drivers and the parallel sweep engine.
+    // The unified engine, simulation drivers and the parallel sweep.
     pub use ocs_sim::{
-        run_intra, simulate_circuit, ActiveCircuitPolicy, IntraEngine, OnlineConfig, ReplayResult,
-        ReplayStats, Sweep, SweepBuilder,
+        run_intra, simulate_circuit, simulate_packet, ActiveCircuitPolicy, BackendKind,
+        IntraEngine, OnlineConfig, ReplayResult, ReplayStats, SchedulingBackend, Sweep,
+        SweepBuilder,
     };
 }

@@ -3,7 +3,7 @@
 
 use sunflow::baselines::CircuitScheduler;
 use sunflow::model::lemma1_holds;
-use sunflow::packet::{simulate_packet, Aalo, Varys};
+use sunflow::packet::{Aalo, Varys};
 use sunflow::prelude::*;
 use sunflow::workload::{generate, perturb_sizes, SynthConfig};
 

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use sunflow::baselines::CircuitScheduler;
-use sunflow::packet::{simulate_packet, Aalo, Varys};
+use sunflow::packet::{Aalo, Varys};
 use sunflow::prelude::*;
 
 fn arb_coflow() -> impl Strategy<Value = Coflow> {
