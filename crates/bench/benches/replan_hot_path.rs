@@ -1,0 +1,71 @@
+//! Criterion micro-benchmark of the re-plan hot path itself: the scoped
+//! delta replay (reservation reuse + scan masking + segment planning)
+//! against the same trace replayed with `full_replan(true)` — the
+//! truncate-everything-then-rebuild loop it replaces. The ratio between
+//! the two entries is the delta-PRT win; a regression toward parity
+//! means the reuse/masking machinery stopped paying for itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocs_model::{Bandwidth, Coflow, Dur, Fabric, Time};
+use ocs_sim::{simulate_circuit, OnlineConfig};
+use sunflow_core::ShortestFirst;
+
+fn fabric() -> Fabric {
+    Fabric::new(16, Bandwidth::GBPS, Dur::from_millis(10))
+}
+
+/// xorshift64* — deterministic workload without depending on `rand`'s
+/// distribution stability.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// A contended trace that keeps a deep active set: every event re-plans
+/// against a table with a long planned future, so reservation reuse and
+/// the fresh-port scan mask both get a real workout.
+fn workload(n: u64) -> Vec<Coflow> {
+    let mut s = 0x00DE_17A0_0000_0001u64 | n;
+    (0..n)
+        .map(|id| {
+            let mut b = Coflow::builder(id).arrival(Time::from_millis(xorshift(&mut s) % 3_000));
+            for _ in 0..(1 + xorshift(&mut s) % 5) as usize {
+                b = b.flow(
+                    (xorshift(&mut s) % 16) as usize,
+                    (xorshift(&mut s) % 16) as usize,
+                    (1 + xorshift(&mut s) % 20) * 1_000_000,
+                );
+            }
+            b.build()
+        })
+        .collect()
+}
+
+fn replan_hot_path(c: &mut Criterion) {
+    let coflows = workload(150);
+    let f = fabric();
+    let mut group = c.benchmark_group("replan_hot_path_150");
+    for (name, cfg) in [
+        ("delta", OnlineConfig::default()),
+        ("full", OnlineConfig::default().full_replan(true)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(simulate_circuit(
+                    std::hint::black_box(&coflows),
+                    &f,
+                    &cfg,
+                    &ShortestFirst,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, replan_hot_path);
+criterion_main!(benches);

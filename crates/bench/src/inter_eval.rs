@@ -127,6 +127,11 @@ pub fn replay_counters(stats: &ReplayStats) -> Vec<(String, u64)> {
             "reservations_truncated".into(),
             stats.reservations_truncated,
         ),
+        ("reservations_reused".into(), stats.reservations_reused),
+        ("delta_applied".into(), stats.delta_applied),
+        ("replan_segments".into(), stats.replan_segments),
+        ("parallel_replans".into(), stats.parallel_replans),
+        ("reservations_retired".into(), stats.reservations_retired),
         ("cuts".into(), stats.cuts),
         ("yield_rounds".into(), stats.yield_rounds),
     ]

@@ -1,0 +1,701 @@
+//! Delta-PRT replanning: plan against the old table, apply only the diff.
+//!
+//! The online replay's affected-set replanner used to truncate every
+//! dirty Coflow's future reservations and rebuild them from scratch —
+//! and the fig10 counters show ~84% of the rebuilt reservations are
+//! byte-identical to the ones just removed. [`DeltaView`] turns that
+//! churn into no-ops: it is a *planning view* over an immutable
+//! [`Prt`] in which the dirty Coflows' future reservations are hidden
+//! (the **mask**) and newly planned ones accumulate on the side (the
+//! **overlay**). Planning through the view makes exactly the decisions
+//! a truncate-then-rebuild planner would make, because at every instant
+//! the visible reservation state — base minus mask plus overlay — is
+//! identical to the sequential table's.
+//!
+//! When a planned reservation matches a hidden one exactly (same ports,
+//! interval, and flow), the view *confirms* the old entry instead of
+//! recording a new one: the reservation survives in place and the
+//! eventual apply step never touches it. [`DeltaView::finish`] closes
+//! the view into a [`DeltaPlan`] — the undo log of the replan — whose
+//! [`DeltaPlan::apply`] retires only the *stale* reservations (hidden
+//! but not reproduced) and inserts only the *fresh* ones (planned but
+//! not matching). The undo-log invariants:
+//!
+//! 1. every masked reservation ends up either confirmed (untouched in
+//!    the table) or stale (removed by `apply`) — never both;
+//! 2. `apply` removes all stale entries before inserting any fresh one,
+//!    so the non-overlap assertions in [`Prt::reserve`] re-validate the
+//!    plan against the live table;
+//! 3. after `apply`, the table is byte-identical to what
+//!    truncate-then-rebuild would have produced (pinned by the
+//!    [`DeltaPlan::naive_apply`] twin and the `delta_replan_equivalence`
+//!    property test).
+
+use crate::intra::PlanTable;
+use crate::prt::{Entry, PortProbe, Prt, RemovedResv, ResvKind};
+use ocs_model::{CoflowId, InPort, OutPort, Reservation, Time};
+use std::collections::BTreeMap;
+use std::ops::Bound::{Excluded, Unbounded};
+
+/// One hidden base reservation: a dirty Coflow's future circuit the
+/// replan may confirm (reuse in place) or leave stale (retire).
+#[derive(Clone, Copy, Debug)]
+struct MaskEntry {
+    resv: Reservation,
+    confirmed: bool,
+}
+
+/// A planning view over an immutable [`Prt`]: base reservations minus a
+/// mask of hidden (to-be-replanned) ones, plus an overlay of freshly
+/// planned ones. Implements [`PlanTable`], so
+/// [`crate::schedule_demands_on`] runs Algorithm 1 against it unchanged.
+///
+/// Build one per replan segment: [`DeltaView::hide_future_of`] each
+/// dirty Coflow, [`DeltaView::seal`], plan the members in priority
+/// order, then [`DeltaView::finish`] into the [`DeltaPlan`] to apply.
+///
+/// Every planning query happens at `t >= now` (Algorithm 1 walks time
+/// forward from the replan instant), so [`DeltaView::seal`] compacts
+/// each masked port's *visible* reservations still live past `now` —
+/// typically a handful of planned circuits — into a flat sorted
+/// interval list. Queries then never descend the base `BTreeMap`s
+/// (whose settled history grows without bound over a replay): both the
+/// compacted base intervals and the overlay answer in `O(log F)` of the
+/// port's *future* depth. Confirmed entries re-enter the visible state
+/// through the overlay, exactly as a fresh reservation would.
+#[derive(Debug)]
+pub struct DeltaView<'a> {
+    base: &'a Prt,
+    /// The replan instant: every query and reservation is at `t >= now`.
+    now: Time,
+    mask: Vec<MaskEntry>,
+    /// Per input port, indices into `mask` sorted by reservation start.
+    in_mask: Vec<Vec<u32>>,
+    /// Same index for output ports.
+    out_mask: Vec<Vec<u32>>,
+    /// Per *masked* input port, the visible base intervals with
+    /// `end > now` — the in-flight circuit (if any) plus unhidden future
+    /// reservations — sorted by start. Built by [`DeltaView::seal`];
+    /// empty for unmasked ports (they delegate to the base's cached
+    /// queries).
+    in_future: Vec<Vec<(Time, Time)>>,
+    /// Same intervals for output ports.
+    out_future: Vec<Vec<(Time, Time)>>,
+    /// Per input port, the overlay's `(start, end)` intervals, sorted by
+    /// start (reservations on a port never overlap, so ends too). Holds
+    /// fresh *and* confirmed reservations — both are visible.
+    in_overlay: Vec<Vec<(Time, Time)>>,
+    /// Same intervals for output ports.
+    out_overlay: Vec<Vec<(Time, Time)>>,
+    /// Every reservation the planner made through this view, in creation
+    /// order, tagged `true` when it confirmed a masked entry.
+    log: Vec<(Reservation, bool)>,
+    reused: u64,
+    sealed: bool,
+}
+
+impl<'a> DeltaView<'a> {
+    /// An empty view over `base` for a replan at instant `now`: nothing
+    /// hidden, nothing planned.
+    pub fn new(base: &'a Prt, now: Time) -> DeltaView<'a> {
+        let n = base.ports();
+        DeltaView {
+            base,
+            now,
+            mask: Vec::new(),
+            in_mask: vec![Vec::new(); n],
+            out_mask: vec![Vec::new(); n],
+            in_future: vec![Vec::new(); n],
+            out_future: vec![Vec::new(); n],
+            in_overlay: vec![Vec::new(); n],
+            out_overlay: vec![Vec::new(); n],
+            log: Vec::new(),
+            reused: 0,
+            sealed: false,
+        }
+    }
+
+    /// Hide `coflow`'s reservations with `start >= now` from the view —
+    /// the replan will re-derive them. Call once per dirty Coflow,
+    /// before [`DeltaView::seal`].
+    ///
+    /// # Panics
+    /// Panics if the view is already sealed.
+    pub fn hide_future_of(&mut self, coflow: CoflowId) {
+        assert!(!self.sealed, "hide_future_of after seal");
+        for resv in self.base.future_reservations_of(coflow, self.now) {
+            let idx = self.mask.len() as u32;
+            self.mask.push(MaskEntry {
+                resv,
+                confirmed: false,
+            });
+            self.in_mask[resv.src].push(idx);
+            self.out_mask[resv.dst].push(idx);
+        }
+    }
+
+    /// Finish mask construction: sort the per-port indices by start (so
+    /// [`DeltaView::reserve`] can binary-search for confirm matches) and
+    /// compact each masked port's visible live-past-`now` intervals.
+    /// Must be called before planning.
+    pub fn seal(&mut self) {
+        let mask = &self.mask;
+        for list in self.in_mask.iter_mut().chain(self.out_mask.iter_mut()) {
+            list.sort_unstable_by_key(|&i| mask[i as usize].resv.start);
+        }
+        for i in 0..self.base.ports() {
+            if !self.in_mask[i].is_empty() {
+                Self::build_future(
+                    self.base.in_entries(i),
+                    mask,
+                    &self.in_mask[i],
+                    self.now,
+                    &mut self.in_future[i],
+                );
+            }
+            if !self.out_mask[i].is_empty() {
+                Self::build_future(
+                    self.base.out_entries(i),
+                    mask,
+                    &self.out_mask[i],
+                    self.now,
+                    &mut self.out_future[i],
+                );
+            }
+        }
+        self.sealed = true;
+    }
+
+    /// Compact one masked port: the covering entry at `now` plus every
+    /// later one, skipping hidden starts. Entries ending at or before
+    /// `now` can never answer a `t >= now` query — a covering entry that
+    /// already ended leaves the port free, and only ends strictly after
+    /// `t` are releases.
+    fn build_future(
+        map: &BTreeMap<Time, Entry>,
+        mask: &[MaskEntry],
+        list: &[u32],
+        now: Time,
+        out: &mut Vec<(Time, Time)>,
+    ) {
+        let hidden = |s: Time| {
+            list.binary_search_by_key(&s, |&i| mask[i as usize].resv.start)
+                .is_ok()
+        };
+        if let Some((&s, e)) = map.range(..=now).next_back() {
+            if e.end > now && !hidden(s) {
+                out.push((s, e.end));
+            }
+        }
+        for (&s, e) in map.range((Excluded(now), Unbounded)) {
+            if !hidden(s) {
+                out.push((s, e.end));
+            }
+        }
+    }
+
+    /// Number of reservations currently hidden by the mask.
+    pub fn masked_len(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Find the mask index of the entry starting at `start` in a sorted
+    /// per-port list, if any.
+    fn mask_at(&self, list: &[u32], start: Time) -> Option<usize> {
+        list.binary_search_by_key(&start, |&i| self.mask[i as usize].resv.start)
+            .ok()
+            .map(|pos| list[pos] as usize)
+    }
+
+    /// Is `t` outside every overlay interval of this port?
+    fn overlay_free_at(list: &[(Time, Time)], t: Time) -> bool {
+        let idx = list.partition_point(|iv| iv.0 <= t);
+        idx == 0 || list[idx - 1].1 <= t
+    }
+
+    /// Earliest overlay start strictly after `t`, or `Time::MAX`.
+    fn overlay_next_start_after(list: &[(Time, Time)], t: Time) -> Time {
+        let idx = list.partition_point(|iv| iv.0 <= t);
+        if idx < list.len() {
+            list[idx].0
+        } else {
+            Time::MAX
+        }
+    }
+
+    /// Earliest overlay end strictly after `t`, or `None`.
+    fn overlay_next_release_after(list: &[(Time, Time)], t: Time) -> Option<Time> {
+        let idx = list.partition_point(|iv| iv.0 <= t);
+        if idx > 0 && list[idx - 1].1 > t {
+            return Some(list[idx - 1].1);
+        }
+        list.get(idx).map(|iv| iv.1)
+    }
+
+    /// Fused probe of one sorted interval list: freeness, next start,
+    /// and next release at `t` from a single `partition_point`.
+    fn overlay_probe(list: &[(Time, Time)], t: Time) -> PortProbe {
+        let idx = list.partition_point(|iv| iv.0 <= t);
+        let covered = idx > 0 && list[idx - 1].1 > t;
+        let next = list.get(idx);
+        PortProbe {
+            free: !covered,
+            next_start: next.map_or(Time::MAX, |iv| iv.0),
+            next_release: if covered {
+                Some(list[idx - 1].1)
+            } else {
+                next.map(|iv| iv.1)
+            },
+        }
+    }
+
+    /// Combine two probes of the same port (base and overlay state): the
+    /// port is free when both are, and the earliest start/release wins.
+    fn merge_probe(a: PortProbe, b: PortProbe) -> PortProbe {
+        PortProbe {
+            free: a.free && b.free,
+            next_start: a.next_start.min(b.next_start),
+            next_release: match (a.next_release, b.next_release) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            },
+        }
+    }
+
+    /// Insert `(start, end)` into a port's overlay, keeping it sorted.
+    /// Planning time is non-decreasing within one member but restarts at
+    /// `now` for the next, so appends dominate but are not guaranteed.
+    fn overlay_insert(list: &mut Vec<(Time, Time)>, start: Time, end: Time) {
+        if list.last().is_none_or(|&(s, _)| s < start) {
+            list.push((start, end));
+        } else {
+            let idx = list.partition_point(|iv| iv.0 < start);
+            list.insert(idx, (start, end));
+        }
+    }
+
+    /// Close the view into the plan to apply. Hidden entries the planner
+    /// reproduced exactly are confirmed (kept in place); the rest are
+    /// stale. The view's borrow of the base table ends here, so the plan
+    /// can be applied to it mutably.
+    pub fn finish(self) -> DeltaPlan {
+        DeltaPlan {
+            mask: self
+                .mask
+                .into_iter()
+                .map(|m| (m.resv, m.confirmed))
+                .collect(),
+            log: self.log,
+            reused: self.reused,
+        }
+    }
+}
+
+impl PlanTable for DeltaView<'_> {
+    fn ports(&self) -> usize {
+        self.base.ports()
+    }
+
+    fn in_free_at(&self, i: InPort, t: Time) -> bool {
+        debug_assert!(t >= self.now, "planning query before the replan instant");
+        let base_free = if self.in_mask[i].is_empty() {
+            self.base.in_free_at(i, t)
+        } else {
+            Self::overlay_free_at(&self.in_future[i], t)
+        };
+        base_free && Self::overlay_free_at(&self.in_overlay[i], t)
+    }
+
+    fn out_free_at(&self, j: OutPort, t: Time) -> bool {
+        debug_assert!(t >= self.now, "planning query before the replan instant");
+        let base_free = if self.out_mask[j].is_empty() {
+            self.base.out_free_at(j, t)
+        } else {
+            Self::overlay_free_at(&self.out_future[j], t)
+        };
+        base_free && Self::overlay_free_at(&self.out_overlay[j], t)
+    }
+
+    fn in_next_start_after(&self, i: InPort, t: Time) -> Time {
+        debug_assert!(t >= self.now, "planning query before the replan instant");
+        let base = if self.in_mask[i].is_empty() {
+            self.base.in_next_start_after(i, t)
+        } else {
+            Self::overlay_next_start_after(&self.in_future[i], t)
+        };
+        base.min(Self::overlay_next_start_after(&self.in_overlay[i], t))
+    }
+
+    fn out_next_start_after(&self, j: OutPort, t: Time) -> Time {
+        debug_assert!(t >= self.now, "planning query before the replan instant");
+        let base = if self.out_mask[j].is_empty() {
+            self.base.out_next_start_after(j, t)
+        } else {
+            Self::overlay_next_start_after(&self.out_future[j], t)
+        };
+        base.min(Self::overlay_next_start_after(&self.out_overlay[j], t))
+    }
+
+    fn in_next_release_after(&self, i: InPort, t: Time) -> Option<Time> {
+        debug_assert!(t >= self.now, "planning query before the replan instant");
+        let base = if self.in_mask[i].is_empty() {
+            self.base.in_next_release_after(i, t)
+        } else {
+            Self::overlay_next_release_after(&self.in_future[i], t)
+        };
+        let over = Self::overlay_next_release_after(&self.in_overlay[i], t);
+        match (base, over) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn out_next_release_after(&self, j: OutPort, t: Time) -> Option<Time> {
+        debug_assert!(t >= self.now, "planning query before the replan instant");
+        let base = if self.out_mask[j].is_empty() {
+            self.base.out_next_release_after(j, t)
+        } else {
+            Self::overlay_next_release_after(&self.out_future[j], t)
+        };
+        let over = Self::overlay_next_release_after(&self.out_overlay[j], t);
+        match (base, over) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn in_probe(&self, i: InPort, t: Time) -> PortProbe {
+        debug_assert!(t >= self.now, "planning query before the replan instant");
+        let base = if self.in_mask[i].is_empty() {
+            self.base.in_probe(i, t)
+        } else {
+            Self::overlay_probe(&self.in_future[i], t)
+        };
+        Self::merge_probe(base, Self::overlay_probe(&self.in_overlay[i], t))
+    }
+
+    fn out_probe(&self, j: OutPort, t: Time) -> PortProbe {
+        debug_assert!(t >= self.now, "planning query before the replan instant");
+        let base = if self.out_mask[j].is_empty() {
+            self.base.out_probe(j, t)
+        } else {
+            Self::overlay_probe(&self.out_future[j], t)
+        };
+        Self::merge_probe(base, Self::overlay_probe(&self.out_overlay[j], t))
+    }
+
+    fn reserve(&mut self, src: InPort, dst: OutPort, start: Time, end: Time, kind: ResvKind) {
+        debug_assert!(self.sealed, "planning against an unsealed DeltaView");
+        let flow = match kind {
+            ResvKind::Flow(flow) => flow,
+            // The scoped replanner never runs with a starvation guard
+            // (guard windows are planned directly against the table).
+            ResvKind::Guard => panic!("DeltaView cannot plan guard windows"),
+        };
+        let resv = Reservation {
+            src,
+            dst,
+            start,
+            end,
+            flow,
+        };
+        // Confirm: the plan reproduced a hidden reservation exactly —
+        // keep it in place. The entry re-enters the visible state via
+        // the overlay, exactly as a fresh reservation would.
+        if let Some(i) = self.mask_at(&self.in_mask[src], start) {
+            let m = &self.mask[i];
+            if !m.confirmed && m.resv.dst == dst && m.resv.end == end && m.resv.flow == flow {
+                self.mask[i].confirmed = true;
+                self.reused += 1;
+                self.log.push((resv, true));
+                Self::overlay_insert(&mut self.in_overlay[src], start, end);
+                Self::overlay_insert(&mut self.out_overlay[dst], start, end);
+                return;
+            }
+        }
+        debug_assert!(
+            self.in_free_at(src, start) && self.out_free_at(dst, start),
+            "fresh reservation overlaps the visible state"
+        );
+        Self::overlay_insert(&mut self.in_overlay[src], start, end);
+        Self::overlay_insert(&mut self.out_overlay[dst], start, end);
+        self.log.push((resv, false));
+    }
+}
+
+/// The closed-out diff of one replan segment: which hidden reservations
+/// survived (confirmed), which are stale, and which are fresh — plus the
+/// full creation-order log for the naive twin.
+#[derive(Clone, Debug)]
+pub struct DeltaPlan {
+    /// The hidden base reservations, tagged `true` when confirmed.
+    mask: Vec<(Reservation, bool)>,
+    /// Every planned reservation in creation order, tagged `true` when
+    /// it confirmed a masked entry (i.e. is already in the table).
+    log: Vec<(Reservation, bool)>,
+    reused: u64,
+}
+
+impl DeltaPlan {
+    /// Number of hidden reservations the plan reproduced and kept in
+    /// place.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Number of hidden reservations the plan did *not* reproduce —
+    /// removed from the table by [`DeltaPlan::apply`].
+    pub fn stale_len(&self) -> u64 {
+        self.mask.iter().filter(|(_, confirmed)| !confirmed).count() as u64
+    }
+
+    /// Number of newly planned reservations — inserted by
+    /// [`DeltaPlan::apply`].
+    pub fn fresh_len(&self) -> u64 {
+        self.log.iter().filter(|(_, reused)| !reused).count() as u64
+    }
+
+    /// The newly planned reservations, in creation order.
+    pub fn fresh(&self) -> impl Iterator<Item = &Reservation> {
+        self.log
+            .iter()
+            .filter(|(_, reused)| !reused)
+            .map(|(r, _)| r)
+    }
+
+    /// Apply the diff to the table the view was built over: remove every
+    /// stale reservation (appending each to `removed`, which is *not*
+    /// cleared — segments of one replan share the buffer), then insert
+    /// the fresh ones in creation order. [`Prt::reserve`]'s non-overlap
+    /// assertions re-validate the plan against the live table.
+    pub fn apply(&self, prt: &mut Prt, removed: &mut Vec<RemovedResv>) {
+        for (r, confirmed) in &self.mask {
+            if !confirmed {
+                let rem = prt.remove_reservation(r.src, r.start);
+                debug_assert_eq!(rem.end, r.end, "stale entry changed under the view");
+                removed.push(rem);
+            }
+        }
+        for (r, reused) in &self.log {
+            if !reused {
+                prt.reserve(r.src, r.dst, r.start, r.end, ResvKind::Flow(r.flow));
+            }
+        }
+    }
+
+    /// Reference implementation of [`DeltaPlan::apply`] (the `naive_*`
+    /// twin pattern, see [`Prt::naive_in_free_at`]): remove *every*
+    /// masked reservation — confirmed ones included — then re-make the
+    /// full plan in creation order, exactly as truncate-then-rebuild
+    /// would. The resulting table must answer every query identically to
+    /// [`DeltaPlan::apply`]'s.
+    #[cfg(any(test, feature = "naive-twins"))]
+    #[doc(hidden)]
+    pub fn naive_apply(&self, prt: &mut Prt, removed: &mut Vec<RemovedResv>) {
+        for (r, confirmed) in &self.mask {
+            let rem = prt.remove_reservation(r.src, r.start);
+            if !confirmed {
+                removed.push(rem);
+            }
+        }
+        for (r, _) in &self.log {
+            prt.reserve(r.src, r.dst, r.start, r.end, ResvKind::Flow(r.flow));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intra::{schedule_demands_on, Demand, ScheduleScratch, SunflowConfig};
+    use ocs_model::{Dur, FlowRef};
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    fn d(ms: u64) -> Dur {
+        Dur::from_millis(ms)
+    }
+
+    fn demand(src: InPort, dst: OutPort, flow_idx: usize, rem: u64) -> Demand {
+        Demand {
+            src,
+            dst,
+            flow_idx,
+            remaining: d(rem),
+        }
+    }
+
+    /// A table with two coflows interleaved on overlapping ports.
+    fn two_coflow_table() -> Prt {
+        let mut prt = Prt::new(4);
+        let f = |coflow, flow_idx| ResvKind::Flow(FlowRef { coflow, flow_idx });
+        prt.reserve(0, 1, t(0), t(10), f(1, 0));
+        prt.reserve(1, 2, t(0), t(8), f(2, 0));
+        prt.reserve(0, 1, t(10), t(20), f(2, 1));
+        prt.reserve(2, 3, t(5), t(15), f(1, 1));
+        prt.reserve(1, 2, t(8), t(30), f(1, 2));
+        prt
+    }
+
+    #[test]
+    fn delta_plan_matches_truncate_then_rebuild() {
+        let now = t(6);
+        let demands = [demand(0, 1, 1, 12), demand(1, 2, 2, 22)];
+        let cfg = SunflowConfig::default();
+        let mut scratch = ScheduleScratch::new();
+
+        // Sequential reference: truncate coflow 1's future, plan anew.
+        let mut seq = two_coflow_table();
+        seq.truncate_future_of(1, now);
+        let (seq_made, _) =
+            schedule_demands_on(&mut seq, 1, &demands, now, Dur::ZERO, cfg, &mut scratch);
+
+        // Delta path: plan against the masked view, then apply the diff.
+        let mut prt = two_coflow_table();
+        let mut view = DeltaView::new(&prt, now);
+        view.hide_future_of(1);
+        view.seal();
+        let (delta_made, _) =
+            schedule_demands_on(&mut view, 1, &demands, now, Dur::ZERO, cfg, &mut scratch);
+        let plan = view.finish();
+        let mut removed = Vec::new();
+        plan.apply(&mut prt, &mut removed);
+
+        assert_eq!(seq_made, delta_made, "plans must be byte-identical");
+        assert_eq!(seq.snapshot(), prt.snapshot(), "tables must agree");
+        assert_eq!(
+            plan.reused() + plan.fresh_len(),
+            delta_made.len() as u64,
+            "every planned reservation is either a confirm or fresh"
+        );
+    }
+
+    #[test]
+    fn replanning_unchanged_priorities_reuses_everything() {
+        // Coflow 1 replanned with the same demands it was planned with:
+        // the view must confirm rather than churn. Reconstruct its exact
+        // remaining demands at `now = 5`: flow 1 holds [5,15) on (2,3)
+        // and flow 2 holds [8,30) on (1,2); both started in the past or
+        // future such that replanning from their own start reproduces
+        // them. Use now = 0 with the original demands instead.
+        let mut prt = Prt::new(4);
+        let f = |coflow, flow_idx| ResvKind::Flow(FlowRef { coflow, flow_idx });
+        prt.reserve(0, 1, t(0), t(10), f(1, 0));
+        prt.reserve(2, 3, t(0), t(15), f(1, 1));
+        let demands = [demand(0, 1, 0, 10), demand(2, 3, 1, 15)];
+        let cfg = SunflowConfig::default();
+        let mut scratch = ScheduleScratch::new();
+
+        let mut view = DeltaView::new(&prt, t(0));
+        view.hide_future_of(1);
+        view.seal();
+        assert_eq!(view.masked_len(), 2);
+        let (made, _) =
+            schedule_demands_on(&mut view, 1, &demands, t(0), Dur::ZERO, cfg, &mut scratch);
+        assert_eq!(made.len(), 2);
+        let plan = view.finish();
+        assert_eq!(plan.reused(), 2, "identical replan must confirm all");
+        assert_eq!(plan.stale_len(), 0);
+        assert_eq!(plan.fresh_len(), 0);
+
+        let before = prt.snapshot();
+        let mut removed = Vec::new();
+        plan.apply(&mut prt, &mut removed);
+        assert!(removed.is_empty());
+        assert_eq!(prt.snapshot(), before, "all-confirmed apply is a no-op");
+    }
+
+    #[test]
+    fn apply_and_naive_apply_agree() {
+        let now = t(6);
+        let demands = [demand(0, 1, 1, 7), demand(1, 2, 2, 22), demand(2, 3, 0, 4)];
+        let cfg = SunflowConfig::default();
+        let mut scratch = ScheduleScratch::new();
+
+        let mut fast = two_coflow_table();
+        let mut view = DeltaView::new(&fast, now);
+        view.hide_future_of(1);
+        view.seal();
+        schedule_demands_on(&mut view, 1, &demands, now, d(1), cfg, &mut scratch);
+        let plan = view.finish();
+
+        let mut naive = fast.clone();
+        let mut removed_fast = Vec::new();
+        let mut removed_naive = Vec::new();
+        plan.apply(&mut fast, &mut removed_fast);
+        plan.naive_apply(&mut naive, &mut removed_naive);
+        assert_eq!(fast.snapshot(), naive.snapshot());
+        assert_eq!(removed_fast, removed_naive);
+    }
+
+    #[test]
+    fn view_queries_match_truncated_table() {
+        let now = t(6);
+        let mut seq = two_coflow_table();
+        seq.truncate_future_of(1, now);
+
+        let prt = two_coflow_table();
+        let mut view = DeltaView::new(&prt, now);
+        view.hide_future_of(1);
+        view.seal();
+
+        // The view's contract covers `t >= now` only — Algorithm 1
+        // never probes behind the replan instant.
+        for p in 0..4 {
+            for ms in 6..40 {
+                let q = t(ms);
+                assert_eq!(
+                    view.in_free_at(p, q),
+                    seq.in_free_at(p, q),
+                    "in_free {p} {ms}"
+                );
+                assert_eq!(
+                    view.out_free_at(p, q),
+                    seq.out_free_at(p, q),
+                    "out_free {p} {ms}"
+                );
+                assert_eq!(
+                    view.in_next_start_after(p, q),
+                    seq.in_next_start_after(p, q),
+                    "in_next_start {p} {ms}"
+                );
+                assert_eq!(
+                    view.out_next_start_after(p, q),
+                    seq.out_next_start_after(p, q),
+                    "out_next_start {p} {ms}"
+                );
+                assert_eq!(
+                    view.in_next_release_after(p, q),
+                    seq.in_next_release_after(p, q),
+                    "in_next_release {p} {ms}"
+                );
+                assert_eq!(
+                    view.out_next_release_after(p, q),
+                    seq.out_next_release_after(p, q),
+                    "out_next_release {p} {ms}"
+                );
+                // The fused probes must agree with the scalar queries.
+                assert_eq!(
+                    view.in_probe(p, q),
+                    PortProbe {
+                        free: seq.in_free_at(p, q),
+                        next_start: seq.in_next_start_after(p, q),
+                        next_release: seq.in_next_release_after(p, q),
+                    },
+                    "in_probe {p} {ms}"
+                );
+                assert_eq!(
+                    view.out_probe(p, q),
+                    PortProbe {
+                        free: seq.out_free_at(p, q),
+                        next_start: seq.out_next_start_after(p, q),
+                        next_release: seq.out_next_release_after(p, q),
+                    },
+                    "out_probe {p} {ms}"
+                );
+            }
+        }
+    }
+}

@@ -13,7 +13,8 @@
 //! `MakeReservation` truncates new reservations so they never displace
 //! them (line 16 of Algorithm 1, illustrated by Figure 2).
 
-use crate::prt::{Prt, ResvKind};
+use crate::portset::PortSet;
+use crate::prt::{PortProbe, Prt, ResvKind};
 use ocs_model::{
     circuit_lower_bound, packet_lower_bound, Coflow, Dur, Fabric, FlowRef, InPort, OutPort,
     Reservation, Time,
@@ -167,6 +168,164 @@ fn no_release_message(coflow_id: u64, t: Time, pending: usize) -> String {
     )
 }
 
+/// The reservation-table query surface Algorithm 1 plans against.
+///
+/// [`Prt`] is the canonical implementation; `DeltaView`
+/// ([`crate::delta`]) implements the same surface over a *read-only*
+/// base table plus a mask-and-overlay diff, which is how the delta
+/// re-planner computes a new plan against the old one without mutating
+/// the shared table until the diff is applied. The planner core is
+/// generic (and monomorphized) over this trait, so both paths run the
+/// identical loop and produce byte-identical reservations.
+pub trait PlanTable {
+    /// Number of ports on each side of the table.
+    fn ports(&self) -> usize;
+    /// Is input port `i` free at instant `t`?
+    fn in_free_at(&self, i: InPort, t: Time) -> bool;
+    /// Is output port `j` free at instant `t`?
+    fn out_free_at(&self, j: OutPort, t: Time) -> bool;
+    /// Earliest reservation start strictly after `t` on input port `i`.
+    fn in_next_start_after(&self, i: InPort, t: Time) -> Time;
+    /// Earliest reservation start strictly after `t` on output port `j`.
+    fn out_next_start_after(&self, j: OutPort, t: Time) -> Time;
+    /// Earliest circuit release strictly after `t` on input port `i`.
+    fn in_next_release_after(&self, i: InPort, t: Time) -> Option<Time>;
+    /// Earliest circuit release strictly after `t` on output port `j`.
+    fn out_next_release_after(&self, j: OutPort, t: Time) -> Option<Time>;
+    /// Fused snapshot of input port `i` at `t`: freeness, next start, and
+    /// next release in one call. The demand examination needs two or
+    /// three of these answers per port side; an implementation that
+    /// resolves them from a single lookup position (both [`Prt`] and
+    /// `DeltaView` do) cuts the per-exam query count accordingly. The
+    /// default composes the three scalar queries, so implementing them
+    /// alone stays correct.
+    fn in_probe(&self, i: InPort, t: Time) -> PortProbe {
+        PortProbe {
+            free: self.in_free_at(i, t),
+            next_start: self.in_next_start_after(i, t),
+            next_release: self.in_next_release_after(i, t),
+        }
+    }
+    /// Fused snapshot of output port `j` at `t` (see
+    /// [`PlanTable::in_probe`]).
+    fn out_probe(&self, j: OutPort, t: Time) -> PortProbe {
+        PortProbe {
+            free: self.out_free_at(j, t),
+            next_start: self.out_next_start_after(j, t),
+            next_release: self.out_next_release_after(j, t),
+        }
+    }
+    /// Reserve the circuit `[in.src, out.dst]` during `[start, end)`.
+    fn reserve(&mut self, src: InPort, dst: OutPort, start: Time, end: Time, kind: ResvKind);
+}
+
+impl PlanTable for Prt {
+    fn ports(&self) -> usize {
+        Prt::ports(self)
+    }
+    fn in_free_at(&self, i: InPort, t: Time) -> bool {
+        Prt::in_free_at(self, i, t)
+    }
+    fn out_free_at(&self, j: OutPort, t: Time) -> bool {
+        Prt::out_free_at(self, j, t)
+    }
+    fn in_next_start_after(&self, i: InPort, t: Time) -> Time {
+        Prt::in_next_start_after(self, i, t)
+    }
+    fn out_next_start_after(&self, j: OutPort, t: Time) -> Time {
+        Prt::out_next_start_after(self, j, t)
+    }
+    fn in_next_release_after(&self, i: InPort, t: Time) -> Option<Time> {
+        Prt::in_next_release_after(self, i, t)
+    }
+    fn out_next_release_after(&self, j: OutPort, t: Time) -> Option<Time> {
+        Prt::out_next_release_after(self, j, t)
+    }
+    fn in_probe(&self, i: InPort, t: Time) -> PortProbe {
+        Prt::in_probe(self, i, t)
+    }
+    fn out_probe(&self, j: OutPort, t: Time) -> PortProbe {
+        Prt::out_probe(self, j, t)
+    }
+    fn reserve(&mut self, src: InPort, dst: OutPort, start: Time, end: Time, kind: ResvKind) {
+        Prt::reserve(self, src, dst, start, end, kind)
+    }
+}
+
+/// Reusable working memory of one [`schedule_demands_on`] call: the
+/// pending list, the wake heap, the same-instant candidate buffer, and
+/// the fresh-port busy mask. A caller that re-plans in a loop (the
+/// online stepper) keeps one scratch per planning thread and recycles it
+/// across calls, so the steady-state planner allocates nothing.
+#[derive(Clone, Debug)]
+pub struct ScheduleScratch {
+    pending: Vec<Demand>,
+    wake: BinaryHeap<Reverse<(Time, usize)>>,
+    candidates: Vec<usize>,
+    /// Two-sided bitset of ports this call has already reserved on — the
+    /// first-level mask of the demand scan: a demand whose port is set
+    /// here (and whose busy horizon covers `t`) is re-subscribed without
+    /// a counted examination.
+    fresh: PortSet,
+    /// Per-port end of the latest reservation this call made there
+    /// (valid only where [`ScheduleScratch::fresh`] has the bit set).
+    busy_in: Vec<Time>,
+    busy_out: Vec<Time>,
+    /// Demands parked behind a fresh port's busy horizon. Instead of one
+    /// wake subscription per parked demand per covering reservation
+    /// (O(flows × reservations) heap churn on a shared port), the port
+    /// itself holds a single chain token in the wake heap that re-arms
+    /// while the horizon keeps extending and releases every parked
+    /// demand at the first instant the port is genuinely free.
+    parked_in: Vec<Vec<u32>>,
+    parked_out: Vec<Vec<u32>>,
+}
+
+impl Default for ScheduleScratch {
+    fn default() -> ScheduleScratch {
+        ScheduleScratch {
+            pending: Vec::new(),
+            wake: BinaryHeap::new(),
+            candidates: Vec::new(),
+            fresh: PortSet::new(1),
+            busy_in: vec![Time::ZERO; 1],
+            busy_out: vec![Time::ZERO; 1],
+            parked_in: vec![Vec::new(); 1],
+            parked_out: vec![Vec::new(); 1],
+        }
+    }
+}
+
+impl ScheduleScratch {
+    /// A scratch sized lazily on first use.
+    pub fn new() -> ScheduleScratch {
+        ScheduleScratch::default()
+    }
+
+    fn reset(&mut self, ports: usize) {
+        self.pending.clear();
+        self.wake.clear();
+        self.candidates.clear();
+        if self.fresh.ports() != ports {
+            self.fresh = PortSet::new(ports);
+            self.busy_in = vec![Time::ZERO; ports];
+            self.busy_out = vec![Time::ZERO; ports];
+            self.parked_in = vec![Vec::new(); ports];
+            self.parked_out = vec![Vec::new(); ports];
+        } else {
+            self.fresh.clear();
+            // The run loop drains every parked list before returning;
+            // clearing here only guards against a prior panicked call.
+            for list in &mut self.parked_in {
+                list.clear();
+            }
+            for list in &mut self.parked_out {
+                list.clear();
+            }
+        }
+    }
+}
+
 /// Run Algorithm 1 (`IntraCoflow`) for one Coflow against the shared PRT.
 ///
 /// `demands` lists the Coflow's remaining per-flow processing times (only
@@ -217,52 +376,122 @@ pub fn schedule_demands_counted(
     delta: Dur,
     config: SunflowConfig,
 ) -> (Vec<Reservation>, ScheduleCounters) {
-    let mut pending: Vec<Demand> = demands
-        .iter()
-        .copied()
-        .filter(|d| d.remaining > Dur::ZERO)
-        .map(|d| Demand {
-            remaining: config.quantize(d.remaining),
-            ..d
-        })
-        .collect();
-    order_demands(&mut pending, config.order);
+    let mut scratch = ScheduleScratch::new();
+    schedule_demands_on(prt, coflow_id, demands, start, delta, config, &mut scratch)
+}
+
+/// [`schedule_demands_counted`] generic over the [`PlanTable`] and with
+/// caller-recycled [`ScheduleScratch`] — the engine both the full
+/// re-planner (against [`Prt`]) and the delta re-planner (against
+/// `DeltaView`) run.
+///
+/// The fresh-port mask short-circuits the dominant blocked-demand churn:
+/// when a candidate wakes on a port this call already reserved past `t`,
+/// the covering reservation *is* that port's next release (reservations
+/// on a port never overlap), so the demand is parked on the port without
+/// a full examination. Parked demands share the port's single chain
+/// token in the wake heap, which re-arms while the busy horizon keeps
+/// extending and wakes the whole list at the first instant the port is
+/// genuinely free — a demand's first *full* examination still lands at
+/// the first wake instant past both of its ports' fresh horizons, so
+/// every reservation produced is byte-identical to the unmasked loop's.
+/// `demands_scanned` counts only full examinations; `releases_visited`
+/// counts instants at which a candidate pass actually ran.
+pub fn schedule_demands_on<T: PlanTable>(
+    table: &mut T,
+    coflow_id: u64,
+    demands: &[Demand],
+    start: Time,
+    delta: Dur,
+    config: SunflowConfig,
+    scratch: &mut ScheduleScratch,
+) -> (Vec<Reservation>, ScheduleCounters) {
+    scratch.reset(table.ports());
+    scratch.pending.extend(
+        demands
+            .iter()
+            .copied()
+            .filter(|d| d.remaining > Dur::ZERO)
+            .map(|d| Demand {
+                remaining: config.quantize(d.remaining),
+                ..d
+            }),
+    );
+    let pending = &mut scratch.pending;
+    order_demands(pending, config.order);
 
     let mut counters = ScheduleCounters::default();
     let mut made = Vec::new();
     let mut t = start;
     let mut live = pending.len();
+    let nd = pending.len();
+    let ports = table.ports();
 
-    // Every live demand is either in the current candidate pass or holds
-    // exactly one wake subscription `(instant, index)`.
-    let mut wake: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+    // Every live demand is either in the current candidate pass, holds
+    // exactly one wake subscription `(instant, index)`, or is parked
+    // behind a fresh port whose chain token holds the subscription for
+    // the whole list. Heap entries `nd..nd+ports` are input-port chain
+    // tokens, `nd+ports..nd+2·ports` output-port chain tokens.
+    let wake = &mut scratch.wake;
     // The first pass examines every demand, in the configured order.
-    let mut candidates: Vec<usize> = (0..pending.len()).collect();
+    let candidates = &mut scratch.candidates;
+    candidates.extend(0..pending.len());
 
     while live > 0 {
-        for &i in &candidates {
+        for &i in candidates.iter() {
             let (src, dst) = (pending[i].src, pending[i].dst);
+            // Fresh-port mask: a reservation this call made on `src`
+            // still covering `t` blocks the demand until the port's busy
+            // horizon stops extending — park it on the port's chain
+            // without a counted examination.
+            if scratch.fresh.contains_in(src) && scratch.busy_in[src] > t {
+                if scratch.parked_in[src].is_empty() {
+                    wake.push(Reverse((scratch.busy_in[src], nd + src)));
+                }
+                scratch.parked_in[src].push(i as u32);
+                continue;
+            }
+            if scratch.fresh.contains_out(dst) && scratch.busy_out[dst] > t {
+                // The examination checks the input side first; when an
+                // existing table reservation blocks `src`, reproduce its
+                // direct subscription exactly.
+                if !table.in_free_at(src, t) {
+                    let w = table
+                        .in_next_release_after(src, t)
+                        .unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, live)));
+                    wake.push(Reverse((w, i)));
+                } else {
+                    if scratch.parked_out[dst].is_empty() {
+                        wake.push(Reverse((scratch.busy_out[dst], nd + ports + dst)));
+                    }
+                    scratch.parked_out[dst].push(i as u32);
+                }
+                continue;
+            }
             counters.demands_scanned += 1;
+            // One fused probe per side answers the whole examination.
             // A blocked demand cannot start before its blocking port
             // frees — the blocker's end, that port's next release.
-            if !prt.in_free_at(src, t) {
-                let w = prt
-                    .in_next_release_after(src, t)
+            let ip = table.in_probe(src, t);
+            if !ip.free {
+                let w = ip
+                    .next_release
                     .unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, live)));
                 wake.push(Reverse((w, i)));
                 continue;
             }
-            if !prt.out_free_at(dst, t) {
-                let w = prt
-                    .out_next_release_after(dst, t)
+            let op = table.out_probe(dst, t);
+            if !op.free {
+                let w = op
+                    .next_release
                     .unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, live)));
                 wake.push(Reverse((w, i)));
                 continue;
             }
             // Earliest next reservation on either port bounds the length
             // (needed by inter-Coflow scheduling, Algorithm 1 line 16).
-            let tm_src = prt.in_next_start_after(src, t);
-            let tm_dst = prt.out_next_start_after(dst, t);
+            let tm_src = ip.next_start;
+            let tm_dst = op.next_start;
             let tm = tm_src.min(tm_dst);
             let lm = if tm == Time::MAX {
                 Dur::MAX
@@ -277,9 +506,9 @@ pub fn schedule_demands_counted(
                 // t approaches it. State can change only once that
                 // reservation releases.
                 let w = if tm_src <= tm_dst {
-                    prt.in_next_release_after(src, t)
+                    ip.next_release
                 } else {
-                    prt.out_next_release_after(dst, t)
+                    op.next_release
                 };
                 let w = w.unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, live)));
                 wake.push(Reverse((w, i)));
@@ -289,7 +518,11 @@ pub fn schedule_demands_counted(
                 coflow: coflow_id,
                 flow_idx: pending[i].flow_idx,
             };
-            prt.reserve(src, dst, t, t + l, ResvKind::Flow(flow));
+            table.reserve(src, dst, t, t + l, ResvKind::Flow(flow));
+            scratch.fresh.insert_in(src);
+            scratch.busy_in[src] = t + l;
+            scratch.fresh.insert_out(dst);
+            scratch.busy_out[dst] = t + l;
             made.push(Reservation {
                 src,
                 dst,
@@ -312,26 +545,88 @@ pub fn schedule_demands_counted(
         }
         // Advance t to the earliest subscribed release (line 10, scoped).
         // One always exists while demand is pending: every unsatisfied
-        // examined demand re-subscribed above.
-        let Reverse((w, first)) = wake
-            .pop()
-            .unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, live)));
-        t = w;
-        counters.releases_visited += 1;
-        // Collect every demand waking at this instant; ascending index
-        // order matches the naive loop's scan order.
+        // examined demand re-subscribed or parked above. A chain token
+        // for a port whose horizon kept extending re-arms without waking
+        // anyone, so an instant can come up empty; keep draining until a
+        // demand actually wakes.
         candidates.clear();
-        candidates.push(first);
-        while let Some(&Reverse((w2, j))) = wake.peek() {
-            if w2 != t {
-                break;
+        while candidates.is_empty() {
+            let Reverse((w, first)) = wake
+                .pop()
+                .unwrap_or_else(|| panic!("{}", no_release_message(coflow_id, t, live)));
+            t = w;
+            wake_token(
+                first,
+                t,
+                nd,
+                ports,
+                &scratch.busy_in,
+                &scratch.busy_out,
+                &mut scratch.parked_in,
+                &mut scratch.parked_out,
+                wake,
+                candidates,
+            );
+            while let Some(&Reverse((w2, x))) = wake.peek() {
+                if w2 != t {
+                    break;
+                }
+                wake.pop();
+                wake_token(
+                    x,
+                    t,
+                    nd,
+                    ports,
+                    &scratch.busy_in,
+                    &scratch.busy_out,
+                    &mut scratch.parked_in,
+                    &mut scratch.parked_out,
+                    wake,
+                    candidates,
+                );
             }
-            candidates.push(j);
-            wake.pop();
         }
+        counters.releases_visited += 1;
+        // Ascending index order matches the naive loop's scan order.
         candidates.sort_unstable();
     }
     (made, counters)
+}
+
+/// Wake-heap token dispatch for [`schedule_demands_on`]: demand indices
+/// join the candidate pass directly; a port chain token re-arms at the
+/// port's new busy horizon while it still extends past `t`, and
+/// otherwise releases every demand parked behind the port.
+#[allow(clippy::too_many_arguments)]
+fn wake_token(
+    x: usize,
+    t: Time,
+    nd: usize,
+    ports: usize,
+    busy_in: &[Time],
+    busy_out: &[Time],
+    parked_in: &mut [Vec<u32>],
+    parked_out: &mut [Vec<u32>],
+    wake: &mut BinaryHeap<Reverse<(Time, usize)>>,
+    candidates: &mut Vec<usize>,
+) {
+    if x < nd {
+        candidates.push(x);
+    } else if x < nd + ports {
+        let p = x - nd;
+        if busy_in[p] > t {
+            wake.push(Reverse((busy_in[p], x)));
+        } else {
+            candidates.extend(parked_in[p].drain(..).map(|i| i as usize));
+        }
+    } else {
+        let p = x - nd - ports;
+        if busy_out[p] > t {
+            wake.push(Reverse((busy_out[p], x)));
+        } else {
+            candidates.extend(parked_out[p].drain(..).map(|i| i as usize));
+        }
+    }
 }
 
 /// Reference implementation of [`schedule_demands`]: the original

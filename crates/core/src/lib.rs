@@ -28,20 +28,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod delta;
 pub mod inter;
 pub mod intra;
 pub mod portset;
 pub mod prt;
 pub mod starvation;
 
+pub use delta::{DeltaPlan, DeltaView};
 pub use inter::{
     ClassThenShortest, ExplicitOrder, FirstComeFirstServed, InterScheduler, LongestFirst,
     PriorityPolicy, ShortestFirst,
 };
 pub use intra::{
-    schedule_demands, schedule_demands_counted, CoflowSchedule, Demand, FlowOrder, IntraScheduler,
-    ScheduleCounters, SunflowConfig,
+    schedule_demands, schedule_demands_counted, schedule_demands_on, CoflowSchedule, Demand,
+    FlowOrder, IntraScheduler, PlanTable, ScheduleCounters, ScheduleScratch, SunflowConfig,
 };
 pub use portset::PortSet;
-pub use prt::{Prt, PrtSnapshot, RemovedResv, ResvKind};
+pub use prt::{PortProbe, Prt, PrtSnapshot, RemovedResv, ResvKind};
 pub use starvation::{GuardConfig, GuardWindow, StarvationGuard};

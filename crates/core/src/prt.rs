@@ -37,10 +37,36 @@ pub enum ResvKind {
 }
 
 #[derive(Clone, Copy, Debug)]
-struct Entry {
-    end: Time,
-    peer: usize,
-    kind: ResvKind,
+pub(crate) struct Entry {
+    pub(crate) end: Time,
+    pub(crate) peer: usize,
+    pub(crate) kind: ResvKind,
+}
+
+/// Fused snapshot of one port's planning state at an instant `t`: the
+/// answers of `in_free_at`, `in_next_start_after`, and
+/// `in_next_release_after` (or their output-side twins) resolved from a
+/// single lookup position. Algorithm 1's demand examination needs two or
+/// three of these per port side; probing answers all of them for the
+/// price of one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PortProbe {
+    /// Is the port free at `t`?
+    pub free: bool,
+    /// Earliest reservation start strictly after `t` (`Time::MAX` if the
+    /// port is unreserved beyond `t`).
+    pub next_start: Time,
+    /// Earliest circuit release (reservation end) strictly after `t`.
+    pub next_release: Option<Time>,
+}
+
+impl PortProbe {
+    /// The snapshot of a port with no reservation at or after `t`.
+    pub const IDLE: PortProbe = PortProbe {
+        free: true,
+        next_start: Time::MAX,
+        next_release: None,
+    };
 }
 
 /// A reservation removed or shortened by [`Prt::truncate_future`].
@@ -122,17 +148,6 @@ impl PrtSnapshot {
 pub struct Prt {
     ins: Vec<BTreeMap<Time, Entry>>,
     outs: Vec<BTreeMap<Time, Entry>>,
-    /// Multiset of reservation end times (each circuit contributes one),
-    /// maintained incrementally by reserve/truncate/cut — never rescanned.
-    releases: BTreeMap<Time, u32>,
-    /// Per-input-port release queues: the end times of that port's
-    /// reservations, one multiset per port. The port-scoped Algorithm 1
-    /// advances `t` only through releases on ports its Coflow still
-    /// needs, so these queues — not the global [`Prt::releases`] — are
-    /// its line-10 data structure.
-    in_releases: Vec<BTreeMap<Time, u32>>,
-    /// Same queues for output ports.
-    out_releases: Vec<BTreeMap<Time, u32>>,
     /// Fast-path cache: per input port, the `(start, end)` of its
     /// *latest-starting* reservation. Reservations on a port never
     /// overlap, so this entry also carries the port's horizon: the port
@@ -236,9 +251,6 @@ impl Prt {
         Prt {
             ins: vec![BTreeMap::new(); n],
             outs: vec![BTreeMap::new(); n],
-            releases: BTreeMap::new(),
-            in_releases: vec![BTreeMap::new(); n],
-            out_releases: vec![BTreeMap::new(); n],
             in_tail: vec![None; n],
             out_tail: vec![None; n],
             by_coflow: HashMap::new(),
@@ -252,7 +264,7 @@ impl Prt {
 
     /// True if the table holds no reservations.
     pub fn is_empty(&self) -> bool {
-        self.releases.is_empty()
+        self.ins.iter().all(|m| m.is_empty())
     }
 
     fn free_at(map: &BTreeMap<Time, Entry>, t: Time) -> bool {
@@ -368,29 +380,115 @@ impl Prt {
     }
 
     /// The earliest circuit release (reservation end) strictly after `t`,
-    /// across all ports — Algorithm 1 line 10.
+    /// across all ports — Algorithm 1 line 10. Answered as the minimum
+    /// over per-input-port release queries (every reservation ends on its
+    /// input port); only the naive rescan-everything loop advances its
+    /// clock through this global view.
     pub fn next_release_after(&self, t: Time) -> Option<Time> {
-        self.releases
-            .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
-            .next()
-            .map(|(&e, _)| e)
+        (0..self.ins.len())
+            .filter_map(|i| self.in_next_release_after(i, t))
+            .min()
     }
 
-    /// The earliest circuit release strictly after `t` on input port `i`,
-    /// answered from that port's release queue.
+    /// The earliest release strictly after `t` in one port map, derived
+    /// from the reservation intervals themselves: reservations on a port
+    /// never overlap, so ends ascend with starts, and the answer is the
+    /// covering entry's end if it is still running — else the
+    /// next-starting entry's end.
+    fn next_release_in(map: &BTreeMap<Time, Entry>, t: Time) -> Option<Time> {
+        match map.range(..=t).next_back() {
+            Some((_, e)) if e.end > t => Some(e.end),
+            _ => map
+                .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(_, e)| e.end),
+        }
+    }
+
+    /// `next_release_in` with the tail cache consulted first: past the
+    /// tail's end there is no release; inside the tail the release *is*
+    /// the tail's end.
+    #[inline]
+    fn next_release_cached(
+        map: &BTreeMap<Time, Entry>,
+        tail: Option<(Time, Time)>,
+        t: Time,
+    ) -> Option<Time> {
+        match tail {
+            None => None,
+            Some((start, end)) => {
+                if t >= end {
+                    None
+                } else if t >= start {
+                    Some(end)
+                } else {
+                    Self::next_release_in(map, t)
+                }
+            }
+        }
+    }
+
+    /// The earliest circuit release strictly after `t` on input port `i`.
     pub fn in_next_release_after(&self, i: InPort, t: Time) -> Option<Time> {
-        self.in_releases[i]
-            .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
-            .next()
-            .map(|(&e, _)| e)
+        Self::next_release_cached(&self.ins[i], self.in_tail[i], t)
     }
 
     /// The earliest circuit release strictly after `t` on output port `j`.
     pub fn out_next_release_after(&self, j: OutPort, t: Time) -> Option<Time> {
-        self.out_releases[j]
+        Self::next_release_cached(&self.outs[j], self.out_tail[j], t)
+    }
+
+    /// Fused planning snapshot of input port `i` at `t` — freeness, next
+    /// start, and next release answered from one tail-cache consultation
+    /// (or, before the tail's start, one pair of map walks) instead of
+    /// three separate queries. See [`crate::PlanTable::in_probe`].
+    pub fn in_probe(&self, i: InPort, t: Time) -> PortProbe {
+        Self::probe_cached(&self.ins[i], self.in_tail[i], t)
+    }
+
+    /// Fused planning snapshot of output port `j` at `t` (see
+    /// [`Prt::in_probe`]).
+    pub fn out_probe(&self, j: OutPort, t: Time) -> PortProbe {
+        Self::probe_cached(&self.outs[j], self.out_tail[j], t)
+    }
+
+    fn probe_cached(map: &BTreeMap<Time, Entry>, tail: Option<(Time, Time)>, t: Time) -> PortProbe {
+        let Some((tail_start, tail_end)) = tail else {
+            return PortProbe::IDLE;
+        };
+        if t >= tail_end {
+            return PortProbe::IDLE;
+        }
+        if t >= tail_start {
+            // Inside the latest-starting reservation: busy, nothing
+            // starts later, and the release is the tail's end.
+            return PortProbe {
+                free: false,
+                next_start: Time::MAX,
+                next_release: Some(tail_end),
+            };
+        }
+        // Before the tail's start a later entry always exists, so both
+        // walks resolve the full snapshot.
+        let covering = map.range(..=t).next_back();
+        let next = map
             .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
-            .next()
-            .map(|(&e, _)| e)
+            .next();
+        match covering {
+            Some((_, e)) if e.end > t => PortProbe {
+                free: false,
+                next_start: next.map_or(Time::MAX, |(&s, _)| s),
+                next_release: Some(e.end),
+            },
+            _ => {
+                let (&s, e) = next.expect("tail cache implies a future entry");
+                PortProbe {
+                    free: true,
+                    next_start: s,
+                    next_release: Some(e.end),
+                }
+            }
+        }
     }
 
     /// The earliest circuit release strictly after `t` on *any* port of
@@ -520,9 +618,6 @@ impl Prt {
         if self.out_tail[dst].is_none_or(|(s, _)| start > s) {
             self.out_tail[dst] = Some((start, end));
         }
-        *self.releases.entry(end).or_insert(0) += 1;
-        Self::bump(&mut self.in_releases[src], end);
-        Self::bump(&mut self.out_releases[dst], end);
         if let ResvKind::Flow(flow) = kind {
             self.by_coflow.entry(flow.coflow).or_default().insert(
                 src,
@@ -579,9 +674,6 @@ impl Prt {
                 kind,
             },
         );
-        *self.releases.entry(end).or_insert(0) += 1;
-        Self::bump(&mut self.in_releases[src], end);
-        Self::bump(&mut self.out_releases[dst], end);
         if let ResvKind::Flow(flow) = kind {
             self.by_coflow.entry(flow.coflow).or_default().insert(
                 src,
@@ -646,6 +738,67 @@ impl Prt {
             .and_then(|idx| idx.ends.keys().next_back().copied())
     }
 
+    /// Iterator over `coflow`'s reservations with `start >= now` — the
+    /// candidates a delta replan may reuse or retire — ordered by
+    /// `(start, src)`, answered from the per-Coflow index.
+    pub fn future_reservations_of(
+        &self,
+        coflow: CoflowId,
+        now: Time,
+    ) -> impl Iterator<Item = Reservation> + '_ {
+        self.by_coflow
+            .get(&coflow)
+            .into_iter()
+            .flat_map(move |idx| {
+                idx.resvs
+                    .range((now, 0)..)
+                    .map(move |(&(start, src), &(dst, end, flow_idx))| Reservation {
+                        src,
+                        dst,
+                        start,
+                        end,
+                        flow: FlowRef { coflow, flow_idx },
+                    })
+            })
+    }
+
+    /// Input port `i`'s reservation map, for the crate-internal delta
+    /// planning view ([`crate::delta::DeltaView`]), which overlays masked
+    /// queries on the raw entries.
+    pub(crate) fn in_entries(&self, i: InPort) -> &BTreeMap<Time, Entry> {
+        &self.ins[i]
+    }
+
+    /// Output port `j`'s reservation map (see [`Prt::in_entries`]).
+    pub(crate) fn out_entries(&self, j: OutPort) -> &BTreeMap<Time, Entry> {
+        &self.outs[j]
+    }
+
+    /// Remove the single reservation keyed `(src, start)`, refreshing the
+    /// tail caches and per-Coflow index. The delta
+    /// replanner's apply step retires exactly the stale reservations a new
+    /// plan did not reproduce, so — unlike [`Prt::truncate_future`] — it
+    /// removes by key, not by time horizon.
+    ///
+    /// # Panics
+    /// Panics if no reservation starts at `start` on input port `src`.
+    pub(crate) fn remove_reservation(&mut self, src: InPort, start: Time) -> RemovedResv {
+        let e = self.ins[src]
+            .remove(&start)
+            .expect("remove_reservation: no reservation at this key");
+        self.outs[e.peer].remove(&start).expect("peer entry exists");
+        self.unindex(e.kind, src, start);
+        self.in_tail[src] = Self::tail_of(&self.ins[src]);
+        self.out_tail[e.peer] = Self::tail_of(&self.outs[e.peer]);
+        RemovedResv {
+            src,
+            dst: e.peer,
+            start,
+            end: e.end,
+            kind: e.kind,
+        }
+    }
+
     /// Reference implementation of [`Prt::reservations_of`] via the full
     /// table scan (see [`Prt::naive_in_free_at`] for the twin pattern).
     #[cfg(any(test, feature = "naive-twins"))]
@@ -689,8 +842,10 @@ impl Prt {
     }
 
     /// The latest reservation end in the table, or `None` if empty.
+    /// Reservations on a port never overlap, so each port's horizon is
+    /// its latest-starting reservation's end — the tail cache.
     pub fn horizon(&self) -> Option<Time> {
-        self.releases.keys().next_back().copied()
+        self.in_tail.iter().flatten().map(|&(_, end)| end).max()
     }
 
     /// Capture the full reservation state as a flat, order-independent
@@ -707,8 +862,8 @@ impl Prt {
     /// Rebuild a table from a [`PrtSnapshot`]. The result answers every
     /// query identically to the snapshotted table: reservations are
     /// replayed through [`Prt::reserve`] in ascending start order, so the
-    /// tail caches, release multiset, and per-Coflow index all come out
-    /// in their canonical states.
+    /// tail caches and per-Coflow index come out in their canonical
+    /// states.
     ///
     /// # Panics
     /// Panics if the snapshot is inconsistent (empty intervals or
@@ -746,9 +901,6 @@ impl Prt {
                 let e = *e;
                 self.ins[src].remove(&start);
                 self.outs[e.peer].remove(&start);
-                self.release_removed(e.end);
-                Self::drop_one(&mut self.in_releases[src], e.end);
-                Self::drop_one(&mut self.out_releases[e.peer], e.end);
                 self.unindex(e.kind, src, start);
                 dropped += 1;
             }
@@ -787,6 +939,41 @@ impl Prt {
     /// long-running replay's table does not pay for its history.
     pub fn truncate_future(&mut self, now: Time, keep_active: bool) -> Vec<RemovedResv> {
         let mut removed = Vec::new();
+        self.truncate_future_into(now, keep_active, &mut removed);
+        removed
+    }
+
+    /// [`Prt::truncate_future`] into a caller-owned scratch buffer: `out`
+    /// is cleared, filled with the removed reservations in `(src, start)`
+    /// order, and the count is returned. A replanning loop reuses one
+    /// buffer across calls so steady-state truncation allocates nothing.
+    pub fn truncate_future_into(
+        &mut self,
+        now: Time,
+        keep_active: bool,
+        out: &mut Vec<RemovedResv>,
+    ) -> u64 {
+        out.clear();
+        let n = self.truncate_future_sink(now, keep_active, Some(out));
+        // The backward walks discovered entries in descending-start order;
+        // report them in the canonical (src, start) order.
+        out.sort_by_key(|r| (r.src, r.start));
+        n
+    }
+
+    /// [`Prt::truncate_future`] for callers that only need the count
+    /// (e.g. stats): no `Vec<RemovedResv>` is built at all.
+    pub fn truncate_future_count(&mut self, now: Time, keep_active: bool) -> u64 {
+        self.truncate_future_sink(now, keep_active, None)
+    }
+
+    fn truncate_future_sink(
+        &mut self,
+        now: Time,
+        keep_active: bool,
+        mut out: Option<&mut Vec<RemovedResv>>,
+    ) -> u64 {
+        let mut count = 0u64;
         let n = self.ports();
         // Out ports whose tail cache must be refreshed; in tails are
         // refreshed inline per source port.
@@ -799,31 +986,25 @@ impl Prt {
                     // Entirely in the future: drop.
                     self.ins[src].remove(&start);
                     self.outs[e.peer].remove(&start);
-                    self.release_removed(e.end);
-                    Self::drop_one(&mut self.in_releases[src], e.end);
-                    Self::drop_one(&mut self.out_releases[e.peer], e.end);
                     self.unindex(e.kind, src, start);
                     touched = true;
                     out_touched[e.peer] = true;
-                    removed.push(RemovedResv {
-                        src,
-                        dst: e.peer,
-                        start,
-                        end: e.end,
-                        kind: e.kind,
-                    });
+                    count += 1;
+                    if let Some(out) = out.as_deref_mut() {
+                        out.push(RemovedResv {
+                            src,
+                            dst: e.peer,
+                            start,
+                            end: e.end,
+                            kind: e.kind,
+                        });
+                    }
                 } else {
                     if e.end > now && !keep_active && e.kind != ResvKind::Guard {
                         // Straddles `now` and preemption is allowed: cut.
                         // Guard windows are never cut — the starvation
                         // guard's whole point is immunity to scheduling
                         // churn.
-                        self.release_removed(e.end);
-                        *self.releases.entry(now).or_insert(0) += 1;
-                        Self::drop_one(&mut self.in_releases[src], e.end);
-                        Self::bump(&mut self.in_releases[src], now);
-                        Self::drop_one(&mut self.out_releases[e.peer], e.end);
-                        Self::bump(&mut self.out_releases[e.peer], now);
                         self.ins[src].get_mut(&start).expect("entry exists").end = now;
                         self.outs[e.peer]
                             .get_mut(&start)
@@ -837,13 +1018,16 @@ impl Prt {
                         }
                         touched = true;
                         out_touched[e.peer] = true;
-                        removed.push(RemovedResv {
-                            src,
-                            dst: e.peer,
-                            start,
-                            end: e.end,
-                            kind: e.kind,
-                        });
+                        count += 1;
+                        if let Some(out) = out.as_deref_mut() {
+                            out.push(RemovedResv {
+                                src,
+                                dst: e.peer,
+                                start,
+                                end: e.end,
+                                kind: e.kind,
+                            });
+                        }
                     }
                     // First reservation starting before `now`: everything
                     // earlier on this port is strictly in the past.
@@ -859,10 +1043,7 @@ impl Prt {
                 self.out_tail[p] = Self::tail_of(&self.outs[p]);
             }
         }
-        // The backward walks discovered entries in descending-start order;
-        // report them in the canonical (src, start) order.
-        removed.sort_by_key(|r| (r.src, r.start));
-        removed
+        count
     }
 
     /// Reference implementation of [`Prt::truncate_future`]: the original
@@ -882,9 +1063,6 @@ impl Prt {
                 if start >= now {
                     self.ins[src].remove(&start);
                     self.outs[e.peer].remove(&start);
-                    self.release_removed(e.end);
-                    Self::drop_one(&mut self.in_releases[src], e.end);
-                    Self::drop_one(&mut self.out_releases[e.peer], e.end);
                     self.unindex(e.kind, src, start);
                     touched = true;
                     removed.push(RemovedResv {
@@ -895,12 +1073,6 @@ impl Prt {
                         kind: e.kind,
                     });
                 } else if e.end > now && !keep_active && e.kind != ResvKind::Guard {
-                    self.release_removed(e.end);
-                    *self.releases.entry(now).or_insert(0) += 1;
-                    Self::drop_one(&mut self.in_releases[src], e.end);
-                    Self::bump(&mut self.in_releases[src], now);
-                    Self::drop_one(&mut self.out_releases[e.peer], e.end);
-                    Self::bump(&mut self.out_releases[e.peer], now);
                     self.ins[src].get_mut(&start).expect("entry exists").end = now;
                     self.outs[e.peer]
                         .get_mut(&start)
@@ -941,35 +1113,66 @@ impl Prt {
     /// Returns the removed reservations ordered by `(src, start)`, like
     /// [`Prt::truncate_future`].
     pub fn truncate_future_of(&mut self, coflow: CoflowId, now: Time) -> Vec<RemovedResv> {
+        let mut removed = Vec::new();
+        self.truncate_future_of_into(coflow, now, &mut removed);
+        removed
+    }
+
+    /// [`Prt::truncate_future_of`] into a caller-owned scratch buffer
+    /// (cleared, filled in `(src, start)` order); returns the count. See
+    /// [`Prt::truncate_future_into`].
+    pub fn truncate_future_of_into(
+        &mut self,
+        coflow: CoflowId,
+        now: Time,
+        out: &mut Vec<RemovedResv>,
+    ) -> u64 {
+        out.clear();
+        let n = self.truncate_future_of_sink(coflow, now, Some(out));
+        out.sort_by_key(|r| (r.src, r.start));
+        n
+    }
+
+    /// [`Prt::truncate_future_of`] for callers that only need the count:
+    /// no `Vec<RemovedResv>` is built.
+    pub fn truncate_future_of_count(&mut self, coflow: CoflowId, now: Time) -> u64 {
+        self.truncate_future_of_sink(coflow, now, None)
+    }
+
+    fn truncate_future_of_sink(
+        &mut self,
+        coflow: CoflowId,
+        now: Time,
+        mut out: Option<&mut Vec<RemovedResv>>,
+    ) -> u64 {
         let entries: Vec<(Time, InPort, OutPort, Time, usize)> = match self.by_coflow.get(&coflow) {
-            None => return Vec::new(),
+            None => return 0,
             Some(idx) => idx
                 .resvs
                 .range((now, 0)..)
                 .map(|(&(start, src), &(dst, end, flow_idx))| (start, src, dst, end, flow_idx))
                 .collect(),
         };
-        let mut removed = Vec::with_capacity(entries.len());
+        let mut count = 0u64;
         for (start, src, dst, end, flow_idx) in entries {
             self.ins[src].remove(&start).expect("entry exists");
             self.outs[dst].remove(&start).expect("peer entry exists");
-            self.release_removed(end);
-            Self::drop_one(&mut self.in_releases[src], end);
-            Self::drop_one(&mut self.out_releases[dst], end);
             let kind = ResvKind::Flow(FlowRef { coflow, flow_idx });
             self.unindex(kind, src, start);
             self.in_tail[src] = Self::tail_of(&self.ins[src]);
             self.out_tail[dst] = Self::tail_of(&self.outs[dst]);
-            removed.push(RemovedResv {
-                src,
-                dst,
-                start,
-                end,
-                kind,
-            });
+            count += 1;
+            if let Some(out) = out.as_deref_mut() {
+                out.push(RemovedResv {
+                    src,
+                    dst,
+                    start,
+                    end,
+                    kind,
+                });
+            }
         }
-        removed.sort_by_key(|r| (r.src, r.start));
-        removed
+        count
     }
 
     /// Drop a removed reservation from the per-Coflow index.
@@ -1007,12 +1210,6 @@ impl Prt {
             start < now && now < e.end,
             "cut_reservation: reservation is not in flight at {now}"
         );
-        self.release_removed(e.end);
-        *self.releases.entry(now).or_insert(0) += 1;
-        Self::drop_one(&mut self.in_releases[src], e.end);
-        Self::bump(&mut self.in_releases[src], now);
-        Self::drop_one(&mut self.out_releases[e.peer], e.end);
-        Self::bump(&mut self.out_releases[e.peer], now);
         self.ins[src].get_mut(&start).expect("checked").end = now;
         self.outs[e.peer].get_mut(&start).expect("peer entry").end = now;
         if self.in_tail[src].is_some_and(|(s, _)| s == start) {
@@ -1026,34 +1223,6 @@ impl Prt {
                 .get_mut(&flow.coflow)
                 .expect("coflow index out of sync")
                 .cut(src, start, now);
-        }
-    }
-
-    fn release_removed(&mut self, end: Time) {
-        let c = self
-            .releases
-            .get_mut(&end)
-            .expect("release multiset out of sync");
-        *c -= 1;
-        if *c == 0 {
-            self.releases.remove(&end);
-        }
-    }
-
-    /// Add one occurrence of `t` to a time multiset (a per-port release
-    /// queue).
-    fn bump(map: &mut BTreeMap<Time, u32>, t: Time) {
-        *map.entry(t).or_insert(0) += 1;
-    }
-
-    /// Remove one occurrence of `t` from a time multiset.
-    fn drop_one(map: &mut BTreeMap<Time, u32>, t: Time) {
-        let c = map
-            .get_mut(&t)
-            .expect("per-port release multiset out of sync");
-        *c -= 1;
-        if *c == 0 {
-            map.remove(&t);
         }
     }
 

@@ -5,7 +5,7 @@
 
 use ocs_model::{FlowRef, Time};
 use proptest::prelude::*;
-use sunflow_core::{Prt, ResvKind};
+use sunflow_core::{PortProbe, Prt, ResvKind};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -17,6 +17,8 @@ enum Op {
     TruncateCut(u64),
     /// Cut the k-th in-flight reservation (if any) at now_ms.
     Cut(usize, u64),
+    /// Retire settled history before cutoff_ms.
+    Forget(u64),
 }
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
@@ -27,6 +29,7 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
             (0u64..250).prop_map(Op::TruncateKeep),
             (0u64..250).prop_map(Op::TruncateCut),
             (0usize..8, 1u64..250).prop_map(|(k, t)| Op::Cut(k, t)),
+            (0u64..250).prop_map(Op::Forget),
         ],
         1..50,
     )
@@ -68,6 +71,43 @@ fn assert_agreement(prt: &Prt, t: Time) -> Result<(), TestCaseError> {
             prt.out_next_start_after(p, t),
             prt.naive_out_next_start_after(p, t),
             "out_next_start_after({}, {:?}) diverged from naive scan",
+            p,
+            t
+        );
+        prop_assert_eq!(
+            prt.in_next_release_after(p, t),
+            prt.naive_in_next_release_after(p, t),
+            "in_next_release_after({}, {:?}) diverged from naive scan",
+            p,
+            t
+        );
+        prop_assert_eq!(
+            prt.out_next_release_after(p, t),
+            prt.naive_out_next_release_after(p, t),
+            "out_next_release_after({}, {:?}) diverged from naive scan",
+            p,
+            t
+        );
+        // The fused probes must agree with the naive scalar answers.
+        prop_assert_eq!(
+            prt.in_probe(p, t),
+            PortProbe {
+                free: prt.naive_in_free_at(p, t),
+                next_start: prt.naive_in_next_start_after(p, t),
+                next_release: prt.naive_in_next_release_after(p, t),
+            },
+            "in_probe({}, {:?}) diverged from naive scans",
+            p,
+            t
+        );
+        prop_assert_eq!(
+            prt.out_probe(p, t),
+            PortProbe {
+                free: prt.naive_out_free_at(p, t),
+                next_start: prt.naive_out_next_start_after(p, t),
+                next_release: prt.naive_out_next_release_after(p, t),
+            },
+            "out_probe({}, {:?}) diverged from naive scans",
             p,
             t
         );
@@ -119,6 +159,9 @@ proptest! {
                         let r = &in_flight[k % in_flight.len()];
                         prt.cut_reservation(r.src, r.start, now);
                     }
+                }
+                Op::Forget(t) => {
+                    prt.forget_before(Time::from_millis(t));
                 }
             }
             // Probe a spread of instants: a coarse grid over the reachable

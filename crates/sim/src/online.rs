@@ -85,6 +85,12 @@ pub struct OnlineConfig {
     /// even then — an escape hatch and the reference arm of the
     /// equivalence tests.
     pub full_replan: bool,
+    /// Worker threads for the scoped replanner's port-disjoint rank
+    /// segments: `0` (the default) resolves to the host's available
+    /// parallelism; `1` forces sequential planning. Segments are planned
+    /// on scoped threads and merged deterministically, so the thread
+    /// count never changes outcomes — only wall-clock.
+    pub replan_threads: usize,
 }
 
 impl Default for OnlineConfig {
@@ -94,6 +100,7 @@ impl Default for OnlineConfig {
             active_policy: ActiveCircuitPolicy::Yield,
             guard: None,
             full_replan: false,
+            replan_threads: 0,
         }
     }
 }
@@ -121,6 +128,14 @@ impl OnlineConfig {
     /// every active Coflow at every event.
     pub fn full_replan(mut self, full: bool) -> OnlineConfig {
         self.full_replan = full;
+        self
+    }
+
+    /// Set the scoped replanner's worker-thread count (`0` = all cores,
+    /// `1` = sequential). Outcome-neutral; see
+    /// [`OnlineConfig::replan_threads`].
+    pub fn replan_threads(mut self, threads: usize) -> OnlineConfig {
+        self.replan_threads = threads;
         self
     }
 }
@@ -180,6 +195,25 @@ pub struct ReplayStats {
     /// set, so their existing plans were provably identical to what a
     /// re-plan would produce.
     pub coflows_skipped: u64,
+    /// Reservations a delta replan reproduced byte-for-byte and kept in
+    /// place instead of truncating and re-making (the ~84%
+    /// truncate-then-identically-rebuild churn turned into no-ops).
+    pub reservations_reused: u64,
+    /// Table mutations delta replans actually applied: stale removals
+    /// plus fresh insertions (the diff the old truncate-and-rebuild path
+    /// would have paid in full).
+    pub delta_applied: u64,
+    /// Port-disjoint rank segments the scoped replanner partitioned its
+    /// priority walks into (each segment plans independently).
+    pub replan_segments: u64,
+    /// Replan rounds whose segments actually ran on multiple scoped
+    /// threads (requires `replan_threads` to resolve above 1 *and* at
+    /// least two segments). Zero on a single-core host.
+    pub parallel_replans: u64,
+    /// Fully-released reservations retired from the PRT once settled —
+    /// the table holds only the working set (active and planned
+    /// circuits) instead of the whole trace history.
+    pub reservations_retired: u64,
 }
 
 /// Simulate `coflows` on the circuit-switched `fabric` under Sunflow with

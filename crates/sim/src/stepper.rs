@@ -28,8 +28,9 @@ use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 use sunflow_core::{
-    Demand, FlowOrder, PortSet, PriorityPolicy, Prt, PrtSnapshot, RemovedResv, ResvKind,
-    StarvationGuard,
+    schedule_demands_on, DeltaPlan, DeltaView, Demand, FlowOrder, PortSet, PriorityPolicy, Prt,
+    PrtSnapshot, RemovedResv, ResvKind, ScheduleCounters, ScheduleScratch, StarvationGuard,
+    SunflowConfig,
 };
 
 /// A not-yet-settled flow reservation, mirrored out of the PRT so the
@@ -48,6 +49,83 @@ struct Pending {
 impl Pending {
     fn transmit_time(&self, delta: Dur) -> Dur {
         self.end.since(self.start).saturating_sub(delta)
+    }
+}
+
+/// Recycled working memory of one replan: priority buffers, the
+/// affected-set walk's port sets and crossing counters, the per-round
+/// demand arena, the truncation sink, and one intra-Coflow planning
+/// scratch (wake heap included) per worker thread. Owned by the stepper
+/// and reset — never reallocated — per replan, so the steady-state
+/// event loop's planning path allocates only the plans themselves.
+/// Derived state: deliberately excluded from snapshots.
+#[derive(Debug, Default)]
+struct ReplanScratch {
+    /// Active Coflow indices in the policy's total order.
+    prio: Vec<usize>,
+    /// Coflow id → position in the total order.
+    rank: HashMap<u64, usize>,
+    /// Affected-set seeds, indexed like `coflows`.
+    seed: Vec<bool>,
+    /// The affected set, in priority order.
+    dirty: Vec<usize>,
+    /// `dirty_flag[idx]` ⇔ `idx ∈ dirty` (this round).
+    dirty_flag: Vec<bool>,
+    /// `(owner rank, src, dst)` of newly in-flight reservations.
+    crossings: Vec<(usize, InPort, OutPort)>,
+    cross_in: Vec<u32>,
+    cross_out: Vec<u32>,
+    cross_ports: Option<PortSet>,
+    dirty_ports: Option<PortSet>,
+    /// In-flight service credit per flow of the dirty Coflows.
+    pending: HashMap<FlowRef, Dur>,
+    /// Flat demand arena: every dirty Coflow's plannable demands, sliced
+    /// per member by `members` ranges.
+    demands: Vec<Demand>,
+    /// Per dirty Coflow (in priority order): `(id, begin, end)` range
+    /// into `demands`.
+    members: Vec<(u64, u32, u32)>,
+    /// Sink buffer for truncations and delta-apply removals.
+    removed: Vec<RemovedResv>,
+    /// One intra-Coflow planning scratch per worker thread.
+    planners: Vec<ScheduleScratch>,
+}
+
+impl ReplanScratch {
+    fn reset(&mut self, ports: usize, coflows: usize) {
+        self.prio.clear();
+        self.rank.clear();
+        self.seed.clear();
+        self.seed.resize(coflows, false);
+        self.dirty.clear();
+        self.dirty_flag.clear();
+        self.dirty_flag.resize(coflows, false);
+        self.crossings.clear();
+        self.cross_in.clear();
+        self.cross_in.resize(ports, 0);
+        self.cross_out.clear();
+        self.cross_out.resize(ports, 0);
+        match &mut self.cross_ports {
+            Some(p) if p.ports() == ports => p.clear(),
+            p => *p = Some(PortSet::new(ports)),
+        }
+        match &mut self.dirty_ports {
+            Some(p) if p.ports() == ports => p.clear(),
+            p => *p = Some(PortSet::new(ports)),
+        }
+        self.pending.clear();
+        self.demands.clear();
+        self.members.clear();
+        self.removed.clear();
+        if self.planners.is_empty() {
+            self.planners.push(ScheduleScratch::new());
+        }
+    }
+
+    fn ensure_planners(&mut self, n: usize) {
+        while self.planners.len() < n {
+            self.planners.push(ScheduleScratch::new());
+        }
     }
 }
 
@@ -233,6 +311,7 @@ pub struct StepperSnapshot {
 /// of the Coflow alone; see `replay_regression.rs`), so switching
 /// policies mid-run would scramble the memo.
 pub struct OnlineStepper {
+    /// TEMP profiling: section nanos, printed on drop.
     fabric: Fabric,
     config: OnlineConfig,
     guard: Option<StarvationGuard>,
@@ -283,6 +362,11 @@ pub struct OnlineStepper {
     /// Clock value of the most recent re-plan; reservations whose start
     /// crossed it since are newly in flight and dirty their ports.
     last_replan_at: Time,
+    /// Recycled replanning buffers (derived state, not snapshotted).
+    scratch: ReplanScratch,
+    /// `config.replan_threads` with `0` resolved to the host's available
+    /// parallelism.
+    replan_threads: usize,
 }
 
 impl OnlineStepper {
@@ -326,6 +410,8 @@ impl OnlineStepper {
             footprints: Vec::new(),
             event_dirty: Vec::new(),
             last_replan_at: Time::ZERO,
+            scratch: ReplanScratch::default(),
+            replan_threads: resolve_replan_threads(config),
         }
     }
 
@@ -606,6 +692,8 @@ impl OnlineStepper {
                 .collect(),
             event_dirty: Vec::new(),
             last_replan_at: snap.last_replan_at,
+            scratch: ReplanScratch::default(),
+            replan_threads: resolve_replan_threads(&snap.config),
         }
     }
 
@@ -628,6 +716,10 @@ impl OnlineStepper {
         // ---- Settle everything that ended by `t`. ----
         self.settle_flows(t, hook);
         self.settle_guard(t);
+        // Settled circuits are dead to every planning query (all run at
+        // instants >= now) — retire them so the PRT holds the working
+        // set, not the whole replay history.
+        self.stats.reservations_retired += self.prt.forget_before(t) as u64;
 
         // ---- Arrivals at `t`. ----
         while let Some(&(arrival, _, idx)) = self.pending_arrivals.iter().next() {
@@ -814,32 +906,35 @@ impl OnlineStepper {
     fn replan_full(&mut self, hook: &mut dyn SettleHook) {
         let delta = self.fabric.delta();
         let now = self.now;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.reset(self.fabric.ports(), self.coflows.len());
 
         // Priority order over the *active* coflows (also drives Yield's
         // who-may-displace-whom decisions): filter the memoized total
         // order — comparison-free — instead of re-running the policy.
-        let prio: Vec<usize> = self
-            .priority_order
-            .iter()
-            .copied()
-            .filter(|&i| self.is_active[i])
-            .collect();
-        let rank: HashMap<u64, usize> = self
-            .priority_order
-            .iter()
-            .enumerate()
-            .filter(|&(_, &i)| self.is_active[i])
-            .map(|(pos, &i)| (self.coflows[i].id(), pos))
-            .collect();
+        scratch.prio.extend(
+            self.priority_order
+                .iter()
+                .copied()
+                .filter(|&i| self.is_active[i]),
+        );
+        for (pos, &i) in self.priority_order.iter().enumerate() {
+            if self.is_active[i] {
+                scratch.rank.insert(self.coflows[i].id(), pos);
+            }
+        }
+        let prio = std::mem::take(&mut scratch.prio);
+        let rank = std::mem::take(&mut scratch.rank);
 
         // Under Preempt every in-flight circuit is torn down immediately;
         // under Keep and Yield they initially continue (Yield may cut
         // specific ones below once the new plan shows who they block).
-        let removed = self.prt.truncate_future(
+        self.prt.truncate_future_into(
             now,
             self.config.active_policy != ActiveCircuitPolicy::Preempt,
+            &mut scratch.removed,
         );
-        self.stats.reservations_truncated += untrack(&mut self.unsettled, &removed, now);
+        self.stats.reservations_truncated += untrack(&mut self.unsettled, &scratch.removed, now);
         if self.config.active_policy == ActiveCircuitPolicy::Preempt {
             // A cut reservation now ends at `now`: settle it so its
             // partial service is credited before re-planning.
@@ -877,45 +972,43 @@ impl OnlineStepper {
             // their end; don't schedule that demand twice). Everything in
             // the queue has `end > now` here: the ended prefix was
             // settled at `now` and the planned future was truncated.
-            let mut pending: HashMap<FlowRef, Dur> = HashMap::new();
+            scratch.pending.clear();
             for r in self.unsettled.iter() {
-                *pending.entry(r.flow).or_insert(Dur::ZERO) += r.transmit_time(delta);
+                *scratch.pending.entry(r.flow).or_insert(Dur::ZERO) += r.transmit_time(delta);
             }
 
             for &idx in &prio {
                 let c = &self.coflows[idx];
                 let st = self.states[idx].as_ref().expect("active implies state");
-                let deferred = &self.deferred;
-                let demands: Vec<Demand> = c
-                    .flows()
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(fi, f)| {
-                        let fref = FlowRef {
-                            coflow: c.id(),
-                            flow_idx: fi,
-                        };
-                        if deferred.contains_key(&fref) {
-                            return None; // in fault backoff
-                        }
-                        let committed = pending.get(&fref).copied().unwrap_or(Dur::ZERO);
-                        let rem = st.remaining[fi].saturating_sub(committed);
-                        (!rem.is_zero()).then_some(Demand {
+                scratch.demands.clear();
+                for (fi, f) in c.flows().iter().enumerate() {
+                    let fref = FlowRef {
+                        coflow: c.id(),
+                        flow_idx: fi,
+                    };
+                    if self.deferred.contains_key(&fref) {
+                        continue; // in fault backoff
+                    }
+                    let committed = scratch.pending.get(&fref).copied().unwrap_or(Dur::ZERO);
+                    let rem = st.remaining[fi].saturating_sub(committed);
+                    if !rem.is_zero() {
+                        scratch.demands.push(Demand {
                             flow_idx: fi,
                             src: f.src,
                             dst: f.dst,
                             remaining: rem,
-                        })
-                    })
-                    .collect();
-                if !demands.is_empty() {
-                    let (made, counters) = sunflow_core::schedule_demands_counted(
+                        });
+                    }
+                }
+                if !scratch.demands.is_empty() {
+                    let (made, counters) = schedule_demands_on(
                         &mut self.prt,
                         c.id(),
-                        &demands,
+                        &scratch.demands,
                         now,
                         delta,
                         self.config.sunflow,
+                        &mut scratch.planners[0],
                     );
                     self.stats.releases_visited += counters.releases_visited;
                     self.stats.demands_scanned += counters.demands_scanned;
@@ -974,9 +1067,14 @@ impl OnlineStepper {
             // Credit the partial service of the displaced circuits, then
             // drop the tentative plan and re-plan around the freed ports.
             self.settle_flows(now, hook);
-            let removed = self.prt.truncate_future(now, true);
-            self.stats.reservations_truncated += untrack(&mut self.unsettled, &removed, now);
+            self.prt
+                .truncate_future_into(now, true, &mut scratch.removed);
+            self.stats.reservations_truncated +=
+                untrack(&mut self.unsettled, &scratch.removed, now);
         }
+        scratch.prio = prio;
+        scratch.rank = rank;
+        self.scratch = scratch;
     }
 
     /// Affected-set rescheduling: re-plan only the Coflows the event can
@@ -997,25 +1095,29 @@ impl OnlineStepper {
     fn replan_scoped(&mut self, hook: &mut dyn SettleHook) {
         let delta = self.fabric.delta();
         let now = self.now;
+        let ports = self.fabric.ports();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.reset(ports, self.coflows.len());
 
-        let prio: Vec<usize> = self
-            .priority_order
-            .iter()
-            .copied()
-            .filter(|&i| self.is_active[i])
-            .collect();
-        let rank: HashMap<u64, usize> = self
-            .priority_order
-            .iter()
-            .enumerate()
-            .filter(|&(_, &i)| self.is_active[i])
-            .map(|(pos, &i)| (self.coflows[i].id(), pos))
-            .collect();
+        scratch.prio.extend(
+            self.priority_order
+                .iter()
+                .copied()
+                .filter(|&i| self.is_active[i]),
+        );
+        for (pos, &i) in self.priority_order.iter().enumerate() {
+            if self.is_active[i] {
+                scratch.rank.insert(self.coflows[i].id(), pos);
+            }
+        }
+        let prio = std::mem::take(&mut scratch.prio);
+        let rank = std::mem::take(&mut scratch.rank);
+        let mut cross_ports = scratch.cross_ports.take().expect("reset populates");
+        let mut dirty_ports = scratch.dirty_ports.take().expect("reset populates");
 
-        let mut seed = vec![false; self.coflows.len()];
         for idx in std::mem::take(&mut self.event_dirty) {
             if self.is_active[idx] {
-                seed[idx] = true;
+                scratch.seed[idx] = true;
             }
         }
         // Reservations that went in flight since the last re-plan, tagged
@@ -1026,128 +1128,252 @@ impl OnlineStepper {
         // around it. Sorted by rank; the walk below visits Coflows in
         // increasing rank, so it sheds each crossing from a counted port
         // set as it passes the owner.
-        let mut crossings: Vec<(usize, InPort, OutPort)> = Vec::new();
         for r in self.unsettled.iter() {
             if r.start >= self.last_replan_at && r.start < now {
-                crossings.push((rank[&r.flow.coflow], r.src, r.dst));
+                scratch.crossings.push((rank[&r.flow.coflow], r.src, r.dst));
             }
         }
-        crossings.sort_unstable_by_key(|&(rk, _, _)| rk);
-        let ports = self.fabric.ports();
-        let mut cross_in = vec![0u32; ports];
-        let mut cross_out = vec![0u32; ports];
-        let mut cross_ports = PortSet::new(ports);
-        for &(_, src, dst) in &crossings {
-            if cross_in[src] == 0 {
+        scratch.crossings.sort_unstable_by_key(|&(rk, _, _)| rk);
+        for &(_, src, dst) in &scratch.crossings {
+            if scratch.cross_in[src] == 0 {
                 cross_ports.insert_in(src);
             }
-            cross_in[src] += 1;
-            if cross_out[dst] == 0 {
+            scratch.cross_in[src] += 1;
+            if scratch.cross_out[dst] == 0 {
                 cross_ports.insert_out(dst);
             }
-            cross_out[dst] += 1;
+            scratch.cross_out[dst] += 1;
         }
         let mut next_cross = 0usize;
 
-        let mut dirty_ports = PortSet::new(self.fabric.ports());
         loop {
             // Close the affected set down the priority order.
-            let mut dirty: Vec<usize> = Vec::new();
+            for &idx in &scratch.dirty {
+                scratch.dirty_flag[idx] = false;
+            }
+            scratch.dirty.clear();
             for &idx in &prio {
                 let my_rank = rank[&self.coflows[idx].id()];
                 // Crossings owned at or above this rank are no longer
                 // news from here down.
-                while next_cross < crossings.len() && crossings[next_cross].0 <= my_rank {
-                    let (_, src, dst) = crossings[next_cross];
-                    cross_in[src] -= 1;
-                    if cross_in[src] == 0 {
+                while next_cross < scratch.crossings.len()
+                    && scratch.crossings[next_cross].0 <= my_rank
+                {
+                    let (_, src, dst) = scratch.crossings[next_cross];
+                    scratch.cross_in[src] -= 1;
+                    if scratch.cross_in[src] == 0 {
                         cross_ports.remove_in(src);
                     }
-                    cross_out[dst] -= 1;
-                    if cross_out[dst] == 0 {
+                    scratch.cross_out[dst] -= 1;
+                    if scratch.cross_out[dst] == 0 {
                         cross_ports.remove_out(dst);
                     }
                     next_cross += 1;
                 }
-                if seed[idx]
+                if scratch.seed[idx]
                     || self.footprints[idx].intersects(&dirty_ports)
                     || self.footprints[idx].intersects(&cross_ports)
                 {
                     dirty_ports.union_with(&self.footprints[idx]);
-                    dirty.push(idx);
+                    scratch.dirty.push(idx);
+                    scratch.dirty_flag[idx] = true;
                 }
             }
-            self.stats.coflows_rescheduled += dirty.len() as u64;
-            self.stats.coflows_skipped += (prio.len() - dirty.len()) as u64;
-
-            // Drop every affected Coflow's future plan (keeping circuits
-            // in flight) before planning *any* of them, so each re-plan
-            // sees exactly the table a full re-plan would.
-            for &idx in &dirty {
-                let removed = self.prt.truncate_future_of(self.coflows[idx].id(), now);
-                self.stats.reservations_truncated += untrack(&mut self.unsettled, &removed, now);
-            }
+            self.stats.coflows_rescheduled += scratch.dirty.len() as u64;
+            self.stats.coflows_skipped += (prio.len() - scratch.dirty.len()) as u64;
 
             if self.config.active_policy == ActiveCircuitPolicy::Yield {
                 self.stats.yield_rounds += 1;
             }
 
-            // Pending in-flight service, credited at circuit end — don't
-            // schedule that demand twice. (Affected Coflows have no
-            // future entries left; other Coflows aren't planned, so
-            // their future entries inflating `pending` is harmless.)
-            let mut pending: HashMap<FlowRef, Dur> = HashMap::new();
+            // Pending in-flight service of the *dirty* Coflows, credited
+            // at circuit end — don't schedule that demand twice. Their
+            // future entries are excluded (the delta view hides those
+            // futures from planning, exactly as truncation removed them
+            // before); other Coflows' credit is never looked up.
+            scratch.pending.clear();
             for r in self.unsettled.iter() {
-                *pending.entry(r.flow).or_insert(Dur::ZERO) += r.transmit_time(delta);
+                if r.start < now && scratch.dirty_flag[self.id_to_idx[&r.flow.coflow]] {
+                    *scratch.pending.entry(r.flow).or_insert(Dur::ZERO) += r.transmit_time(delta);
+                }
             }
 
-            for &idx in &dirty {
+            // Demand arena: every dirty Coflow's plannable demands, flat,
+            // so segment planning borrows only slices (thread-shareable).
+            scratch.demands.clear();
+            scratch.members.clear();
+            for &idx in &scratch.dirty {
                 let c = &self.coflows[idx];
                 let st = self.states[idx].as_ref().expect("active implies state");
-                let deferred = &self.deferred;
-                let demands: Vec<Demand> = c
-                    .flows()
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(fi, f)| {
-                        let fref = FlowRef {
-                            coflow: c.id(),
-                            flow_idx: fi,
-                        };
-                        if deferred.contains_key(&fref) {
-                            return None; // in fault backoff
-                        }
-                        let committed = pending.get(&fref).copied().unwrap_or(Dur::ZERO);
-                        let rem = st.remaining[fi].saturating_sub(committed);
-                        (!rem.is_zero()).then_some(Demand {
+                let begin = scratch.demands.len() as u32;
+                for (fi, f) in c.flows().iter().enumerate() {
+                    let fref = FlowRef {
+                        coflow: c.id(),
+                        flow_idx: fi,
+                    };
+                    if self.deferred.contains_key(&fref) {
+                        continue; // in fault backoff
+                    }
+                    let committed = scratch.pending.get(&fref).copied().unwrap_or(Dur::ZERO);
+                    let rem = st.remaining[fi].saturating_sub(committed);
+                    if !rem.is_zero() {
+                        scratch.demands.push(Demand {
                             flow_idx: fi,
                             src: f.src,
                             dst: f.dst,
                             remaining: rem,
+                        });
+                    }
+                }
+                scratch
+                    .members
+                    .push((c.id(), begin, scratch.demands.len() as u32));
+            }
+
+            // Partition the dirty list into port-disjoint segments:
+            // greedily merge any segments whose port unions the next
+            // Coflow's footprint touches (members keep priority order —
+            // positions into the dirty list are sorted after a merge).
+            // A Coflow plans only on its own footprint's ports, so
+            // disjoint segments cannot observe each other's masks or
+            // fresh reservations: any execution order — including
+            // parallel — is byte-identical to the sequential walk.
+            let mut segments: Vec<(Vec<u32>, PortSet)> = Vec::new();
+            for (pos, &idx) in scratch.dirty.iter().enumerate() {
+                let fp = &self.footprints[idx];
+                let mut target: Option<usize> = None;
+                let mut s = 0;
+                while s < segments.len() {
+                    if segments[s].1.intersects(fp) {
+                        match target {
+                            None => {
+                                target = Some(s);
+                                s += 1;
+                            }
+                            Some(t0) => {
+                                let (members, set) = segments.remove(s);
+                                segments[t0].0.extend(members);
+                                segments[t0].1.union_with(&set);
+                            }
+                        }
+                    } else {
+                        s += 1;
+                    }
+                }
+                match target {
+                    None => {
+                        let mut set = PortSet::new(ports);
+                        set.union_with(fp);
+                        segments.push((vec![pos as u32], set));
+                    }
+                    Some(t0) => {
+                        segments[t0].0.push(pos as u32);
+                        segments[t0].1.union_with(fp);
+                    }
+                }
+            }
+            for (members, _) in segments.iter_mut() {
+                members.sort_unstable();
+            }
+            self.stats.replan_segments += segments.len() as u64;
+
+            // Plan every segment against its own masked view of the
+            // (unmodified) table; independent segments go wide on scoped
+            // threads. Results merge in segment order — deterministic
+            // regardless of completion order.
+            let nseg = segments.len();
+            let workers = if nseg >= 2 {
+                self.replan_threads.min(nseg)
+            } else {
+                1
+            };
+            let mut results: Vec<Option<SegmentPlan>> = Vec::new();
+            if workers > 1 {
+                self.stats.parallel_replans += 1;
+                scratch.ensure_planners(workers);
+                results.resize_with(nseg, || None);
+                let prt = &self.prt;
+                let members = &scratch.members;
+                let demands = &scratch.demands;
+                let segments = &segments;
+                let sunflow = self.config.sunflow;
+                let collected: Vec<Vec<(usize, SegmentPlan)>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = scratch.planners[..workers]
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(w, planner)| {
+                            scope.spawn(move || {
+                                let mut out = Vec::new();
+                                let mut seg = w;
+                                while seg < nseg {
+                                    out.push((
+                                        seg,
+                                        plan_segment(
+                                            prt,
+                                            &segments[seg].0,
+                                            members,
+                                            demands,
+                                            now,
+                                            delta,
+                                            sunflow,
+                                            planner,
+                                        ),
+                                    ));
+                                    seg += workers;
+                                }
+                                out
+                            })
                         })
-                    })
-                    .collect();
-                if !demands.is_empty() {
-                    let (made, counters) = sunflow_core::schedule_demands_counted(
-                        &mut self.prt,
-                        c.id(),
-                        &demands,
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("replan worker panicked"))
+                        .collect()
+                });
+                for per_worker in collected {
+                    for (i, r) in per_worker {
+                        results[i] = Some(r);
+                    }
+                }
+            } else {
+                for seg in &segments {
+                    results.push(Some(plan_segment(
+                        &self.prt,
+                        &seg.0,
+                        &scratch.members,
+                        &scratch.demands,
                         now,
                         delta,
                         self.config.sunflow,
-                    );
-                    self.stats.releases_visited += counters.releases_visited;
-                    self.stats.demands_scanned += counters.demands_scanned;
-                    self.stats.reservations_made += made.len() as u64;
-                    for r in made {
-                        self.unsettled.insert(Pending {
-                            end: r.end,
-                            src: r.src,
-                            start: r.start,
-                            dst: r.dst,
-                            flow: r.flow,
-                        });
-                    }
+                        &mut scratch.planners[0],
+                    )));
+                }
+            }
+
+            // Apply the diffs: retire stale reservations, keep confirmed
+            // ones in place, insert fresh ones — leaving the table (and
+            // the unsettled mirror) byte-identical to what truncate-all-
+            // then-rebuild would have produced, at the cost of only the
+            // actual diff.
+            for result in results {
+                let (plan, counters, made) = result.expect("every segment planned");
+                self.stats.releases_visited += counters.releases_visited;
+                self.stats.demands_scanned += counters.demands_scanned;
+                self.stats.reservations_made += made;
+                self.stats.reservations_reused += plan.reused();
+                self.stats.delta_applied += plan.stale_len() + plan.fresh_len();
+                scratch.removed.clear();
+                plan.apply(&mut self.prt, &mut scratch.removed);
+                self.stats.reservations_truncated +=
+                    untrack(&mut self.unsettled, &scratch.removed, now);
+                for r in plan.fresh() {
+                    self.unsettled.insert(Pending {
+                        end: r.end,
+                        src: r.src,
+                        start: r.start,
+                        dst: r.dst,
+                        flow: r.flow,
+                    });
                 }
             }
 
@@ -1189,18 +1415,18 @@ impl OnlineStepper {
             // may pull any Coflow sharing a cut port earlier. The
             // crossings were consumed by round one — its plans absorbed
             // them.
-            crossings.clear();
-            cross_in.fill(0);
-            cross_out.fill(0);
+            scratch.crossings.clear();
+            scratch.cross_in.fill(0);
+            scratch.cross_out.fill(0);
             cross_ports.clear();
             next_cross = 0;
-            seed = vec![false; self.coflows.len()];
+            scratch.seed.fill(false);
             dirty_ports.clear();
             for p in &cuts {
                 self.prt.cut_reservation(p.src, p.start, now);
                 self.unsettled.remove(p);
                 self.unsettled.insert(Pending { end: now, ..*p });
-                seed[self.id_to_idx[&p.flow.coflow]] = true;
+                scratch.seed[self.id_to_idx[&p.flow.coflow]] = true;
                 dirty_ports.insert_in(p.src);
                 dirty_ports.insert_out(p.dst);
             }
@@ -1209,11 +1435,68 @@ impl OnlineStepper {
             self.settle_flows(now, hook);
             for idx in std::mem::take(&mut self.event_dirty) {
                 if self.is_active[idx] {
-                    seed[idx] = true;
+                    scratch.seed[idx] = true;
                 }
             }
         }
+
+        scratch.prio = prio;
+        scratch.rank = rank;
+        scratch.cross_ports = Some(cross_ports);
+        scratch.dirty_ports = Some(dirty_ports);
+        self.scratch = scratch;
     }
+}
+
+/// Resolve the configured worker count: `0` means one worker per
+/// available core (falling back to sequential if the count is opaque).
+fn resolve_replan_threads(config: &OnlineConfig) -> usize {
+    match config.replan_threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// One planned segment's outcome: the diff to apply, the planning
+/// counters, and the total number of reservations the planner emitted
+/// (confirmed or fresh — the historical `reservations_made` semantics).
+type SegmentPlan = (DeltaPlan, ScheduleCounters, u64);
+
+/// Plan one port-disjoint segment of the dirty list against a masked
+/// view of the shared table. Hides every member's future plan first
+/// (even members with no remaining demand — their stale futures must
+/// go, exactly as truncation removed them), then plans members in
+/// priority order.
+#[allow(clippy::too_many_arguments)]
+fn plan_segment(
+    prt: &Prt,
+    seg_members: &[u32],
+    members: &[(u64, u32, u32)],
+    demands: &[Demand],
+    now: Time,
+    delta: Dur,
+    sunflow: SunflowConfig,
+    planner: &mut ScheduleScratch,
+) -> SegmentPlan {
+    let mut view = DeltaView::new(prt, now);
+    for &pos in seg_members {
+        view.hide_future_of(members[pos as usize].0);
+    }
+    view.seal();
+    let mut counters = ScheduleCounters::default();
+    let mut made = 0u64;
+    for &pos in seg_members {
+        let (id, begin, end) = members[pos as usize];
+        let span = &demands[begin as usize..end as usize];
+        if span.is_empty() {
+            continue;
+        }
+        let (resvs, c) = schedule_demands_on(&mut view, id, span, now, delta, sunflow, planner);
+        counters.releases_visited += c.releases_visited;
+        counters.demands_scanned += c.demands_scanned;
+        made += resvs.len() as u64;
+    }
+    (view.finish(), counters, made)
 }
 
 /// Does this configuration admit affected-set rescheduling with results
@@ -1454,8 +1737,14 @@ mod tests {
             .unwrap();
         }
         s.run_until(Time::from_millis(150), &ShortestFirst);
-        let dropped = s.compact_history();
-        assert!(dropped > 0, "some circuits must have ended by 150 ms");
+        // The event loop retires settled circuits on its own; by 150 ms
+        // some must have ended, and the explicit compaction that used to
+        // find them now has nothing left to do.
+        assert!(
+            s.stats().reservations_retired > 0,
+            "some circuits must have ended by 150 ms"
+        );
+        assert_eq!(s.compact_history(), 0, "event loop already retired history");
         s.run_to_idle(&ShortestFirst);
         assert_eq!(s.drain_completions().len(), 4);
     }

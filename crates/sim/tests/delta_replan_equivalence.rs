@@ -1,0 +1,176 @@
+//! Delta-PRT replanning must be invisible in every outcome: for any
+//! workload and any priority policy, the scoped replay (reservation
+//! reuse + bitset demand masking + segment planning) must reproduce the
+//! forced full replay byte-for-byte — and forcing the parallel segment
+//! path (`replan_threads(4)`) must change *nothing* except the
+//! `parallel_replans` counter, regardless of host core count.
+
+use ocs_model::{Bandwidth, Coflow, Dur, Fabric, Time};
+use ocs_sim::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use sunflow_core::{
+    ClassThenShortest, ExplicitOrder, FirstComeFirstServed, LongestFirst, PriorityPolicy,
+    ShortestFirst,
+};
+
+fn fabric(ports: usize) -> Fabric {
+    Fabric::new(ports, Bandwidth::GBPS, Dur::from_millis(10))
+}
+
+/// One generated flow: (src, dst, megabytes).
+type GenFlow = (usize, usize, u64);
+
+fn arb_workload(ports: usize, n: usize) -> impl Strategy<Value = Vec<Coflow>> {
+    proptest::collection::vec(
+        (
+            0u64..2_000,
+            proptest::collection::vec((0..ports, 0..ports, 1u64..24), 1..=4),
+        ),
+        n,
+    )
+    .prop_map(|specs: Vec<(u64, Vec<GenFlow>)>| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(id, (arrival_ms, flows))| {
+                let mut b = Coflow::builder(id as u64).arrival(Time::from_millis(arrival_ms));
+                for (src, dst, mb) in flows {
+                    b = b.flow(src, dst, mb * 1_000_000);
+                }
+                b.build()
+            })
+            .collect()
+    })
+}
+
+fn assert_identical(a: &ReplayResult, b: &ReplayResult, label: &str) {
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "{label}: counts");
+    for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+        assert_eq!(x.coflow, y.coflow, "{label}: order");
+        assert_eq!(x.finish, y.finish, "{label}: coflow {} finish", x.coflow);
+        assert_eq!(
+            x.flow_finish, y.flow_finish,
+            "{label}: coflow {} flow finishes",
+            x.coflow
+        );
+        assert_eq!(
+            x.circuit_setups, y.circuit_setups,
+            "{label}: coflow {} setups",
+            x.coflow
+        );
+    }
+    assert_eq!(a.stats.events, b.stats.events, "{label}: events");
+    assert_eq!(a.stats.cuts, b.stats.cuts, "{label}: cuts");
+    assert_eq!(
+        a.stats.yield_rounds, b.stats.yield_rounds,
+        "{label}: yield rounds"
+    );
+}
+
+/// Scoped delta replay vs forced full replay vs forced 4-thread scoped
+/// replay, for one policy. The two scoped runs must agree on every
+/// counter except `parallel_replans`.
+fn check_policy(coflows: &[Coflow], f: &Fabric, policy: &dyn PriorityPolicy, label: &str) {
+    for active in [ActiveCircuitPolicy::Yield, ActiveCircuitPolicy::Keep] {
+        let scoped_cfg = OnlineConfig::default().active_policy(active);
+        let scoped = simulate_circuit(coflows, f, &scoped_cfg, policy);
+        let full = simulate_circuit(coflows, f, &scoped_cfg.full_replan(true), policy);
+        let wide = simulate_circuit(coflows, f, &scoped_cfg.replan_threads(4), policy);
+        let label = format!("{label}, {active:?}");
+        assert_identical(&scoped, &full, &format!("{label} vs full"));
+        assert_identical(&scoped, &wide, &format!("{label} vs 4-thread"));
+
+        let s = &scoped.stats;
+        let w = &wide.stats;
+        assert_eq!(s.reservations_made, w.reservations_made, "{label}: made");
+        assert_eq!(
+            s.reservations_truncated, w.reservations_truncated,
+            "{label}: truncated"
+        );
+        assert_eq!(
+            s.reservations_reused, w.reservations_reused,
+            "{label}: reused"
+        );
+        assert_eq!(s.delta_applied, w.delta_applied, "{label}: delta applied");
+        assert_eq!(s.demands_scanned, w.demands_scanned, "{label}: scans");
+        assert_eq!(s.releases_visited, w.releases_visited, "{label}: releases");
+        assert_eq!(s.replan_segments, w.replan_segments, "{label}: segments");
+        assert_eq!(
+            s.coflows_rescheduled, w.coflows_rescheduled,
+            "{label}: rescheduled"
+        );
+
+        // The full path neither masks nor confirms anything.
+        assert_eq!(full.stats.reservations_reused, 0, "{label}: full reused");
+        assert_eq!(full.stats.delta_applied, 0, "{label}: full delta");
+        assert_eq!(full.stats.replan_segments, 0, "{label}: full segments");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn delta_replay_matches_full_under_every_policy(coflows in arb_workload(8, 18)) {
+        let f = fabric(8);
+        let explicit = ExplicitOrder::new(coflows.iter().map(|c| c.id()).rev());
+        let classes: HashMap<u64, u32> =
+            coflows.iter().map(|c| (c.id(), (c.id() % 3) as u32)).collect();
+        let policies: [(&str, &dyn PriorityPolicy); 5] = [
+            ("ShortestFirst", &ShortestFirst),
+            ("LongestFirst", &LongestFirst),
+            ("FirstComeFirstServed", &FirstComeFirstServed),
+            ("ClassThenShortest", &ClassThenShortest::new(classes, 9)),
+            ("ExplicitOrder", &explicit),
+        ];
+        for (name, policy) in policies {
+            check_policy(&coflows, &f, policy, name);
+        }
+    }
+}
+
+/// A dense deterministic workload must actually exercise the machinery
+/// this suite pins: confirmed (reused) reservations, multi-segment
+/// rounds, and — with forced workers — the parallel join path.
+#[test]
+fn dense_workload_exercises_reuse_segments_and_parallelism() {
+    // Four port-disjoint clusters of four ports each; four Coflows (one
+    // per cluster) arrive at every instant, so a single arrival event
+    // dirties four disconnected footprints — four segments per round.
+    let mut coflows = Vec::new();
+    for id in 0..40u64 {
+        let cluster = (id % 4) * 4;
+        let mut b = Coflow::builder(id).arrival(Time::from_millis((id / 4) * 37));
+        for k in 0..3u64 {
+            let src = (cluster + (id + k) % 4) as usize;
+            let dst = (cluster + (id * 5 + k * 3) % 4) as usize;
+            b = b.flow(src, dst, (1 + (id + k) % 9) * 2_000_000);
+        }
+        coflows.push(b.build());
+    }
+    let f = fabric(16);
+    let seq = simulate_circuit(&coflows, &f, &OnlineConfig::default(), &ShortestFirst);
+    let wide = simulate_circuit(
+        &coflows,
+        &f,
+        &OnlineConfig::default().replan_threads(4),
+        &ShortestFirst,
+    );
+    assert_identical(&seq, &wide, "dense seq vs wide");
+    assert!(
+        seq.stats.reservations_reused > 0,
+        "delta replans confirmed no reservations"
+    );
+    assert!(
+        seq.stats.replan_segments > seq.stats.events,
+        "expected multi-segment rounds, got {} segments over {} events",
+        seq.stats.replan_segments,
+        seq.stats.events
+    );
+    assert_eq!(seq.stats.parallel_replans, 0, "sequential run went wide");
+    assert!(
+        wide.stats.parallel_replans > 0,
+        "forced 4-thread run never joined a parallel round"
+    );
+}
