@@ -1,0 +1,9 @@
+//! Runner for the K-core CCT-vs-K sweep; writes `BENCH_kcore.json`.
+
+fn main() {
+    let (report, timing) = ocs_bench::experiments::fig_kcore::run_measured();
+    let ok = ocs_bench::emit_timed("kcore", &report, &timing);
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

@@ -14,6 +14,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_kcore;
 pub mod hybrid;
 pub mod ordering;
 pub mod table3;

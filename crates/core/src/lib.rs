@@ -20,6 +20,11 @@
 //!   ones, never the other way around. [`starvation`] adds the paper's
 //!   `(Φ, T, τ)` round-robin guard so that even the lowest-priority
 //!   Coflow receives service within every `N(T+τ)` interval.
+//! * **K-core sharding** ([`multicore`]): `K` per-core PRT shards behind
+//!   the one [`PlanTable`](crate::intra::PlanTable) trait
+//!   ([`CorePlan`]), plus the subflow→core placement policies
+//!   ([`CoreAssign`]) of the multi-core OCS generalization. `K = 1` is
+//!   the degenerate single-switch case and replays byte-identically.
 //!
 //! The online, trace-driven variant (rescheduling on Coflow arrivals and
 //! completions) lives in the `ocs-sim` crate; this crate is the pure
@@ -31,6 +36,7 @@
 pub mod delta;
 pub mod inter;
 pub mod intra;
+pub mod multicore;
 pub mod portset;
 pub mod prt;
 pub mod starvation;
@@ -43,6 +49,10 @@ pub use inter::{
 pub use intra::{
     schedule_demands, schedule_demands_counted, schedule_demands_on, CoflowSchedule, Demand,
     FlowOrder, IntraScheduler, PlanTable, ScheduleCounters, ScheduleScratch, SunflowConfig,
+};
+pub use multicore::{
+    partition_by_core, CoreAssign, CoreAssignKind, CoreLoad, CorePlan, LeastLoaded, RankPack,
+    RoundRobin, StaticHash, ThresholdSplit, UnknownAssignError,
 };
 pub use portset::PortSet;
 pub use prt::{PortProbe, Prt, PrtSnapshot, RemovedResv, ResvKind};

@@ -1,0 +1,759 @@
+//! K-core scheduling: per-core PRT shards and subflow→core placement.
+//!
+//! The multi-core OCS papers named in the workspace's PAPERS.md model the
+//! network as `K` parallel circuit planes ("cores") over the same `N`
+//! hosts; every host owns one transceiver per core, so the cores are
+//! fully independent switching fabrics. For the scheduler this is the
+//! natural sharding axis: each core gets its own [`Prt`] shard, and a
+//! placement policy decides which core carries each subflow.
+//!
+//! Two pieces live here:
+//!
+//! * [`CorePlan`] — `K` per-core [`Prt`] shards behind the one
+//!   [`PlanTable`] trait Algorithm 1 plans against, via *global port
+//!   virtualization*: global port `g` denotes local port `g mod N` on
+//!   core `g / N`. A demand pre-mapped to its assigned core's global
+//!   ports is planned by the unmodified
+//!   [`schedule_demands_on`](crate::intra::schedule_demands_on) engine;
+//!   ports of different cores never alias, so per-core plans compose
+//!   port-disjointly. With `K = 1` the mapping is the identity and every
+//!   query delegates verbatim to the single shard — the degenerate
+//!   single-switch case.
+//! * [`CoreAssign`] — the placement seam: given a Coflow and the current
+//!   per-core byte loads ([`CoreLoad`]), return one core per flow.
+//!   Implementations: [`StaticHash`] (stateless FNV), [`RoundRobin`],
+//!   [`LeastLoaded`] (by outstanding reserved bytes), [`RankPack`]
+//!   (demand-aware: biggest flows first, each to the core minimizing its
+//!   bottleneck-port load), and [`ThresholdSplit`] (the hybrid
+//!   circuit/packet seam: a two-"core" split by flow size).
+
+use crate::intra::PlanTable;
+use crate::prt::{PortProbe, Prt, ResvKind};
+use ocs_model::{Coflow, Dur, InPort, OutPort, Time};
+
+// ---------------------------------------------------------------------
+// CorePlan
+// ---------------------------------------------------------------------
+
+/// `K` per-core [`Prt`] shards behind one [`PlanTable`].
+///
+/// Global port `g` addresses local port `g % ports` on core
+/// `g / ports`; [`CorePlan::global`] and [`CorePlan::split`] convert.
+/// Every query and reservation delegates to exactly one shard, so a
+/// planning call only ever touches the shards its demands were placed
+/// on — cross-core plans are port-disjoint by construction.
+#[derive(Clone, Debug)]
+pub struct CorePlan {
+    shards: Vec<Prt>,
+    ports: usize,
+    /// Incrementally maintained total reserved time per core (the
+    /// utilization-skew gauge; equals the full-shard scan
+    /// [`CorePlan::naive_reserved_on`] recomputes).
+    reserved: Vec<Dur>,
+}
+
+impl CorePlan {
+    /// An empty plan of `cores` shards with `ports` ports each.
+    ///
+    /// # Panics
+    /// Panics if `cores` or `ports` is zero.
+    pub fn new(cores: usize, ports: usize) -> CorePlan {
+        assert!(cores > 0, "a core plan needs at least one core");
+        CorePlan {
+            shards: (0..cores).map(|_| Prt::new(ports)).collect(),
+            ports,
+            reserved: vec![Dur::ZERO; cores],
+        }
+    }
+
+    /// Number of cores, `K`.
+    pub fn cores(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ports per core, `N`.
+    pub fn ports_per_core(&self) -> usize {
+        self.ports
+    }
+
+    /// The global port id of local `port` on `core`.
+    pub fn global(&self, core: usize, port: usize) -> usize {
+        debug_assert!(core < self.shards.len() && port < self.ports);
+        core * self.ports + port
+    }
+
+    /// The `(core, local port)` pair a global port id addresses.
+    pub fn split(&self, global: usize) -> (usize, usize) {
+        (global / self.ports, global % self.ports)
+    }
+
+    /// One core's shard (read-only).
+    pub fn shard(&self, core: usize) -> &Prt {
+        &self.shards[core]
+    }
+
+    /// One core's shard (mutable — e.g. for history retirement).
+    pub fn shard_mut(&mut self, core: usize) -> &mut Prt {
+        &mut self.shards[core]
+    }
+
+    /// Total reserved time on `core`, maintained incrementally as
+    /// reservations are made.
+    pub fn reserved_on(&self, core: usize) -> Dur {
+        self.reserved[core]
+    }
+
+    /// The core with the least total reserved time (lowest index wins
+    /// ties).
+    pub fn least_loaded_core(&self) -> usize {
+        let mut best = 0;
+        for c in 1..self.reserved.len() {
+            if self.reserved[c] < self.reserved[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Retire reservations that ended at or before `cutoff` from every
+    /// shard; returns how many records were forgotten.
+    pub fn forget_before(&mut self, cutoff: Time) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|s| s.forget_before(cutoff))
+            .sum()
+    }
+
+    /// Recompute `reserved_on(core)` from a full scan of the shard —
+    /// the reference twin of the incremental gauge. Note the gauge
+    /// keeps counting reservations the scan no longer sees once
+    /// [`CorePlan::forget_before`] retired them; the equivalence holds
+    /// on un-retired tables.
+    #[cfg(any(test, feature = "naive-twins"))]
+    pub fn naive_reserved_on(&self, core: usize) -> Dur {
+        self.shards[core]
+            .all_reservations()
+            .iter()
+            .map(|r| r.end.since(r.start))
+            .sum()
+    }
+}
+
+impl PlanTable for CorePlan {
+    fn ports(&self) -> usize {
+        self.ports * self.shards.len()
+    }
+    fn in_free_at(&self, i: InPort, t: Time) -> bool {
+        self.shards[i / self.ports].in_free_at(i % self.ports, t)
+    }
+    fn out_free_at(&self, j: OutPort, t: Time) -> bool {
+        self.shards[j / self.ports].out_free_at(j % self.ports, t)
+    }
+    fn in_next_start_after(&self, i: InPort, t: Time) -> Time {
+        self.shards[i / self.ports].in_next_start_after(i % self.ports, t)
+    }
+    fn out_next_start_after(&self, j: OutPort, t: Time) -> Time {
+        self.shards[j / self.ports].out_next_start_after(j % self.ports, t)
+    }
+    fn in_next_release_after(&self, i: InPort, t: Time) -> Option<Time> {
+        self.shards[i / self.ports].in_next_release_after(i % self.ports, t)
+    }
+    fn out_next_release_after(&self, j: OutPort, t: Time) -> Option<Time> {
+        self.shards[j / self.ports].out_next_release_after(j % self.ports, t)
+    }
+    fn in_probe(&self, i: InPort, t: Time) -> PortProbe {
+        self.shards[i / self.ports].in_probe(i % self.ports, t)
+    }
+    fn out_probe(&self, j: OutPort, t: Time) -> PortProbe {
+        self.shards[j / self.ports].out_probe(j % self.ports, t)
+    }
+    fn reserve(&mut self, src: InPort, dst: OutPort, start: Time, end: Time, kind: ResvKind) {
+        let core = src / self.ports;
+        assert_eq!(
+            core,
+            dst / self.ports,
+            "a circuit cannot span cores (src {src}, dst {dst}, {} ports/core)",
+            self.ports
+        );
+        self.shards[core].reserve(src % self.ports, dst % self.ports, start, end, kind);
+        self.reserved[core] += end.since(start);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Core loads
+// ---------------------------------------------------------------------
+
+/// Outstanding per-core byte loads, the input of load-aware placement:
+/// total bytes per core plus per-port send/receive bytes per core.
+/// The owner adds a Coflow's flows when it places them and removes them
+/// when the Coflow completes, so the gauge tracks *outstanding* demand.
+#[derive(Clone, Debug)]
+pub struct CoreLoad {
+    total: Vec<u64>,
+    in_bytes: Vec<Vec<u64>>,
+    out_bytes: Vec<Vec<u64>>,
+}
+
+impl CoreLoad {
+    /// Zero load over `cores` cores of `ports` ports each.
+    pub fn new(cores: usize, ports: usize) -> CoreLoad {
+        assert!(cores > 0, "load tracking needs at least one core");
+        CoreLoad {
+            total: vec![0; cores],
+            in_bytes: vec![vec![0; ports]; cores],
+            out_bytes: vec![vec![0; ports]; cores],
+        }
+    }
+
+    /// Number of cores tracked.
+    pub fn cores(&self) -> usize {
+        self.total.len()
+    }
+
+    /// Account `bytes` of demand from `src` to `dst` on `core`.
+    pub fn add(&mut self, core: usize, src: InPort, dst: OutPort, bytes: u64) {
+        self.total[core] += bytes;
+        self.in_bytes[core][src] += bytes;
+        self.out_bytes[core][dst] += bytes;
+    }
+
+    /// Release `bytes` of demand from `src` to `dst` on `core`.
+    pub fn remove(&mut self, core: usize, src: InPort, dst: OutPort, bytes: u64) {
+        self.total[core] -= bytes;
+        self.in_bytes[core][src] -= bytes;
+        self.out_bytes[core][dst] -= bytes;
+    }
+
+    /// Outstanding bytes on `core`.
+    pub fn total(&self, core: usize) -> u64 {
+        self.total[core]
+    }
+
+    /// Outstanding `(send, receive)` bytes of `(src, dst)` on `core`.
+    pub fn port_load(&self, core: usize, src: InPort, dst: OutPort) -> (u64, u64) {
+        (self.in_bytes[core][src], self.out_bytes[core][dst])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Placement policies
+// ---------------------------------------------------------------------
+
+/// A subflow→core placement policy: one core index per flow of
+/// `coflow`, each strictly below `cores`.
+///
+/// Policies may consult the outstanding loads but never mutate them —
+/// the caller accounts the placement it actually commits (and releases
+/// it on completion), so a rejected or re-planned placement never
+/// skews the gauge.
+pub trait CoreAssign {
+    /// Canonical policy name for labels and selectors.
+    fn name(&self) -> &'static str;
+
+    /// Place every flow of `coflow`: returns `coflow.num_flows()` core
+    /// indices, each `< cores`.
+    fn assign(&mut self, coflow: &Coflow, cores: usize, load: &CoreLoad) -> Vec<usize>;
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv1a(seed: u64, words: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(FNV_PRIME);
+    for &w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Stateless placement: FNV-1a over `(coflow id, src, dst)` modulo `K`.
+/// Deterministic, history-free, and uniform in expectation — the
+/// baseline every load-aware policy has to beat.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticHash;
+
+impl CoreAssign for StaticHash {
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+
+    fn assign(&mut self, coflow: &Coflow, cores: usize, _load: &CoreLoad) -> Vec<usize> {
+        coflow
+            .flows()
+            .iter()
+            .map(|f| (fnv1a(coflow.id(), &[f.src as u64, f.dst as u64]) % cores as u64) as usize)
+            .collect()
+    }
+}
+
+/// Flow-index round-robin within each Coflow: flow `i` to core
+/// `i mod K`. Spreads every Coflow across all cores regardless of load.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobin;
+
+impl CoreAssign for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn assign(&mut self, coflow: &Coflow, cores: usize, _load: &CoreLoad) -> Vec<usize> {
+        (0..coflow.num_flows()).map(|i| i % cores).collect()
+    }
+}
+
+/// Least-loaded-by-reserved-bytes: each flow (in Coflow order) goes to
+/// the core with the least outstanding bytes, counting the bytes this
+/// call has already placed; ties break to the lowest core index.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeastLoaded;
+
+impl CoreAssign for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn assign(&mut self, coflow: &Coflow, cores: usize, load: &CoreLoad) -> Vec<usize> {
+        let mut totals: Vec<u64> = (0..cores).map(|c| load.total(c)).collect();
+        coflow
+            .flows()
+            .iter()
+            .map(|f| {
+                let mut best = 0;
+                for c in 1..cores {
+                    if totals[c] < totals[best] {
+                        best = c;
+                    }
+                }
+                totals[best] += f.bytes;
+                best
+            })
+            .collect()
+    }
+}
+
+/// Demand-aware rank-packing: flows are considered biggest-first (the
+/// classic longest-processing-time list-scheduling order), and each
+/// goes to the core where its *bottleneck port* — the busier of its
+/// send and receive port, after adding the flow — ends up least
+/// loaded. Ties break to the lowest core index. This is the placement
+/// rule of the O(K)-approximation analysis: balancing bottleneck-port
+/// load across cores bounds the per-port completion time against the
+/// K-core lower bound.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RankPack;
+
+impl CoreAssign for RankPack {
+    fn name(&self) -> &'static str {
+        "rank-pack"
+    }
+
+    fn assign(&mut self, coflow: &Coflow, cores: usize, load: &CoreLoad) -> Vec<usize> {
+        let flows = coflow.flows();
+        let mut order: Vec<usize> = (0..flows.len()).collect();
+        order.sort_by(|&a, &b| flows[b].bytes.cmp(&flows[a].bytes).then(a.cmp(&b)));
+        // This call's own placements, accumulated on top of the global
+        // gauge so sibling subflows sharing a port spread out.
+        let mut extra_in: Vec<(usize, usize, u64)> = Vec::new();
+        let mut extra_out: Vec<(usize, usize, u64)> = Vec::new();
+        let added = |list: &[(usize, usize, u64)], core: usize, port: usize| -> u64 {
+            list.iter()
+                .filter(|&&(c, p, _)| c == core && p == port)
+                .map(|&(_, _, b)| b)
+                .sum()
+        };
+        let mut placement = vec![0usize; flows.len()];
+        for &fi in &order {
+            let f = &flows[fi];
+            let mut best = 0usize;
+            let mut best_cost = u64::MAX;
+            for c in 0..cores {
+                let (gi, go) = load.port_load(c, f.src, f.dst);
+                let ci = gi + added(&extra_in, c, f.src) + f.bytes;
+                let co = go + added(&extra_out, c, f.dst) + f.bytes;
+                let cost = ci.max(co);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = c;
+                }
+            }
+            extra_in.push((best, f.src, f.bytes));
+            extra_out.push((best, f.dst, f.bytes));
+            placement[fi] = best;
+        }
+        placement
+    }
+}
+
+/// The hybrid circuit/packet seam expressed as a two-core placement:
+/// flows strictly smaller than `threshold` bytes go to core 1 (the
+/// packet network), everything else to core 0 (the circuits). With
+/// `threshold = 0` everything rides core 0.
+#[derive(Clone, Copy, Debug)]
+pub struct ThresholdSplit {
+    /// Flows strictly below this many bytes go to core 1.
+    pub threshold: u64,
+}
+
+impl ThresholdSplit {
+    /// A split at `threshold` bytes.
+    pub fn new(threshold: u64) -> ThresholdSplit {
+        ThresholdSplit { threshold }
+    }
+}
+
+impl CoreAssign for ThresholdSplit {
+    fn name(&self) -> &'static str {
+        "threshold-split"
+    }
+
+    fn assign(&mut self, coflow: &Coflow, cores: usize, _load: &CoreLoad) -> Vec<usize> {
+        assert!(cores >= 2, "a threshold split needs both sides");
+        coflow
+            .flows()
+            .iter()
+            .map(|f| usize::from(f.bytes < self.threshold))
+            .collect()
+    }
+}
+
+/// Every named placement policy, selectable by name (the
+/// `--backend sunflow:<K>:<assign>` selector and the bench sweeps).
+/// [`ThresholdSplit`] is deliberately absent: it is the hybrid seam,
+/// parameterized by a byte threshold, not a K-core balancer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreAssignKind {
+    /// [`StaticHash`].
+    StaticHash,
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`RankPack`].
+    RankPack,
+}
+
+impl CoreAssignKind {
+    /// Every selectable placement policy.
+    pub const ALL: [CoreAssignKind; 4] = [
+        CoreAssignKind::StaticHash,
+        CoreAssignKind::RoundRobin,
+        CoreAssignKind::LeastLoaded,
+        CoreAssignKind::RankPack,
+    ];
+
+    /// The canonical selector name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoreAssignKind::StaticHash => "hash",
+            CoreAssignKind::RoundRobin => "round-robin",
+            CoreAssignKind::LeastLoaded => "least-loaded",
+            CoreAssignKind::RankPack => "rank-pack",
+        }
+    }
+
+    /// Construct the policy.
+    pub fn build(&self) -> Box<dyn CoreAssign + Send> {
+        match self {
+            CoreAssignKind::StaticHash => Box::new(StaticHash),
+            CoreAssignKind::RoundRobin => Box::new(RoundRobin),
+            CoreAssignKind::LeastLoaded => Box::new(LeastLoaded),
+            CoreAssignKind::RankPack => Box::new(RankPack),
+        }
+    }
+}
+
+/// A placement-policy selector no [`CoreAssignKind`] answers to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownAssignError {
+    /// The rejected selector.
+    pub input: String,
+}
+
+impl std::fmt::Display for UnknownAssignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown placement policy '{}' (expected one of: hash, round-robin, least-loaded, rank-pack)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for UnknownAssignError {}
+
+impl std::str::FromStr for CoreAssignKind {
+    type Err = UnknownAssignError;
+
+    fn from_str(s: &str) -> Result<CoreAssignKind, UnknownAssignError> {
+        match s.to_ascii_lowercase().as_str() {
+            "hash" | "static-hash" => Ok(CoreAssignKind::StaticHash),
+            "rr" | "round-robin" | "roundrobin" => Ok(CoreAssignKind::RoundRobin),
+            "least-loaded" | "leastloaded" | "ll" => Ok(CoreAssignKind::LeastLoaded),
+            "rank-pack" | "rankpack" | "rp" => Ok(CoreAssignKind::RankPack),
+            _ => Err(UnknownAssignError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for CoreAssignKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+/// Split `coflow` into one sub-Coflow per core according to a placement
+/// (`assignment[i]` is flow `i`'s core). Returns the per-core parts
+/// (`None` where a core received nothing) and, per original flow, its
+/// `(core, index within that core's part)` — the map a caller uses to
+/// reassemble per-flow results from per-core outcomes.
+///
+/// Flow order within each part follows the original Coflow, so a part
+/// is itself a well-formed Coflow with the same id and arrival.
+pub fn partition_by_core(
+    coflow: &Coflow,
+    assignment: &[usize],
+    cores: usize,
+) -> (Vec<Option<Coflow>>, Vec<(usize, usize)>) {
+    assert_eq!(
+        assignment.len(),
+        coflow.num_flows(),
+        "placement must cover every flow"
+    );
+    let mut per_core: Vec<Vec<&ocs_model::Flow>> = vec![Vec::new(); cores];
+    let mut map = Vec::with_capacity(coflow.num_flows());
+    for (f, &core) in coflow.flows().iter().zip(assignment) {
+        assert!(core < cores, "placement core {core} out of range");
+        map.push((core, per_core[core].len()));
+        per_core[core].push(f);
+    }
+    let parts = per_core
+        .into_iter()
+        .map(|flows| {
+            flows
+                .into_iter()
+                .fold(
+                    Coflow::builder(coflow.id()).arrival(coflow.arrival()),
+                    |b, f| b.flow(f.src, f.dst, f.bytes),
+                )
+                .try_build()
+        })
+        .collect();
+    (parts, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intra::{schedule_demands_on, Demand, ScheduleScratch, SunflowConfig};
+    use ocs_model::{Bandwidth, Fabric};
+
+    fn demands_for(fabric: &Fabric, c: &Coflow) -> Vec<Demand> {
+        c.flows()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| Demand {
+                flow_idx: i,
+                src: f.src,
+                dst: f.dst,
+                remaining: fabric.processing_time(f.bytes),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn k1_core_plan_matches_a_plain_prt() {
+        let fabric = Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(10));
+        let c = Coflow::builder(7)
+            .flow(0, 1, 5_000_000)
+            .flow(1, 0, 3_000_000)
+            .flow(2, 3, 9_000_000)
+            .flow(0, 2, 1_000_000)
+            .build();
+        let demands = demands_for(&fabric, &c);
+        let cfg = SunflowConfig::default();
+        let mut scratch = ScheduleScratch::new();
+
+        let mut prt = Prt::new(4);
+        let (plain, _) = schedule_demands_on(
+            &mut prt,
+            7,
+            &demands,
+            Time::ZERO,
+            fabric.delta(),
+            cfg,
+            &mut scratch,
+        );
+
+        let mut plan = CorePlan::new(1, 4);
+        let (sharded, _) = schedule_demands_on(
+            &mut plan,
+            7,
+            &demands,
+            Time::ZERO,
+            fabric.delta(),
+            cfg,
+            &mut scratch,
+        );
+
+        assert_eq!(plain, sharded);
+        assert_eq!(plan.reserved_on(0), plan.naive_reserved_on(0));
+    }
+
+    #[test]
+    fn cross_core_demands_plan_independently() {
+        // Two flows sharing a physical src port but placed on different
+        // cores do not block each other: each core is its own plane.
+        let fabric = Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(10));
+        let mut plan = CorePlan::new(2, 4);
+        let p = fabric.processing_time(5_000_000);
+        let demands = [
+            Demand {
+                flow_idx: 0,
+                src: plan.global(0, 0),
+                dst: plan.global(0, 1),
+                remaining: p,
+            },
+            Demand {
+                flow_idx: 1,
+                src: plan.global(1, 0),
+                dst: plan.global(1, 1),
+                remaining: p,
+            },
+        ];
+        let mut scratch = ScheduleScratch::new();
+        let (resv, _) = schedule_demands_on(
+            &mut plan,
+            1,
+            &demands,
+            Time::ZERO,
+            fabric.delta(),
+            SunflowConfig::default(),
+            &mut scratch,
+        );
+        assert_eq!(resv.len(), 2);
+        // Both start immediately — no serialization across cores.
+        assert!(resv.iter().all(|r| r.start == Time::ZERO));
+        assert_eq!(plan.reserved_on(0), plan.reserved_on(1));
+        assert_eq!(plan.naive_reserved_on(0), plan.reserved_on(0));
+        assert_eq!(plan.least_loaded_core(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot span cores")]
+    fn cross_core_circuits_are_rejected() {
+        let mut plan = CorePlan::new(2, 4);
+        PlanTable::reserve(
+            &mut plan,
+            0,
+            5,
+            Time::ZERO,
+            Time::from_millis(1),
+            ResvKind::Guard,
+        );
+    }
+
+    fn sample() -> Coflow {
+        Coflow::builder(3)
+            .arrival(Time::from_millis(5))
+            .flow(0, 1, 100)
+            .flow(1, 2, 900)
+            .flow(2, 0, 400)
+            .flow(3, 3, 900)
+            .build()
+    }
+
+    #[test]
+    fn every_policy_places_within_range_and_deterministically() {
+        let c = sample();
+        let load = CoreLoad::new(3, 4);
+        for kind in CoreAssignKind::ALL {
+            let mut p1 = kind.build();
+            let mut p2 = kind.build();
+            let a = p1.assign(&c, 3, &load);
+            assert_eq!(a.len(), c.num_flows(), "{kind}");
+            assert!(a.iter().all(|&core| core < 3), "{kind}");
+            assert_eq!(a, p2.assign(&c, 3, &load), "{kind}");
+            assert_eq!(kind.name().parse::<CoreAssignKind>(), Ok(kind));
+        }
+        assert!("warp".parse::<CoreAssignKind>().is_err());
+    }
+
+    #[test]
+    fn least_loaded_balances_bytes() {
+        let c = sample();
+        let load = CoreLoad::new(2, 4);
+        let a = LeastLoaded.assign(&c, 2, &load);
+        // 100 → c0, 900 → c1, 400 → c0, 900 → c0 (500 < 900).
+        assert_eq!(a, vec![0, 1, 0, 0]);
+
+        let mut loaded = CoreLoad::new(2, 4);
+        loaded.add(0, 0, 0, 10_000);
+        let b = LeastLoaded.assign(&c, 2, &loaded);
+        assert!(b.iter().all(|&core| core == 1), "core 0 is drowned");
+    }
+
+    #[test]
+    fn rank_pack_spreads_a_shared_port() {
+        // Four equal flows out of the same src port, two cores: the
+        // bottleneck rule alternates them.
+        let c = Coflow::builder(1)
+            .flow(0, 1, 1_000)
+            .flow(0, 2, 1_000)
+            .flow(0, 3, 1_000)
+            .flow(0, 4, 1_000)
+            .build();
+        let load = CoreLoad::new(2, 8);
+        let a = RankPack.assign(&c, 2, &load);
+        assert_eq!(a.iter().filter(|&&core| core == 0).count(), 2);
+        assert_eq!(a.iter().filter(|&&core| core == 1).count(), 2);
+    }
+
+    #[test]
+    fn threshold_split_separates_small_flows() {
+        let c = sample();
+        let load = CoreLoad::new(2, 4);
+        let a = ThresholdSplit::new(500).assign(&c, 2, &load);
+        assert_eq!(a, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn partition_round_trips_flows() {
+        let c = sample();
+        let assignment = vec![1, 0, 1, 2];
+        let (parts, map) = partition_by_core(&c, &assignment, 3);
+        assert_eq!(map, vec![(1, 0), (0, 0), (1, 1), (2, 0)]);
+        let p0 = parts[0].as_ref().expect("core 0 got flow 1");
+        assert_eq!(p0.num_flows(), 1);
+        assert_eq!(p0.flows()[0].bytes, 900);
+        assert_eq!(p0.arrival(), c.arrival());
+        assert_eq!(p0.id(), c.id());
+        let p1 = parts[1].as_ref().expect("core 1 got flows 0 and 2");
+        assert_eq!(p1.num_flows(), 2);
+        assert_eq!(p1.flows()[1].bytes, 400);
+        // Total bytes are conserved.
+        let total: u64 = parts.iter().flatten().map(Coflow::total_bytes).sum();
+        assert_eq!(total, c.total_bytes());
+    }
+
+    #[test]
+    fn core_load_add_remove_round_trips() {
+        let mut load = CoreLoad::new(2, 4);
+        load.add(1, 2, 3, 500);
+        assert_eq!(load.total(1), 500);
+        assert_eq!(load.port_load(1, 2, 3), (500, 500));
+        assert_eq!(load.port_load(0, 2, 3), (0, 0));
+        load.remove(1, 2, 3, 500);
+        assert_eq!(load.total(1), 0);
+        assert_eq!(load.port_load(1, 2, 3), (0, 0));
+    }
+}

@@ -38,8 +38,10 @@ run OPTIONS:
   --ports N               fabric ports (default 150)
   --bandwidth-gbps N      link rate (default 1)
   --delta-us N            reconfiguration delay δ in µs (default 1000)
-  --backend NAME          sunflow | solstice | tms | edmond | varys |
-                          aalo | fair (default sunflow)
+  --backend NAME          sunflow | sunflow:<K>[:<assign>] | kcore:<K> |
+                          solstice | tms | edmond | varys | aalo | fair
+                          (default sunflow; <assign> one of hash,
+                          round-robin, least-loaded, rank-pack)
   --policy NAME           shortest | longest | fcfs (default shortest)
   --active NAME           yield | keep | preempt (default yield)
   --guard T_MS,TAU_MS     starvation guard period and shared window

@@ -417,6 +417,36 @@ impl Daemon {
         served.as_secs_f64() / (self.config.fabric.ports() as f64 * elapsed)
     }
 
+    /// One core's backend telemetry (`None` for single-switch backends
+    /// and out-of-range cores).
+    pub fn backend_core_status(&self, core: usize) -> Option<ocs_sim::CoreStatus> {
+        self.backend.core_status(core)
+    }
+
+    /// Per-core status rows of a multi-core backend: empty for
+    /// single-switch backends (`K = 1` and no core seam).
+    fn core_rows(&self) -> Vec<(usize, ocs_sim::CoreStatus)> {
+        if self.backend.cores() <= 1 {
+            return Vec::new();
+        }
+        (0..self.backend.cores())
+            .filter_map(|c| Some((c, self.backend.core_status(c)?)))
+            .collect()
+    }
+
+    /// One core's utilization: served transmit time on that core over
+    /// the core's total port-time.
+    fn core_utilization(&self, status: &ocs_sim::CoreStatus) -> f64 {
+        let elapsed = self.now().as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        let served = status
+            .demand_admitted
+            .saturating_sub(status.outstanding_demand);
+        served.as_secs_f64() / (self.config.fabric.ports() as f64 * elapsed)
+    }
+
     /// Capture the full service state. The checkpoint is plain data —
     /// the construction config plus the command log: clone it, keep it,
     /// and [`Daemon::restore`] later — the resumed daemon continues
@@ -468,6 +498,31 @@ impl Daemon {
             rejected.push_str(&format!("\"{}\": {}", reason.label(), t.rejected[i]));
         }
         rejected.push('}');
+        // Multi-core backends report a per-core breakdown; single-switch
+        // backends omit the key entirely.
+        let mut cores = String::new();
+        let rows = self.core_rows();
+        if !rows.is_empty() {
+            cores.push_str("\"cores\": [");
+            for (i, (core, st)) in rows.iter().enumerate() {
+                if i > 0 {
+                    cores.push_str(", ");
+                }
+                cores.push_str(&format!(
+                    concat!(
+                        "{{\"core\": {}, \"active_coflows\": {}, ",
+                        "\"outstanding_demand_secs\": {:.6}, ",
+                        "\"utilization\": {:.6}, \"reservations_made\": {}}}"
+                    ),
+                    core,
+                    st.active_coflows,
+                    st.outstanding_demand.as_secs_f64(),
+                    self.core_utilization(st),
+                    st.reservations_made,
+                ));
+            }
+            cores.push_str("], ");
+        }
         format!(
             concat!(
                 "{{\"now_secs\": {:.6}, \"backend\": \"{}\", \"switch_model\": \"{}\", ",
@@ -480,7 +535,7 @@ impl Daemon {
                 "\"faults\": {{\"setup_failures\": {}, \"port_flaps\": {}, ",
                 "\"delta_inflations\": {}, \"retries\": {}, \"recoveries\": {}, ",
                 "\"max_attempts\": {}, \"backoff_total_secs\": {:.6}, \"flows_in_backoff\": {}}}, ",
-                "\"cct_ps\": {}, \"queue_latency_ps\": {}}}"
+                "{}\"cct_ps\": {}, \"queue_latency_ps\": {}}}"
             ),
             self.now().as_secs_f64(),
             self.backend.name(),
@@ -508,6 +563,7 @@ impl Daemon {
             f.max_attempts,
             f.backoff_total.as_secs_f64(),
             self.injector.flows_in_backoff(),
+            cores,
             t.cct.to_json(),
             t.queue_latency.to_json(),
         )
@@ -599,6 +655,36 @@ impl Daemon {
             &by_backend,
             s.reservations_made,
         );
+        // Multi-core backends additionally expose each core as a label
+        // dimension; single-switch backends emit no core series.
+        for (core, st) in self.core_rows() {
+            let core_label = core.to_string();
+            let by_core = [("backend", b), ("core", core_label.as_str())];
+            p.gauge(
+                "ocs_daemon_core_utilization",
+                "Served transmit time over port-time, per switch core",
+                &by_core,
+                self.core_utilization(&st),
+            );
+            p.gauge(
+                "ocs_daemon_core_active_coflows",
+                "Coflows with unfinished flows placed on this core",
+                &by_core,
+                st.active_coflows as f64,
+            );
+            p.gauge(
+                "ocs_daemon_core_outstanding_demand_seconds",
+                "Unserved transmit demand placed on this core",
+                &by_core,
+                st.outstanding_demand.as_secs_f64(),
+            );
+            p.counter(
+                "ocs_daemon_core_reservations_total",
+                "Circuit reservations planned on this core's PRT shard",
+                &by_core,
+                st.reservations_made,
+            );
+        }
         for (kind, v) in [
             ("setup_failure", f.setup_failures),
             ("port_flap", f.port_flaps),
@@ -877,6 +963,54 @@ mod tests {
         assert!(prom.contains("ocs_daemon_cct_seconds_count{backend=\"Sunflow\"} 6"));
         assert!(prom.contains("le=\"+Inf\""));
         assert!(daemon.utilization() > 0.0 && daemon.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn multicore_backend_reports_per_core_telemetry() {
+        let mut cfg = config();
+        // Round-robin placement: each two-flow Coflow puts one flow on
+        // each core, so both cores deterministically plan circuits.
+        cfg.backend = "sunflow:2:round-robin".parse().expect("selector parses");
+        let mut daemon = Daemon::new(&cfg);
+        for c in workload(8) {
+            daemon.submit(c).unwrap();
+        }
+        daemon.drain();
+        assert_eq!(daemon.telemetry().completed, 8);
+
+        let json = daemon.status_json();
+        assert!(json.contains("\"cores\": ["), "status gains a cores array");
+        assert!(json.contains("\"core\": 0"));
+        assert!(json.contains("\"core\": 1"));
+
+        let prom = daemon.prometheus();
+        for core in ["0", "1"] {
+            assert!(
+                prom.contains(&format!(
+                    "ocs_daemon_core_utilization{{backend=\"Sunflow\",core=\"{core}\"}}"
+                )),
+                "core {core} utilization series"
+            );
+            assert!(
+                prom.contains(&format!(
+                    "ocs_daemon_core_reservations_total{{backend=\"Sunflow\",core=\"{core}\"}}"
+                )),
+                "core {core} reservation counter"
+            );
+        }
+        for core in 0..2 {
+            let st = daemon.backend_core_status(core).expect("core in range");
+            assert!(st.reservations_made > 0, "core {core} did work");
+        }
+
+        // The single-switch daemon emits no core series at all.
+        let mut single = Daemon::new(&config());
+        for c in workload(4) {
+            single.submit(c).unwrap();
+        }
+        single.drain();
+        assert!(!single.status_json().contains("\"cores\""));
+        assert!(!single.prometheus().contains("ocs_daemon_core_"));
     }
 
     #[test]

@@ -90,6 +90,82 @@ impl Fabric {
     }
 }
 
+/// A fabric of `K` parallel optical switch cores.
+///
+/// The multi-core OCS papers ("An O(K)-Approximation Coflow Scheduling
+/// in K-Core Optical Circuit Switching Networks", "Scheduling Coflows in
+/// Multi-Core OCS Networks with Performance Guarantee") model the
+/// network as `K` identical circuit planes over the same `N` end hosts:
+/// every host has one transceiver per core, so each core is a full
+/// [`Fabric`] — `N` ports at bandwidth `B` with reconfiguration delay
+/// `δ` — and a host can transmit on all `K` cores simultaneously.
+/// Aggregate capacity therefore scales with `K`, which is exactly why
+/// deployments add cores.
+///
+/// `K = 1` is the degenerate case: one core, indistinguishable from the
+/// single-switch [`Fabric`] the Sunflow paper studies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KCoreFabric {
+    core: Fabric,
+    cores: usize,
+}
+
+impl KCoreFabric {
+    /// A fabric of `cores` parallel planes, each identical to `core`.
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero.
+    pub fn new(core: Fabric, cores: usize) -> KCoreFabric {
+        assert!(cores > 0, "a K-core fabric needs at least one core");
+        KCoreFabric { core, cores }
+    }
+
+    /// `cores` planes of the paper's default 150-port fabric.
+    pub fn paper_default(cores: usize) -> KCoreFabric {
+        KCoreFabric::new(Fabric::paper_default(), cores)
+    }
+
+    /// Number of parallel switch cores, `K`.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// One core's fabric: `N` ports at bandwidth `B`, delay `δ`.
+    pub fn core(&self) -> Fabric {
+        self.core
+    }
+
+    /// Number of end-host ports per side, `N` (shared by every core).
+    pub fn ports(&self) -> usize {
+        self.core.ports()
+    }
+
+    /// Per-core link bandwidth `B`.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.core.bandwidth()
+    }
+
+    /// Circuit reconfiguration delay `δ` (paid per core, independently).
+    pub fn delta(&self) -> Dur {
+        self.core.delta()
+    }
+
+    /// Aggregate per-host capacity across all cores, `K · B`.
+    pub fn aggregate_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_bps(self.core.bandwidth().as_bps() * self.cores as u64)
+    }
+
+    /// True if every flow of `coflow` fits within the port range.
+    pub fn fits(&self, coflow: &Coflow) -> bool {
+        self.core.fits(coflow)
+    }
+
+    /// Processing time of `bytes` on one core, `p_ij = d_ij / B`.
+    pub fn processing_time(&self, bytes: u64) -> Dur {
+        self.core.processing_time(bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +196,27 @@ mod tests {
         assert_eq!(f.ports(), 150);
         assert_eq!(f.delta(), Dur::from_micros(100));
         assert_eq!(f.bandwidth().as_bps(), 10_000_000_000);
+    }
+
+    #[test]
+    fn kcore_fabric_delegates_to_its_core() {
+        let k = KCoreFabric::paper_default(4);
+        assert_eq!(k.cores(), 4);
+        assert_eq!(k.ports(), 150);
+        assert_eq!(k.core(), Fabric::paper_default());
+        assert_eq!(k.delta(), Fabric::default_delta());
+        assert_eq!(k.aggregate_bandwidth().as_bps(), 4_000_000_000);
+        let c = Coflow::builder(0).flow(0, 149, 1_000).build();
+        assert!(k.fits(&c));
+        assert_eq!(
+            k.processing_time(1_000),
+            Fabric::paper_default().processing_time(1_000)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_is_rejected() {
+        let _ = KCoreFabric::paper_default(0);
     }
 }

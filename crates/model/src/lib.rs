@@ -33,7 +33,7 @@ pub use bounds::{
 };
 pub use coflow::{Category, Coflow, CoflowBuilder, CoflowId, Flow, InPort, OutPort};
 pub use demand::DemandMatrix;
-pub use fabric::Fabric;
+pub use fabric::{Fabric, KCoreFabric};
 pub use schedule::{
     served_per_flow, validate_port_constraints, Assignment, FlowRef, Reservation, ScheduleError,
     ScheduleOutcome,

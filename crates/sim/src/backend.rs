@@ -29,10 +29,11 @@
 use crate::online::{OnlineConfig, ReplayStats};
 use crate::stepper::{Completion, OnlineStepper, SettleHook, SubmitError};
 use ocs_baselines::{CircuitScheduler, ExecConfig, SwitchModel, TimedAssignment};
+use ocs_model::KCoreFabric;
 use ocs_model::{Coflow, DemandMatrix, Dur, Fabric, FlowRef, Reservation, ScheduleOutcome, Time};
 use ocs_packet::{Aalo, ActiveCoflow, FairSharing, RateScheduler, Varys};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use sunflow_core::PriorityPolicy;
+use sunflow_core::{CoreAssignKind, PriorityPolicy};
 
 /// A resumable, event-driven simulation of one Coflow scheduler.
 ///
@@ -110,6 +111,34 @@ pub trait SchedulingBackend {
     fn compact_history(&mut self) -> usize {
         0
     }
+
+    /// Number of parallel switch cores this backend schedules (1 for
+    /// every single-switch backend).
+    fn cores(&self) -> usize {
+        1
+    }
+
+    /// Telemetry for one core of a multi-core backend; `None` when
+    /// `core` is out of range or the backend is single-switch.
+    fn core_status(&self, _core: usize) -> Option<CoreStatus> {
+        None
+    }
+}
+
+/// Per-core telemetry of a multi-core backend
+/// ([`SchedulingBackend::core_status`]): the inputs of the daemon's
+/// per-core utilization gauges and reservation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStatus {
+    /// Coflows with unfinished flows placed on this core.
+    pub active_coflows: usize,
+    /// Unserved processing time currently placed on this core.
+    pub outstanding_demand: Dur,
+    /// Total processing time ever admitted to this core (so
+    /// `demand_admitted - outstanding_demand` is the served gauge).
+    pub demand_admitted: Dur,
+    /// Circuit reservations planned on this core's PRT shard.
+    pub reservations_made: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -967,7 +996,8 @@ impl std::fmt::Display for UnknownBackendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown backend '{}' (expected one of: sunflow, solstice, tms, edmond, varys, aalo, fair)",
+            "unknown backend '{}' (expected one of: sunflow, sunflow:<K>[:<assign>], \
+             kcore:<K>, solstice, tms, edmond, varys, aalo, fair)",
             self.input
         )
     }
@@ -995,11 +1025,28 @@ pub enum BackendKind {
     /// Coflow-agnostic max-min fair sharing on the packet switch
     /// ([`PacketBackend`]).
     FairSharing,
+    /// Sunflow sharded across `cores` parallel switch cores with the
+    /// `assign` placement policy ([`crate::MultiSunflowBackend`]);
+    /// selector `sunflow:<K>[:<assign>]`. `sunflow:1` replays
+    /// byte-identically to [`BackendKind::Sunflow`].
+    MultiSunflow {
+        /// Number of parallel switch cores, `K` (≥ 1).
+        cores: u32,
+        /// The subflow→core placement policy.
+        assign: CoreAssignKind,
+    },
+    /// The O(K)-approximation multi-core list scheduler
+    /// ([`crate::KCoreBackend`]); selector `kcore:<K>`.
+    KCore {
+        /// Number of parallel switch cores, `K` (≥ 1).
+        cores: u32,
+    },
 }
 
 impl BackendKind {
-    /// Every selectable backend.
-    pub const ALL: [BackendKind; 7] = [
+    /// Every selectable backend (the parameterized kinds appear once,
+    /// with representative parameters).
+    pub const ALL: [BackendKind; 9] = [
         BackendKind::Sunflow,
         BackendKind::Solstice,
         BackendKind::Tms,
@@ -1007,6 +1054,11 @@ impl BackendKind {
         BackendKind::Varys,
         BackendKind::Aalo,
         BackendKind::FairSharing,
+        BackendKind::MultiSunflow {
+            cores: 2,
+            assign: CoreAssignKind::LeastLoaded,
+        },
+        BackendKind::KCore { cores: 2 },
     ];
 
     /// The canonical scheduler name — the single source every report
@@ -1014,13 +1066,27 @@ impl BackendKind {
     /// returns the same string).
     pub fn name(&self) -> &'static str {
         match self {
-            BackendKind::Sunflow => "Sunflow",
+            BackendKind::Sunflow | BackendKind::MultiSunflow { .. } => "Sunflow",
             BackendKind::Solstice => CircuitScheduler::Solstice.name(),
             BackendKind::Tms => CircuitScheduler::Tms.name(),
             BackendKind::Edmond => CircuitScheduler::edmond_default().name(),
             BackendKind::Varys => RateScheduler::name(&Varys),
             BackendKind::Aalo => RateScheduler::name(&Aalo::default()),
             BackendKind::FairSharing => RateScheduler::name(&FairSharing),
+            BackendKind::KCore { .. } => "KCore",
+        }
+    }
+
+    /// The canonical `--backend` selector spelling: what
+    /// [`BackendKind::from_str`](std::str::FromStr) round-trips, with
+    /// the parameters of the multi-core kinds included
+    /// (`sunflow:4:least-loaded`, `kcore:2`).
+    pub fn selector(&self) -> String {
+        match self {
+            BackendKind::MultiSunflow { cores, assign } => format!("sunflow:{cores}:{assign}"),
+            BackendKind::KCore { cores } => format!("kcore:{cores}"),
+            BackendKind::FairSharing => "fair".to_string(),
+            other => other.name().to_ascii_lowercase(),
         }
     }
 
@@ -1046,6 +1112,23 @@ impl BackendKind {
             BackendKind::Varys => Box::new(PacketBackend::new(fabric, Box::new(Varys))),
             BackendKind::Aalo => Box::new(PacketBackend::new(fabric, Box::new(Aalo::default()))),
             BackendKind::FairSharing => Box::new(PacketBackend::new(fabric, Box::new(FairSharing))),
+            BackendKind::MultiSunflow { cores, assign } => {
+                let k = KCoreFabric::new(*fabric, *cores as usize);
+                Box::new(crate::MultiSunflowBackend::new(
+                    &k,
+                    online,
+                    policy,
+                    assign.build(),
+                ))
+            }
+            BackendKind::KCore { cores } => {
+                let k = KCoreFabric::new(*fabric, *cores as usize);
+                Box::new(crate::KCoreBackend::new(
+                    &k,
+                    online.sunflow,
+                    CoreAssignKind::RankPack,
+                ))
+            }
         }
     }
 }
@@ -1054,7 +1137,35 @@ impl std::str::FromStr for BackendKind {
     type Err = UnknownBackendError;
 
     fn from_str(s: &str) -> Result<BackendKind, UnknownBackendError> {
-        match s.to_ascii_lowercase().as_str() {
+        let lower = s.to_ascii_lowercase();
+        let unknown = || UnknownBackendError {
+            input: s.to_string(),
+        };
+        // The parameterized selectors: `sunflow:<K>[:<assign>]` and
+        // `kcore:<K>`, K ≥ 1.
+        if let Some((head, params)) = lower.split_once(':') {
+            let (cores_str, assign_str) = match params.split_once(':') {
+                Some((c, a)) => (c, Some(a)),
+                None => (params, None),
+            };
+            let cores: u32 = cores_str
+                .parse()
+                .ok()
+                .filter(|&k| k >= 1)
+                .ok_or_else(unknown)?;
+            return match (head, assign_str) {
+                ("sunflow", assign) => Ok(BackendKind::MultiSunflow {
+                    cores,
+                    assign: match assign {
+                        Some(a) => a.parse().map_err(|_| unknown())?,
+                        None => CoreAssignKind::LeastLoaded,
+                    },
+                }),
+                ("kcore", None) => Ok(BackendKind::KCore { cores }),
+                _ => Err(unknown()),
+            };
+        }
+        match lower.as_str() {
             "sunflow" => Ok(BackendKind::Sunflow),
             "solstice" => Ok(BackendKind::Solstice),
             "tms" => Ok(BackendKind::Tms),
@@ -1062,9 +1173,7 @@ impl std::str::FromStr for BackendKind {
             "varys" => Ok(BackendKind::Varys),
             "aalo" => Ok(BackendKind::Aalo),
             "fair" | "fairsharing" => Ok(BackendKind::FairSharing),
-            _ => Err(UnknownBackendError {
-                input: s.to_string(),
-            }),
+            _ => Err(unknown()),
         }
     }
 }
@@ -1089,17 +1198,43 @@ mod tests {
     #[test]
     fn backend_kind_parses_and_rejects() {
         for kind in BackendKind::ALL {
-            let parsed: BackendKind = kind
-                .name()
-                .to_ascii_lowercase()
-                .parse()
-                .expect("canonical name parses");
+            let parsed: BackendKind = kind.selector().parse().expect("canonical selector parses");
             assert_eq!(parsed, kind);
         }
         assert_eq!("fair".parse::<BackendKind>(), Ok(BackendKind::FairSharing));
-        let err = "warp-drive".parse::<BackendKind>().unwrap_err();
-        assert!(err.to_string().contains("warp-drive"));
-        assert!(err.to_string().contains("solstice"));
+        assert_eq!(
+            "sunflow:4".parse::<BackendKind>(),
+            Ok(BackendKind::MultiSunflow {
+                cores: 4,
+                assign: CoreAssignKind::LeastLoaded,
+            })
+        );
+        assert_eq!(
+            "sunflow:2:rank-pack".parse::<BackendKind>(),
+            Ok(BackendKind::MultiSunflow {
+                cores: 2,
+                assign: CoreAssignKind::RankPack,
+            })
+        );
+        assert_eq!(
+            "kcore:8".parse::<BackendKind>(),
+            Ok(BackendKind::KCore { cores: 8 })
+        );
+        for bad in [
+            "warp-drive",
+            "sunflow:0",
+            "kcore:two",
+            "kcore:2:hash",
+            "sunflow:2:warp",
+        ] {
+            let err = bad.parse::<BackendKind>().unwrap_err();
+            assert!(err.to_string().contains(bad), "{bad}");
+        }
+        assert!("warp-drive"
+            .parse::<BackendKind>()
+            .unwrap_err()
+            .to_string()
+            .contains("solstice"));
     }
 
     #[test]
@@ -1113,6 +1248,15 @@ mod tests {
             (BackendKind::Varys, "Varys", "packet"),
             (BackendKind::Aalo, "Aalo", "packet"),
             (BackendKind::FairSharing, "FairSharing", "packet"),
+            (
+                BackendKind::MultiSunflow {
+                    cores: 2,
+                    assign: CoreAssignKind::LeastLoaded,
+                },
+                "Sunflow",
+                "not-all-stop",
+            ),
+            (BackendKind::KCore { cores: 2 }, "KCore", "not-all-stop"),
         ];
         for (kind, name, switch) in expect {
             let b = kind.build(&f, &OnlineConfig::default(), Box::new(ShortestFirst));

@@ -15,6 +15,14 @@
 //! Sunflow-scheduled circuit network at full bandwidth. A Coflow
 //! completes when *both* of its parts have: the CCT combines them.
 //!
+//! The split itself is a degenerate two-"core" placement: the circuit
+//! network is core 0 and the packet network core 1, assigned by the
+//! [`ThresholdSplit`] policy and partitioned by
+//! [`partition_by_core`] — the same [`CoreAssign`] seam the K-core
+//! backends ([`crate::multicore`]) place subflows through.
+//!
+//! [`CoreAssign`]: sunflow_core::CoreAssign
+//!
 //! The two networks are simulated as two [`SchedulingBackend`]s —
 //! [`SunflowBackend`] on the full-rate fabric, [`PacketBackend`] on the
 //! slim one — composed on **one shared event loop and virtual clock**
@@ -30,7 +38,7 @@ use crate::online::{OnlineConfig, ReplayStats};
 use crate::stepper::{FullService, SubmitError};
 use ocs_model::{Bandwidth, Coflow, Fabric, ScheduleOutcome, Time};
 use ocs_packet::FairSharing;
-use sunflow_core::PriorityPolicy;
+use sunflow_core::{partition_by_core, CoreAssign, CoreLoad, PriorityPolicy, ThresholdSplit};
 
 /// Hybrid network parameters.
 #[derive(Clone, Copy, Debug)]
@@ -85,32 +93,26 @@ pub fn simulate_hybrid(
         "packet bandwidth fraction must be in (0, 1]"
     );
 
-    // Partition every coflow; remember where each original flow went:
-    // (went_to_packet, index within its part).
+    // Partition every coflow through the shared placement seam: the
+    // circuit network is core 0, the packet network core 1. Remember
+    // where each original flow went: (went_to_packet, index within its
+    // part).
     let mut circuit_part: Vec<Option<Coflow>> = Vec::with_capacity(coflows.len());
     let mut packet_part: Vec<Option<Coflow>> = Vec::with_capacity(coflows.len());
     let mut placement: Vec<Vec<(bool, usize)>> = Vec::with_capacity(coflows.len());
 
+    let mut split = ThresholdSplit::new(config.small_flow_threshold);
+    let no_load = CoreLoad::new(2, fabric.ports());
     for c in coflows {
-        let mut cb = Coflow::builder(c.id()).arrival(c.arrival());
-        let mut pb = Coflow::builder(c.id()).arrival(c.arrival());
-        let mut map = Vec::with_capacity(c.num_flows());
-        let mut n_c = 0usize;
-        let mut n_p = 0usize;
-        for f in c.flows() {
-            if f.bytes < config.small_flow_threshold {
-                pb = pb.flow(f.src, f.dst, f.bytes);
-                map.push((true, n_p));
-                n_p += 1;
-            } else {
-                cb = cb.flow(f.src, f.dst, f.bytes);
-                map.push((false, n_c));
-                n_c += 1;
-            }
-        }
-        circuit_part.push(cb.try_build());
-        packet_part.push(pb.try_build());
-        placement.push(map);
+        let assignment = split.assign(c, 2, &no_load);
+        let (mut parts, map) = partition_by_core(c, &assignment, 2);
+        packet_part.push(parts.pop().expect("core 1"));
+        circuit_part.push(parts.pop().expect("core 0"));
+        placement.push(
+            map.into_iter()
+                .map(|(core, idx)| (core == 1, idx))
+                .collect(),
+        );
     }
 
     // Circuit side: full-rate fabric under Sunflow. Packet side: slim

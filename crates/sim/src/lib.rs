@@ -19,6 +19,11 @@
 //!   arrivals one at a time, advance to a deadline, drain completions,
 //!   inject settlement faults, snapshot/restore. The substrate of
 //!   [`SunflowBackend`].
+//! * [`multicore`] — the K-core OCS generalization: Sunflow sharded
+//!   across `K` parallel circuit planes ([`MultiSunflowBackend`]) and
+//!   the O(K)-approximation multi-core list scheduler
+//!   ([`KCoreBackend`]), both selectable through [`BackendKind`]
+//!   (`sunflow:<K>[:<assign>]`, `kcore:<K>`).
 //! * [`hybrid`] — the §6 REACToR-style hybrid: small flows offloaded to a
 //!   slim packet network, heavy flows on Sunflow-scheduled circuits —
 //!   two backends on one clock.
@@ -41,18 +46,20 @@ pub mod backend;
 pub mod engine;
 pub mod hybrid;
 pub mod intra_driver;
+pub mod multicore;
 pub mod online;
 pub mod stepper;
 pub mod sweep;
 
 pub use aggregate::simulate_circuit_aggregated;
 pub use backend::{
-    BackendKind, CircuitBackend, PacketBackend, SchedulingBackend, SunflowBackend,
+    BackendKind, CircuitBackend, CoreStatus, PacketBackend, SchedulingBackend, SunflowBackend,
     UnknownBackendError,
 };
 pub use engine::{run_backends_to_idle, run_trace, simulate_packet};
 pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult};
 pub use intra_driver::{run_intra, IntraEngine};
+pub use multicore::{KCoreBackend, MultiSunflowBackend};
 pub use online::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult, ReplayStats};
 pub use stepper::{
     Completion, FullService, OnlineStepper, SettleHook, SettleVerdict, StepperSnapshot, SubmitError,

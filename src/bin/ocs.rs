@@ -75,7 +75,7 @@ ocs — Sunflow optical circuit scheduling toolkit
 USAGE:
   ocs generate [--coflows N] [--ports P] [--seed S] [--horizon SECS] [--out FILE]
   ocs intra    --trace FILE [--scheduler sunflow|solstice|tms|edmond] [--gbps N] [--delta-ms N]
-  ocs replay   --trace FILE [--scheduler sunflow|solstice|tms|edmond|varys|aalo|fair] [--gbps N] [--delta-ms N]
+  ocs replay   --trace FILE [--scheduler sunflow|sunflow:<K>[:<assign>]|kcore:<K>|solstice|tms|edmond|varys|aalo|fair] [--gbps N] [--delta-ms N]
   ocs info     --trace FILE [--gbps N]";
 
 /// Minimal `--key value` option parser.
