@@ -1,8 +1,17 @@
-//! Bench target soaking the online scheduling daemon against the
-//! offline replay. Run with `cargo bench -p ocs-bench --bench daemon_soak`.
+//! Bench target soaking the online scheduling daemon: correctness
+//! against the offline replay (daemon_soak) plus the pipelined serving
+//! path at ≥100k Coflows (daemon_scale; scale via `OCS_SCALE_COFLOWS`).
+//! Run with `cargo bench -p ocs-bench --bench daemon_soak`.
+
+use ocs_bench::experiments::daemon_scale;
 
 fn main() {
-    let (report, timing) = ocs_bench::experiments::daemon_soak::run_measured();
+    let (mut report, mut timing) = ocs_bench::experiments::daemon_soak::run_measured();
+    daemon_scale::append_measured(
+        &mut report,
+        &mut timing,
+        &daemon_scale::ScaleConfig::from_env(),
+    );
     let ok = ocs_bench::emit_timed("daemon", &report, &timing);
     if !ok {
         println!("(some claims outside tolerance — see MISS rows above)");

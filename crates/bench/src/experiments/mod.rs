@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod aggregate_baseline;
 pub mod baseline_gap;
+pub mod daemon_scale;
 pub mod daemon_soak;
 pub mod fairshare_gap;
 pub mod fig10;

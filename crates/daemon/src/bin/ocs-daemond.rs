@@ -1,25 +1,32 @@
 //! `ocs-daemond` — the online Coflow scheduling daemon.
 //!
 //! ```text
-//! ocs-daemond run [OPTIONS]     replay/serve a JSONL arrival stream
-//! ocs-daemond gen [OPTIONS]     emit a synthetic JSONL trace to stdout
+//! ocs-daemond run [OPTIONS]      replay/serve a JSONL arrival stream
+//! ocs-daemond gen [OPTIONS]      emit a synthetic JSONL trace to stdout
+//! ocs-daemond loadgen [OPTIONS]  soak the pipelined serving path
 //! ```
 //!
 //! `run` reads arrivals from `--input FILE` (`-` = stdin, the default)
 //! or accepts one TCP connection with `--listen ADDR`, schedules them
 //! on a virtual-clock fabric, drains gracefully at EOF, and dumps
 //! telemetry via `--status-json PATH` and/or `--prom PATH` (`-` =
-//! stdout). Seeded fault injection is enabled with the `--fault-*`
-//! flags. `gen` turns `ocs-workload`'s Poisson/Table-4 generator into a
-//! trace file `run` can consume.
+//! stdout). `--pipelined` swaps the synchronous per-line loop for the
+//! bounded-channel front end (`--channel-capacity`, `--batch-max`,
+//! `--on-full reject|wait`). Seeded fault injection is enabled with the
+//! `--fault-*` flags. `gen` turns `ocs-workload`'s Poisson/Table-4
+//! generator into a trace file `run` can consume. `loadgen` generates a
+//! seeded high-rate arrival stream and drives it through the pipelined
+//! front end in-process, reporting admission throughput and
+//! admission-to-schedule latency quantiles — the daemon's soak harness.
 
 use ocs_daemon::{
-    run_to_completion, serve_tcp, ArrivalSpec, Daemon, DaemonConfig, PolicyKind, ServeReport,
+    run_pipelined, run_to_completion, ArrivalSpec, Daemon, DaemonConfig, IngestMode, OnFull,
+    PipelineConfig, PolicyKind, ServeReport, TcpServer,
 };
 use ocs_model::time::PS_PER_MS;
 use ocs_model::{Bandwidth, Dur, Fabric};
 use ocs_sim::ActiveCircuitPolicy;
-use ocs_workload::SynthConfig;
+use ocs_workload::{LoadgenConfig, SynthConfig};
 use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
@@ -29,8 +36,9 @@ const USAGE: &str = "\
 ocs-daemond — online Coflow scheduling service (Sunflow and baselines)
 
 USAGE:
-  ocs-daemond run [OPTIONS]   serve/replay a JSONL arrival stream
-  ocs-daemond gen [OPTIONS]   emit a synthetic JSONL trace to stdout
+  ocs-daemond run [OPTIONS]      serve/replay a JSONL arrival stream
+  ocs-daemond gen [OPTIONS]      emit a synthetic JSONL trace to stdout
+  ocs-daemond loadgen [OPTIONS]  soak the pipelined serving path
 
 run OPTIONS:
   --input PATH            arrival JSONL file, '-' for stdin (default '-')
@@ -47,6 +55,13 @@ run OPTIONS:
   --guard T_MS,TAU_MS     starvation guard period and shared window
   --max-queue N           admission queue depth cap (default 4096)
   --max-outstanding-secs F  outstanding transmit-demand cap
+  --replan-threads N      worker threads for parallel replans / shard
+                          advances (default 0 = all available cores)
+  --pipelined             ingest through the bounded-channel front end
+  --channel-capacity N    admission channel bound (default 1024)
+  --batch-max N           max arrivals admitted per step (default 256)
+  --on-full MODE          reject | wait when the channel is full
+                          (default reject; wait is lossless)
   --fault-seed N          fault stream seed (default 0)
   --fault-setup-pm N      circuit setup failures, per mille
   --fault-flap-pm N       port flaps, per mille
@@ -61,6 +76,26 @@ gen OPTIONS:
   --ports N               fabric ports (default 150)
   --seed N                workload seed (default 0x50f10)
   --horizon-secs F        arrival horizon (default 3600)
+
+loadgen OPTIONS:
+  --coflows N             number of Coflows (default 100000)
+  --ports N               fabric ports (default 64)
+  --bandwidth-gbps N      link rate (default 10)
+  --delta-us N            reconfiguration delay δ in µs (default 100:
+                          transfers must dwarf δ for the soak rate)
+  --rate F                arrivals per second of virtual time (default 2000)
+  --seed N                trace seed (default 0x10ad)
+  --group-ports N         confine flows to N-port groups (0 = off); pairs
+                          with --backend portgroups:<G>
+  --heavy-frac F          heavy multi-flow Coflow fraction (default 0.05)
+  --backend NAME          scheduling backend (default sunflow)
+  --replan-threads N      as for run
+  --channel-capacity / --batch-max / --on-full   as for run
+                          (default --on-full wait: soak is lossless)
+  --emit                  print the JSONL trace to stdout instead of
+                          running the soak (pipe into `run`)
+  --status-json PATH      write final JSON status ('-' = stdout)
+  --quiet                 suppress the stderr summary
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -128,10 +163,21 @@ fn parse_active(raw: &str) -> Result<ActiveCircuitPolicy, String> {
     }
 }
 
+fn parse_on_full(raw: &str) -> Result<OnFull, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "reject" => Ok(OnFull::Reject),
+        "wait" => Ok(OnFull::Wait),
+        other => Err(format!(
+            "unknown --on-full mode {other:?}; expected reject or wait"
+        )),
+    }
+}
+
 struct RunOpts {
     input: String,
     listen: Option<String>,
     config: DaemonConfig,
+    pipeline: Option<PipelineConfig>,
     status_json: Option<String>,
     prom: Option<String>,
     acks: bool,
@@ -143,11 +189,14 @@ fn parse_run(args: &mut Args) -> Result<RunOpts, String> {
         input: "-".to_string(),
         listen: None,
         config: DaemonConfig::default(),
+        pipeline: None,
         status_json: None,
         prom: None,
         acks: false,
         quiet: false,
     };
+    let mut pipeline = PipelineConfig::default();
+    let mut pipelined = false;
     let mut ports = opts.config.fabric.ports();
     let mut gbps = 1u64;
     let mut delta_us = 1_000u64;
@@ -164,6 +213,15 @@ fn parse_run(args: &mut Args) -> Result<RunOpts, String> {
                 opts.config.online.active_policy = parse_active(&args.value("--active")?)?
             }
             "--guard" => opts.config.online.guard = Some(parse_guard(&args.value("--guard")?)?),
+            "--replan-threads" => {
+                opts.config.online.replan_threads = args.parsed("--replan-threads")?
+            }
+            "--pipelined" => pipelined = true,
+            "--channel-capacity" => {
+                pipeline.channel_capacity = args.parsed("--channel-capacity")?
+            }
+            "--batch-max" => pipeline.batch_max = args.parsed("--batch-max")?,
+            "--on-full" => pipeline.on_full = parse_on_full(&args.value("--on-full")?)?,
             "--max-queue" => opts.config.admission.max_queue_depth = args.parsed("--max-queue")?,
             "--max-outstanding-secs" => {
                 let secs: f64 = args.parsed("--max-outstanding-secs")?;
@@ -199,6 +257,9 @@ fn parse_run(args: &mut Args) -> Result<RunOpts, String> {
         Bandwidth::from_gbps(gbps),
         Dur::from_micros(delta_us),
     );
+    if pipelined {
+        opts.pipeline = Some(pipeline);
+    }
     Ok(opts)
 }
 
@@ -222,10 +283,34 @@ fn cmd_run(args: &mut Args) -> Result<ExitCode, String> {
     let mut daemon = Daemon::new(&opts.config);
 
     let report: ServeReport = if let Some(addr) = &opts.listen {
+        let server = TcpServer::bind(addr.as_str()).map_err(|e| format!("bind {addr}: {e}"))?;
+        let mode = match opts.pipeline {
+            Some(cfg) => IngestMode::Pipelined(cfg),
+            None => IngestMode::Sequential,
+        };
         if !opts.quiet {
-            eprintln!("ocs-daemond: listening on {addr} (one connection)");
+            let bound = server
+                .local_addr()
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            eprintln!("ocs-daemond: listening on {bound} (one connection)");
         }
-        serve_tcp(&mut daemon, addr.as_str()).map_err(|e| format!("serve {addr}: {e}"))?
+        server
+            .serve_one(&mut daemon, mode)
+            .map_err(|e| format!("serve {addr}: {e}"))?
+            .expect("no shutdown handle exists")
+    } else if let Some(cfg) = opts.pipeline {
+        // The pipelined reader moves to its own thread, so it takes an
+        // owned stdin handle rather than StdinLock.
+        let mut stdout = std::io::stdout();
+        let ack = opts.acks.then_some(&mut stdout);
+        if opts.input == "-" {
+            run_pipelined(&mut daemon, BufReader::new(std::io::stdin()), ack, &cfg)
+        } else {
+            let f = File::open(&opts.input).map_err(|e| format!("open {}: {e}", opts.input))?;
+            run_pipelined(&mut daemon, BufReader::new(f), ack, &cfg)
+        }
+        .map_err(|e| format!("ingest: {e}"))?
+        .into()
     } else {
         let mut stdout;
         let mut ack: Option<&mut dyn Write> = if opts.acks {
@@ -254,11 +339,12 @@ fn cmd_run(args: &mut Args) -> Result<ExitCode, String> {
         let t = daemon.telemetry();
         let f = daemon.fault_stats();
         eprintln!(
-            "ocs-daemond: {} lines, {} admitted, {} rejected, {} parse errors; \
-             {} completed, drained at {}; {} faults, {} retries",
+            "ocs-daemond: {} lines, {} admitted, {} rejected, {} backpressure, \
+             {} parse errors; {} completed, drained at {}; {} faults, {} retries",
             report.lines,
             report.accepted,
             report.rejected,
+            report.backpressure,
             report.parse_errors,
             t.completed,
             daemon.now(),
@@ -311,6 +397,123 @@ fn cmd_gen(args: &mut Args) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_loadgen(args: &mut Args) -> Result<ExitCode, String> {
+    let mut load = LoadgenConfig::default();
+    let mut config = DaemonConfig::default();
+    let mut gbps = 10u64;
+    let mut delta_us = 100u64;
+    let mut pipeline = PipelineConfig {
+        on_full: OnFull::Wait,
+        ..PipelineConfig::default()
+    };
+    let mut emit_trace = false;
+    let mut status_json: Option<String> = None;
+    let mut quiet = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--coflows" => load.coflows = args.parsed("--coflows")?,
+            "--ports" => load.ports = args.parsed("--ports")?,
+            "--bandwidth-gbps" => gbps = args.parsed("--bandwidth-gbps")?,
+            "--delta-us" => delta_us = args.parsed("--delta-us")?,
+            "--rate" => {
+                load.rate_per_sec = args.parsed("--rate")?;
+                if !load.rate_per_sec.is_finite() || load.rate_per_sec <= 0.0 {
+                    return Err("--rate must be positive".to_string());
+                }
+            }
+            "--seed" => load.seed = args.parsed("--seed")?,
+            "--group-ports" => load.group_ports = args.parsed("--group-ports")?,
+            "--heavy-frac" => {
+                load.heavy_fraction = args.parsed("--heavy-frac")?;
+                if !(0.0..=1.0).contains(&load.heavy_fraction) {
+                    return Err("--heavy-frac must be within [0, 1]".to_string());
+                }
+            }
+            "--backend" => config.backend = args.parsed("--backend")?,
+            "--replan-threads" => config.online.replan_threads = args.parsed("--replan-threads")?,
+            "--channel-capacity" => {
+                pipeline.channel_capacity = args.parsed("--channel-capacity")?
+            }
+            "--batch-max" => pipeline.batch_max = args.parsed("--batch-max")?,
+            "--on-full" => pipeline.on_full = parse_on_full(&args.value("--on-full")?)?,
+            "--emit" => emit_trace = true,
+            "--status-json" => status_json = Some(args.value("--status-json")?),
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown flag {other:?} for loadgen")),
+        }
+    }
+    let coflows = ocs_workload::generate_load(&load);
+    let jsonl = ocs_workload::to_jsonl(&coflows);
+    if emit_trace {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        out.write_all(jsonl.as_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("stdout: {e}"))?;
+        if !quiet {
+            eprintln!(
+                "ocs-daemond: generated {} coflows on {} ports (seed {:#x})",
+                coflows.len(),
+                load.ports,
+                load.seed
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    config.fabric = Fabric::new(
+        load.ports,
+        Bandwidth::from_gbps(gbps),
+        Dur::from_micros(delta_us),
+    );
+    let mut daemon = Daemon::new(&config);
+    let wall = std::time::Instant::now();
+    let report = run_pipelined(
+        &mut daemon,
+        std::io::Cursor::new(jsonl),
+        None::<&mut std::io::Sink>,
+        &pipeline,
+    )
+    .map_err(|e| format!("soak: {e}"))?;
+    let elapsed = wall.elapsed();
+
+    if let Some(path) = &status_json {
+        emit(path, &daemon.status_json()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if !quiet {
+        let t = daemon.telemetry();
+        let q = |p: f64| t.admit_latency.quantile(p).unwrap_or(0);
+        eprintln!(
+            "ocs-daemond: soaked {} coflows in {:.2}s wall ({:.0} admissions/s); \
+             admit latency p50 {}ns p99 {}ns p999 {}ns; \
+             {} backpressure rejects, {} backpressure waits, {} lost acks; \
+             {} batches (max {}), {} completed, drained at {}",
+            report.accepted,
+            elapsed.as_secs_f64(),
+            report.accepted as f64 / elapsed.as_secs_f64().max(1e-9),
+            q(0.50),
+            q(0.99),
+            q(0.999),
+            report.backpressure_rejects,
+            report.backpressure_waits,
+            report.lost_acks(),
+            report.batches,
+            report.max_batch,
+            t.completed,
+            daemon.now(),
+        );
+    }
+    let clean = daemon.is_idle()
+        && report.parse_errors == 0
+        && report.lost_acks() == 0
+        && daemon.telemetry().completed == report.accepted;
+    Ok(if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
@@ -326,6 +529,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "run" => cmd_run(&mut args),
         "gen" => cmd_gen(&mut args),
+        "loadgen" => cmd_loadgen(&mut args),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {

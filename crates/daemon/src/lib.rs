@@ -23,8 +23,13 @@
 //! - [`service`] — [`Daemon`]: admission control over any
 //!   [`ocs_sim::SchedulingBackend`], telemetry, command-log
 //!   checkpoint/restore, JSON and Prometheus rendering.
-//! - [`server`] — [`run_to_completion`] / [`serve_tcp`]: the ingestion
-//!   loop with per-line acks and graceful drain.
+//! - [`ingest`] — [`run_pipelined`]: the high-throughput front end — a
+//!   reader thread parsing JSONL into a bounded admission channel (typed
+//!   backpressure when full), a batching admission loop driving the
+//!   synchronous scheduling core, and an ack writer restoring line order.
+//! - [`server`] — [`run_to_completion`] / [`serve_tcp`]: the synchronous
+//!   reference ingestion loop with per-line acks and graceful drain, and
+//!   the TCP front door feeding either loop.
 //!
 //! The `ocs-daemond` binary fronts all of it from the command line.
 
@@ -32,13 +37,17 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod ingest;
 pub mod jsonl;
 pub mod server;
 pub mod service;
 
 pub use faults::{FaultConfig, FaultInjector, FaultStats};
+pub use ingest::{run_pipelined, OnFull, PipelineConfig, PipelineReport};
 pub use jsonl::{parse_line, ArrivalSpec, ParseError};
-pub use server::{run_to_completion, serve_tcp, ServeReport};
+pub use server::{
+    run_to_completion, serve_tcp, IngestMode, ServeReport, ShutdownHandle, TcpServer,
+};
 pub use service::{
     AdmissionConfig, Daemon, DaemonCheckpoint, DaemonConfig, PolicyKind, RejectReason, Telemetry,
 };

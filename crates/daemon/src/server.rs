@@ -10,16 +10,32 @@
 //! would. EOF triggers a graceful drain — the daemon runs until every
 //! admitted Coflow completes, then reports.
 //!
-//! [`serve_tcp`] wraps the same loop around one TCP connection at a
-//! time: netcat a trace at the daemon and read the acks back.
+//! Two ingestion loops share that protocol:
+//!
+//! * [`run_to_completion`] — the synchronous reference path: parse,
+//!   submit, advance, ack, one line at a time on one thread.
+//! * [`crate::ingest::run_pipelined`] — the high-throughput path: a
+//!   reader thread feeding a bounded admission channel with typed
+//!   backpressure, batched submission, acks re-sequenced to line order.
+//!
+//! [`TcpServer`] is the front door: bind first (so the bound address is
+//! known before any client connects), then serve connections one at a
+//! time through either loop ([`IngestMode`]). A [`ShutdownHandle`]
+//! stops the accept loop by flagging and then *connecting to wake it* —
+//! no sleep-polling anywhere, so shutdown latency is bounded by the
+//! kernel's accept queue, not a timer. [`serve_tcp`] keeps the original
+//! one-shot convenience wrapper around all of it.
 
+use crate::ingest::{run_pipelined, PipelineConfig};
 use crate::jsonl::parse_line;
 use crate::service::Daemon;
 use ocs_model::Time;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-/// What a [`run_to_completion`] pass saw.
+/// What an ingestion pass saw.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeReport {
     /// Non-blank input lines consumed.
@@ -30,8 +46,36 @@ pub struct ServeReport {
     pub accepted: u64,
     /// Submissions refused by admission control.
     pub rejected: u64,
+    /// Arrivals shed at the full admission channel (pipelined mode with
+    /// [`crate::ingest::OnFull::Reject`]; always zero on the sequential
+    /// path).
+    pub backpressure: u64,
     /// Scheduling events processed, including the graceful drain.
     pub events: u64,
+}
+
+impl ServeReport {
+    fn absorb(&mut self, other: ServeReport) {
+        self.lines += other.lines;
+        self.parse_errors += other.parse_errors;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.backpressure += other.backpressure;
+        self.events += other.events;
+    }
+}
+
+impl From<crate::ingest::PipelineReport> for ServeReport {
+    fn from(p: crate::ingest::PipelineReport) -> ServeReport {
+        ServeReport {
+            lines: p.lines,
+            parse_errors: p.parse_errors,
+            accepted: p.accepted,
+            rejected: p.rejected,
+            backpressure: p.backpressure_rejects,
+            events: p.events,
+        }
+    }
 }
 
 fn ack(out: &mut Option<&mut dyn Write>, line: &str) -> std::io::Result<()> {
@@ -112,19 +156,122 @@ pub fn run_to_completion(
     Ok(report)
 }
 
-/// Serve one TCP connection: read JSONL arrivals from the peer, write
-/// per-line acks back, drain on EOF, then send the final status JSON as
-/// the last line. Accepts exactly one connection (the daemon's virtual
-/// clock is single-stream by construction); returns the pass report.
+/// Which ingestion loop a [`TcpServer`] runs per connection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IngestMode {
+    /// [`run_to_completion`]: one line at a time, strict per-line clock.
+    #[default]
+    Sequential,
+    /// [`run_pipelined`] with the given tuning: bounded channel, typed
+    /// backpressure, batched admission.
+    Pipelined(PipelineConfig),
+}
+
+/// Stops a [`TcpServer`]'s accept loop: sets the stop flag, then opens a
+/// throwaway connection to the listener so the blocking `accept` returns
+/// immediately. No polling, no timers — shutdown is event-driven.
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown and wake the accept loop.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The wake-up call: accept() unblocks, sees the flag, exits.
+        // A failure here only means the listener is already gone.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound JSONL-over-TCP front door for a [`Daemon`].
+///
+/// Binding is separate from serving, so callers (and tests) learn the
+/// actual address — including an OS-assigned port from `"…:0"` —
+/// *before* any client tries to connect: no connect-retry loops, no
+/// sleeps. Connections are served strictly one at a time because the
+/// daemon's virtual clock is single-stream by construction.
+#[derive(Debug)]
+pub struct TcpServer {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpServer {
+    /// Bind the listener. The port is open (clients may connect and
+    /// queue) from here on.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<TcpServer> {
+        Ok(TcpServer {
+            listener: TcpListener::bind(addr)?,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves `"…:0"` to the real port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops [`TcpServer::serve`] /
+    /// [`TcpServer::serve_one`] from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            addr: self.local_addr()?,
+            stop: Arc::clone(&self.stop),
+        })
+    }
+
+    /// Accept and serve one connection: read JSONL arrivals, write
+    /// per-line acks back, drain on EOF, then send the daemon's status
+    /// JSON as the final line. Returns `Ok(None)` if a
+    /// [`ShutdownHandle`] fired instead of a client connecting.
+    pub fn serve_one(
+        &self,
+        daemon: &mut Daemon,
+        mode: IngestMode,
+    ) -> std::io::Result<Option<ServeReport>> {
+        if self.stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let (stream, _peer) = self.listener.accept()?;
+        if self.stop.load(Ordering::SeqCst) {
+            // The accepted "client" is the shutdown wake-up call.
+            return Ok(None);
+        }
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let report = match mode {
+            IngestMode::Sequential => run_to_completion(daemon, reader, Some(&mut writer))?,
+            IngestMode::Pipelined(cfg) => {
+                run_pipelined(daemon, reader, Some(&mut writer), &cfg)?.into()
+            }
+        };
+        writeln!(writer, "{}", daemon.status_json())?;
+        writer.flush()?;
+        Ok(Some(report))
+    }
+
+    /// Serve connections back to back until a [`ShutdownHandle`] fires,
+    /// returning the reports summed over every connection.
+    pub fn serve(&self, daemon: &mut Daemon, mode: IngestMode) -> std::io::Result<ServeReport> {
+        let mut total = ServeReport::default();
+        while let Some(report) = self.serve_one(daemon, mode)? {
+            total.absorb(report);
+        }
+        Ok(total)
+    }
+}
+
+/// Serve one TCP connection at `addr` through the sequential loop: the
+/// original one-shot protocol (acks, drain, final status line). Prefer
+/// [`TcpServer`] when you need the bound address or pipelined ingestion.
 pub fn serve_tcp(daemon: &mut Daemon, addr: impl ToSocketAddrs) -> std::io::Result<ServeReport> {
-    let listener = TcpListener::bind(addr)?;
-    let (stream, _peer) = listener.accept()?;
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let report = run_to_completion(daemon, reader, Some(&mut writer))?;
-    writeln!(writer, "{}", daemon.status_json())?;
-    writer.flush()?;
-    Ok(report)
+    let server = TcpServer::bind(addr)?;
+    Ok(server
+        .serve_one(daemon, IngestMode::Sequential)?
+        .expect("no shutdown handle exists yet"))
 }
 
 #[cfg(test)]
@@ -201,28 +348,19 @@ not json at all
         use std::io::{BufRead, BufReader, Write};
         use std::net::TcpStream;
 
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        drop(listener); // serve_tcp re-binds; grab a free port first
-        let server = std::thread::spawn(move || {
+        // Bind first: the address is live before any client connects, so
+        // there is nothing to retry and nothing to sleep on.
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
             let mut d = daemon();
-            let report = serve_tcp(&mut d, addr).unwrap();
+            let report = server
+                .serve_one(&mut d, IngestMode::Sequential)
+                .unwrap()
+                .expect("a client, not a shutdown");
             (report, d.telemetry().completed)
         });
-        // Give the listener a moment; retry connects until it is up.
-        let mut stream = {
-            let mut attempts = 0;
-            loop {
-                match TcpStream::connect(addr) {
-                    Ok(s) => break s,
-                    Err(e) => {
-                        attempts += 1;
-                        assert!(attempts < 400, "could not connect to test daemon: {e}");
-                        std::thread::sleep(std::time::Duration::from_millis(5));
-                    }
-                }
-            }
-        };
+        let mut stream = TcpStream::connect(addr).unwrap();
         stream
             .write_all(b"{\"id\": 7, \"arrival_ms\": 1, \"flows\": [[0, 1, 1000000]]}\n")
             .unwrap();
@@ -231,10 +369,61 @@ not json at all
         for l in BufReader::new(stream).lines() {
             lines.push(l.unwrap());
         }
-        let (report, completed) = server.join().unwrap();
+        let (report, completed) = handle.join().unwrap();
         assert_eq!(report.accepted, 1);
         assert_eq!(completed, 1);
         assert_eq!(lines[0], "{\"line\": 1, \"id\": 7, \"ok\": true}");
         assert!(lines[1].contains("\"completed\": 1"), "final status line");
+    }
+
+    #[test]
+    fn pipelined_tcp_round_trip_matches_the_protocol() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let mode = IngestMode::Pipelined(PipelineConfig::default());
+        let handle = std::thread::spawn(move || {
+            let mut d = daemon();
+            let report = server
+                .serve_one(&mut d, mode)
+                .unwrap()
+                .expect("a client, not a shutdown");
+            (report, d.telemetry().completed)
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                b"{\"id\": 0, \"arrival_ms\": 0, \"flows\": [[0, 1, 1000000]]}\n\
+                  {\"id\": 1, \"arrival_ms\": 2, \"flows\": [[1, 2, 500000]]}\n\
+                  broken line\n",
+            )
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let lines: Vec<String> = BufReader::new(stream).lines().map(|l| l.unwrap()).collect();
+        let (report, completed) = handle.join().unwrap();
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.parse_errors, 1);
+        assert_eq!(completed, 2);
+        assert_eq!(lines.len(), 4, "three acks in line order plus status");
+        assert_eq!(lines[0], "{\"line\": 1, \"id\": 0, \"ok\": true}");
+        assert_eq!(lines[1], "{\"line\": 2, \"id\": 1, \"ok\": true}");
+        assert!(lines[2].contains("\"error\""));
+        assert!(lines[3].contains("\"completed\": 2"), "final status line");
+    }
+
+    #[test]
+    fn shutdown_wakes_the_accept_loop_without_a_client() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let join = std::thread::spawn(move || {
+            let mut d = daemon();
+            server.serve(&mut d, IngestMode::Sequential).unwrap()
+        });
+        // No client ever connects; the handle alone must unblock accept.
+        handle.shutdown();
+        let total = join.join().unwrap();
+        assert_eq!(total, ServeReport::default(), "no connections served");
     }
 }

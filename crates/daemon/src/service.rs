@@ -90,16 +90,26 @@ pub enum RejectReason {
     ArrivalInPast,
     /// A flow references a port outside the fabric.
     ExceedsFabric,
+    /// A flow crosses two port groups of a partitioned
+    /// (`portgroups:<G>`) backend.
+    CrossesPortGroups,
+    /// The ingest pipeline's bounded admission channel was full — the
+    /// arrival was refused *before* reaching admission control. Emitted
+    /// by the pipelined front end (`crate::ingest`), never by
+    /// [`Daemon::submit`] itself.
+    Backpressure,
 }
 
 impl RejectReason {
     /// All reasons, in counter order.
-    pub const ALL: [RejectReason; 5] = [
+    pub const ALL: [RejectReason; 7] = [
         RejectReason::QueueFull,
         RejectReason::DemandCap,
         RejectReason::DuplicateId,
         RejectReason::ArrivalInPast,
         RejectReason::ExceedsFabric,
+        RejectReason::CrossesPortGroups,
+        RejectReason::Backpressure,
     ];
 
     /// Stable snake_case label (used in JSON and Prometheus output).
@@ -110,10 +120,12 @@ impl RejectReason {
             RejectReason::DuplicateId => "duplicate_id",
             RejectReason::ArrivalInPast => "arrival_in_past",
             RejectReason::ExceedsFabric => "exceeds_fabric",
+            RejectReason::CrossesPortGroups => "crosses_port_groups",
+            RejectReason::Backpressure => "backpressure",
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         RejectReason::ALL.iter().position(|r| *r == self).unwrap()
     }
 }
@@ -175,19 +187,26 @@ impl Default for DaemonConfig {
     }
 }
 
-/// Service counters and latency histograms (sample unit: picoseconds).
+/// Service counters and latency histograms (sample unit: picoseconds of
+/// virtual time, except [`Telemetry::admit_latency`] which is wall-clock
+/// nanoseconds).
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     /// Coflow completion time (finish − arrival) samples.
     pub cct: Histogram,
     /// Queue latency (first circuit transmit − arrival) samples.
     pub queue_latency: Histogram,
+    /// Wall-clock nanoseconds from an arrival entering the ingest
+    /// pipeline to its submission into the scheduling backend
+    /// (admission-to-schedule latency). Recorded only by the pipelined
+    /// front end; empty on the synchronous path.
+    pub admit_latency: Histogram,
     /// Coflows admitted.
     pub admitted: u64,
     /// Coflows completed.
     pub completed: u64,
     /// Rejections, indexed like [`RejectReason::ALL`].
-    pub rejected: [u64; 5],
+    pub rejected: [u64; 7],
     /// Total bytes across admitted Coflows.
     pub bytes_admitted: u64,
     /// Total transmit demand admitted (sum of per-flow processing times).
@@ -344,7 +363,25 @@ impl Daemon {
             Err(SubmitError::DuplicateId(_)) => self.reject(RejectReason::DuplicateId),
             Err(SubmitError::ArrivalInPast { .. }) => self.reject(RejectReason::ArrivalInPast),
             Err(SubmitError::ExceedsFabric { .. }) => self.reject(RejectReason::ExceedsFabric),
+            Err(SubmitError::CrossesPortGroups { .. }) => {
+                self.reject(RejectReason::CrossesPortGroups)
+            }
         }
+    }
+
+    /// Record `n` arrivals refused by the ingest pipeline's bounded
+    /// admission channel. Ingest-layer telemetry only: the refused
+    /// arrivals never reached [`Daemon::submit`], so they are not in the
+    /// command log and a restored checkpoint will not replay them.
+    pub fn note_backpressure(&mut self, n: u64) {
+        self.telemetry.rejected[RejectReason::Backpressure.index()] += n;
+    }
+
+    /// Record one admission-to-schedule latency sample (wall-clock
+    /// nanoseconds from ingest to backend submission). Ingest-layer
+    /// telemetry only, outside the command log.
+    pub fn record_admit_latency_ns(&mut self, ns: u64) {
+        self.telemetry.admit_latency.record(ns);
     }
 
     /// Admit a wire-format arrival. A spec without `arrival_ms` arrives
@@ -535,7 +572,7 @@ impl Daemon {
                 "\"faults\": {{\"setup_failures\": {}, \"port_flaps\": {}, ",
                 "\"delta_inflations\": {}, \"retries\": {}, \"recoveries\": {}, ",
                 "\"max_attempts\": {}, \"backoff_total_secs\": {:.6}, \"flows_in_backoff\": {}}}, ",
-                "{}\"cct_ps\": {}, \"queue_latency_ps\": {}}}"
+                "{}\"cct_ps\": {}, \"queue_latency_ps\": {}, \"admit_latency_ns\": {}}}"
             ),
             self.now().as_secs_f64(),
             self.backend.name(),
@@ -566,6 +603,7 @@ impl Daemon {
             cores,
             t.cct.to_json(),
             t.queue_latency.to_json(),
+            t.admit_latency.to_json(),
         )
     }
 
@@ -728,6 +766,13 @@ impl Daemon {
             &by_backend,
             &t.queue_latency,
             PS,
+        );
+        p.histogram(
+            "ocs_daemon_admit_latency_seconds",
+            "Wall-clock ingest to backend submission (pipelined front end)",
+            &by_backend,
+            &t.admit_latency,
+            1e-9,
         );
         p.finish()
     }

@@ -122,8 +122,12 @@ impl Histogram {
     }
 
     /// Render as a JSON object: `{"count": .., "sum": .., "mean": ..,
-    /// "p50": .., "p99": .., "buckets": [[le, cum], ..]}`. Values are raw
-    /// sample units (the caller documents what a sample is).
+    /// "p50": .., "p90": .., "p99": .., "p999": .., "buckets":
+    /// [[le, cum], ..]}`. Values are raw sample units (the caller
+    /// documents what a sample is). Like [`Histogram::quantile`], every
+    /// percentile is the inclusive upper bound of its log bucket: for an
+    /// exact nearest-rank value `x >= 1` the reported estimate lies in
+    /// `[x, 2x)` — never under, at most 2x over.
     pub fn to_json(&self) -> String {
         let q = |q: f64| {
             self.quantile(q)
@@ -136,13 +140,14 @@ impl Histogram {
             .collect();
         format!(
             "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \
-             \"p99\": {}, \"buckets\": [{}]}}",
+             \"p99\": {}, \"p999\": {}, \"buckets\": [{}]}}",
             self.count,
             self.sum,
             self.mean().map_or("null".into(), |m| format!("{m:.3}")),
             q(0.50),
             q(0.90),
             q(0.99),
+            q(0.999),
             buckets.join(", "),
         )
     }
@@ -368,8 +373,74 @@ mod tests {
         let j = h.to_json();
         assert!(j.contains("\"count\": 1"));
         assert!(j.contains("\"sum\": 7"));
+        assert!(j.contains("\"p999\": 7"));
         assert!(j.contains("\"buckets\": [[7, 1]]"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    /// Exact nearest-rank percentile over a sorted sample set — the
+    /// reference the log-bucketed estimates are pinned against.
+    fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn tail_quantiles_within_log_bucket_bound_on_known_distributions() {
+        // splitmix64: deterministic, dependency-free sample streams.
+        let mut state = 0x5eed_0123_4567_89abu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let uniform: Vec<u64> = (0..10_000).map(|_| 1 + next() % 10_000).collect();
+        // Roughly exponential: magnitude spans 2^0..2^31 with geometric
+        // weight toward small values.
+        let exponential: Vec<u64> = (0..10_000)
+            .map(|_| {
+                let shift = (next() % 32).min(next() % 32);
+                1 + (next() % (1 << (31 - shift)))
+            })
+            .collect();
+        // Bimodal with a sparse far tail — the p999 stress case.
+        let bimodal: Vec<u64> = (0..10_000)
+            .map(|i| if i % 500 == 0 { 3_000_000 } else { 25 })
+            .collect();
+        for samples in [uniform, exponential, bimodal] {
+            let mut h = Histogram::new();
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for &v in &samples {
+                h.record(v);
+            }
+            for q in [0.50, 0.90, 0.99, 0.999] {
+                let exact = exact_nearest_rank(&sorted, q);
+                let est = h.quantile(q).unwrap();
+                // The documented log-bucket bound: never under the exact
+                // value, strictly less than 2x over it.
+                assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+                assert!(est < 2 * exact, "q={q}: est {est} >= 2x exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn p99_and_p999_pinned_on_a_spiked_distribution() {
+        // 990 fast samples at 10, 10 outliers at 1_000_000 (of 1000):
+        // p99 ranks into the fast mode, p999 into the outlier bucket.
+        let mut h = Histogram::new();
+        for _ in 0..990 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.quantile(0.99), Some(15)); // bucket [8, 15] holds 10
+        assert_eq!(h.quantile(0.999), Some((1 << 20) - 1)); // holds 1e6
+        assert_eq!(h.quantile(1.0), Some((1 << 20) - 1));
     }
 
     #[test]

@@ -997,7 +997,7 @@ impl std::fmt::Display for UnknownBackendError {
         write!(
             f,
             "unknown backend '{}' (expected one of: sunflow, sunflow:<K>[:<assign>], \
-             kcore:<K>, solstice, tms, edmond, varys, aalo, fair)",
+             kcore:<K>, portgroups:<G>, solstice, tms, edmond, varys, aalo, fair)",
             self.input
         )
     }
@@ -1041,6 +1041,15 @@ pub enum BackendKind {
         /// Number of parallel switch cores, `K` (≥ 1).
         cores: u32,
     },
+    /// Sunflow sharded across `groups` disjoint contiguous port groups
+    /// ([`crate::PortGroupBackend`]); selector `portgroups:<G>`.
+    /// Deliberately absent from [`BackendKind::ALL`]: it refuses
+    /// cross-group flows by design, so it cannot serve the
+    /// arbitrary-traffic contract the `ALL` roster promises.
+    PortGroups {
+        /// Number of disjoint port groups, `G` (≥ 1).
+        groups: u32,
+    },
 }
 
 impl BackendKind {
@@ -1066,7 +1075,9 @@ impl BackendKind {
     /// returns the same string).
     pub fn name(&self) -> &'static str {
         match self {
-            BackendKind::Sunflow | BackendKind::MultiSunflow { .. } => "Sunflow",
+            BackendKind::Sunflow
+            | BackendKind::MultiSunflow { .. }
+            | BackendKind::PortGroups { .. } => "Sunflow",
             BackendKind::Solstice => CircuitScheduler::Solstice.name(),
             BackendKind::Tms => CircuitScheduler::Tms.name(),
             BackendKind::Edmond => CircuitScheduler::edmond_default().name(),
@@ -1085,6 +1096,7 @@ impl BackendKind {
         match self {
             BackendKind::MultiSunflow { cores, assign } => format!("sunflow:{cores}:{assign}"),
             BackendKind::KCore { cores } => format!("kcore:{cores}"),
+            BackendKind::PortGroups { groups } => format!("portgroups:{groups}"),
             BackendKind::FairSharing => "fair".to_string(),
             other => other.name().to_ascii_lowercase(),
         }
@@ -1129,6 +1141,12 @@ impl BackendKind {
                     CoreAssignKind::RankPack,
                 ))
             }
+            BackendKind::PortGroups { groups } => Box::new(crate::PortGroupBackend::new(
+                fabric,
+                *groups as usize,
+                online,
+                policy,
+            )),
         }
     }
 }
@@ -1162,6 +1180,7 @@ impl std::str::FromStr for BackendKind {
                     },
                 }),
                 ("kcore", None) => Ok(BackendKind::KCore { cores }),
+                ("portgroups", None) => Ok(BackendKind::PortGroups { groups: cores }),
                 _ => Err(unknown()),
             };
         }
@@ -1220,12 +1239,21 @@ mod tests {
             "kcore:8".parse::<BackendKind>(),
             Ok(BackendKind::KCore { cores: 8 })
         );
+        // `portgroups:<G>` round-trips but stays out of ALL: it refuses
+        // cross-group flows, so it cannot serve arbitrary traffic.
+        let pg = BackendKind::PortGroups { groups: 4 };
+        assert_eq!("portgroups:4".parse::<BackendKind>(), Ok(pg));
+        assert_eq!(pg.selector(), "portgroups:4");
+        assert_eq!(pg.name(), "Sunflow");
+        assert!(!BackendKind::ALL.contains(&pg));
         for bad in [
             "warp-drive",
             "sunflow:0",
             "kcore:two",
             "kcore:2:hash",
             "sunflow:2:warp",
+            "portgroups:0",
+            "portgroups:2:hash",
         ] {
             let err = bad.parse::<BackendKind>().unwrap_err();
             assert!(err.to_string().contains(bad), "{bad}");

@@ -48,6 +48,7 @@ pub mod hybrid;
 pub mod intra_driver;
 pub mod multicore;
 pub mod online;
+pub mod portgroup;
 pub mod stepper;
 pub mod sweep;
 
@@ -61,6 +62,7 @@ pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult};
 pub use intra_driver::{run_intra, IntraEngine};
 pub use multicore::{KCoreBackend, MultiSunflowBackend};
 pub use online::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult, ReplayStats};
+pub use portgroup::PortGroupBackend;
 pub use stepper::{
     Completion, FullService, OnlineStepper, SettleHook, SettleVerdict, StepperSnapshot, SubmitError,
 };

@@ -350,6 +350,7 @@ impl SchedulingBackend for MultiSunflowBackend<'_> {
             total.replan_segments += st.replan_segments;
             total.parallel_replans += st.parallel_replans;
             total.reservations_retired += st.reservations_retired;
+            total.parallel_shard_advances += st.parallel_shard_advances;
         }
         Some(total)
     }

@@ -214,6 +214,11 @@ pub struct ReplayStats {
     /// the table holds only the working set (active and planned
     /// circuits) instead of the whole trace history.
     pub reservations_retired: u64,
+    /// Event rounds a port-group backend advanced two or more shards on
+    /// scoped worker threads (requires an inert settle hook, cloneable
+    /// policies and `replan_threads` resolving above 1). Zero for
+    /// unsharded backends and on single-core hosts.
+    pub parallel_shard_advances: u64,
 }
 
 /// Simulate `coflows` on the circuit-switched `fabric` under Sunflow with

@@ -200,6 +200,16 @@ pub trait SettleHook {
     /// Judge one settling circuit. `now` is the event time doing the
     /// settling (`resv.end <= now`).
     fn on_settle(&mut self, resv: &Reservation, available: Dur, now: Time) -> SettleVerdict;
+
+    /// `true` when this hook is behaviorally identical to [`FullService`]
+    /// — `on_settle` always grants the full available window and keeps no
+    /// state. Sharded backends use this to substitute a private
+    /// `FullService` per worker thread and advance disjoint shards in
+    /// parallel; a hook that injects faults or mutates state must keep
+    /// the default `false` so every settle funnels through it serially.
+    fn is_inert(&self) -> bool {
+        false
+    }
 }
 
 /// The default [`SettleHook`]: every circuit delivers in full.
@@ -209,6 +219,10 @@ pub struct FullService;
 impl SettleHook for FullService {
     fn on_settle(&mut self, _resv: &Reservation, available: Dur, _now: Time) -> SettleVerdict {
         SettleVerdict::full(available)
+    }
+
+    fn is_inert(&self) -> bool {
+        true
     }
 }
 
@@ -232,6 +246,19 @@ pub enum SubmitError {
         /// Ports on the fabric it was submitted to.
         ports: usize,
     },
+    /// A flow's endpoints fall in different port groups of a partitioned
+    /// backend ([`crate::PortGroupBackend`]), which schedules each group
+    /// independently and cannot carry cross-group traffic.
+    CrossesPortGroups {
+        /// Id of the rejected Coflow.
+        id: u64,
+        /// Source port of the first offending flow.
+        src: usize,
+        /// Destination port of the first offending flow.
+        dst: usize,
+        /// Ports per group of the partitioned backend.
+        group_ports: usize,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -243,6 +270,18 @@ impl std::fmt::Display for SubmitError {
             }
             SubmitError::ExceedsFabric { id, ports } => {
                 write!(f, "coflow {id} exceeds fabric ports ({ports})")
+            }
+            SubmitError::CrossesPortGroups {
+                id,
+                src,
+                dst,
+                group_ports,
+            } => {
+                write!(
+                    f,
+                    "coflow {id}: flow {src}->{dst} crosses port groups \
+                     ({group_ports} ports per group)"
+                )
             }
         }
     }
@@ -1450,7 +1489,7 @@ impl OnlineStepper {
 
 /// Resolve the configured worker count: `0` means one worker per
 /// available core (falling back to sequential if the count is opaque).
-fn resolve_replan_threads(config: &OnlineConfig) -> usize {
+pub(crate) fn resolve_replan_threads(config: &OnlineConfig) -> usize {
     match config.replan_threads {
         0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
         n => n,

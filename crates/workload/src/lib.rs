@@ -9,16 +9,20 @@
 //! * [`perturb`] — the ±5 % size perturbation of §5.1.
 //! * [`idleness`] — the network-idleness metric and the byte-scaling
 //!   procedure behind Figure 8's load settings.
+//! * [`loadgen`] — a seeded high-rate arrival generator (with JSONL
+//!   rendering) for soaking the `ocs-daemond` serving path.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod idleness;
+pub mod loadgen;
 pub mod perturb;
 pub mod synth;
 pub mod trace;
 
 pub use idleness::{network_idleness, scale_to_idleness};
+pub use loadgen::{generate_load, to_jsonl, LoadgenConfig};
 pub use perturb::perturb_sizes;
 pub use synth::{generate, SynthConfig};
 pub use trace::{parse, write, ParseError, Trace, MB};

@@ -1,0 +1,221 @@
+//! Seeded high-rate arrival generator for daemon soak tests.
+//!
+//! [`crate::synth`] reproduces the paper's trace *shape* — 526 heavy
+//! shuffles over an hour. Soaking the serving path needs the opposite
+//! profile: hundreds of thousands of mostly-small Coflows arriving fast
+//! enough to keep the admission pipeline under pressure, each cheap
+//! enough to schedule that a million-coflow run finishes in minutes.
+//! [`generate_load`] produces exactly that — Poisson arrivals at a
+//! configurable rate, a size mixture dominated by small unicasts with a
+//! heavy minority of wider transfers, and (optionally) flows confined to
+//! port groups so the sharded `portgroups:<G>` backend can replan
+//! partitions concurrently.
+//!
+//! Arrivals are quantized to whole milliseconds: the JSONL wire format
+//! ([`to_jsonl`]) carries `arrival_ms`, so quantizing in the generator
+//! makes a daemon replay of the rendered stream *byte-identical* to an
+//! offline replay of the returned `Vec<Coflow>` — the soak harness pins
+//! its correctness on that equality.
+
+use ocs_model::{Coflow, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Parameters for [`generate_load`]. Defaults give a 64-port fabric
+/// soaked at 2 000 Coflows/s.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadgenConfig {
+    /// Fabric ports (default 64).
+    pub ports: usize,
+    /// Coflows to generate (default 100 000).
+    pub coflows: u64,
+    /// Mean arrival rate, Coflows per second of virtual time
+    /// (default 2 000).
+    pub rate_per_sec: f64,
+    /// When non-zero, every flow stays inside its `group_ports`-wide
+    /// port group (`src` and `dst` share `port / group_ports`), so the
+    /// trace is admissible on a `portgroups:<G>` sharded backend.
+    pub group_ports: usize,
+    /// Fraction of Coflows drawn from the heavy multi-flow population
+    /// (default 0.05).
+    pub heavy_fraction: f64,
+    /// RNG seed; identical seeds yield identical traces.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            ports: 64,
+            coflows: 100_000,
+            rate_per_sec: 2_000.0,
+            group_ports: 0,
+            heavy_fraction: 0.05,
+            seed: 0x10ad,
+        }
+    }
+}
+
+const MB: u64 = 1_000_000;
+
+/// Pick a (src, dst) pair with `src != dst`, confined to one port group
+/// when `group_ports` is non-zero.
+fn pick_pair(rng: &mut StdRng, ports: usize, group_ports: usize) -> (usize, usize) {
+    if group_ports == 0 || group_ports >= ports {
+        let src = rng.gen_range(0..ports);
+        let mut dst = rng.gen_range(0..ports - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        return (src, dst);
+    }
+    // Groups may be ragged at the top of the port range; re-derive the
+    // group width actually available.
+    let groups = ports.div_ceil(group_ports);
+    let g = rng.gen_range(0..groups);
+    let base = g * group_ports;
+    let width = group_ports.min(ports - base);
+    if width < 2 {
+        // A one-port tail group cannot host a flow; fall back to group 0.
+        return pick_pair_in(rng, 0, group_ports.min(ports));
+    }
+    pick_pair_in(rng, base, width)
+}
+
+fn pick_pair_in(rng: &mut StdRng, base: usize, width: usize) -> (usize, usize) {
+    let src = base + rng.gen_range(0..width);
+    let mut dst = base + rng.gen_range(0..width - 1);
+    if dst >= src {
+        dst += 1;
+    }
+    (src, dst)
+}
+
+/// Generate the soak trace: `config.coflows` Coflows with Poisson
+/// arrivals (quantized to whole ms) at `config.rate_per_sec`.
+///
+/// The size mixture: `1 - heavy_fraction` of Coflows are single-flow
+/// unicasts of 1–4 MB (the admission-throughput stressor); the rest are
+/// 2–6-flow transfers of 4–32 MB per flow (enough work that the fabric
+/// stays busy and completions interleave with admissions).
+pub fn generate_load(config: &LoadgenConfig) -> Vec<Coflow> {
+    assert!(config.ports >= 2, "need at least 2 ports");
+    assert!(config.rate_per_sec > 0.0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(config.coflows as usize);
+    for id in 0..config.coflows {
+        t += -(rng.gen_range(1e-12..1.0f64)).ln() / config.rate_per_sec;
+        let arrival_ms = (t * 1_000.0) as u64;
+        let mut b = Coflow::builder(id).arrival(Time::from_millis(arrival_ms));
+        if rng.gen::<f64>() < config.heavy_fraction {
+            let flows = rng.gen_range(2usize..=6);
+            for _ in 0..flows {
+                let (src, dst) = pick_pair(&mut rng, config.ports, config.group_ports);
+                b = b.flow(src, dst, rng.gen_range(4u64..=32) * MB);
+            }
+        } else {
+            let (src, dst) = pick_pair(&mut rng, config.ports, config.group_ports);
+            b = b.flow(src, dst, rng.gen_range(1u64..=4) * MB);
+        }
+        out.push(b.build());
+    }
+    out
+}
+
+/// Render Coflows as the daemon's JSONL wire format, one arrival per
+/// line: `{"id": N, "arrival_ms": M, "flows": [[src, dst, bytes], …]}`.
+///
+/// Panics if an arrival is not whole-millisecond — [`generate_load`]
+/// always quantizes, and sub-ms arrivals would silently truncate and
+/// break the replay-equals-offline guarantee.
+pub fn to_jsonl(coflows: &[Coflow]) -> String {
+    let mut out = String::with_capacity(coflows.len() * 64);
+    for c in coflows {
+        let ps = c.arrival().as_ps();
+        assert_eq!(ps % ocs_model::time::PS_PER_MS, 0, "whole-ms arrival");
+        let ms = ps / ocs_model::time::PS_PER_MS;
+        write!(
+            out,
+            "{{\"id\": {}, \"arrival_ms\": {}, \"flows\": [",
+            c.id(),
+            ms
+        )
+        .expect("string");
+        for (i, f) in c.flows().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write!(out, "[{}, {}, {}]", f.src, f.dst, f.bytes).expect("string");
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = LoadgenConfig {
+            coflows: 500,
+            ..LoadgenConfig::default()
+        };
+        assert_eq!(generate_load(&cfg), generate_load(&cfg));
+        let other = generate_load(&LoadgenConfig { seed: 7, ..cfg });
+        assert_ne!(generate_load(&cfg), other);
+    }
+
+    #[test]
+    fn arrivals_are_whole_ms_and_nondecreasing() {
+        let cs = generate_load(&LoadgenConfig {
+            coflows: 2_000,
+            ..LoadgenConfig::default()
+        });
+        assert_eq!(cs.len(), 2_000);
+        for w in cs.windows(2) {
+            assert!(w[0].arrival() <= w[1].arrival());
+        }
+        for c in &cs {
+            assert_eq!(
+                c.arrival().as_ps() % ocs_model::time::PS_PER_MS,
+                0,
+                "whole ms"
+            );
+        }
+        // 2 000 Coflows at 2 000/s span about a second of virtual time.
+        let last = cs.last().unwrap().arrival().as_secs_f64();
+        assert!((0.5..2.0).contains(&last), "horizon {last}");
+    }
+
+    #[test]
+    fn group_local_mode_confines_every_flow() {
+        let cfg = LoadgenConfig {
+            ports: 64,
+            coflows: 3_000,
+            group_ports: 16,
+            ..LoadgenConfig::default()
+        };
+        for c in generate_load(&cfg) {
+            for f in c.flows() {
+                assert_eq!(f.src / 16, f.dst / 16, "flow crosses groups");
+                assert_ne!(f.src, f.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn jsonl_renders_one_line_per_coflow() {
+        let cs = generate_load(&LoadgenConfig {
+            coflows: 50,
+            ..LoadgenConfig::default()
+        });
+        let jsonl = to_jsonl(&cs);
+        assert_eq!(jsonl.lines().count(), 50);
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"id\": ")));
+        assert!(jsonl.contains("\"arrival_ms\": "));
+    }
+}
