@@ -1,0 +1,10 @@
+//! Bench target regenerating the hybrid split-policy sweep.
+//! Run with `cargo bench -p ocs-bench --bench fig_hybrid`.
+
+fn main() {
+    let (report, timing) = ocs_bench::experiments::fig_hybrid::run_measured();
+    let ok = ocs_bench::emit_timed("hybrid", &report, &timing);
+    if !ok {
+        println!("(some claims outside tolerance — see MISS rows above)");
+    }
+}

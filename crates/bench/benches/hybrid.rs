@@ -1,9 +1,10 @@
-//! Bench target regenerating the paper's hybrid experiment.
+//! Bench target regenerating the paper's threshold-offload hybrid
+//! experiment (the split-policy sweep lives in `fig_hybrid`).
 //! Run with `cargo bench -p ocs-bench --bench hybrid`.
 
 fn main() {
     let (report, timing) = ocs_bench::experiments::hybrid::run_measured();
-    let ok = ocs_bench::emit_timed("hybrid", &report, &timing);
+    let ok = ocs_bench::emit_timed("hybrid_threshold", &report, &timing);
     if !ok {
         println!("(some claims outside tolerance — see MISS rows above)");
     }

@@ -42,7 +42,8 @@ fn add_jobs<'a>(sweep: &mut ocs_sim::Sweep<'a, Run>, fabric: &'a Fabric, label: 
                 packet_bandwidth_fraction: 0.1,
                 ..HybridConfig::default()
             };
-            let h = simulate_hybrid(coflows, fabric, &cfg, &ShortestFirst);
+            let h = simulate_hybrid(coflows, fabric, &cfg, &ShortestFirst)
+                .expect("fraction 0.1 is valid");
             let avg = avg_cct(
                 h.outcomes
                     .iter()

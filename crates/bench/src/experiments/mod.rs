@@ -15,6 +15,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_hybrid;
 pub mod fig_kcore;
 pub mod hybrid;
 pub mod ordering;

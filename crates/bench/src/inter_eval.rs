@@ -63,10 +63,9 @@ pub fn eval_inter(coflows: &[Coflow], fabric: &Fabric, engine: InterEngine) -> V
 /// [`eval_inter`] plus the scheduler-compute duration of the replay, for
 /// [`ocs_sim::Sweep::add_measured`] (the `compute_s` field of the
 /// `BENCH_<id>.json` records). For Sunflow this is the replay engine's
-/// own rescheduling time from [`ocs_sim::ReplayStats`] — workload
-/// generation and row bookkeeping excluded; the packet-switched
-/// baselines have no comparable internal split, so their whole
-/// simulation is timed.
+/// own rescheduling time from [`ocs_sim::ReplayStats`]; for the
+/// packet-switched baselines it is the rate scheduler's `allocate`
+/// time — workload generation and row bookkeeping excluded either way.
 pub fn eval_inter_measured(
     coflows: &[Coflow],
     fabric: &Fabric,
@@ -76,10 +75,11 @@ pub fn eval_inter_measured(
     (rows, compute)
 }
 
-/// [`eval_inter_measured`] plus the replay's [`ReplayStats`] (kept only
-/// by backends with a rescheduling loop — Sunflow; the packet-switched
-/// baselines yield `None`). The stats feed the `counters` object of the
-/// `BENCH_<id>.json` run records via [`replay_counters`].
+/// [`eval_inter_measured`] plus the replay's [`ReplayStats`] (every
+/// backend family keeps them now — the packet backends report their
+/// fluid-event and re-rating counters, the hybrid both fabrics merged).
+/// The stats feed the `counters` object of the `BENCH_<id>.json` run
+/// records via [`replay_counters`].
 pub fn eval_inter_with_stats(
     coflows: &[Coflow],
     fabric: &Fabric,
@@ -138,6 +138,9 @@ pub fn replay_counters(stats: &ReplayStats) -> Vec<(String, u64)> {
         ),
         ("cuts".into(), stats.cuts),
         ("yield_rounds".into(), stats.yield_rounds),
+        ("subflows_split".into(), stats.subflows_split),
+        ("bytes_to_packet".into(), stats.bytes_to_packet),
+        ("split_evals".into(), stats.split_evals),
     ]
 }
 

@@ -25,6 +25,11 @@
 //!   ([`CorePlan`]), plus the subflow→core placement policies
 //!   ([`CoreAssign`]) of the multi-core OCS generalization. `K = 1` is
 //!   the degenerate single-switch case and replays byte-identically.
+//! * **Hybrid demand splitting** ([`split`]): the [`SplitPolicy`] seam
+//!   routing each arriving Coflow's bytes between the circuit fabric
+//!   and a slim packet fabric (§6) — whole-Coflow, per-flow threshold,
+//!   or a per-Coflow byte solver probing the live PRT via
+//!   [`DeltaView`].
 //!
 //! The online, trace-driven variant (rescheduling on Coflow arrivals and
 //! completions) lives in the `ocs-sim` crate; this crate is the pure
@@ -39,6 +44,7 @@ pub mod intra;
 pub mod multicore;
 pub mod portset;
 pub mod prt;
+pub mod split;
 pub mod starvation;
 
 pub use delta::{DeltaPlan, DeltaView};
@@ -56,4 +62,8 @@ pub use multicore::{
 };
 pub use portset::PortSet;
 pub use prt::{PortProbe, Prt, PrtSnapshot, RemovedResv, ResvKind};
+pub use split::{
+    NonSplitting, SolverSplit, SplitContext, SplitDecision, SplitKind, SplitPolicy,
+    UnknownSplitError,
+};
 pub use starvation::{GuardConfig, GuardWindow, StarvationGuard};

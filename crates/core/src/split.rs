@@ -1,0 +1,656 @@
+//! The demand-routing seam of the hybrid circuit/packet fabric: which
+//! bytes of an arriving Coflow ride the Sunflow-scheduled circuit
+//! switch, and which the slim packet network.
+//!
+//! [`SplitPolicy`] generalizes [`CoreAssign`](crate::CoreAssign) — where
+//! a core-placement policy routes whole subflows between identical
+//! circuit planes, a split policy carves *bytes* between two fabrics
+//! with very different service models (circuits pay a reconfiguration
+//! delta `δ` but run at full rate; packets start instantly at a fraction
+//! of the rate, fair-shared and not Coflow-scheduled). Three policies:
+//!
+//! * [`NonSplitting`] — whole-Coflow routing, threshold- and
+//!   load-aware: a small Coflow goes to the packet network only while
+//!   the packet network's estimated finish actually beats the
+//!   circuits'.
+//! * [`ThresholdSplit`] — the classic per-flow hybrid (c-Through,
+//!   Helios, Solstice): small flows → packets, big flows → circuits.
+//!   The same struct is the two-"core" [`CoreAssign`](crate::CoreAssign)
+//!   policy of the historical `simulate_hybrid`, so the seam stays one
+//!   type wide.
+//! * [`SolverSplit`] — per-Coflow byte optimization: bisect on the
+//!   packet fraction minimizing the max of the two fabrics' estimated
+//!   finish times (the circuit finish is non-increasing and the packet
+//!   finish non-decreasing in the fraction, so the max is V-shaped and
+//!   the balance point is found in `O(log resolution)` probes). The
+//!   circuit side's achievable finish is probed against the **live
+//!   PRT** through a discarded [`DeltaView`] plan (the probe never
+//!   mutates the table), tempered by a preemption-aware queue estimate
+//!   so a long planned tail does not scare short Coflows off the
+//!   circuits; the packet side is inflated by a 5/4 pessimism factor
+//!   because the fair-shared fabric finishes concurrent carves later
+//!   than a FIFO drain would.
+//!
+//! [`SplitKind`] is the selector enum behind the daemon's
+//! `--backend hybrid:<split>[:<frac>]` grammar.
+
+use crate::delta::DeltaView;
+use crate::intra::{schedule_demands_on, Demand, ScheduleScratch, SunflowConfig};
+use crate::multicore::ThresholdSplit;
+use crate::prt::Prt;
+use ocs_model::{packet_lower_bound, Coflow, DemandSplit, Dur, Fabric, Time};
+
+/// Everything a [`SplitPolicy`] may consult when routing one arriving
+/// Coflow: the two fabrics, the live circuit reservation table (when
+/// the caller has one), and the packet network's current backlog.
+pub struct SplitContext<'a> {
+    /// The decision instant (the Coflow's admission time).
+    pub now: Time,
+    /// The full-rate circuit fabric (bandwidth `B`, delay `δ`).
+    pub circuit: &'a Fabric,
+    /// The slim packet fabric (a fraction of `B`, `δ` irrelevant).
+    pub packet: &'a Fabric,
+    /// The circuit side's live port reservation table, for policies
+    /// that probe achievable finish times. `None` when the circuit
+    /// backend exposes no PRT; probing policies then fall back to the
+    /// `δ`-plus-bottleneck estimate.
+    pub prt: Option<&'a Prt>,
+    /// Aggregate unserved processing time on the packet fabric — the
+    /// congestion signal of the load-aware estimates.
+    pub packet_outstanding: Dur,
+    /// Per-port unserved processing time on the packet fabric (the
+    /// larger of each port's transmit and receive queues), for
+    /// estimates that resolve *where* the backlog sits. `None` falls
+    /// back to spreading `packet_outstanding` evenly across ports.
+    pub packet_backlog: Option<&'a [Dur]>,
+    /// Probe for the circuit side's *priority queue*: given a new
+    /// arrival's remaining bottleneck (its shortest-remaining-first
+    /// key), returns the per-port unserved demand of the Coflows that
+    /// would outrank it. Unlike the PRT — which only holds the planned
+    /// head of the queue — this sees every admitted Coflow's full
+    /// remaining demand. `None` falls back to recovering priorities
+    /// from the PRT's own reservations.
+    pub circuit_queue: Option<&'a dyn Fn(Dur) -> Vec<Dur>>,
+    /// Planning configuration for circuit-side probes.
+    pub config: SunflowConfig,
+}
+
+impl SplitContext<'_> {
+    /// Cheap circuit-side finish estimate for routing `coflow` whole:
+    /// one reconfiguration `δ` plus the bottleneck-port processing time
+    /// at full rate (Eq. 4's shape, ignoring queueing).
+    pub fn circuit_estimate(&self, coflow: &Coflow) -> Time {
+        self.now + self.circuit.delta() + packet_lower_bound(coflow, self.circuit)
+    }
+
+    /// Packet-side finish estimate for routing `coflow` whole: the
+    /// bottleneck-port finish on the slim fabric, queueing included.
+    ///
+    /// With a per-port backlog ([`packet_backlog`](Self::packet_backlog))
+    /// the estimate is the max, over the Coflow's own ports, of that
+    /// port's existing queue plus the Coflow's own processing time there
+    /// — the bytes must drain *behind* whatever already sits on the
+    /// ports they use. Without one it falls back to the bottleneck
+    /// lower bound plus the average per-port share of the aggregate
+    /// backlog.
+    pub fn packet_estimate(&self, coflow: &Coflow) -> Time {
+        let Some(backlog) = self.packet_backlog else {
+            let congestion =
+                Dur::from_ps(self.packet_outstanding.as_ps() / self.packet.ports() as u64);
+            return self.now + packet_lower_bound(coflow, self.packet) + congestion;
+        };
+        let ports = self.packet.ports();
+        let mut tx = vec![Dur::ZERO; ports];
+        let mut rx = vec![Dur::ZERO; ports];
+        for f in coflow.flows() {
+            let p = self.packet.processing_time(f.bytes);
+            tx[f.src] += p;
+            rx[f.dst] += p;
+        }
+        let bottleneck = (0..ports)
+            .map(|p| {
+                let own = tx[p].max(rx[p]);
+                if own == Dur::ZERO {
+                    Dur::ZERO
+                } else {
+                    backlog.get(p).copied().unwrap_or(Dur::ZERO) + own
+                }
+            })
+            .max()
+            .unwrap_or(Dur::ZERO);
+        self.now + bottleneck
+    }
+}
+
+/// One routing decision plus how much work it took to reach it.
+#[derive(Clone, Debug)]
+pub struct SplitDecision {
+    /// The per-flow byte carve.
+    pub split: DemandSplit,
+    /// Candidate splits the policy evaluated (≥ 1).
+    pub evals: u64,
+}
+
+/// A pluggable demand-routing policy for hybrid fabrics: consulted once
+/// per Coflow at admission time, like [`CoreAssign`](crate::CoreAssign)
+/// — so load-aware policies see the live fabric state.
+pub trait SplitPolicy {
+    /// The policy's name, for reports and metric labels.
+    fn name(&self) -> &'static str;
+
+    /// Route one arriving Coflow across the two fabrics.
+    fn split(&mut self, coflow: &Coflow, ctx: &SplitContext<'_>) -> SplitDecision;
+}
+
+// ---------------------------------------------------------------------
+// NonSplitting
+// ---------------------------------------------------------------------
+
+/// Whole-Coflow routing: a Coflow rides exactly one fabric. Small
+/// Coflows (total bytes under the threshold) go to the packet network
+/// — but only while its backlog-aware finish estimate actually beats
+/// the circuits' `δ`-plus-bottleneck estimate, so a congested (or
+/// near-zero-bandwidth) packet network degenerates this policy to pure
+/// Sunflow.
+#[derive(Clone, Copy, Debug)]
+pub struct NonSplitting {
+    /// Coflows with fewer total bytes than this are packet candidates.
+    pub threshold: u64,
+}
+
+impl NonSplitting {
+    /// A whole-Coflow policy with the given smallness threshold.
+    pub fn new(threshold: u64) -> NonSplitting {
+        NonSplitting { threshold }
+    }
+}
+
+impl SplitPolicy for NonSplitting {
+    fn name(&self) -> &'static str {
+        "non-splitting"
+    }
+
+    fn split(&mut self, coflow: &Coflow, ctx: &SplitContext<'_>) -> SplitDecision {
+        let small = coflow.total_bytes() < self.threshold;
+        let split = if small && ctx.packet_estimate(coflow) <= ctx.circuit_estimate(coflow) {
+            DemandSplit::all_packet(coflow)
+        } else {
+            DemandSplit::all_circuit(coflow)
+        };
+        SplitDecision { split, evals: 1 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ThresholdSplit (ported from the historical simulate_hybrid)
+// ---------------------------------------------------------------------
+
+impl SplitPolicy for ThresholdSplit {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn split(&mut self, coflow: &Coflow, _ctx: &SplitContext<'_>) -> SplitDecision {
+        SplitDecision {
+            split: DemandSplit::by_flow_threshold(coflow, self.threshold),
+            evals: 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SolverSplit
+// ---------------------------------------------------------------------
+
+/// Per-Coflow byte optimization: find the packet fraction minimizing
+/// `max(circuit finish, packet finish)` by bisection.
+///
+/// Moving bytes to the packet fabric can only shrink the circuit-side
+/// finish and grow the packet-side one, so the max of the two is
+/// V-shaped in the fraction and its minimum sits where the curves
+/// cross. The solver evaluates both pure endpoints, then bisects on
+/// the sign of `circuit − packet` down to a `1/resolution` byte
+/// granularity — `2 + log2(resolution)` probes per Coflow, fine enough
+/// to find the balance point even when the fabrics' rates differ by an
+/// order of magnitude (at 10% packet bandwidth the useful carves
+/// cluster below `f ≈ 1/11`, invisible to any coarse uniform ladder).
+///
+/// The circuit estimate is a *probe* of the live PRT (see
+/// [`probe_circuit`](Self::probe_circuit)); the packet estimate is the
+/// slim fabric's per-port backlog plus the carve's own processing time
+/// (see [`SplitContext::packet_estimate`]).
+pub struct SolverSplit {
+    /// Byte-fraction denominator of the bisection (candidates are
+    /// `num/resolution`); the search costs `2 + ⌈log2(resolution)⌉`
+    /// estimate evaluations per Coflow.
+    pub resolution: u64,
+    scratch: ScheduleScratch,
+}
+
+impl SolverSplit {
+    /// A solver policy bisecting packet fractions at `1/resolution`
+    /// byte granularity.
+    pub fn new(resolution: u64) -> SolverSplit {
+        assert!(resolution >= 2, "need at least fractions 0, 1/2 and 1");
+        SolverSplit {
+            resolution,
+            scratch: ScheduleScratch::default(),
+        }
+    }
+
+    /// Probe the finish time the circuit side can achieve for `part`
+    /// given every reservation already in `prt`.
+    ///
+    /// Two estimates, and the probe keeps the smaller:
+    ///
+    /// * **Plan-around**: `part`'s demands are planned against the live
+    ///   PRT through a [`DeltaView`] and the plan is discarded —
+    ///   Algorithm 1 runs for real, around every existing reservation.
+    ///   Exact if nothing replans, but *pessimistic* under priority
+    ///   scheduling: a congested PRT pushes the plan to the tail even
+    ///   when the real stepper would reorder in `part`'s favor at the
+    ///   next replan.
+    /// * **Preemption-aware queue**: only reservations owned by Coflows
+    ///   that would outrank `part` (shorter remaining bottleneck — the
+    ///   shortest-first key, recovered from each Coflow's own reserved
+    ///   time) count as queueing; `part` then pays `δ` plus that
+    ///   higher-priority load plus its own bottleneck time.
+    ///
+    /// Without the second estimate the solver death-spirals under load:
+    /// plan-around reports near-makespan finishes for *every* arrival,
+    /// so everything flees to the slim packet fabric and drowns it.
+    fn probe_circuit(&mut self, part: &Coflow, ctx: &SplitContext<'_>) -> Time {
+        let Some(prt) = ctx.prt else {
+            return ctx.circuit_estimate(part);
+        };
+        let planned = self.probe_plan(part, ctx, prt);
+        planned.min(Self::preemptive_estimate(part, prt, ctx))
+    }
+
+    /// The plan-around half of [`probe_circuit`](Self::probe_circuit).
+    fn probe_plan(&mut self, part: &Coflow, ctx: &SplitContext<'_>, prt: &Prt) -> Time {
+        let demands: Vec<Demand> = part
+            .flows()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| Demand {
+                flow_idx: i,
+                src: f.src,
+                dst: f.dst,
+                remaining: ctx.circuit.processing_time(f.bytes),
+            })
+            .collect();
+        let mut view = DeltaView::new(prt, ctx.now);
+        view.seal();
+        let (resvs, _) = schedule_demands_on(
+            &mut view,
+            part.id(),
+            &demands,
+            ctx.now,
+            ctx.circuit.delta(),
+            ctx.config,
+            &mut self.scratch,
+        );
+        resvs.iter().map(|r| r.end).max().unwrap_or(ctx.now)
+    }
+
+    /// The preemption-aware half of [`probe_circuit`](Self::probe_circuit):
+    /// `δ` plus, on `part`'s bottleneck port, the remaining reserved time
+    /// of Coflows that outrank it plus `part`'s own processing time.
+    ///
+    /// A live Coflow's shortest-first key is recovered from the PRT
+    /// itself — its remaining bottleneck-port reserved time *is* its
+    /// remaining `T_pL` — so the estimate needs no channel to the
+    /// circuit stepper's internal queue. Ties count as outranking
+    /// (earlier arrivals win them).
+    fn preemptive_estimate(part: &Coflow, prt: &Prt, ctx: &SplitContext<'_>) -> Time {
+        let now = ctx.now;
+        let ports = ctx.circuit.ports();
+        let own_key = packet_lower_bound(part, ctx.circuit);
+        let mut own_tx = vec![Dur::ZERO; ports];
+        let mut own_rx = vec![Dur::ZERO; ports];
+        for f in part.flows() {
+            let p = ctx.circuit.processing_time(f.bytes);
+            own_tx[f.src] += p;
+            own_rx[f.dst] += p;
+        }
+        // The live queue probe sees every admitted Coflow's remaining
+        // demand; the PRT fallback below only the planned head.
+        if let Some(queue) = ctx.circuit_queue {
+            let hp = queue(own_key);
+            let bottleneck = (0..ports)
+                .map(|p| {
+                    let own = own_tx[p].max(own_rx[p]);
+                    if own == Dur::ZERO {
+                        Dur::ZERO
+                    } else {
+                        own + hp.get(p).copied().unwrap_or(Dur::ZERO)
+                    }
+                })
+                .max()
+                .unwrap_or(Dur::ZERO);
+            return now + ctx.circuit.delta() + bottleneck;
+        }
+        let live: Vec<_> = prt.iter_reservations().filter(|r| r.end > now).collect();
+        // Remaining reserved time per (coflow, port); the per-Coflow max
+        // over ports is that Coflow's remaining bottleneck key.
+        let mut per: std::collections::HashMap<(u64, usize), Dur> =
+            std::collections::HashMap::new();
+        for r in &live {
+            let d = r.end.since(r.start.max(now));
+            *per.entry((r.flow.coflow, r.src)).or_insert(Dur::ZERO) += d;
+            *per.entry((r.flow.coflow, ports + r.dst))
+                .or_insert(Dur::ZERO) += d;
+        }
+        let mut key: std::collections::HashMap<u64, Dur> = std::collections::HashMap::new();
+        for (&(c, _), &d) in &per {
+            let e = key.entry(c).or_insert(Dur::ZERO);
+            *e = (*e).max(d);
+        }
+        let mut tx = vec![Dur::ZERO; ports];
+        let mut rx = vec![Dur::ZERO; ports];
+        for r in &live {
+            if key.get(&r.flow.coflow).copied().unwrap_or(Dur::ZERO) <= own_key {
+                let d = r.end.since(r.start.max(now));
+                tx[r.src] += d;
+                rx[r.dst] += d;
+            }
+        }
+        let bottleneck = (0..ports)
+            .map(|p| {
+                let own = own_tx[p].max(own_rx[p]);
+                if own == Dur::ZERO {
+                    Dur::ZERO
+                } else {
+                    own + tx[p].max(rx[p])
+                }
+            })
+            .max()
+            .unwrap_or(Dur::ZERO);
+        now + ctx.circuit.delta() + bottleneck
+    }
+}
+
+impl SplitPolicy for SolverSplit {
+    fn name(&self) -> &'static str {
+        "solver"
+    }
+
+    fn split(&mut self, coflow: &Coflow, ctx: &SplitContext<'_>) -> SplitDecision {
+        let den = self.resolution;
+        let mut evals = 0u64;
+        // Best candidate so far; ties prefer the smaller packet
+        // fraction — circuits are the scheduled fabric, packets the
+        // escape hatch.
+        let mut best: Option<(Time, u64, DemandSplit)> = None;
+        let candidate = |policy: &mut SolverSplit,
+                         num: u64,
+                         best: &mut Option<(Time, u64, DemandSplit)>|
+         -> (Time, Time) {
+            let split = DemandSplit::by_packet_fraction(coflow, num, den);
+            let parts = split.carve(coflow);
+            let circuit = match &parts.circuit {
+                Some(part) => policy.probe_circuit(part, ctx),
+                None => ctx.now,
+            };
+            let packet = match &parts.packet {
+                // The packet fabric is fair-shared, not FIFO: a carve's
+                // bytes do not drain *behind* the backlog, they share
+                // rate with it, so concurrent carves all finish near
+                // the full-drain time — later than `queue + own`. And
+                // the estimate cannot see future arrivals at all.
+                // Inflate the packet side by 5/4 so only carves with
+                // real margin leave the circuits.
+                Some(part) => {
+                    let est = ctx.packet_estimate(part).since(ctx.now);
+                    ctx.now + Dur::from_ps((est.as_ps() / 4).saturating_mul(5))
+                }
+                None => ctx.now,
+            };
+            let finish = circuit.max(packet);
+            if best
+                .as_ref()
+                .is_none_or(|(b, bn, _)| finish < *b || (finish == *b && num < *bn))
+            {
+                *best = Some((finish, num, split));
+            }
+            (circuit, packet)
+        };
+        candidate(self, 0, &mut best);
+        candidate(self, den, &mut best);
+        evals += 2;
+        // Bisect on the sign of circuit − packet: the circuit finish is
+        // non-increasing and the packet finish non-decreasing in the
+        // fraction, so their max bottoms out where they cross.
+        let (mut lo, mut hi) = (0u64, den);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let (circuit, packet) = candidate(self, mid, &mut best);
+            evals += 1;
+            if circuit > packet {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        SplitDecision {
+            split: best.expect("at least one candidate").2,
+            evals,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SplitKind
+// ---------------------------------------------------------------------
+
+/// A `hybrid:<split>` selector that no [`SplitKind`] answers to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownSplitError {
+    /// The rejected selector.
+    pub input: String,
+}
+
+impl std::fmt::Display for UnknownSplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown split policy '{}' (expected one of: non-splitting, threshold, solver)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for UnknownSplitError {}
+
+/// Every selectable [`SplitPolicy`], by name — the `<split>` parameter
+/// of the daemon's `--backend hybrid:<split>[:<frac>]` selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitKind {
+    /// [`NonSplitting`] — whole-Coflow, threshold- and load-aware.
+    NonSplitting,
+    /// [`ThresholdSplit`] — small flows → packets (the classic hybrid).
+    Threshold,
+    /// [`SolverSplit`] — per-Coflow byte split minimizing the max of
+    /// the two fabrics' estimated finish times.
+    Solver,
+}
+
+impl SplitKind {
+    /// Every split policy, in display order.
+    pub const ALL: [SplitKind; 3] = [
+        SplitKind::NonSplitting,
+        SplitKind::Threshold,
+        SplitKind::Solver,
+    ];
+
+    /// The policy's canonical selector name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SplitKind::NonSplitting => "non-splitting",
+            SplitKind::Threshold => "threshold",
+            SplitKind::Solver => "solver",
+        }
+    }
+
+    /// Construct the policy. `threshold` feeds the smallness cutoffs of
+    /// [`NonSplitting`] and [`ThresholdSplit`]; the solver ignores it.
+    pub fn build(&self, threshold: u64) -> Box<dyn SplitPolicy + Send> {
+        match self {
+            SplitKind::NonSplitting => Box::new(NonSplitting::new(threshold)),
+            SplitKind::Threshold => Box::new(ThresholdSplit::new(threshold)),
+            SplitKind::Solver => Box::new(SolverSplit::new(1024)),
+        }
+    }
+}
+
+impl std::str::FromStr for SplitKind {
+    type Err = UnknownSplitError;
+
+    fn from_str(s: &str) -> Result<SplitKind, UnknownSplitError> {
+        match s.to_ascii_lowercase().as_str() {
+            "non-splitting" | "nonsplitting" | "whole" => Ok(SplitKind::NonSplitting),
+            "threshold" => Ok(SplitKind::Threshold),
+            "solver" => Ok(SplitKind::Solver),
+            _ => Err(UnknownSplitError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for SplitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_model::Bandwidth;
+
+    fn fabrics() -> (Fabric, Fabric) {
+        let circuit = Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(10));
+        let packet = Fabric::new(4, Bandwidth::from_bps(100_000_000), Dur::ZERO);
+        (circuit, packet)
+    }
+
+    fn ctx<'a>(circuit: &'a Fabric, packet: &'a Fabric, prt: Option<&'a Prt>) -> SplitContext<'a> {
+        SplitContext {
+            now: Time::ZERO,
+            circuit,
+            packet,
+            prt,
+            packet_outstanding: Dur::ZERO,
+            packet_backlog: None,
+            circuit_queue: None,
+            config: SunflowConfig::default(),
+        }
+    }
+
+    fn mb(m: u64) -> u64 {
+        m * (1 << 20)
+    }
+
+    #[test]
+    fn non_splitting_routes_whole_coflows_by_estimates() {
+        let (circuit, packet) = fabrics();
+        let ctx = ctx(&circuit, &packet, None);
+        let mut policy = NonSplitting::new(mb(2));
+        // 1 MB: circuit δ (10 ms) + ~8.4 ms beats packet ~84 ms →
+        // circuits even though it is "small".
+        let small = Coflow::builder(0).flow(0, 1, mb(1)).build();
+        assert!(policy.split(&small, &ctx).split.is_pure_circuit());
+        // Same Coflow on a slow switch (δ = 1 s): packets win.
+        let slow = Fabric::new(4, Bandwidth::GBPS, Dur::from_secs_f64(1.0));
+        let slow_ctx = super::SplitContext {
+            circuit: &slow,
+            ..ctx
+        };
+        assert!(policy.split(&small, &slow_ctx).split.is_pure_packet());
+        // Big Coflows never leave the circuits, whatever the estimates.
+        let big = Coflow::builder(1).flow(0, 1, mb(50)).build();
+        assert!(policy.split(&big, &slow_ctx).split.is_pure_circuit());
+    }
+
+    #[test]
+    fn threshold_split_ports_the_classic_hybrid() {
+        let (circuit, packet) = fabrics();
+        let ctx = ctx(&circuit, &packet, None);
+        let mut policy = ThresholdSplit::new(mb(2));
+        let mixed = Coflow::builder(0)
+            .flow(0, 0, mb(1))
+            .flow(1, 1, mb(50))
+            .build();
+        let d = policy.split(&mixed, &ctx);
+        assert_eq!(d.split.packet_subflows(), 1);
+        assert_eq!(d.split.circuit_subflows(), 1);
+        assert_eq!(d.split.bytes_to_packet(), mb(1));
+        assert_eq!(SplitPolicy::name(&policy), "threshold");
+    }
+
+    #[test]
+    fn solver_offloads_when_the_prt_is_congested() {
+        let (circuit, packet) = fabrics();
+        let mut solver = SolverSplit::new(4);
+        // Idle PRT: the probe sees a free fabric; δ + 8 ms beats 84 ms
+        // on packets, so everything stays on circuits.
+        let small = Coflow::builder(0).flow(0, 1, mb(1)).build();
+        let idle = Prt::new(4);
+        let d = solver.split(&small, &ctx(&circuit, &packet, Some(&idle)));
+        assert!(d.split.is_pure_circuit(), "{:?}", d.split);
+        assert_eq!(d.evals, 4);
+        // A 10 s blocker on ports (0, 1) owned by one long Coflow: the
+        // small Coflow outranks it under shortest-first (the stepper
+        // would reorder at the next replan), so it *stays* on circuits —
+        // the preemption-aware estimate sees through the occupancy.
+        let mut blocked = Prt::new(4);
+        blocked.reserve(
+            0,
+            1,
+            Time::ZERO,
+            Time::from_secs_f64(10.0),
+            crate::prt::ResvKind::Flow(ocs_model::FlowRef {
+                coflow: 99,
+                flow_idx: 0,
+            }),
+        );
+        let d = solver.split(&small, &ctx(&circuit, &packet, Some(&blocked)));
+        assert!(d.split.is_pure_circuit(), "{:?}", d.split);
+        // 20 s of back-to-back occupancy owned by a hundred *short*
+        // Coflows (200 ms remaining each — every one outranks a 100 MB
+        // candidate): any circuit bytes wait behind all of them plus δ,
+        // and the ~8.4 s packet-side finish wins outright.
+        let mut congested = Prt::new(4);
+        for i in 0..100u64 {
+            let start = Time::from_secs_f64(i as f64 * 0.2);
+            congested.reserve(
+                0,
+                1,
+                start,
+                start + Dur::from_millis(200),
+                crate::prt::ResvKind::Flow(ocs_model::FlowRef {
+                    coflow: 100 + i,
+                    flow_idx: 0,
+                }),
+            );
+        }
+        let big = Coflow::builder(1).flow(0, 1, mb(100)).build();
+        let d = solver.split(&big, &ctx(&circuit, &packet, Some(&congested)));
+        assert!(d.split.is_pure_packet(), "{:?}", d.split);
+    }
+
+    #[test]
+    fn split_kind_parses_and_builds() {
+        for kind in SplitKind::ALL {
+            let parsed: SplitKind = kind.name().parse().expect("canonical name parses");
+            assert_eq!(parsed, kind);
+            let policy = kind.build(mb(2));
+            assert_eq!(policy.name(), kind.name());
+        }
+        assert_eq!("whole".parse::<SplitKind>(), Ok(SplitKind::NonSplitting));
+        let err = "bogus".parse::<SplitKind>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+}

@@ -47,9 +47,12 @@ run OPTIONS:
   --bandwidth-gbps N      link rate (default 1)
   --delta-us N            reconfiguration delay δ in µs (default 1000)
   --backend NAME          sunflow | sunflow:<K>[:<assign>] | kcore:<K> |
-                          solstice | tms | edmond | varys | aalo | fair
+                          hybrid:<split>[:<frac>] | solstice | tms | edmond |
+                          varys | aalo | fair
                           (default sunflow; <assign> one of hash,
-                          round-robin, least-loaded, rank-pack)
+                          round-robin, least-loaded, rank-pack; <split> one
+                          of non-splitting, threshold, solver; <frac> the
+                          packet network's bandwidth fraction, default 0.1)
   --policy NAME           shortest | longest | fcfs (default shortest)
   --active NAME           yield | keep | preempt (default yield)
   --guard T_MS,TAU_MS     starvation guard period and shared window

@@ -305,6 +305,15 @@ impl Daemon {
         self.backend.stats().unwrap_or_default()
     }
 
+    /// The split policy's metric label when this daemon runs the hybrid
+    /// fabric; `None` for every single-fabric backend.
+    pub fn split_label(&self) -> Option<&'static str> {
+        match self.config.backend {
+            BackendKind::Hybrid { split, .. } => Some(split.name()),
+            _ => None,
+        }
+    }
+
     /// Every completion so far, in completion order.
     pub fn completions(&self) -> &[Completion] {
         &self.completions
@@ -560,6 +569,18 @@ impl Daemon {
             }
             cores.push_str("], ");
         }
+        // The hybrid backend reports its demand-routing counters;
+        // single-fabric backends omit the key entirely.
+        let mut split = String::new();
+        if let Some(policy) = self.split_label() {
+            split = format!(
+                concat!(
+                    "\"split\": {{\"policy\": \"{}\", \"evals\": {}, ",
+                    "\"subflows_to_packet\": {}, \"bytes_to_packet\": {}}}, "
+                ),
+                policy, s.split_evals, s.subflows_split, s.bytes_to_packet,
+            );
+        }
         format!(
             concat!(
                 "{{\"now_secs\": {:.6}, \"backend\": \"{}\", \"switch_model\": \"{}\", ",
@@ -572,7 +593,7 @@ impl Daemon {
                 "\"faults\": {{\"setup_failures\": {}, \"port_flaps\": {}, ",
                 "\"delta_inflations\": {}, \"retries\": {}, \"recoveries\": {}, ",
                 "\"max_attempts\": {}, \"backoff_total_secs\": {:.6}, \"flows_in_backoff\": {}}}, ",
-                "{}\"cct_ps\": {}, \"queue_latency_ps\": {}, \"admit_latency_ns\": {}}}"
+                "{}{}\"cct_ps\": {}, \"queue_latency_ps\": {}, \"admit_latency_ns\": {}}}"
             ),
             self.now().as_secs_f64(),
             self.backend.name(),
@@ -601,6 +622,7 @@ impl Daemon {
             f.backoff_total.as_secs_f64(),
             self.injector.flows_in_backoff(),
             cores,
+            split,
             t.cct.to_json(),
             t.queue_latency.to_json(),
             t.admit_latency.to_json(),
@@ -693,6 +715,29 @@ impl Daemon {
             &by_backend,
             s.reservations_made,
         );
+        // The hybrid backend labels its demand-routing counters with the
+        // split policy; single-fabric backends emit no split series.
+        if let Some(split) = self.split_label() {
+            let by_split = [("backend", b), ("split", split)];
+            p.counter(
+                "ocs_daemon_split_evals_total",
+                "Split candidates evaluated at hybrid admission",
+                &by_split,
+                s.split_evals,
+            );
+            p.counter(
+                "ocs_daemon_split_subflows_total",
+                "Subflows carved off to the packet fabric",
+                &by_split,
+                s.subflows_split,
+            );
+            p.counter(
+                "ocs_daemon_split_bytes_to_packet_total",
+                "Bytes routed to the packet fabric",
+                &by_split,
+                s.bytes_to_packet,
+            );
+        }
         // Multi-core backends additionally expose each core as a label
         // dimension; single-switch backends emit no core series.
         for (core, st) in self.core_rows() {
@@ -1056,6 +1101,50 @@ mod tests {
         single.drain();
         assert!(!single.status_json().contains("\"cores\""));
         assert!(!single.prometheus().contains("ocs_daemon_core_"));
+    }
+
+    #[test]
+    fn hybrid_backend_reports_split_telemetry() {
+        let mut cfg = config();
+        cfg.backend = "hybrid:threshold".parse().expect("selector parses");
+        let mut daemon = Daemon::new(&cfg);
+        for c in workload(8) {
+            daemon.submit(c).unwrap();
+        }
+        daemon.drain();
+        assert_eq!(daemon.telemetry().completed, 8);
+        assert_eq!(daemon.split_label(), Some("threshold"));
+
+        // Every flow in the test workload is under the 2 MB threshold,
+        // so all 16 subflows ride the packet fabric.
+        let s = daemon.stats();
+        assert_eq!(s.split_evals, 8);
+        assert_eq!(s.subflows_split, 16);
+        assert!(s.bytes_to_packet > 0);
+
+        let json = daemon.status_json();
+        assert!(
+            json.contains("\"split\": {\"policy\": \"threshold\""),
+            "{json}"
+        );
+        assert!(json.contains("\"subflows_to_packet\": 16"), "{json}");
+
+        let prom = daemon.prometheus();
+        assert!(
+            prom.contains("ocs_daemon_split_evals_total{backend=\"Hybrid\",split=\"threshold\"} 8")
+        );
+        assert!(prom.contains(
+            "ocs_daemon_split_subflows_total{backend=\"Hybrid\",split=\"threshold\"} 16"
+        ));
+        assert!(prom.contains(
+            "ocs_daemon_split_bytes_to_packet_total{backend=\"Hybrid\",split=\"threshold\"}"
+        ));
+
+        // Single-fabric daemons emit no split series at all.
+        let single = Daemon::new(&config());
+        assert_eq!(single.split_label(), None);
+        assert!(!single.status_json().contains("\"split\""));
+        assert!(!single.prometheus().contains("ocs_daemon_split_"));
     }
 
     #[test]

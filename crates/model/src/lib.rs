@@ -16,6 +16,9 @@
 //!   plus the Lemma 1/2 bound checks.
 //! * [`schedule`] — schedule artifacts ([`Reservation`], [`Assignment`],
 //!   [`ScheduleOutcome`]) and the optical port-constraint validator.
+//! * [`split`] — hybrid-fabric demand splitting ([`DemandSplit`],
+//!   [`Subflow`]): carving one Coflow into a circuit part and a packet
+//!   part with completion defined as the max over parts.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +28,7 @@ pub mod coflow;
 pub mod demand;
 pub mod fabric;
 pub mod schedule;
+pub mod split;
 pub mod time;
 
 pub use bounds::{
@@ -38,4 +42,5 @@ pub use schedule::{
     served_per_flow, validate_port_constraints, Assignment, FlowRef, Reservation, ScheduleError,
     ScheduleOutcome,
 };
+pub use split::{DemandSplit, SplitParts, Subflow, SubflowRef};
 pub use time::{Bandwidth, Dur, Time};

@@ -33,7 +33,7 @@ use ocs_model::KCoreFabric;
 use ocs_model::{Coflow, DemandMatrix, Dur, Fabric, FlowRef, Reservation, ScheduleOutcome, Time};
 use ocs_packet::{Aalo, ActiveCoflow, FairSharing, RateScheduler, Varys};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use sunflow_core::{CoreAssignKind, PriorityPolicy};
+use sunflow_core::{CoreAssignKind, PriorityPolicy, SplitKind};
 
 /// A resumable, event-driven simulation of one Coflow scheduler.
 ///
@@ -743,6 +743,11 @@ pub struct PacketBackend<'s> {
     first_service: Vec<Option<Time>>,
     completions: Vec<Completion>,
     fuel: u64,
+    /// Fluid events processed (the packet side's `ReplayStats::events`).
+    events: u64,
+    /// Wall-clock microseconds spent in the rate scheduler's `allocate`
+    /// (the packet side's `ReplayStats::reschedule_micros`).
+    alloc_micros: u64,
 }
 
 impl<'s> PacketBackend<'s> {
@@ -759,7 +764,35 @@ impl<'s> PacketBackend<'s> {
             first_service: Vec::new(),
             completions: Vec::new(),
             fuel: 100_000,
+            events: 0,
+            alloc_micros: 0,
         }
+    }
+
+    /// Per-port unserved processing time at the full link rate — the
+    /// larger of each port's transmit and receive queues, counting both
+    /// active fluids and not-yet-admitted submissions. The congestion
+    /// signal behind load-aware hybrid split policies: it resolves
+    /// *where* the backlog sits, which the aggregate
+    /// [`outstanding_demand`](SchedulingBackend::outstanding_demand)
+    /// cannot.
+    pub fn port_backlog(&self) -> Vec<Dur> {
+        let ports = self.fabric.ports();
+        let mut tx = vec![0.0f64; ports];
+        let mut rx = vec![0.0f64; ports];
+        for f in self.acts.iter().flat_map(|a| a.flows.iter()) {
+            let b = f.remaining.max(0.0);
+            tx[f.src] += b;
+            rx[f.dst] += b;
+        }
+        for f in self.pending.values().flat_map(|c| c.flows().iter()) {
+            tx[f.src] += f.bytes as f64;
+            rx[f.dst] += f.bytes as f64;
+        }
+        tx.iter()
+            .zip(&rx)
+            .map(|(&t, &r)| self.fabric.processing_time(t.max(r).ceil() as u64))
+            .collect()
     }
 
     /// Next candidate events: (arrival, flow finish, scheduler event).
@@ -862,6 +895,7 @@ impl SchedulingBackend for PacketBackend<'_> {
                 .checked_sub(1)
                 .expect("packet simulation event-count fuel exhausted");
             processed += 1;
+            self.events += 1;
 
             // Advance fluids to t_next.
             let dt = t_next.since(self.now).as_secs_f64();
@@ -924,8 +958,10 @@ impl SchedulingBackend for PacketBackend<'_> {
             let sched_fired = t_sched == Some(self.now);
             let topology_triggers = topology_changed && !self.scheduler.epoch_only();
             if (topology_triggers || sched_fired) && !self.acts.is_empty() {
+                let t0 = std::time::Instant::now();
                 self.scheduler
                     .allocate(&mut self.acts, &self.fabric, self.now);
+                self.alloc_micros += t0.elapsed().as_micros() as u64;
                 for (a, fs) in self.acts.iter().zip(self.first_service.iter_mut()) {
                     if fs.is_none() && a.total_rate() > 0.0 {
                         *fs = Some(self.now);
@@ -979,6 +1015,19 @@ impl SchedulingBackend for PacketBackend<'_> {
             .sum();
         self.fabric.processing_time(bytes.ceil() as u64)
     }
+
+    fn stats(&self) -> Option<ReplayStats> {
+        // The packet side keeps the two counters that exist for a fluid
+        // simulation: events processed and time spent re-rating. The
+        // circuit-specific counters stay zero — but the stats are
+        // `Some`, so hybrid compositions can merge both sides instead
+        // of dropping this one.
+        Some(ReplayStats {
+            events: self.events,
+            reschedule_micros: self.alloc_micros,
+            ..ReplayStats::default()
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -997,7 +1046,8 @@ impl std::fmt::Display for UnknownBackendError {
         write!(
             f,
             "unknown backend '{}' (expected one of: sunflow, sunflow:<K>[:<assign>], \
-             kcore:<K>, portgroups:<G>, solstice, tms, edmond, varys, aalo, fair)",
+             kcore:<K>, portgroups:<G>, hybrid:<split>[:<frac>], solstice, tms, edmond, \
+             varys, aalo, fair)",
             self.input
         )
     }
@@ -1041,6 +1091,17 @@ pub enum BackendKind {
         /// Number of parallel switch cores, `K` (≥ 1).
         cores: u32,
     },
+    /// The §6 hybrid fabric ([`crate::HybridBackend`]): Sunflow
+    /// circuits beside a slim fair-shared packet network, with a
+    /// [`SplitKind`] policy routing each arriving Coflow's bytes;
+    /// selector `hybrid:<split>[:<frac>]` (e.g. `hybrid:solver:0.1`).
+    Hybrid {
+        /// The demand-routing policy.
+        split: SplitKind,
+        /// Packet-network bandwidth in thousandths of the link rate
+        /// (1..=1000; the selector spells it as a fraction).
+        packet_bw_permille: u32,
+    },
     /// Sunflow sharded across `groups` disjoint contiguous port groups
     /// ([`crate::PortGroupBackend`]); selector `portgroups:<G>`.
     /// Deliberately absent from [`BackendKind::ALL`]: it refuses
@@ -1055,7 +1116,7 @@ pub enum BackendKind {
 impl BackendKind {
     /// Every selectable backend (the parameterized kinds appear once,
     /// with representative parameters).
-    pub const ALL: [BackendKind; 9] = [
+    pub const ALL: [BackendKind; 10] = [
         BackendKind::Sunflow,
         BackendKind::Solstice,
         BackendKind::Tms,
@@ -1068,6 +1129,10 @@ impl BackendKind {
             assign: CoreAssignKind::LeastLoaded,
         },
         BackendKind::KCore { cores: 2 },
+        BackendKind::Hybrid {
+            split: SplitKind::Threshold,
+            packet_bw_permille: 100,
+        },
     ];
 
     /// The canonical scheduler name — the single source every report
@@ -1085,6 +1150,7 @@ impl BackendKind {
             BackendKind::Aalo => RateScheduler::name(&Aalo::default()),
             BackendKind::FairSharing => RateScheduler::name(&FairSharing),
             BackendKind::KCore { .. } => "KCore",
+            BackendKind::Hybrid { .. } => "Hybrid",
         }
     }
 
@@ -1096,6 +1162,10 @@ impl BackendKind {
         match self {
             BackendKind::MultiSunflow { cores, assign } => format!("sunflow:{cores}:{assign}"),
             BackendKind::KCore { cores } => format!("kcore:{cores}"),
+            BackendKind::Hybrid {
+                split,
+                packet_bw_permille,
+            } => format!("hybrid:{split}:{}", *packet_bw_permille as f64 / 1000.0),
             BackendKind::PortGroups { groups } => format!("portgroups:{groups}"),
             BackendKind::FairSharing => "fair".to_string(),
             other => other.name().to_ascii_lowercase(),
@@ -1141,6 +1211,21 @@ impl BackendKind {
                     CoreAssignKind::RankPack,
                 ))
             }
+            BackendKind::Hybrid {
+                split,
+                packet_bw_permille,
+            } => {
+                let config = crate::HybridConfig {
+                    online: *online,
+                    packet_bandwidth_fraction: *packet_bw_permille as f64 / 1000.0,
+                    ..crate::HybridConfig::default()
+                };
+                let split = split.build(config.small_flow_threshold);
+                Box::new(
+                    crate::HybridBackend::new(fabric, &config, policy, split)
+                        .expect("permille selector keeps the fraction in (0, 1]"),
+                )
+            }
             BackendKind::PortGroups { groups } => Box::new(crate::PortGroupBackend::new(
                 fabric,
                 *groups as usize,
@@ -1159,9 +1244,30 @@ impl std::str::FromStr for BackendKind {
         let unknown = || UnknownBackendError {
             input: s.to_string(),
         };
-        // The parameterized selectors: `sunflow:<K>[:<assign>]` and
-        // `kcore:<K>`, K ≥ 1.
+        // The parameterized selectors: `sunflow:<K>[:<assign>]`,
+        // `kcore:<K>` (K ≥ 1) and `hybrid:<split>[:<frac>]`.
         if let Some((head, params)) = lower.split_once(':') {
+            if head == "hybrid" {
+                let (split_str, frac_str) = match params.split_once(':') {
+                    Some((p, f)) => (p, Some(f)),
+                    None => (params, None),
+                };
+                let split: SplitKind = split_str.parse().map_err(|_| unknown())?;
+                let packet_bw_permille = match frac_str {
+                    Some(fs) => fs
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|f| *f > 0.0 && *f <= 1.0)
+                        .map(|f| (f * 1000.0).round() as u32)
+                        .filter(|&p| p >= 1)
+                        .ok_or_else(unknown)?,
+                    None => 100,
+                };
+                return Ok(BackendKind::Hybrid {
+                    split,
+                    packet_bw_permille,
+                });
+            }
             let (cores_str, assign_str) = match params.split_once(':') {
                 Some((c, a)) => (c, Some(a)),
                 None => (params, None),
@@ -1239,6 +1345,22 @@ mod tests {
             "kcore:8".parse::<BackendKind>(),
             Ok(BackendKind::KCore { cores: 8 })
         );
+        // `hybrid:<split>[:<frac>]`: the fraction defaults to 0.1 and
+        // round-trips through thousandths.
+        assert_eq!(
+            "hybrid:solver".parse::<BackendKind>(),
+            Ok(BackendKind::Hybrid {
+                split: SplitKind::Solver,
+                packet_bw_permille: 100,
+            })
+        );
+        assert_eq!(
+            "hybrid:non-splitting:0.25".parse::<BackendKind>(),
+            Ok(BackendKind::Hybrid {
+                split: SplitKind::NonSplitting,
+                packet_bw_permille: 250,
+            })
+        );
         // `portgroups:<G>` round-trips but stays out of ALL: it refuses
         // cross-group flows, so it cannot serve arbitrary traffic.
         let pg = BackendKind::PortGroups { groups: 4 };
@@ -1254,6 +1376,10 @@ mod tests {
             "sunflow:2:warp",
             "portgroups:0",
             "portgroups:2:hash",
+            "hybrid:bogus",
+            "hybrid:threshold:0",
+            "hybrid:threshold:1.5",
+            "hybrid:solver:0.0001",
         ] {
             let err = bad.parse::<BackendKind>().unwrap_err();
             assert!(err.to_string().contains(bad), "{bad}");
@@ -1285,6 +1411,14 @@ mod tests {
                 "not-all-stop",
             ),
             (BackendKind::KCore { cores: 2 }, "KCore", "not-all-stop"),
+            (
+                BackendKind::Hybrid {
+                    split: SplitKind::Threshold,
+                    packet_bw_permille: 100,
+                },
+                "Hybrid",
+                "hybrid",
+            ),
         ];
         for (kind, name, switch) in expect {
             let b = kind.build(&f, &OnlineConfig::default(), Box::new(ShortestFirst));

@@ -8,45 +8,47 @@
 //! network — they would pay a full circuit reconfiguration `δ` for a few
 //! milliseconds of transmission — and keeps the heavy flows on circuits.
 //!
-//! This module implements that split: every flow below a byte threshold
-//! is carried by a packet network with a configurable fraction of the
-//! link bandwidth (max-min fair sharing, no Coflow awareness — leftover
-//! traffic is not centrally scheduled), while the rest rides the
-//! Sunflow-scheduled circuit network at full bandwidth. A Coflow
-//! completes when *both* of its parts have: the CCT combines them.
+//! [`HybridBackend`] is that fabric as a first-class
+//! [`SchedulingBackend`]: a [`SunflowBackend`] on the full-rate fabric
+//! and a [`PacketBackend`] on a slim one (a configurable fraction of the
+//! link bandwidth, max-min fair sharing, no Coflow awareness), composed
+//! behind **one clock and one submission surface**. Every arriving
+//! Coflow is routed through a pluggable
+//! [`SplitPolicy`](sunflow_core::SplitPolicy) — whole-Coflow
+//! ([`NonSplitting`](sunflow_core::NonSplitting)), per-flow threshold
+//! ([`ThresholdSplit`] — the classic hybrid), or a per-Coflow byte
+//! solver probing the live PRT ([`SolverSplit`](sunflow_core::SolverSplit))
+//! — carved by [`DemandSplit`](ocs_model::DemandSplit), and reassembled
+//! at completion: the Coflow finishes when *both* of its parts have.
 //!
-//! The split itself is a degenerate two-"core" placement: the circuit
-//! network is core 0 and the packet network core 1, assigned by the
-//! [`ThresholdSplit`] policy and partitioned by
-//! [`partition_by_core`] — the same [`CoreAssign`] seam the K-core
-//! backends ([`crate::multicore`]) place subflows through.
-//!
-//! [`CoreAssign`]: sunflow_core::CoreAssign
-//!
-//! The two networks are simulated as two [`SchedulingBackend`]s —
-//! [`SunflowBackend`] on the full-rate fabric, [`PacketBackend`] on the
-//! slim one — composed on **one shared event loop and virtual clock**
-//! ([`crate::engine::run_backends_to_idle`]), not as two independent
-//! simulations stitched together afterwards. Each backend is advanced
-//! only at its own event instants, so the composition is provably
-//! identical to running each side alone — while keeping both sides
-//! coherent in time for online drivers.
+//! The composition preserves the engine semantics of the historical
+//! `simulate_hybrid` (two backends under
+//! [`crate::engine::run_backends_to_idle`]): each sub-backend is
+//! advanced only at its own event instants, so it observes exactly the
+//! `advance_to` sequence it would produce running alone, and the
+//! threshold-split replay is bit-identical to the historical one.
+//! [`simulate_hybrid`] survives as a thin batch constructor over
+//! [`HybridBackend`] with a [`ThresholdSplit`] policy.
 
 use crate::backend::{PacketBackend, SchedulingBackend, SunflowBackend};
-use crate::engine::run_backends_to_idle;
+use crate::engine::run_trace;
 use crate::online::{OnlineConfig, ReplayStats};
-use crate::stepper::{FullService, SubmitError};
-use ocs_model::{Bandwidth, Coflow, Fabric, ScheduleOutcome, Time};
+use crate::stepper::{Completion, SettleHook, SubmitError};
+use ocs_model::{Bandwidth, Coflow, Dur, Fabric, ScheduleOutcome, SubflowRef, Time};
 use ocs_packet::FairSharing;
-use sunflow_core::{partition_by_core, CoreAssign, CoreLoad, PriorityPolicy, ThresholdSplit};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use sunflow_core::{PriorityPolicy, SplitContext, SplitPolicy, SunflowConfig, ThresholdSplit};
 
 /// Hybrid network parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct HybridConfig {
     /// Circuit-side replay configuration.
     pub online: OnlineConfig,
-    /// Flows strictly smaller than this many bytes go to the packet
-    /// network. Zero sends everything to the circuits (pure OCS).
+    /// Smallness cutoff in bytes, fed to the split policy: under
+    /// [`ThresholdSplit`] flows strictly smaller than this ride the
+    /// packet network (zero sends everything to the circuits — pure
+    /// OCS); [`NonSplitting`](sunflow_core::NonSplitting) compares
+    /// whole-Coflow sizes against it.
     pub small_flow_threshold: u64,
     /// The packet network's bandwidth as a fraction of the link rate
     /// (REACToR pairs a slim packet switch with the OCS).
@@ -63,133 +65,431 @@ impl Default for HybridConfig {
     }
 }
 
+/// An invalid [`HybridConfig`], reported instead of panicking so the
+/// daemon can reject a bad `--backend hybrid:...` selector with a clean
+/// exit instead of a crash.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HybridConfigError {
+    /// `packet_bandwidth_fraction` outside `(0, 1]` — a zero-bandwidth
+    /// packet network could never drain its flows, and more than the
+    /// link rate does not exist.
+    PacketBandwidthFraction {
+        /// The rejected fraction.
+        fraction: f64,
+    },
+}
+
+impl std::fmt::Display for HybridConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HybridConfigError::PacketBandwidthFraction { fraction } => write!(
+                f,
+                "packet bandwidth fraction must be in (0, 1], got {fraction}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HybridConfigError {}
+
+/// Per-Coflow reassembly state while its parts run on the two fabrics.
+struct MergeState {
+    arrival: Time,
+    /// Per original flow: where its subflow(s) landed.
+    map: Vec<SubflowRef>,
+    parts_left: usize,
+    flow_finish: Vec<Time>,
+    finish: Time,
+    setups: u64,
+    first_service: Option<Time>,
+}
+
+/// The hybrid circuit/packet fabric as one [`SchedulingBackend`]: a
+/// [`SunflowBackend`] (full-rate circuits) and a [`PacketBackend`]
+/// (slim fair-shared fabric) on one clock, with a
+/// [`SplitPolicy`](sunflow_core::SplitPolicy) routing every arriving
+/// Coflow's bytes between them at admission time.
+///
+/// Splitting happens at *admission*, not submission: the policy sees
+/// the live circuit PRT and the packet backlog as they are when the
+/// Coflow arrives, so load-aware policies route against current — not
+/// stale — fabric state. Completions are reassembled per Coflow (`max`
+/// over parts, per-flow finishes mapped back through the carve), and
+/// the split counters feed
+/// [`ReplayStats::subflows_split`], [`ReplayStats::bytes_to_packet`]
+/// and [`ReplayStats::split_evals`].
+pub struct HybridBackend<'p> {
+    circuit: SunflowBackend<'p>,
+    packet: PacketBackend<'static>,
+    split: Box<dyn SplitPolicy + Send + 'p>,
+    /// The full-rate fabric: admission validation and split context.
+    fabric: Fabric,
+    packet_fabric: Fabric,
+    /// Planning configuration for circuit-side probes.
+    sunflow: SunflowConfig,
+    now: Time,
+    /// Future arrivals, held until their instant so the split policy
+    /// decides against the live fabric state, keyed by (arrival, id) —
+    /// admission order matches batch submission.
+    pending: BTreeMap<(Time, u64), Coflow>,
+    ids: HashSet<u64>,
+    merge: HashMap<u64, MergeState>,
+    completions: Vec<Completion>,
+    subflows_split: u64,
+    bytes_to_packet: u64,
+    split_evals: u64,
+    circuit_subflows: usize,
+    packet_subflows: usize,
+}
+
+impl<'p> HybridBackend<'p> {
+    /// A hybrid backend on `fabric`: circuits at the full link rate
+    /// under Sunflow and `policy`, packets on a slim fabric
+    /// (`config.packet_bandwidth_fraction` of the rate, fair-shared),
+    /// with `split` routing each arriving Coflow between them.
+    pub fn new(
+        fabric: &Fabric,
+        config: &HybridConfig,
+        policy: Box<dyn PriorityPolicy + 'p>,
+        split: Box<dyn SplitPolicy + Send + 'p>,
+    ) -> Result<HybridBackend<'p>, HybridConfigError> {
+        let frac = config.packet_bandwidth_fraction;
+        if !(frac > 0.0 && frac <= 1.0) {
+            return Err(HybridConfigError::PacketBandwidthFraction { fraction: frac });
+        }
+        let packet_bw =
+            Bandwidth::from_bps(((fabric.bandwidth().as_bps() as f64) * frac).max(1.0) as u64);
+        let packet_fabric = Fabric::new(fabric.ports(), packet_bw, fabric.delta());
+        Ok(HybridBackend {
+            circuit: SunflowBackend::new(fabric, &config.online, policy),
+            packet: PacketBackend::new(&packet_fabric, Box::new(FairSharing)),
+            split,
+            fabric: *fabric,
+            packet_fabric,
+            sunflow: config.online.sunflow,
+            now: Time::ZERO,
+            pending: BTreeMap::new(),
+            ids: HashSet::new(),
+            merge: HashMap::new(),
+            completions: Vec::new(),
+            subflows_split: 0,
+            bytes_to_packet: 0,
+            split_evals: 0,
+            circuit_subflows: 0,
+            packet_subflows: 0,
+        })
+    }
+
+    /// The split policy's name, for metric labels.
+    pub fn split_name(&self) -> &'static str {
+        self.split.name()
+    }
+
+    /// The circuit side's replay counters.
+    pub fn circuit_stats(&self) -> ReplayStats {
+        self.circuit.stats().unwrap_or_default()
+    }
+
+    /// The packet side's replay counters (fluid events and re-rating
+    /// time; circuit-specific counters stay zero).
+    pub fn packet_stats(&self) -> ReplayStats {
+        self.packet.stats().unwrap_or_default()
+    }
+
+    /// Subflows that carried bytes on the circuit network so far.
+    pub fn circuit_subflows(&self) -> usize {
+        self.circuit_subflows
+    }
+
+    /// Subflows that carried bytes on the packet network so far.
+    pub fn packet_subflows(&self) -> usize {
+        self.packet_subflows
+    }
+
+    /// Split and admit every pending Coflow due at or before `t`,
+    /// consulting the split policy against the live fabric state.
+    fn admit_due(&mut self, t: Time) -> u64 {
+        let mut n = 0u64;
+        while let Some(&(arrival, id)) = self.pending.keys().next() {
+            if arrival > t {
+                break;
+            }
+            let c = self.pending.remove(&(arrival, id)).expect("peeked");
+            let backlog = self.packet.port_backlog();
+            let stepper = self.circuit.stepper();
+            let queue = |key| stepper.outranking_backlog(key);
+            let ctx = SplitContext {
+                now: arrival,
+                circuit: &self.fabric,
+                packet: &self.packet_fabric,
+                prt: Some(stepper.prt()),
+                packet_outstanding: self.packet.outstanding_demand(),
+                packet_backlog: Some(&backlog),
+                circuit_queue: Some(&queue),
+                config: self.sunflow,
+            };
+            let decision = self.split.split(&c, &ctx);
+            self.split_evals += decision.evals;
+            self.subflows_split += decision.split.packet_subflows() as u64;
+            self.bytes_to_packet += decision.split.bytes_to_packet();
+            self.circuit_subflows += decision.split.circuit_subflows();
+            self.packet_subflows += decision.split.packet_subflows();
+            let parts = decision.split.carve(&c);
+            self.merge.insert(
+                id,
+                MergeState {
+                    arrival,
+                    map: parts.map,
+                    parts_left: parts.circuit.is_some() as usize + parts.packet.is_some() as usize,
+                    flow_finish: vec![Time::ZERO; c.num_flows()],
+                    finish: arrival,
+                    setups: 0,
+                    first_service: None,
+                },
+            );
+            if let Some(part) = parts.circuit {
+                self.circuit
+                    .submit(part)
+                    .expect("part was validated at submission");
+                n += 1;
+            }
+            if let Some(part) = parts.packet {
+                self.packet
+                    .submit(part)
+                    .expect("part was validated at submission");
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Drain per-fabric completions into the per-Coflow merge states,
+    /// emitting a merged [`Completion`] once the last part lands. A
+    /// byte-split flow finishes when both of its subflows have (`max`).
+    fn absorb_completions(&mut self) {
+        let circuit = self.circuit.drain_completions();
+        let packet = self.packet.drain_completions();
+        let tagged = circuit
+            .into_iter()
+            .map(|p| (false, p))
+            .chain(packet.into_iter().map(|p| (true, p)));
+        for (on_packet, part) in tagged {
+            let id = part.outcome.coflow;
+            let st = self
+                .merge
+                .get_mut(&id)
+                .expect("completion for an unknown part");
+            for (orig, r) in st.map.iter().enumerate() {
+                let idx = if on_packet { r.packet } else { r.circuit };
+                if let Some(pi) = idx {
+                    st.flow_finish[orig] = st.flow_finish[orig].max(part.outcome.flow_finish[pi]);
+                }
+            }
+            st.finish = st.finish.max(part.outcome.finish);
+            st.setups += part.outcome.circuit_setups;
+            st.first_service = match (st.first_service, part.first_service) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            st.parts_left -= 1;
+            if st.parts_left == 0 {
+                let st = self.merge.remove(&id).expect("present");
+                self.completions.push(Completion {
+                    outcome: ScheduleOutcome {
+                        coflow: id,
+                        start: st.arrival,
+                        finish: st.finish,
+                        flow_finish: st.flow_finish,
+                        circuit_setups: st.setups,
+                    },
+                    first_service: st.first_service,
+                });
+            }
+        }
+    }
+}
+
+impl SchedulingBackend for HybridBackend<'_> {
+    fn name(&self) -> &'static str {
+        "Hybrid"
+    }
+
+    fn switch_model(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn submit(&mut self, coflow: Coflow) -> Result<(), SubmitError> {
+        if !self.fabric.fits(&coflow) {
+            return Err(SubmitError::ExceedsFabric {
+                id: coflow.id(),
+                ports: self.fabric.ports(),
+            });
+        }
+        if !self.ids.insert(coflow.id()) {
+            return Err(SubmitError::DuplicateId(coflow.id()));
+        }
+        if coflow.arrival() < self.now {
+            self.ids.remove(&coflow.id());
+            return Err(SubmitError::ArrivalInPast {
+                arrival: coflow.arrival(),
+                now: self.now,
+            });
+        }
+        self.pending.insert((coflow.arrival(), coflow.id()), coflow);
+        Ok(())
+    }
+
+    fn next_event_time(&self) -> Option<Time> {
+        let arrival = self.pending.keys().next().map(|&(a, _)| a);
+        let inner = [
+            self.circuit.next_event_time(),
+            self.packet.next_event_time(),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        [arrival, inner].into_iter().flatten().min()
+    }
+
+    fn advance_to(&mut self, deadline: Time, hook: &mut dyn SettleHook) -> u64 {
+        let mut processed = 0u64;
+        while let Some(t) = self.next_event_time() {
+            if t > deadline {
+                break;
+            }
+            // Admit first so a sub-backend sees arrivals due at `t`
+            // before it plans at `t` — identical to batch submission,
+            // where the arrival already sits in its queue.
+            processed += self.admit_due(t);
+            // Advance each side only when its own event is due — the
+            // engine's rule, so every sub-backend observes exactly the
+            // `advance_to` sequence it would produce running alone.
+            if self.circuit.next_event_time().is_some_and(|e| e <= t) {
+                processed += self.circuit.advance_to(t, hook);
+            }
+            if self.packet.next_event_time().is_some_and(|e| e <= t) {
+                processed += self.packet.advance_to(t, hook);
+            }
+            self.absorb_completions();
+            self.now = self.now.max(t);
+        }
+        if deadline != Time::MAX {
+            // Nothing happens strictly between events; float the
+            // circuit clock to the deadline so later submissions cannot
+            // rewrite the span. The packet side is deliberately *not*
+            // floated: its fluids drain linearly at rates that only
+            // change at its own events, and splitting a span into more
+            // `progress` calls would perturb the floating-point
+            // remainders — advancing it lazily keeps the replay
+            // bit-identical to the engine composition.
+            self.circuit.advance_to(deadline, hook);
+            self.absorb_completions();
+            self.now = self.now.max(deadline);
+        }
+        processed
+    }
+
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.merge.is_empty()
+    }
+
+    fn active_coflows(&self) -> usize {
+        self.merge.len()
+    }
+
+    fn queued_arrivals(&self) -> usize {
+        self.pending.len() + self.circuit.queued_arrivals() + self.packet.queued_arrivals()
+    }
+
+    fn outstanding_demand(&self) -> Dur {
+        self.circuit.outstanding_demand() + self.packet.outstanding_demand()
+    }
+
+    fn deferred_flows(&self) -> usize {
+        self.circuit.deferred_flows()
+    }
+
+    fn guard_windows(&self) -> u64 {
+        self.circuit.guard_windows()
+    }
+
+    fn stats(&self) -> Option<ReplayStats> {
+        let mut total = ReplayStats {
+            subflows_split: self.subflows_split,
+            bytes_to_packet: self.bytes_to_packet,
+            split_evals: self.split_evals,
+            ..ReplayStats::default()
+        };
+        total.absorb(&self.circuit_stats());
+        total.absorb(&self.packet_stats());
+        Some(total)
+    }
+
+    fn compact_history(&mut self) -> usize {
+        self.circuit.compact_history()
+    }
+}
+
 /// Result of a hybrid replay.
 #[derive(Clone, Debug)]
 pub struct HybridResult {
     /// Combined per-Coflow outcomes, in input order.
     pub outcomes: Vec<ScheduleOutcome>,
-    /// Flows carried by the circuit network.
+    /// Subflows carried by the circuit network.
     pub circuit_flows: usize,
-    /// Flows carried by the packet network.
+    /// Subflows carried by the packet network.
     pub packet_flows: usize,
-    /// Replay counters of the circuit side (default when every flow went
-    /// to the packet network).
+    /// Merged replay counters of both fabrics plus the split counters
+    /// ([`ReplayStats::subflows_split`], [`ReplayStats::bytes_to_packet`],
+    /// [`ReplayStats::split_evals`]).
     pub stats: ReplayStats,
+    /// The circuit side's counters alone.
+    pub circuit_stats: ReplayStats,
+    /// The packet side's counters alone (fluid events and re-rating
+    /// time).
+    pub packet_stats: ReplayStats,
 }
 
-/// Simulate `coflows` over the hybrid fabric.
+/// Simulate `coflows` over the hybrid fabric under the classic
+/// threshold split (flows under `config.small_flow_threshold` bytes
+/// ride the packet network) — a thin batch constructor over
+/// [`HybridBackend`] with a [`ThresholdSplit`] policy.
+///
+/// # Errors
+/// [`HybridConfigError`] unless `0 < packet_bandwidth_fraction <= 1`.
 ///
 /// # Panics
-/// Panics unless `0 < packet_bandwidth_fraction <= 1` (a zero-bandwidth
-/// packet network could never drain its flows).
+/// Panics if a Coflow exceeds the fabric or ids collide (like every
+/// batch entry point).
 pub fn simulate_hybrid(
     coflows: &[Coflow],
     fabric: &Fabric,
     config: &HybridConfig,
     policy: &dyn PriorityPolicy,
-) -> HybridResult {
-    assert!(
-        config.packet_bandwidth_fraction > 0.0 && config.packet_bandwidth_fraction <= 1.0,
-        "packet bandwidth fraction must be in (0, 1]"
-    );
-
-    // Partition every coflow through the shared placement seam: the
-    // circuit network is core 0, the packet network core 1. Remember
-    // where each original flow went: (went_to_packet, index within its
-    // part).
-    let mut circuit_part: Vec<Option<Coflow>> = Vec::with_capacity(coflows.len());
-    let mut packet_part: Vec<Option<Coflow>> = Vec::with_capacity(coflows.len());
-    let mut placement: Vec<Vec<(bool, usize)>> = Vec::with_capacity(coflows.len());
-
-    let mut split = ThresholdSplit::new(config.small_flow_threshold);
-    let no_load = CoreLoad::new(2, fabric.ports());
-    for c in coflows {
-        let assignment = split.assign(c, 2, &no_load);
-        let (mut parts, map) = partition_by_core(c, &assignment, 2);
-        packet_part.push(parts.pop().expect("core 1"));
-        circuit_part.push(parts.pop().expect("core 0"));
-        placement.push(
-            map.into_iter()
-                .map(|(core, idx)| (core == 1, idx))
-                .collect(),
-        );
-    }
-
-    // Circuit side: full-rate fabric under Sunflow. Packet side: slim
-    // fabric, fair sharing (leftover traffic is not Coflow-scheduled).
-    let packet_bw = Bandwidth::from_bps(
-        ((fabric.bandwidth().as_bps() as f64) * config.packet_bandwidth_fraction).max(1.0) as u64,
-    );
-    let packet_fabric = Fabric::new(fabric.ports(), packet_bw, fabric.delta());
-    let mut sun = SunflowBackend::new(fabric, &config.online, Box::new(policy));
-    let mut fair = FairSharing;
-    let mut packet = PacketBackend::new(&packet_fabric, Box::new(&mut fair));
-
-    let submit = |backend: &mut dyn SchedulingBackend, c: &Coflow| match backend.submit(c.clone()) {
-        Ok(()) => {}
-        Err(SubmitError::ExceedsFabric { id, .. }) => panic!("coflow {id} exceeds fabric ports"),
-        Err(e) => panic!("coflow ids must be unique: {e}"),
-    };
-    for c in circuit_part.iter().flatten() {
-        submit(&mut sun, c);
-    }
-    for c in packet_part.iter().flatten() {
-        submit(&mut packet, c);
-    }
-
-    // One event loop, one clock, two networks.
-    run_backends_to_idle(&mut [&mut sun, &mut packet], &mut FullService);
-
-    let stats = sun.stats().unwrap_or_default();
-    let mut circuit_by_id = std::collections::HashMap::new();
-    for c in sun.drain_completions() {
-        circuit_by_id.insert(c.outcome.coflow, c.outcome);
-    }
-    let mut packet_by_id = std::collections::HashMap::new();
-    for c in packet.drain_completions() {
-        packet_by_id.insert(c.outcome.coflow, c.outcome);
-    }
-
-    // Merge the two halves per coflow.
-    let mut outcomes = Vec::with_capacity(coflows.len());
-    let mut circuit_flows = 0usize;
-    let mut packet_flows = 0usize;
-    for (c, map) in coflows.iter().zip(&placement) {
-        let co = circuit_by_id.get(&c.id());
-        let po = packet_by_id.get(&c.id());
-        let finish = co
-            .map(|o| o.finish)
-            .into_iter()
-            .chain(po.map(|o| o.finish))
-            .max()
-            .expect("coflow must have at least one part");
-        let flow_finish: Vec<Time> = map
-            .iter()
-            .map(|&(on_packet, idx)| {
-                if on_packet {
-                    packet_flows += 1;
-                    po.expect("placement says packet").flow_finish[idx]
-                } else {
-                    circuit_flows += 1;
-                    co.expect("placement says circuit").flow_finish[idx]
-                }
-            })
-            .collect();
-        outcomes.push(ScheduleOutcome {
-            coflow: c.id(),
-            start: c.arrival(),
-            finish,
-            flow_finish,
-            circuit_setups: co.map(|o| o.circuit_setups).unwrap_or(0),
-        });
-    }
-
-    HybridResult {
+) -> Result<HybridResult, HybridConfigError> {
+    let mut backend = HybridBackend::new(
+        fabric,
+        config,
+        Box::new(policy),
+        Box::new(ThresholdSplit::new(config.small_flow_threshold)),
+    )?;
+    let outcomes = run_trace(coflows, &mut backend);
+    Ok(HybridResult {
         outcomes,
-        circuit_flows,
-        packet_flows,
-        stats,
-    }
+        circuit_flows: backend.circuit_subflows(),
+        packet_flows: backend.packet_subflows(),
+        stats: backend.stats().unwrap_or_default(),
+        circuit_stats: backend.circuit_stats(),
+        packet_stats: backend.packet_stats(),
+    })
 }
 
 #[cfg(test)]
@@ -197,7 +497,7 @@ mod tests {
     use super::*;
     use crate::online::simulate_circuit;
     use ocs_model::Dur;
-    use sunflow_core::ShortestFirst;
+    use sunflow_core::{NonSplitting, ShortestFirst, SolverSplit};
 
     fn fabric() -> Fabric {
         Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(10))
@@ -221,7 +521,7 @@ mod tests {
             small_flow_threshold: 0,
             ..HybridConfig::default()
         };
-        let h = simulate_hybrid(&cs, &fabric(), &cfg, &ShortestFirst);
+        let h = simulate_hybrid(&cs, &fabric(), &cfg, &ShortestFirst).expect("valid config");
         let pure = simulate_circuit(&cs, &fabric(), &cfg.online, &ShortestFirst);
         assert_eq!(h.packet_flows, 0);
         assert_eq!(h.circuit_flows, 2);
@@ -236,7 +536,7 @@ mod tests {
             packet_bandwidth_fraction: 0.1,
             ..HybridConfig::default()
         };
-        let h = simulate_hybrid(&cs, &fabric(), &cfg, &ShortestFirst);
+        let h = simulate_hybrid(&cs, &fabric(), &cfg, &ShortestFirst).expect("valid config");
         assert_eq!(h.circuit_flows, 0);
         assert_eq!(h.packet_flows, 1);
         // 1 MB at 100 Mbps ≈ 84 ms, but no 10 ms reconfiguration.
@@ -247,7 +547,8 @@ mod tests {
     #[test]
     fn mixed_coflow_completes_when_both_parts_do() {
         let cs = vec![mixed_coflow(0)];
-        let h = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst);
+        let h = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst)
+            .expect("valid config");
         assert_eq!(h.circuit_flows, 1);
         assert_eq!(h.packet_flows, 1);
         let o = &h.outcomes[0];
@@ -263,7 +564,8 @@ mod tests {
     fn small_coflows_avoid_delta_on_the_hybrid() {
         let cs = vec![Coflow::builder(0).flow(0, 1, mb(1)).build()];
         let pure = simulate_circuit(&cs, &fabric(), &OnlineConfig::default(), &ShortestFirst);
-        let hybrid = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst);
+        let hybrid = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst)
+            .expect("valid config");
         // Pure circuit: delta (10 ms) + ~8.4 ms. Hybrid: ~84 ms at 10% bw
         // — here the circuit actually wins; but with delta = 100 ms the
         // hybrid wins. Check both regimes.
@@ -273,7 +575,8 @@ mod tests {
         let pure_slow =
             simulate_circuit(&cs, &slow_switch, &OnlineConfig::default(), &ShortestFirst);
         let hybrid_slow =
-            simulate_hybrid(&cs, &slow_switch, &HybridConfig::default(), &ShortestFirst);
+            simulate_hybrid(&cs, &slow_switch, &HybridConfig::default(), &ShortestFirst)
+                .expect("valid config");
         assert!(hybrid_slow.outcomes[0].finish < pure_slow.outcomes[0].finish);
     }
 
@@ -285,18 +588,113 @@ mod tests {
             Coflow::builder(0).flow(0, 1, mb(1)).build(),
             Coflow::builder(1).flow(2, 3, mb(100)).build(),
         ];
-        let h = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst);
+        let h = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst)
+            .expect("valid config");
         assert_eq!(h.outcomes.len(), 2);
         assert!(h.outcomes.iter().all(|o| o.finish > Time::ZERO));
     }
 
     #[test]
-    #[should_panic(expected = "fraction")]
-    fn zero_packet_bandwidth_is_rejected() {
+    fn zero_packet_bandwidth_is_rejected_with_a_typed_error() {
         let cfg = HybridConfig {
             packet_bandwidth_fraction: 0.0,
             ..HybridConfig::default()
         };
-        let _ = simulate_hybrid(&[], &fabric(), &cfg, &ShortestFirst);
+        let err = simulate_hybrid(&[], &fabric(), &cfg, &ShortestFirst).unwrap_err();
+        assert_eq!(
+            err,
+            HybridConfigError::PacketBandwidthFraction { fraction: 0.0 }
+        );
+        assert!(err.to_string().contains("fraction"), "{err}");
+        // NaN and > 1 are rejected too.
+        for bad in [f64::NAN, 1.5, -0.1] {
+            let cfg = HybridConfig {
+                packet_bandwidth_fraction: bad,
+                ..HybridConfig::default()
+            };
+            assert!(simulate_hybrid(&[], &fabric(), &cfg, &ShortestFirst).is_err());
+        }
+    }
+
+    #[test]
+    fn split_counters_reach_the_merged_stats() {
+        let cs = vec![mixed_coflow(0)];
+        let h = simulate_hybrid(&cs, &fabric(), &HybridConfig::default(), &ShortestFirst)
+            .expect("valid config");
+        assert_eq!(h.stats.subflows_split, 1);
+        assert_eq!(h.stats.bytes_to_packet, mb(1));
+        assert_eq!(h.stats.split_evals, 1);
+        // Both sides' work counters are merged: the circuit side planned
+        // reservations, the packet side processed fluid events.
+        assert!(h.circuit_stats.reservations_made > 0);
+        assert!(h.packet_stats.events > 0);
+        assert_eq!(
+            h.stats.events,
+            h.circuit_stats.events + h.packet_stats.events
+        );
+    }
+
+    /// A whole-Coflow policy on a congested-free fabric: the 1 MB Coflow
+    /// rides whichever fabric its estimates favour, in one piece.
+    #[test]
+    fn non_splitting_policy_routes_whole_coflows() {
+        let cs = vec![Coflow::builder(0).flow(0, 1, mb(1)).build()];
+        // δ = 100 ms: the packet estimate (~84 ms) beats the circuit's.
+        let slow = Fabric::new(4, Bandwidth::GBPS, Dur::from_millis(100));
+        let mut b = HybridBackend::new(
+            &slow,
+            &HybridConfig::default(),
+            Box::new(ShortestFirst),
+            Box::new(NonSplitting::new(mb(2))),
+        )
+        .expect("valid config");
+        let outcomes = run_trace(&cs, &mut b);
+        assert_eq!(b.packet_subflows(), 1);
+        assert_eq!(b.circuit_subflows(), 0);
+        assert_eq!(outcomes[0].circuit_setups, 0);
+        assert_eq!(b.split_name(), "non-splitting");
+    }
+
+    /// The solver probes the live PRT, preemption-aware: a Coflow
+    /// trailing a queue of *shorter* (higher-priority) Coflows on its
+    /// ports cannot jump that queue on the circuits, so it escapes to
+    /// the packet network; a Coflow that *outranks* the occupancy in
+    /// front of it stays put.
+    #[test]
+    fn solver_split_escapes_a_congested_prt() {
+        // Fifteen 10 MB Coflows at t = 0 fill ports (0, 1) with
+        // ~1.2 s of higher-priority circuit work; a 12 MB Coflow
+        // arriving at 50 ms ranks behind every one of them, and the
+        // ~0.96 s packet-side finish beats waiting.
+        let mut cs: Vec<Coflow> = (0..15u64)
+            .map(|i| Coflow::builder(i).flow(0, 1, mb(10)).build())
+            .collect();
+        cs.push(
+            Coflow::builder(100)
+                .arrival(Time::from_secs_f64(0.05))
+                .flow(0, 1, mb(12))
+                .build(),
+        );
+        let mut b = HybridBackend::new(
+            &fabric(),
+            &HybridConfig::default(),
+            Box::new(ShortestFirst),
+            Box::new(SolverSplit::new(4)),
+        )
+        .expect("valid config");
+        let outcomes = run_trace(&cs, &mut b);
+        assert_eq!(outcomes.len(), 16);
+        let stats = b.stats().expect("hybrid keeps stats");
+        // 4 estimate evaluations per Coflow (two endpoints plus a
+        // two-step bisection at resolution 4)...
+        assert_eq!(stats.split_evals, 64);
+        // ...and the outranked trailer offloaded bytes to dodge the
+        // queue (partially: the stepper plans incrementally, so the PRT
+        // reveals only the head of the higher-priority load — the
+        // carve hedges rather than flees outright). The fifteen short
+        // Coflows kept every byte on the circuits.
+        assert!(stats.bytes_to_packet > 0, "{stats:?}");
+        assert!(stats.bytes_to_packet <= mb(12), "{stats:?}");
+        assert_eq!(stats.subflows_split, 1, "{stats:?}");
     }
 }

@@ -24,9 +24,11 @@
 //!   the O(K)-approximation multi-core list scheduler
 //!   ([`KCoreBackend`]), both selectable through [`BackendKind`]
 //!   (`sunflow:<K>[:<assign>]`, `kcore:<K>`).
-//! * [`hybrid`] — the §6 REACToR-style hybrid: small flows offloaded to a
-//!   slim packet network, heavy flows on Sunflow-scheduled circuits —
-//!   two backends on one clock.
+//! * [`hybrid`] — the §6 REACToR-style hybrid as a first-class backend
+//!   ([`HybridBackend`]): a slim packet network beside the
+//!   Sunflow-scheduled circuits on one clock, with a pluggable
+//!   [`sunflow_core::SplitPolicy`] routing each arriving Coflow's bytes
+//!   between them (`hybrid:<split>[:<frac>]` in [`BackendKind`]).
 //! * [`aggregate`] — the §3.2 straw man, measured: Solstice/TMS/Edmond
 //!   forced to schedule all outstanding Coflows as one aggregated demand
 //!   matrix, with FIFO service attribution.
@@ -58,7 +60,7 @@ pub use backend::{
     UnknownBackendError,
 };
 pub use engine::{run_backends_to_idle, run_trace, simulate_packet};
-pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult};
+pub use hybrid::{simulate_hybrid, HybridBackend, HybridConfig, HybridConfigError, HybridResult};
 pub use intra_driver::{run_intra, IntraEngine};
 pub use multicore::{KCoreBackend, MultiSunflowBackend};
 pub use online::{simulate_circuit, ActiveCircuitPolicy, OnlineConfig, ReplayResult, ReplayStats};

@@ -334,23 +334,7 @@ impl SchedulingBackend for MultiSunflowBackend<'_> {
     fn stats(&self) -> Option<ReplayStats> {
         let mut total = ReplayStats::default();
         for s in &self.steppers {
-            let st = s.stats();
-            total.events += st.events;
-            total.yield_rounds += st.yield_rounds;
-            total.cuts += st.cuts;
-            total.reservations_made += st.reservations_made;
-            total.reservations_truncated += st.reservations_truncated;
-            total.reschedule_micros += st.reschedule_micros;
-            total.releases_visited += st.releases_visited;
-            total.demands_scanned += st.demands_scanned;
-            total.coflows_rescheduled += st.coflows_rescheduled;
-            total.coflows_skipped += st.coflows_skipped;
-            total.reservations_reused += st.reservations_reused;
-            total.delta_applied += st.delta_applied;
-            total.replan_segments += st.replan_segments;
-            total.parallel_replans += st.parallel_replans;
-            total.reservations_retired += st.reservations_retired;
-            total.parallel_shard_advances += st.parallel_shard_advances;
+            total.absorb(&s.stats());
         }
         Some(total)
     }

@@ -219,6 +219,66 @@ pub struct ReplayStats {
     /// policies and `replan_threads` resolving above 1). Zero for
     /// unsharded backends and on single-core hosts.
     pub parallel_shard_advances: u64,
+    /// Subflows a hybrid backend carved off to the packet fabric
+    /// (whole-flow routing and byte-level carving both count). Zero for
+    /// single-fabric backends.
+    pub subflows_split: u64,
+    /// Bytes a hybrid backend routed to the packet fabric.
+    pub bytes_to_packet: u64,
+    /// Candidate splits a hybrid backend's
+    /// [`SplitPolicy`](sunflow_core::SplitPolicy) evaluated at
+    /// admission time (one per Coflow for the cheap policies; one per
+    /// fraction probed for the solver).
+    pub split_evals: u64,
+}
+
+impl ReplayStats {
+    /// Add every counter of `other` into `self` — the merge the sharded
+    /// and hybrid backends apply across their sub-replays' stats. The
+    /// exhaustive destructure keeps this in sync with the field list:
+    /// a new counter that is not absorbed here fails to compile.
+    pub fn absorb(&mut self, other: &ReplayStats) {
+        let ReplayStats {
+            events,
+            yield_rounds,
+            cuts,
+            reservations_made,
+            reservations_truncated,
+            reschedule_micros,
+            releases_visited,
+            demands_scanned,
+            coflows_rescheduled,
+            coflows_skipped,
+            reservations_reused,
+            delta_applied,
+            replan_segments,
+            parallel_replans,
+            reservations_retired,
+            parallel_shard_advances,
+            subflows_split,
+            bytes_to_packet,
+            split_evals,
+        } = *other;
+        self.events += events;
+        self.yield_rounds += yield_rounds;
+        self.cuts += cuts;
+        self.reservations_made += reservations_made;
+        self.reservations_truncated += reservations_truncated;
+        self.reschedule_micros += reschedule_micros;
+        self.releases_visited += releases_visited;
+        self.demands_scanned += demands_scanned;
+        self.coflows_rescheduled += coflows_rescheduled;
+        self.coflows_skipped += coflows_skipped;
+        self.reservations_reused += reservations_reused;
+        self.delta_applied += delta_applied;
+        self.replan_segments += replan_segments;
+        self.parallel_replans += parallel_replans;
+        self.reservations_retired += reservations_retired;
+        self.parallel_shard_advances += parallel_shard_advances;
+        self.subflows_split += subflows_split;
+        self.bytes_to_packet += bytes_to_packet;
+        self.split_evals += split_evals;
+    }
 }
 
 /// Simulate `coflows` on the circuit-switched `fabric` under Sunflow with

@@ -509,6 +509,47 @@ impl OnlineStepper {
         &self.prt
     }
 
+    /// Per-port unserved demand of active Coflows that would outrank a
+    /// new arrival whose remaining bottleneck is `key` under
+    /// shortest-remaining-first — the circuit-side queue such an
+    /// arrival waits behind. Unlike the PRT (which only holds the
+    /// planned head of the queue), this counts each outranking Coflow's
+    /// *full* remaining demand; per port, the larger of the transmit
+    /// and receive totals is returned. Ties count as outranking
+    /// (earlier arrivals win them).
+    pub fn outranking_backlog(&self, key: Dur) -> Vec<Dur> {
+        let ports = self.fabric.ports();
+        let mut tx = vec![Dur::ZERO; ports];
+        let mut rx = vec![Dur::ZERO; ports];
+        let mut ctx = vec![Dur::ZERO; ports];
+        let mut crx = vec![Dur::ZERO; ports];
+        for &idx in &self.active {
+            let st = self.states[idx].as_ref().expect("active implies state");
+            let flows = self.coflows[idx].flows();
+            for p in 0..ports {
+                ctx[p] = Dur::ZERO;
+                crx[p] = Dur::ZERO;
+            }
+            let mut bottleneck = Dur::ZERO;
+            for (f, &rem) in flows.iter().zip(&st.remaining) {
+                ctx[f.src] += rem;
+                crx[f.dst] += rem;
+                bottleneck = bottleneck.max(ctx[f.src]).max(crx[f.dst]);
+            }
+            if bottleneck <= key {
+                for f in flows {
+                    if !ctx[f.src].is_zero() || !crx[f.dst].is_zero() {
+                        tx[f.src] += ctx[f.src];
+                        rx[f.dst] += crx[f.dst];
+                        ctx[f.src] = Dur::ZERO;
+                        crx[f.dst] = Dur::ZERO;
+                    }
+                }
+            }
+        }
+        tx.iter().zip(&rx).map(|(&t, &r)| t.max(r)).collect()
+    }
+
     /// Drop PRT history that ended at or before `now`, returning how many
     /// reservations were forgotten. Safe at any point between runs: only
     /// settled reservations can have ended by `now`.

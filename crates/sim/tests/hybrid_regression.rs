@@ -1,0 +1,265 @@
+//! Hybrid-backend byte-identity and golden regression tests.
+//!
+//! A [`HybridBackend`] whose split policy routes nothing to the packet
+//! fabric must be *byte-identical* to the pure [`SunflowBackend`] path
+//! — the refactor that threaded the `SplitPolicy` seam through
+//! admission must not perturb a single circuit event. The degenerate
+//! route pinned here is [`NonSplitting`] with a zero threshold
+//! (nothing is "small", every Coflow keeps the circuits), exercised at
+//! both the default and a vanishingly slim packet bandwidth.
+//!
+//! A separate golden pins the [`ThresholdSplit`] hybrid replay on the
+//! 40-Coflow fixture of `replay_regression.rs`, so split-routing or
+//! merge changes that shift one timestamp are caught too.
+
+use ocs_model::{Bandwidth, Coflow, Dur, Fabric, ScheduleOutcome, Time};
+use ocs_sim::{
+    simulate_circuit, simulate_hybrid, FullService, HybridBackend, HybridConfig, OnlineConfig,
+    SchedulingBackend,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use sunflow_core::{
+    ClassThenShortest, ExplicitOrder, FirstComeFirstServed, LongestFirst, NonSplitting,
+    PriorityPolicy, ShortestFirst, SplitPolicy,
+};
+
+fn fabric() -> Fabric {
+    Fabric::new(8, Bandwidth::GBPS, Dur::from_millis(10))
+}
+
+/// xorshift64* so the workload is deterministic without pulling `rand`
+/// into the fixture (same generator and seed as `replay_regression.rs`).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// The dense 40-Coflow workload of `replay_regression.rs`, byte for
+/// byte — the golden asserted below was captured on it.
+fn workload() -> Vec<Coflow> {
+    let mut s = 0x5af1_0e5e_ed00_0001u64;
+    let mut coflows = Vec::new();
+    for id in 0..40u64 {
+        let arrival = Time::from_millis(xorshift(&mut s) % 2_000);
+        let mut b = Coflow::builder(id).arrival(arrival);
+        let flows = 1 + (xorshift(&mut s) % 4) as usize;
+        for _ in 0..flows {
+            let src = (xorshift(&mut s) % 8) as usize;
+            let dst = (xorshift(&mut s) % 8) as usize;
+            let bytes = (1 + xorshift(&mut s) % 24) * 1_000_000;
+            b = b.flow(src, dst, bytes);
+        }
+        coflows.push(b.build());
+    }
+    coflows
+}
+
+/// FNV-1a over every observable field of the outcomes (the same hash
+/// as `replay_regression.rs`, minus the guard counter the hybrid
+/// result does not carry).
+fn fingerprint(outcomes: &[ScheduleOutcome]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for o in outcomes {
+        eat(o.coflow);
+        eat(o.start.as_ps());
+        eat(o.finish.as_ps());
+        eat(o.circuit_setups);
+        for f in &o.flow_finish {
+            eat(f.as_ps());
+        }
+    }
+    h
+}
+
+/// Replay `coflows` through a [`HybridBackend`] under `split`,
+/// returning outcomes in input order.
+fn run_hybrid(
+    coflows: &[Coflow],
+    fabric: &Fabric,
+    config: &HybridConfig,
+    prio: &dyn PriorityPolicy,
+    split: Box<dyn SplitPolicy + Send + '_>,
+) -> Vec<ScheduleOutcome> {
+    let mut backend =
+        HybridBackend::new(fabric, config, Box::new(prio), split).expect("valid config");
+    for c in coflows {
+        backend.submit(c.clone()).expect("fixture fits the fabric");
+    }
+    backend.advance_to(Time::MAX, &mut FullService);
+    assert!(backend.is_idle(), "replay must drain");
+    let mut outcomes: Vec<_> = backend
+        .drain_completions()
+        .into_iter()
+        .map(|c| c.outcome)
+        .collect();
+    let input_pos: HashMap<u64, usize> = coflows
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.id(), i))
+        .collect();
+    outcomes.sort_by_key(|o| input_pos[&o.coflow]);
+    outcomes
+}
+
+/// The [`ThresholdSplit`] hybrid replay on the fixture, pinned: a
+/// split-routing, carve or completion-merge change that shifts one
+/// timestamp fails here. The counters double-check that the golden
+/// genuinely exercises both fabrics.
+#[test]
+fn threshold_hybrid_fixture_matches_golden() {
+    let r = simulate_hybrid(
+        &workload(),
+        &fabric(),
+        &HybridConfig::default(),
+        &ShortestFirst,
+    )
+    .expect("valid config");
+    assert!(r.stats.subflows_split > 0, "fixture must split subflows");
+    assert!(r.stats.bytes_to_packet > 0, "fixture must route bytes");
+    assert!(r.packet_flows > 0 && r.circuit_flows > 0);
+    assert_eq!(fingerprint(&r.outcomes), GOLDEN_HYBRID_THRESHOLD);
+}
+
+/// A zero smallness threshold degenerates [`ThresholdSplit`] to pure
+/// OCS: the hybrid replay must be byte-identical to
+/// `simulate_circuit` on the same fixture.
+#[test]
+fn degenerate_threshold_matches_pure_circuit_on_fixture() {
+    let coflows = workload();
+    let f = fabric();
+    let cfg = HybridConfig {
+        small_flow_threshold: 0,
+        ..HybridConfig::default()
+    };
+    let h = simulate_hybrid(&coflows, &f, &cfg, &ShortestFirst).expect("valid config");
+    let pure = simulate_circuit(&coflows, &f, &cfg.online, &ShortestFirst);
+    assert_eq!(h.packet_flows, 0);
+    assert_eq!(h.stats.bytes_to_packet, 0);
+    assert_eq!(fingerprint(&h.outcomes), fingerprint(&pure.outcomes));
+}
+
+/// A small random workload: up to 12 Coflows, 1–4 flows each, on the
+/// 8-port fixture fabric.
+fn arb_workload() -> impl Strategy<Value = Vec<Coflow>> {
+    proptest::collection::vec(
+        (
+            0u64..500,
+            proptest::collection::vec((0usize..8, 0usize..8, 1u64..20_000_000), 1..=4),
+        ),
+        1..=12,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(id, (arrival_ms, flows))| {
+                let mut b = Coflow::builder(id as u64).arrival(Time::from_millis(arrival_ms));
+                for (s, d, z) in flows {
+                    b = b.flow(s, d, z);
+                }
+                b.build()
+            })
+            .collect()
+    })
+}
+
+/// The five priority policies, boxed for uniform iteration.
+fn policies(coflows: &[Coflow]) -> Vec<(&'static str, Box<dyn PriorityPolicy>)> {
+    let classes: HashMap<u64, u32> = coflows
+        .iter()
+        .map(|c| (c.id(), (c.id() % 3) as u32))
+        .collect();
+    let order: Vec<u64> = coflows.iter().map(|c| c.id()).rev().collect();
+    vec![
+        ("shortest", Box::new(ShortestFirst)),
+        ("longest", Box::new(LongestFirst)),
+        ("fcfs", Box::new(FirstComeFirstServed)),
+        ("class", Box::new(ClassThenShortest::new(classes, 9))),
+        ("explicit", Box::new(ExplicitOrder::new(order))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Degenerate-hybrid equivalence, property-tested: on random
+    /// workloads, a [`HybridBackend`] with a zero [`NonSplitting`]
+    /// threshold (nothing is "small", every Coflow keeps the
+    /// circuits) replays byte-identical to `simulate_circuit` under
+    /// every priority policy — both at the default packet bandwidth
+    /// and over a vanishingly slim (0.1%) packet fabric, so the
+    /// hybrid clock and merge machinery is provably transparent
+    /// regardless of the idle fabric's rate.
+    #[test]
+    fn degenerate_hybrid_equivalence(coflows in arb_workload()) {
+        let f = fabric();
+        let cfg = HybridConfig::default();
+        let tiny_frac = HybridConfig {
+            packet_bandwidth_fraction: 1e-3,
+            ..HybridConfig::default()
+        };
+        for (pname, prio) in policies(&coflows) {
+            let pure = simulate_circuit(&coflows, &f, &OnlineConfig::default(), prio.as_ref());
+            let golden = fingerprint(&pure.outcomes);
+            let zero = run_hybrid(
+                &coflows,
+                &f,
+                &cfg,
+                prio.as_ref(),
+                Box::new(NonSplitting::new(0)),
+            );
+            prop_assert_eq!(
+                fingerprint(&zero),
+                golden,
+                "zero-threshold NonSplitting hybrid diverged from simulate_circuit under {}",
+                pname
+            );
+            let slim = run_hybrid(
+                &coflows,
+                &f,
+                &tiny_frac,
+                prio.as_ref(),
+                Box::new(NonSplitting::new(0)),
+            );
+            prop_assert_eq!(
+                fingerprint(&slim),
+                golden,
+                "tiny-frac NonSplitting hybrid diverged from simulate_circuit under {}",
+                pname
+            );
+        }
+    }
+}
+
+/// Prints the hybrid fingerprint so it can be (re)captured:
+/// `cargo test -p ocs-sim --test hybrid_regression capture -- --ignored --nocapture`.
+#[test]
+#[ignore = "golden capture helper, not a check"]
+fn capture() {
+    let r = simulate_hybrid(
+        &workload(),
+        &fabric(),
+        &HybridConfig::default(),
+        &ShortestFirst,
+    )
+    .expect("valid config");
+    println!(
+        "GOLDEN_HYBRID_THRESHOLD: {:#018x}",
+        fingerprint(&r.outcomes)
+    );
+}
+
+// Golden fingerprint, captured from the `capture` test above on the
+// 40-Coflow fixture under the default hybrid config (2 MB smallness
+// threshold, 10% packet bandwidth).
+const GOLDEN_HYBRID_THRESHOLD: u64 = 0xcf1337b4fc0c8b11;
